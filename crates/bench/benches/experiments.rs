@@ -1,0 +1,100 @@
+//! End-to-end experiment benchmarks: `cargo bench` runs a scaled-down
+//! version of every table/figure harness, so the full reproduction path
+//! is continuously exercised and timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use uap_bittorrent::{run_swarm, SwarmConfig, TrackerPolicy};
+use uap_core::experiments::{
+    e01_hierarchy, e02_cost, e03_coordinates, e04_messages, e05_clustering, e06_exchange,
+    e07_testlab, e09_kademlia, e11_challenges, e12_overhead, NetParams,
+};
+use uap_core::impact;
+use uap_sim::SimTime;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+
+    g.bench_function("e01_hierarchy", |b| {
+        b.iter(|| black_box(e01_hierarchy::run(&e01_hierarchy::Params::quick(1))))
+    });
+    g.bench_function("e02_cost", |b| {
+        b.iter(|| black_box(e02_cost::run(&e02_cost::Params::full())))
+    });
+    g.bench_function("e03_ics_example", |b| {
+        b.iter(|| black_box(e03_coordinates::example_table()))
+    });
+    g.bench_function("e03_accuracy_quick", |b| {
+        b.iter(|| black_box(e03_coordinates::run_accuracy(&e03_coordinates::Params::quick(2))))
+    });
+    g.bench_function("e04_message_counts_quick", |b| {
+        let mut p = e04_messages::Params::quick(3);
+        p.duration = SimTime::from_mins(4);
+        b.iter(|| black_box(e04_messages::run(&p)))
+    });
+    g.bench_function("e05_clustering_quick", |b| {
+        let mut p = e05_clustering::Params::quick(4);
+        p.duration = SimTime::from_mins(3);
+        b.iter(|| black_box(e05_clustering::run(&p)))
+    });
+    g.bench_function("e06_exchange_quick", |b| {
+        let mut p = e06_exchange::Params::quick(5);
+        p.duration = SimTime::from_mins(4);
+        b.iter(|| black_box(e06_exchange::run(&p)))
+    });
+    g.bench_function("e07_testlab_quick", |b| {
+        let mut p = e07_testlab::Params::quick(6);
+        p.duration = SimTime::from_mins(4);
+        b.iter(|| black_box(e07_testlab::run(&p)))
+    });
+    g.bench_function("e08_impact_quick", |b| {
+        b.iter(|| {
+            black_box(impact::run(
+                &NetParams::quick(150, 7),
+                SimTime::from_mins(4),
+            ))
+        })
+    });
+    g.bench_function("e09_kademlia_quick", |b| {
+        let mut p = e09_kademlia::Params::quick(8);
+        p.lookups = 40;
+        b.iter(|| black_box(e09_kademlia::run(&p)))
+    });
+    g.bench_function("e10_swarm_quick", |b| {
+        b.iter(|| {
+            let cfg = SwarmConfig {
+                n_leechers: 50,
+                n_seeds: 4,
+                n_pieces: 32,
+                tracker: TrackerPolicy::Bns {
+                    internal: 16,
+                    external: 4,
+                },
+                ..Default::default()
+            };
+            black_box(run_swarm(NetParams::quick(80, 9).build(), cfg, 9))
+        })
+    });
+    g.bench_function("e11_challenges_quick", |b| {
+        let p = e11_challenges::Params::quick(10);
+        b.iter(|| {
+            black_box((
+                e11_challenges::run_asymmetry(&p),
+                e11_challenges::run_long_hop(&p),
+                e11_challenges::run_mobility(&p),
+            ))
+        })
+    });
+    g.bench_function("e12_overhead_quick", |b| {
+        let p = e12_overhead::Params::quick(11);
+        b.iter(|| black_box(e12_overhead::run_overhead(&p)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

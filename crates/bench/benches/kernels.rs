@@ -1,0 +1,157 @@
+//! Criterion benchmarks of the hot kernels every experiment leans on:
+//! the event queue, valley-free routing, coordinate maths, flooding,
+//! DHT lookups and swarm rounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uap_coords::{IcsSystem, Matrix, VivaldiConfig, VivaldiNode};
+use uap_gnutella::Overlay;
+use uap_kademlia::{DhtConfig, DhtNetwork, Key, ProximityMode};
+use uap_net::{
+    HostId, PopulationSpec, Routing, RoutingMode, TopologyKind, TopologySpec, Underlay,
+    UnderlayConfig,
+};
+use uap_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<SimTime> = (0..10_000)
+            .map(|_| SimTime::from_micros(rng.below(1_000_000)))
+            .collect();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn hierarchical_underlay(n_hosts: usize, seed: u64) -> Underlay {
+    let mut rng = SimRng::new(seed);
+    let g = TopologySpec::new(TopologyKind::Hierarchical {
+        tier1: 3,
+        tier2_per_tier1: 3,
+        tier3_per_tier2: 4,
+        tier2_peering_prob: 0.3,
+        tier3_peering_prob: 0.3,
+    })
+    .build(&mut rng);
+    Underlay::build(g, &PopulationSpec::leaf(n_hosts), UnderlayConfig::default(), &mut rng)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let u = hierarchical_underlay(10, 2);
+    c.bench_function("net/valley_free_apsp_48as", |b| {
+        b.iter(|| black_box(Routing::compute(&u.graph, RoutingMode::ValleyFree)))
+    });
+    c.bench_function("net/latency_lookup", |b| {
+        let u = hierarchical_underlay(500, 3);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(17);
+            black_box(u.latency_us(HostId(i % 500), HostId((i / 2) % 500)))
+        })
+    });
+}
+
+fn bench_coords(c: &mut Criterion) {
+    c.bench_function("coords/vivaldi_update", |b| {
+        let cfg = VivaldiConfig::default();
+        let mut rng = SimRng::new(4);
+        let mut a = VivaldiNode::new(cfg);
+        let remote = VivaldiNode::new(cfg);
+        b.iter(|| {
+            a.update(&remote, 55.0, &mut rng);
+            black_box(a.error)
+        })
+    });
+    c.bench_function("coords/jacobi_eigen_20x20", |b| {
+        let mut rng = SimRng::new(5);
+        let n = 20;
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = rng.f64_range(1.0, 100.0);
+                d[(i, j)] = v;
+                d[(j, i)] = v;
+            }
+        }
+        b.iter(|| black_box(d.symmetric_eigen()))
+    });
+    c.bench_function("coords/ics_build_20_beacons", |b| {
+        let mut rng = SimRng::new(6);
+        let n = 20;
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = rng.f64_range(1.0, 100.0);
+                d[(i, j)] = v;
+                d[(j, i)] = v;
+            }
+        }
+        b.iter(|| black_box(IcsSystem::build(&d, 5)))
+    });
+}
+
+fn bench_flood(c: &mut Criterion) {
+    let u = hierarchical_underlay(500, 7);
+    let mut rng = SimRng::new(8);
+    let mut overlay = Overlay::new(500);
+    for i in 0..500 {
+        overlay.set_online(HostId(i), true);
+    }
+    // Random degree-6 overlay.
+    while overlay.edge_count() < 1_500 {
+        let a = HostId(rng.below(500) as u32);
+        let b = HostId(rng.below(500) as u32);
+        if a != b {
+            overlay.add_edge(&u, a, b);
+        }
+    }
+    c.bench_function("gnutella/flood_ttl4_500nodes", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(13);
+            black_box(overlay.flood(HostId(i % 500), 4))
+        })
+    });
+}
+
+fn bench_dht(c: &mut Criterion) {
+    c.bench_function("kademlia/lookup_256nodes", |b| {
+        let mut rng = SimRng::new(9);
+        // One network reused across iterations: lookups keep refreshing the
+        // routing tables, which is exactly the steady-state workload.
+        let mut net = DhtNetwork::build(
+            hierarchical_underlay(256, 10),
+            DhtConfig {
+                proximity: ProximityMode::PnsPr,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(29);
+            let k = Key::random(&mut rng);
+            black_box(net.lookup(HostId(i % 256), &k, &mut rng))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_routing,
+    bench_coords,
+    bench_flood,
+    bench_dht
+);
+criterion_main!(benches);

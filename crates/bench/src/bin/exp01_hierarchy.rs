@@ -1,0 +1,14 @@
+//! E1 — Figure 1: Internet hierarchy census.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e01_hierarchy::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp01_hierarchy", &out.table);
+    println!(
+        "monetary flow: {} transit links billed customer->provider; {} settlement-free peerings",
+        out.transit_links, out.peering_links
+    );
+}

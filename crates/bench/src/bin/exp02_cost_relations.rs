@@ -1,0 +1,14 @@
+//! E2 — Figure 2: transit vs peering cost curves.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e02_cost::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick() } else { Params::full() };
+    let out = run(&p);
+    emit(&cli, "exp02_cost_relations", &out.table);
+    println!(
+        "per-Mbps crossover (peering becomes cheaper): {:.1} Mbps",
+        out.crossover_mbps
+    );
+}

@@ -1,0 +1,13 @@
+//! E4 — Table 1: Gnutella message counts, unbiased vs oracle-biased.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e04_messages::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp04_message_counts", &out.table);
+    for (name, r) in &out.reports {
+        println!("--- {name} ---\n{r}");
+    }
+}

@@ -1,0 +1,21 @@
+//! E5 — Figures 5/6: overlay structure under neighbor-selection policies.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e05_clustering::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp05_overlay_clustering", &out.table);
+    // Edge lists for external plotting (the "visualization" of Fig. 5/6).
+    for snap in &out.snapshots {
+        let mut t = uap_core::report::Table::new("", &["a", "b"]);
+        for &(a, b) in &snap.edges {
+            t.row(&[a.0.to_string(), b.0.to_string()]);
+        }
+        let name = format!("exp05_edges_{}", snap.label.replace(' ', "_"));
+        if let Err(e) = t.write_csv(cli.out.join(format!("{name}.csv"))) {
+            eprintln!("warning: {e}");
+        }
+    }
+}

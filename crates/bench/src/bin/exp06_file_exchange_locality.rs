@@ -1,0 +1,10 @@
+//! E6 — §4: intra-AS share of file exchanges (6.5/7.3/10.02/40.57 %).
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e06_exchange::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp06_file_exchange_locality", &out.table);
+}

@@ -1,0 +1,10 @@
+//! E7 — §5 testlab: 45 Gnutella nodes on ring/star/tree/mesh.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e07_testlab::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp07_testlab", &out.table);
+}

@@ -1,0 +1,20 @@
+//! E8 — Table 2: the measured impact matrix.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::NetParams;
+use uap_core::impact;
+use uap_sim::SimTime;
+
+fn main() {
+    let cli = Cli::parse();
+    let (net, duration) = if cli.quick {
+        (NetParams::quick(200, cli.seed), SimTime::from_mins(8))
+    } else {
+        (NetParams::full(cli.seed), SimTime::from_mins(30))
+    };
+    let m = impact::run(&net, duration);
+    emit(&cli, "exp08_impact_matrix", &m.table);
+    println!(
+        "agreement with the paper's Table 2 (effect vs neutral): {:.0}%",
+        100.0 * m.agreement()
+    );
+}

@@ -1,0 +1,10 @@
+//! E9 — proximity neighbor selection in Kademlia (Kaune et al. \[17\]).
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e09_kademlia::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp09_kademlia_proximity", &out.table);
+}

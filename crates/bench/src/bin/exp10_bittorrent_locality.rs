@@ -1,0 +1,10 @@
+//! E10 — swarm locality and ISP bills (BNS \[3\], CAT \[32\]).
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e10_bittorrent::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp10_bittorrent_locality", &out.table);
+}

@@ -1,0 +1,10 @@
+//! E12 — §5.4 open issues: awareness overhead and churn robustness.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e12_overhead::{run_churn, run_overhead, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    emit(&cli, "exp12_overhead", &run_overhead(&p));
+    emit(&cli, "exp12_churn", &run_churn(&p));
+}

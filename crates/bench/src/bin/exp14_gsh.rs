@@ -1,0 +1,10 @@
+//! E14 — geographically scoped hashing (Leopard \[33\]) vs a plain DHT.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e14_gsh::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp14_gsh", &out.table);
+}

@@ -1,0 +1,10 @@
+//! E15 — ISP-location collection techniques: quality vs overhead.
+use uap_bench::{emit, Cli};
+use uap_core::experiments::e15_collection::{run, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let out = run(&p);
+    emit(&cli, "exp15_collection", &out.table);
+}

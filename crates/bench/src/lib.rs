@@ -1,0 +1,108 @@
+//! # uap-bench — experiment binaries and benchmarks
+//!
+//! One binary per paper artifact (run with `cargo run --release -p
+//! uap-bench --bin expNN_…`), each printing the table/series the paper
+//! reports and writing a CSV under `results/`. Common flags:
+//!
+//! * `--quick` — the fast test-scale parameters (default is the full,
+//!   paper-scale configuration);
+//! * `--seed <u64>` — experiment seed (default 42);
+//! * `--out <dir>` — CSV output directory (default `results`).
+//!
+//! The Criterion benches (`cargo bench -p uap-bench`) time the hot kernels
+//! (event queue, routing, coordinates, flooding, DHT lookups, swarm
+//! rounds) and run scaled-down versions of the experiments so the whole
+//! reproduction path is exercised by `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use uap_core::report::Table;
+
+/// Parsed common CLI flags.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Fast parameters instead of paper-scale.
+    pub quick: bool,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out: PathBuf,
+}
+
+impl Cli {
+    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    pub fn parse() -> Cli {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli {
+            quick: false,
+            seed: 42,
+            out: PathBuf::from("results"),
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => cli.quick = true,
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    cli.seed = v.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+                }
+                "--out" => {
+                    let v = it.next().unwrap_or_else(|| usage("--out needs a value"));
+                    cli.out = PathBuf::from(v);
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        cli
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <experiment> [--quick] [--seed <u64>] [--out <dir>]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Prints a table and writes its CSV under the output directory.
+pub fn emit(cli: &Cli, name: &str, table: &Table) {
+    println!("{}", table.render());
+    let path = cli.out.join(format!("{name}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("(csv written to {})\n", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let c = Cli::parse_from(Vec::<String>::new());
+        assert!(!c.quick);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.out, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn parse_flags() {
+        let c = Cli::parse_from(
+            ["--quick", "--seed", "7", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(c.quick);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.out, PathBuf::from("/tmp/x"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Piece bookkeeping: a fixed-size bitfield.
+
+/// A bitfield over the torrent's pieces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PieceSet {
+    bits: Vec<u64>,
+    n: usize,
+    count: usize,
+}
+
+impl PieceSet {
+    /// An empty set over `n` pieces.
+    pub fn empty(n: usize) -> PieceSet {
+        PieceSet {
+            bits: vec![0; n.div_ceil(64)],
+            n,
+            count: 0,
+        }
+    }
+
+    /// A full set over `n` pieces (a seed's bitfield).
+    pub fn full(n: usize) -> PieceSet {
+        let mut s = PieceSet::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Total pieces in the torrent.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Pieces held.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no piece is held.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether every piece is held.
+    pub fn is_complete(&self) -> bool {
+        self.count == self.n
+    }
+
+    /// Whether piece `i` is held.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.n);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Adds piece `i`; returns true if it was new.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.n);
+        let w = &mut self.bits[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over pieces in `other` that this set lacks.
+    pub fn missing_from<'a>(&'a self, other: &'a PieceSet) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(self.n, other.n);
+        (0..self.n).filter(move |&i| other.contains(i) && !self.contains(i))
+    }
+
+    /// Whether `other` has at least one piece this set lacks.
+    pub fn is_interested_in(&self, other: &PieceSet) -> bool {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .any(|(a, b)| (!a & b) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = PieceSet::empty(100);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        assert!(!e.is_complete());
+        let f = PieceSet::full(100);
+        assert_eq!(f.len(), 100);
+        assert!(f.is_complete());
+        assert!(f.contains(0) && f.contains(99));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = PieceSet::empty(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn missing_and_interest() {
+        let mut a = PieceSet::empty(10);
+        let mut b = PieceSet::empty(10);
+        b.insert(1);
+        b.insert(5);
+        a.insert(1);
+        let missing: Vec<usize> = a.missing_from(&b).collect();
+        assert_eq!(missing, vec![5]);
+        assert!(a.is_interested_in(&b));
+        a.insert(5);
+        assert!(!a.is_interested_in(&b));
+        assert!(!b.is_interested_in(&a));
+    }
+
+    #[test]
+    fn boundary_at_word_edges() {
+        let mut s = PieceSet::empty(129);
+        s.insert(63);
+        s.insert(64);
+        s.insert(128);
+        assert!(s.contains(63) && s.contains(64) && s.contains(128));
+        assert_eq!(s.len(), 3);
+    }
+}

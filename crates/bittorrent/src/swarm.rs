@@ -1,0 +1,432 @@
+//! The round-based swarm simulation.
+//!
+//! Fluid model: in every round of `round_secs`, each peer unchokes its
+//! best reciprocators (tit-for-tat) plus one optimistic slot, splits its
+//! uplink evenly across them, and the receivers turn accumulated bytes
+//! into rarest-first piece completions. Flows are charged to the underlay
+//! ledger, so experiment E10 can bill each tracker policy.
+
+use crate::pieces::PieceSet;
+use crate::tracker::{Tracker, TrackerPolicy};
+use std::collections::HashMap;
+use uap_net::{HostId, Underlay};
+use uap_sim::{SimRng, SimTime};
+
+/// Swarm parameters.
+#[derive(Clone, Debug)]
+pub struct SwarmConfig {
+    /// Number of leechers (joined at round 0).
+    pub n_leechers: usize,
+    /// Number of initial seeds.
+    pub n_seeds: usize,
+    /// Pieces in the torrent.
+    pub n_pieces: usize,
+    /// Bytes per piece.
+    pub piece_bytes: u64,
+    /// Peer-set size requested from the tracker.
+    pub max_peers: usize,
+    /// Regular unchoke slots.
+    pub unchoke_slots: usize,
+    /// Optimistic unchoke slots.
+    pub optimistic_slots: usize,
+    /// Round length.
+    pub round: SimTime,
+    /// Stop after this many rounds even if leechers remain.
+    pub max_rounds: u32,
+    /// Tracker policy (the experiment's independent variable).
+    pub tracker: TrackerPolicy,
+    /// CAT-style cost-aware choking: the unchoke ranking discounts bytes
+    /// received over inter-AS paths, so same-AS reciprocators win ties
+    /// (Yamazaki et al. \[32\]).
+    pub cost_aware_choking: bool,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            n_leechers: 100,
+            n_seeds: 5,
+            n_pieces: 64,
+            piece_bytes: 256 * 1024,
+            max_peers: 20,
+            unchoke_slots: 3,
+            optimistic_slots: 1,
+            round: SimTime::from_secs(10),
+            max_rounds: 2_000,
+            tracker: TrackerPolicy::Random,
+            cost_aware_choking: false,
+        }
+    }
+}
+
+/// Results of one swarm run.
+#[derive(Clone, Debug)]
+pub struct SwarmReport {
+    /// Completion time (seconds) per finished leecher.
+    pub completion_secs: Vec<f64>,
+    /// Leechers that finished before `max_rounds`.
+    pub completed: usize,
+    /// Leechers total.
+    pub leechers: usize,
+    /// Rounds simulated.
+    pub rounds: u32,
+    /// Fraction of payload bytes that stayed intra-AS.
+    pub intra_as_fraction: f64,
+    /// Total payload bytes moved.
+    pub payload_bytes: u64,
+    /// Tracker announces served.
+    pub announces: u64,
+}
+
+impl SwarmReport {
+    /// Mean completion time in seconds (0 if nobody finished).
+    pub fn mean_completion_secs(&self) -> f64 {
+        if self.completion_secs.is_empty() {
+            0.0
+        } else {
+            self.completion_secs.iter().sum::<f64>() / self.completion_secs.len() as f64
+        }
+    }
+
+    /// Median completion time in seconds.
+    pub fn median_completion_secs(&self) -> f64 {
+        if self.completion_secs.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.completion_secs.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    }
+}
+
+struct Peer {
+    host: HostId,
+    pieces: PieceSet,
+    neighbors: Vec<HostId>,
+    /// Bytes received from each neighbor last round (tit-for-tat input).
+    received_last: HashMap<HostId, u64>,
+    /// Byte credit toward the next piece, per sender.
+    credit: HashMap<HostId, u64>,
+    done_at: Option<u32>,
+    is_seed: bool,
+}
+
+/// Runs one swarm to completion (or `max_rounds`). Returns the report and
+/// the underlay (whose ledger holds the traffic classification for the
+/// cost model).
+#[allow(clippy::needless_range_loop)] // indices cross-reference several arrays
+pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmReport, Underlay) {
+    let mut rng = SimRng::new(seed);
+    let n_members = cfg.n_leechers + cfg.n_seeds;
+    assert!(
+        n_members <= underlay.n_hosts(),
+        "swarm larger than host population"
+    );
+    assert!(cfg.n_seeds >= 1, "a swarm needs a seed");
+    // Swarm membership: the first n hosts (host assignment to ASes is
+    // already random).
+    let members: Vec<HostId> = (0..n_members as u32).map(HostId).collect();
+    let mut peers: Vec<Peer> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &h)| Peer {
+            host: h,
+            pieces: if i < cfg.n_seeds {
+                PieceSet::full(cfg.n_pieces)
+            } else {
+                PieceSet::empty(cfg.n_pieces)
+            },
+            neighbors: Vec::new(),
+            received_last: HashMap::new(),
+            credit: HashMap::new(),
+            done_at: None,
+            is_seed: i < cfg.n_seeds,
+        })
+        .collect();
+    let index: HashMap<HostId, usize> = members.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+    let mut tracker = Tracker::new(cfg.tracker);
+    // Initial announces.
+    for i in 0..peers.len() {
+        let who = peers[i].host;
+        let got = tracker.announce(&underlay, who, &members, cfg.max_peers, &mut rng);
+        peers[i].neighbors = got;
+    }
+    // Piece availability for rarest-first.
+    let mut availability: Vec<u32> = vec![0; cfg.n_pieces];
+    for p in &peers {
+        for i in 0..cfg.n_pieces {
+            if p.pieces.contains(i) {
+                availability[i] += 1;
+            }
+        }
+    }
+
+    let mut rounds = 0u32;
+    let mut payload_bytes = 0u64;
+    while rounds < cfg.max_rounds {
+        rounds += 1;
+        let now = cfg.round.mul(rounds as u64);
+        let all_done = peers.iter().all(|p| p.is_seed || p.done_at.is_some());
+        if all_done {
+            break;
+        }
+        // Phase 1: each peer picks its unchoke set.
+        let mut unchokes: Vec<Vec<usize>> = Vec::with_capacity(peers.len());
+        for i in 0..peers.len() {
+            let me = &peers[i];
+            // Interested neighbors: they lack something I have.
+            let mut interested: Vec<usize> = me
+                .neighbors
+                .iter()
+                .filter_map(|h| index.get(h).copied())
+                .filter(|&j| peers[j].done_at.is_none() && !peers[j].is_seed)
+                .filter(|&j| peers[j].pieces.is_interested_in(&me.pieces))
+                .collect();
+            if interested.is_empty() {
+                unchokes.push(Vec::new());
+                continue;
+            }
+            // Tit-for-tat ranking; CAT discounts external reciprocators.
+            interested.sort_by_key(|&j| {
+                let recv = me.received_last.get(&peers[j].host).copied().unwrap_or(0);
+                let scaled = if cfg.cost_aware_choking && !underlay.same_as(me.host, peers[j].host)
+                {
+                    recv / 2
+                } else {
+                    recv
+                };
+                (std::cmp::Reverse(scaled), peers[j].host)
+            });
+            let mut set: Vec<usize> = interested
+                .iter()
+                .copied()
+                .take(cfg.unchoke_slots)
+                .collect();
+            // Optimistic slots: random interested peers outside the set.
+            let leftovers: Vec<usize> = interested
+                .iter()
+                .copied()
+                .filter(|j| !set.contains(j))
+                .collect();
+            for _ in 0..cfg.optimistic_slots {
+                if leftovers.is_empty() {
+                    break;
+                }
+                let pick = leftovers[rng.index(leftovers.len())];
+                if !set.contains(&pick) {
+                    set.push(pick);
+                }
+            }
+            unchokes.push(set);
+        }
+        // Phase 2: move bytes along each unchoked flow.
+        let round_secs = cfg.round.as_secs_f64();
+        let mut received_this: Vec<HashMap<HostId, u64>> =
+            vec![HashMap::new(); peers.len()];
+        let mut completions: Vec<(usize, usize)> = Vec::new(); // (peer, piece)
+        for i in 0..peers.len() {
+            if unchokes[i].is_empty() {
+                continue;
+            }
+            let up_kbps = underlay.host(peers[i].host).up_kbps as f64;
+            let share_bytes = (up_kbps * 1_000.0 / 8.0 * round_secs
+                / unchokes[i].len() as f64) as u64;
+            for &j in &unchokes[i] {
+                // Receiver-side cap: downlink split across its own inflows
+                // is approximated by capping at downlink/2.
+                let down_cap = (underlay.host(peers[j].host).down_kbps as f64 * 1_000.0
+                    / 8.0
+                    * round_secs
+                    / 2.0) as u64;
+                let flow = share_bytes.min(down_cap).max(1);
+                let (src, dst) = (peers[i].host, peers[j].host);
+                underlay.account_transfer(now, src, dst, flow);
+                payload_bytes += flow;
+                *received_this[j].entry(src).or_insert(0) += flow;
+                *peers[j].credit.entry(src).or_insert(0) += flow;
+                // Convert credit into pieces (rarest-first among what the
+                // sender offers).
+                loop {
+                    if peers[j].credit.get(&src).copied().unwrap_or(0) < cfg.piece_bytes {
+                        break;
+                    }
+                    let wanted: Option<usize> = {
+                        let sender_pieces = &peers[i].pieces;
+                        peers[j]
+                            .pieces
+                            .missing_from(sender_pieces)
+                            .filter(|&p| {
+                                !completions.iter().any(|&(pj, pp)| pj == j && pp == p)
+                            })
+                            .min_by_key(|&p| (availability[p], p))
+                    };
+                    match wanted {
+                        Some(p) => {
+                            *peers[j].credit.get_mut(&src).expect("credit entry") -=
+                                cfg.piece_bytes;
+                            completions.push((j, p));
+                        }
+                        None => {
+                            // Sender has nothing new; credit is wasted.
+                            peers[j].credit.insert(src, 0);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 3: commit completions, completion times, re-announces.
+        for (j, p) in completions {
+            if peers[j].pieces.insert(p) {
+                availability[p] += 1;
+            }
+            if peers[j].pieces.is_complete() && peers[j].done_at.is_none() {
+                peers[j].done_at = Some(rounds);
+            }
+        }
+        for (j, recv) in received_this.into_iter().enumerate() {
+            peers[j].received_last = recv;
+        }
+        // Peers with shrunken useful neighborhoods re-announce every 20
+        // rounds.
+        if rounds.is_multiple_of(20) {
+            for i in 0..peers.len() {
+                if peers[i].done_at.is_none() && !peers[i].is_seed {
+                    let who = peers[i].host;
+                    let got =
+                        tracker.announce(&underlay, who, &members, cfg.max_peers, &mut rng);
+                    peers[i].neighbors = got;
+                }
+            }
+        }
+    }
+
+    let completion_secs: Vec<f64> = peers
+        .iter()
+        .filter(|p| !p.is_seed)
+        .filter_map(|p| p.done_at)
+        .map(|r| r as f64 * cfg.round.as_secs_f64())
+        .collect();
+    let report = SwarmReport {
+        completed: completion_secs.len(),
+        leechers: cfg.n_leechers,
+        rounds,
+        completion_secs,
+        intra_as_fraction: underlay.traffic.locality_fraction(),
+        payload_bytes,
+        announces: tracker.announces(),
+    };
+    (report, underlay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uap_net::{PopulationSpec, TopologyKind, TopologySpec, UnderlayConfig};
+
+    fn underlay(n: usize, seed: u64) -> Underlay {
+        let mut rng = SimRng::new(seed);
+        let g = TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: 2,
+            tier2_per_tier1: 2,
+            tier3_per_tier2: 2,
+            tier2_peering_prob: 0.3,
+            tier3_peering_prob: 0.4,
+        })
+        .build(&mut rng);
+        Underlay::build(g, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+    }
+
+    fn small_cfg(tracker: TrackerPolicy) -> SwarmConfig {
+        SwarmConfig {
+            n_leechers: 60,
+            n_seeds: 4,
+            n_pieces: 32,
+            piece_bytes: 128 * 1024,
+            tracker,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn swarm_completes() {
+        let (report, _) = run_swarm(underlay(80, 1), small_cfg(TrackerPolicy::Random), 11);
+        assert_eq!(report.completed, report.leechers, "not everyone finished");
+        assert!(report.mean_completion_secs() > 0.0);
+        assert!(report.payload_bytes > 0);
+        assert!(report.announces >= 64);
+    }
+
+    #[test]
+    fn bns_increases_locality_without_collapsing_speed() {
+        let (random, _) = run_swarm(underlay(80, 2), small_cfg(TrackerPolicy::Random), 13);
+        let (bns, _) = run_swarm(
+            underlay(80, 2),
+            small_cfg(TrackerPolicy::Bns {
+                internal: 16,
+                external: 4,
+            }),
+            13,
+        );
+        assert!(
+            bns.intra_as_fraction > 1.5 * random.intra_as_fraction,
+            "bns {} vs random {}",
+            bns.intra_as_fraction,
+            random.intra_as_fraction
+        );
+        assert_eq!(bns.completed, bns.leechers);
+        // Bindal et al.'s headline: locality does not blow up download
+        // times. Allow 2x slack.
+        assert!(
+            bns.mean_completion_secs() < 2.0 * random.mean_completion_secs(),
+            "bns {}s vs random {}s",
+            bns.mean_completion_secs(),
+            random.mean_completion_secs()
+        );
+    }
+
+    #[test]
+    fn cost_aware_tracker_also_localizes() {
+        let (random, _) = run_swarm(underlay(80, 3), small_cfg(TrackerPolicy::Random), 17);
+        let (cat, _) = run_swarm(underlay(80, 3), small_cfg(TrackerPolicy::CostAware), 17);
+        assert!(cat.intra_as_fraction > random.intra_as_fraction);
+        assert_eq!(cat.completed, cat.leechers);
+    }
+
+    #[test]
+    fn seeds_only_swarm_is_a_noop() {
+        let mut cfg = small_cfg(TrackerPolicy::Random);
+        cfg.n_leechers = 0;
+        cfg.n_seeds = 4;
+        let (report, _) = run_swarm(underlay(20, 4), cfg, 19);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn max_rounds_bounds_runtime() {
+        let mut cfg = small_cfg(TrackerPolicy::Random);
+        cfg.max_rounds = 3;
+        let (report, _) = run_swarm(underlay(80, 5), cfg, 23);
+        assert_eq!(report.rounds, 3);
+        assert!(report.completed < report.leechers);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = run_swarm(underlay(80, 6), small_cfg(TrackerPolicy::Random), 29);
+        let (b, _) = run_swarm(underlay(80, 6), small_cfg(TrackerPolicy::Random), 29);
+        assert_eq!(a.completion_secs, b.completion_secs);
+        assert_eq!(a.payload_bytes, b.payload_bytes);
+    }
+
+    #[test]
+    fn cost_aware_choking_flag_shifts_traffic() {
+        let mut base = small_cfg(TrackerPolicy::Random);
+        let (plain, _) = run_swarm(underlay(80, 7), base.clone(), 31);
+        base.cost_aware_choking = true;
+        let (cat, _) = run_swarm(underlay(80, 7), base, 31);
+        assert!(cat.intra_as_fraction >= plain.intra_as_fraction);
+        assert_eq!(cat.completed, cat.leechers);
+    }
+}

@@ -1,0 +1,139 @@
+//! E1 — Figure 1: "Hierarchy in the Internet".
+//!
+//! The figure shows local and transit ISPs in a hierarchy where "the solid
+//! arrows indicate monetary flow, solid lines between ISPs are peer
+//! connections and the dashed ones are transit connections". The harness
+//! generates that topology and reports the census: per-tier AS counts,
+//! link classification, monetary-flow edges (one per transit link, paid by
+//! the customer), and routing sanity (valley-freeness and reachability).
+
+use crate::report::Table;
+use uap_net::{Routing, RoutingMode, Tier, TopologyKind, TopologySpec};
+use uap_sim::SimRng;
+
+/// Parameters for the hierarchy census.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Tier-1 count.
+    pub tier1: usize,
+    /// Tier-2 per Tier-1.
+    pub tier2_per_tier1: usize,
+    /// Tier-3 per Tier-2.
+    pub tier3_per_tier2: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Small instance.
+    pub fn quick(seed: u64) -> Params {
+        Params {
+            tier1: 2,
+            tier2_per_tier1: 3,
+            tier3_per_tier2: 3,
+            seed,
+        }
+    }
+
+    /// Paper-scale instance (4 global carriers, 12 regionals, 64 locals —
+    /// the proportions of Figure 1 scaled up).
+    pub fn full(seed: u64) -> Params {
+        Params {
+            tier1: 4,
+            tier2_per_tier1: 3,
+            tier3_per_tier2: 5,
+            seed,
+        }
+    }
+}
+
+/// Census output.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The census table.
+    pub table: Table,
+    /// Fraction of ordered AS pairs reachable under valley-free routing.
+    pub valley_free_reachability: f64,
+    /// Number of transit (monetary-flow) links.
+    pub transit_links: usize,
+    /// Number of peering links.
+    pub peering_links: usize,
+}
+
+/// Runs the census.
+pub fn run(p: &Params) -> Outcome {
+    let mut rng = SimRng::new(p.seed);
+    let graph = TopologySpec::new(TopologyKind::Hierarchical {
+        tier1: p.tier1,
+        tier2_per_tier1: p.tier2_per_tier1,
+        tier3_per_tier2: p.tier3_per_tier2,
+        tier2_peering_prob: 0.3,
+        tier3_peering_prob: 0.3,
+    })
+    .build(&mut rng);
+    let routing = Routing::compute(&graph, RoutingMode::ValleyFree);
+    let count_tier = |t: Tier| graph.nodes.iter().filter(|n| n.tier == t).count();
+    let (transit_links, peering_links) = graph.link_counts();
+    let mut table = Table::new(
+        "Figure 1 — Internet hierarchy census",
+        &["quantity", "value"],
+    );
+    let mut push = |k: &str, v: String| table.row(&[k.to_owned(), v]);
+    push("Tier-1 (global transit) ISPs", count_tier(Tier::Tier1).to_string());
+    push("Tier-2 (regional) ISPs", count_tier(Tier::Tier2).to_string());
+    push("Tier-3 (local) ISPs", count_tier(Tier::Tier3).to_string());
+    push("transit links (monetary flow edges)", transit_links.to_string());
+    push("peering links (settlement-free)", peering_links.to_string());
+    push(
+        "connected",
+        graph.is_connected(None).to_string(),
+    );
+    let reach = routing.reachable_fraction();
+    push("valley-free reachability", format!("{:.4}", reach));
+    // Mean AS path length as a proxy for the hierarchy's diameter.
+    let mut hops_sum = 0u64;
+    let mut pairs = 0u64;
+    for a in 0..graph.len() {
+        for b in 0..graph.len() {
+            if a == b {
+                continue;
+            }
+            if let Some(h) = routing.as_hops(uap_net::AsId(a as u16), uap_net::AsId(b as u16)) {
+                hops_sum += h as u64;
+                pairs += 1;
+            }
+        }
+    }
+    let mean_hops = if pairs > 0 { hops_sum as f64 / pairs as f64 } else { 0.0 };
+    push("mean AS path length", format!("{:.2}", mean_hops));
+    Outcome {
+        table,
+        valley_free_reachability: reach,
+        transit_links,
+        peering_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts_add_up() {
+        let p = Params::quick(5);
+        let out = run(&p);
+        assert_eq!(out.table.cell(0, 1), "2");
+        assert_eq!(out.table.cell(1, 1), "6");
+        assert_eq!(out.table.cell(2, 1), "18");
+        assert!(out.transit_links >= 6 + 18); // every non-T1 has a provider
+        assert!(out.peering_links >= 1); // T1 core mesh
+        assert_eq!(out.valley_free_reachability, 1.0);
+    }
+
+    #[test]
+    fn full_scale_builds() {
+        let out = run(&Params::full(1));
+        assert_eq!(out.valley_free_reachability, 1.0);
+        assert!(out.transit_links > out.peering_links);
+    }
+}

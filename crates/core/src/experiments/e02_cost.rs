@@ -1,0 +1,134 @@
+//! E2 — Figure 2: "Costs relations" (after Norton \[24\]).
+//!
+//! Two panels in one table: absolute monthly cost and cost-per-Mbps, for
+//! transit vs peering, swept over exchanged traffic. The shape to
+//! reproduce: transit cost is linear with a flat per-Mbps price; peering
+//! cost is constant with a 1/x per-Mbps price; the curves cross at
+//! `peering_flat / transit_price`.
+
+use crate::report::{f, Table};
+use uap_net::CostParams;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Tariffs.
+    pub cost: CostParams,
+    /// Traffic levels to evaluate (Mbps).
+    pub traffic_mbps: Vec<f64>,
+}
+
+impl Params {
+    /// A short sweep.
+    pub fn quick() -> Params {
+        Params {
+            cost: CostParams::default(),
+            traffic_mbps: vec![1.0, 10.0, 100.0, 1_000.0],
+        }
+    }
+
+    /// The full logarithmic sweep of the figure.
+    pub fn full() -> Params {
+        let mut t = Vec::new();
+        let mut v: f64 = 1.0;
+        while v <= 10_000.0 {
+            t.push(v);
+            t.push(v * 2.0);
+            t.push(v * 5.0);
+            v *= 10.0;
+        }
+        t.truncate(t.len() - 2);
+        Params {
+            cost: CostParams::default(),
+            traffic_mbps: t,
+        }
+    }
+}
+
+/// Sweep output.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The cost table.
+    pub table: Table,
+    /// The per-Mbps crossover point in Mbps.
+    pub crossover_mbps: f64,
+}
+
+/// Runs the sweep.
+pub fn run(p: &Params) -> Outcome {
+    let mut table = Table::new(
+        "Figure 2 — cost relations (transit vs peering)",
+        &[
+            "traffic_mbps",
+            "transit_usd",
+            "peering_usd",
+            "transit_usd_per_mbps",
+            "peering_usd_per_mbps",
+        ],
+    );
+    for &t in &p.traffic_mbps {
+        table.row(&[
+            f(t),
+            f(p.cost.transit_cost(t)),
+            f(p.cost.peering_cost(1)),
+            f(p.cost.transit_cost_per_mbps(t)),
+            f(p.cost.peering_cost_per_mbps(t)),
+        ]);
+    }
+    Outcome {
+        table,
+        crossover_mbps: p.cost.crossover_mbps(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_figure2() {
+        let p = Params::full();
+        let out = run(&p);
+        assert_eq!(out.crossover_mbps, 100.0);
+        // Transit absolute cost strictly increases; peering is constant;
+        // peering per-Mbps strictly decreases; transit per-Mbps constant.
+        let col = |c: usize| -> Vec<f64> {
+            (0..out.table.len())
+                .map(|r| out.table.cell(r, c).parse::<f64>().unwrap())
+                .collect()
+        };
+        let transit = col(1);
+        let peering = col(2);
+        let tpm = col(3);
+        let ppm = col(4);
+        for w in transit.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(peering.iter().all(|&v| v == peering[0]));
+        assert!(tpm.iter().all(|&v| v == tpm[0]));
+        for w in ppm.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn crossover_sits_between_the_right_rows() {
+        let out = run(&Params::full());
+        let traffic: Vec<f64> = (0..out.table.len())
+            .map(|r| out.table.cell(r, 0).parse::<f64>().unwrap())
+            .collect();
+        let tpm: Vec<f64> = (0..out.table.len())
+            .map(|r| out.table.cell(r, 3).parse::<f64>().unwrap())
+            .collect();
+        let ppm: Vec<f64> = (0..out.table.len())
+            .map(|r| out.table.cell(r, 4).parse::<f64>().unwrap())
+            .collect();
+        for i in 0..traffic.len() {
+            if traffic[i] < out.crossover_mbps {
+                assert!(ppm[i] > tpm[i], "below crossover at {}", traffic[i]);
+            } else if traffic[i] > out.crossover_mbps {
+                assert!(ppm[i] < tpm[i], "above crossover at {}", traffic[i]);
+            }
+        }
+    }
+}

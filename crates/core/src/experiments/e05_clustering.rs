@@ -1,0 +1,148 @@
+//! E5 — Figures 5 and 6: overlay topology under uniform-random vs biased
+//! neighbor selection.
+//!
+//! Figure 6 shows "(a) Uniform random neighbor selection and (b) biased
+//! neighbor selection" with the biased overlay clustered along AS
+//! boundaries and "a minimal number of inter-AS connections necessary to
+//! keep the network connected". We report the structural metrics and can
+//! export the raw edge lists for plotting.
+
+use crate::experiments::NetParams;
+use crate::graphstats::OverlayStats;
+use crate::report::{f, pct, Table};
+use uap_gnutella::{run_experiment, GnutellaConfig, NeighborSelection};
+use uap_net::HostId;
+use uap_sim::SimTime;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Underlay shape.
+    pub net: NetParams,
+    /// Run length (the overlay stabilizes quickly; joins dominate).
+    pub duration: SimTime,
+}
+
+impl Params {
+    /// Small instance.
+    pub fn quick(seed: u64) -> Params {
+        Params {
+            net: NetParams::quick(200, seed),
+            duration: SimTime::from_mins(5),
+        }
+    }
+
+    /// Paper-scale instance.
+    pub fn full(seed: u64) -> Params {
+        Params {
+            net: NetParams::full(seed),
+            duration: SimTime::from_mins(15),
+        }
+    }
+}
+
+/// Per-policy snapshot.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Policy label.
+    pub label: String,
+    /// The overlay edges.
+    pub edges: Vec<(HostId, HostId)>,
+    /// Structure metrics.
+    pub stats: OverlayStats,
+}
+
+/// Experiment output.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// One snapshot per policy.
+    pub snapshots: Vec<Snapshot>,
+    /// The comparison table.
+    pub table: Table,
+}
+
+/// Runs both policies and compares the resulting overlay graphs.
+pub fn run(p: &Params) -> Outcome {
+    let seed = p.net.seed ^ 0xE5;
+    let configs = [
+        ("uniform random", NeighborSelection::Random),
+        (
+            "oracle biased",
+            NeighborSelection::OracleBiased { list_size: 1000 },
+        ),
+    ];
+    let mut snapshots = Vec::new();
+    let mut table = Table::new(
+        "Figure 6 — overlay structure under neighbor-selection policies",
+        &[
+            "policy",
+            "edges",
+            "intra-AS edges",
+            "intra share",
+            "inter-AS edges",
+            "components",
+            "mean degree",
+            "AS modularity",
+        ],
+    );
+    for (label, selection) in configs {
+        let cfg = GnutellaConfig {
+            selection,
+            duration: p.duration,
+            // The study hands the whole hostcache to the oracle; a tiny
+            // cache would starve it of same-AS candidates.
+            hostcache_size: 1000.min(p.net.n_hosts),
+            ..Default::default()
+        };
+        let (report, world) = run_experiment(p.net.build(), cfg, seed);
+        let stats = OverlayStats::compute(&world.underlay, &report.edges);
+        table.row(&[
+            label.to_owned(),
+            stats.edges.to_string(),
+            stats.intra_as_edges.to_string(),
+            pct(stats.intra_fraction()),
+            stats.inter_as_edges.to_string(),
+            stats.components.to_string(),
+            f(stats.mean_degree),
+            f(stats.as_modularity),
+        ]);
+        snapshots.push(Snapshot {
+            label: label.to_owned(),
+            edges: report.edges,
+            stats,
+        });
+    }
+    Outcome { snapshots, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_overlay_clusters_but_stays_connected() {
+        let out = run(&Params::quick(11));
+        let random = &out.snapshots[0].stats;
+        let biased = &out.snapshots[1].stats;
+        assert!(
+            biased.intra_fraction() > 3.0 * random.intra_fraction(),
+            "biased {} vs random {}",
+            biased.intra_fraction(),
+            random.intra_fraction()
+        );
+        assert!(biased.as_modularity > random.as_modularity);
+        // "minimal number of inter-AS connections necessary to keep the
+        // network connected": fewer inter-AS edges, but not a shattered
+        // graph.
+        assert!(biased.inter_as_edges < random.inter_as_edges);
+        assert!(biased.components <= 3, "biased overlay shattered: {}", biased.components);
+        assert_eq!(random.components, 1);
+    }
+
+    #[test]
+    fn table_has_two_rows() {
+        let out = run(&Params::quick(12));
+        assert_eq!(out.table.len(), 2);
+        assert!(!out.snapshots[0].edges.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! E10 — BitTorrent locality: biased neighbor selection \[3\] and
+//! cost-aware BitTorrent \[32\], billed with the Figure 2 cost model.
+//!
+//! Four tracker/choking configurations over the same swarm. Reported:
+//! intra-AS share of payload bytes, completion times, total transit bytes
+//! and the summed ISP transit bill. Shape from \[3\]: BNS shifts most
+//! traffic off transit links while download times stay in the same
+//! ballpark.
+
+use crate::experiments::NetParams;
+use crate::report::{f, pct, Table};
+use uap_bittorrent::{run_swarm, SwarmConfig, TrackerPolicy};
+use uap_net::cost::{bill_all, total_transit_usd};
+use uap_net::CostParams;
+use uap_sim::SimTime;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Underlay shape.
+    pub net: NetParams,
+    /// Swarm size (leechers).
+    pub n_leechers: usize,
+    /// Seeds.
+    pub n_seeds: usize,
+    /// Torrent pieces.
+    pub n_pieces: usize,
+    /// Tariffs for the billing step.
+    pub cost: CostParams,
+}
+
+impl Params {
+    /// Small instance.
+    pub fn quick(seed: u64) -> Params {
+        Params {
+            net: NetParams::quick(120, seed),
+            n_leechers: 80,
+            n_seeds: 5,
+            n_pieces: 48,
+            cost: CostParams::default(),
+        }
+    }
+
+    /// Paper-scale instance (the BNS paper simulates ~400-peer swarms).
+    pub fn full(seed: u64) -> Params {
+        Params {
+            net: NetParams {
+                n_hosts: 500,
+                ..NetParams::full(seed)
+            },
+            n_leechers: 400,
+            n_seeds: 20,
+            n_pieces: 128,
+            cost: CostParams::default(),
+        }
+    }
+}
+
+/// Per-policy measurements.
+#[derive(Clone, Debug)]
+pub struct PolicyResult {
+    /// Label.
+    pub label: String,
+    /// Intra-AS share of payload bytes.
+    pub intra_fraction: f64,
+    /// Mean completion seconds.
+    pub mean_completion_secs: f64,
+    /// Leechers finished.
+    pub completed: usize,
+    /// Total transit bytes (per-link weighted).
+    pub transit_bytes: u64,
+    /// Summed ISP transit bill (USD/month equivalent).
+    pub transit_bill_usd: f64,
+}
+
+/// Experiment output.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// One entry per policy.
+    pub policies: Vec<PolicyResult>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs the comparison.
+pub fn run(p: &Params) -> Outcome {
+    let configs: Vec<(String, TrackerPolicy, bool)> = vec![
+        ("random tracker".into(), TrackerPolicy::Random, false),
+        (
+            "BNS tracker".into(),
+            TrackerPolicy::Bns {
+                internal: 16,
+                external: 4,
+            },
+            false,
+        ),
+        ("cost-aware tracker".into(), TrackerPolicy::CostAware, false),
+        (
+            "BNS + CAT choking".into(),
+            TrackerPolicy::Bns {
+                internal: 16,
+                external: 4,
+            },
+            true,
+        ),
+    ];
+    let mut policies = Vec::new();
+    let mut table = Table::new(
+        "E10 — swarm locality and ISP cost per tracker policy ([3],[32])",
+        &[
+            "policy",
+            "intra-AS bytes",
+            "mean completion (s)",
+            "completed",
+            "transit bytes",
+            "transit bill (USD)",
+        ],
+    );
+    for (label, tracker, cat) in configs {
+        let cfg = SwarmConfig {
+            n_leechers: p.n_leechers,
+            n_seeds: p.n_seeds,
+            n_pieces: p.n_pieces,
+            tracker,
+            cost_aware_choking: cat,
+            ..Default::default()
+        };
+        let (report, underlay) = run_swarm(p.net.build(), cfg, p.net.seed ^ 0xE10);
+        let horizon = SimTime::from_secs(10).mul(report.rounds as u64);
+        let bills = bill_all(&underlay.graph, &underlay.traffic, &p.cost, horizon);
+        let (_, _, transit_bytes) = underlay.traffic.totals();
+        let result = PolicyResult {
+            label: label.clone(),
+            intra_fraction: report.intra_as_fraction,
+            mean_completion_secs: report.mean_completion_secs(),
+            completed: report.completed,
+            transit_bytes,
+            transit_bill_usd: total_transit_usd(&bills),
+        };
+        table.row(&[
+            label,
+            pct(result.intra_fraction),
+            f(result.mean_completion_secs),
+            format!("{}/{}", result.completed, p.n_leechers),
+            result.transit_bytes.to_string(),
+            f(result.transit_bill_usd),
+        ]);
+        policies.push(result);
+    }
+    Outcome { policies, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bns_shifts_traffic_off_transit_links() {
+        let out = run(&Params::quick(51));
+        let random = &out.policies[0];
+        let bns = &out.policies[1];
+        assert!(bns.intra_fraction > 1.5 * random.intra_fraction);
+        assert!(
+            bns.transit_bytes < random.transit_bytes,
+            "bns transit {} !< random {}",
+            bns.transit_bytes,
+            random.transit_bytes
+        );
+        assert!(bns.transit_bill_usd <= random.transit_bill_usd);
+        // Everyone still finishes, in comparable time (the [3] headline).
+        assert_eq!(bns.completed, 80);
+        assert!(bns.mean_completion_secs < 2.5 * random.mean_completion_secs);
+    }
+
+    #[test]
+    fn all_policies_complete_the_swarm() {
+        let out = run(&Params::quick(52));
+        for p in &out.policies {
+            assert_eq!(p.completed, 80, "{}", p.label);
+            assert!(p.mean_completion_secs > 0.0);
+        }
+        assert_eq!(out.table.len(), 4);
+    }
+}

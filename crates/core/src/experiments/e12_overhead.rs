@@ -1,0 +1,249 @@
+//! E12 — the §5.4 open issues: the overhead introduced by underlay
+//! awareness, and robustness against churn.
+//!
+//! "This and a general study about the introduced overhead due to underlay
+//! awareness remain open issues." Two harnesses:
+//!
+//! * [`run_overhead`] — messages spent by each collection technique to
+//!   cover the same population, side by side: explicit all-pairs
+//!   measurement, Vivaldi, ICS beacons, oracle queries, the CDN trick and
+//!   the SkyEye tree;
+//! * [`run_churn`] — Gnutella search success and signalling cost as churn
+//!   intensifies, unbiased vs oracle-biased (does awareness survive
+//!   turnover? — the §5.4 robustness question).
+
+use crate::experiments::NetParams;
+use crate::report::{f, pct, Table};
+use uap_coords::VivaldiConfig;
+use uap_gnutella::{run_experiment, GnutellaConfig, NeighborSelection};
+use uap_info::provider::{ProximityEstimator, ResourceDirectory};
+use uap_info::{IcsService, Oracle, OnoEstimator, SimulatedCdn, SkyEyeTree, VivaldiService};
+use uap_net::HostId;
+use uap_sim::{ChurnConfig, SimRng, SimTime};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Underlay shape.
+    pub net: NetParams,
+    /// Proximity queries to serve in the overhead comparison.
+    pub queries: usize,
+    /// Churn mean session lengths (seconds) to sweep; `f64::INFINITY`
+    /// renders as "static".
+    pub churn_sessions: Vec<f64>,
+    /// Gnutella run length in the churn sweep.
+    pub duration: SimTime,
+}
+
+impl Params {
+    /// Small instance.
+    pub fn quick(seed: u64) -> Params {
+        Params {
+            net: NetParams::quick(120, seed),
+            queries: 200,
+            churn_sessions: vec![f64::INFINITY, 300.0],
+            duration: SimTime::from_mins(8),
+        }
+    }
+
+    /// Paper-scale instance.
+    pub fn full(seed: u64) -> Params {
+        Params {
+            net: NetParams::full(seed),
+            queries: 2_000,
+            churn_sessions: vec![f64::INFINITY, 1_800.0, 600.0, 300.0, 120.0],
+            duration: SimTime::from_mins(30),
+        }
+    }
+}
+
+/// Overhead comparison: messages each technique needs to (a) set up and
+/// (b) answer `queries` pairwise proximity queries over `n` hosts.
+pub fn run_overhead(p: &Params) -> Table {
+    let underlay = p.net.build();
+    let n = underlay.n_hosts();
+    let mut rng = SimRng::new(p.net.seed ^ 0xE12);
+    let pairs: Vec<(HostId, HostId)> = (0..p.queries)
+        .map(|_| {
+            let a = HostId(rng.index(n) as u32);
+            let mut b = HostId(rng.index(n) as u32);
+            if a == b {
+                b = HostId(((b.0 as usize + 1) % n) as u32);
+            }
+            (a, b)
+        })
+        .collect();
+    let mut table = Table::new(
+        "§5.4 — measurement overhead per collection technique",
+        &["technique", "messages", "per query", "notes"],
+    );
+    // Explicit ping with cache.
+    {
+        let mut pinger = uap_info::ExplicitPinger::new(&underlay, true);
+        for &(a, b) in &pairs {
+            let _ = pinger.proximity(a, b, &mut rng);
+        }
+        let msgs = pinger.overhead_messages();
+        table.row(&[
+            "explicit ping (cached)".into(),
+            msgs.to_string(),
+            f(msgs as f64 / p.queries as f64),
+            "exact; cost grows with query set".into(),
+        ]);
+    }
+    // Vivaldi.
+    {
+        let mut svc = VivaldiService::new(n, VivaldiConfig::default());
+        svc.converge(&underlay, 20, 2, &mut rng);
+        for &(a, b) in &pairs {
+            let _ = svc.proximity(a, b, &mut rng);
+        }
+        let msgs = svc.overhead_messages();
+        table.row(&[
+            "vivaldi (20 rounds x 2)".into(),
+            msgs.to_string(),
+            f(msgs as f64 / p.queries as f64),
+            "queries free after convergence".into(),
+        ]);
+    }
+    // ICS.
+    {
+        let svc = IcsService::build(&underlay, 8.min(n), 4, &mut rng);
+        let msgs = svc.overhead_messages();
+        table.row(&[
+            "ics (8 beacons)".into(),
+            msgs.to_string(),
+            f(msgs as f64 / p.queries as f64),
+            "one-time embedding, queries free".into(),
+        ]);
+    }
+    // Oracle.
+    {
+        let mut oracle = Oracle::new(1000);
+        for &(a, b) in &pairs {
+            let _ = oracle.rank(&underlay, a, &[b]);
+        }
+        table.row(&[
+            "isp oracle".into(),
+            (2 * oracle.queries()).to_string(),
+            "2".into(),
+            "1 request + 1 ranked reply per query".into(),
+        ]);
+    }
+    // CDN / Ono.
+    {
+        let cdn = SimulatedCdn::deploy(&underlay, 6);
+        let mut ono = OnoEstimator::new(&underlay, cdn, 30);
+        for &(a, b) in &pairs {
+            let _ = ono.proximity(a, b, &mut rng);
+        }
+        let msgs = ono.overhead_messages();
+        table.row(&[
+            "cdn/ono (30 samples)".into(),
+            msgs.to_string(),
+            f(msgs as f64 / p.queries as f64),
+            "piggybacks on CDN lookups".into(),
+        ]);
+    }
+    // SkyEye (resource info, for completeness of the taxonomy).
+    {
+        let members: Vec<HostId> = underlay.hosts.ids().collect();
+        let mut tree = SkyEyeTree::build(&underlay, members, 4, 16);
+        for _ in 0..10 {
+            tree.run_round();
+        }
+        table.row(&[
+            "skyeye (10 rounds)".into(),
+            tree.overhead_messages().to_string(),
+            "-".into(),
+            "n-1 msgs per aggregation round".into(),
+        ]);
+    }
+    table
+}
+
+/// Churn sweep: success and signalling, unbiased vs oracle-biased.
+pub fn run_churn(p: &Params) -> Table {
+    let mut table = Table::new(
+        "§5.4 — robustness against churn",
+        &[
+            "mean session",
+            "policy",
+            "search success",
+            "total msgs",
+            "rejoins",
+        ],
+    );
+    for &session in &p.churn_sessions {
+        for (label, selection) in [
+            ("unbiased", NeighborSelection::Random),
+            ("oracle", NeighborSelection::OracleBiased { list_size: 1000 }),
+        ] {
+            let cfg = GnutellaConfig {
+                selection,
+                churn: if session.is_finite() {
+                    ChurnConfig::exponential(session)
+                } else {
+                    ChurnConfig::none()
+                },
+                duration: p.duration,
+                ..Default::default()
+            };
+            let (r, _) = run_experiment(p.net.build(), cfg, p.net.seed ^ 0xE12C);
+            let session_label = if session.is_finite() {
+                format!("{session:.0}s")
+            } else {
+                "static".into()
+            };
+            table.row(&[
+                session_label,
+                label.to_owned(),
+                pct(r.success_ratio()),
+                r.total_msgs().to_string(),
+                r.joins.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_methods_beat_explicit_measurement() {
+        let p = Params::quick(71);
+        let t = run_overhead(&p);
+        assert_eq!(t.len(), 6);
+        let msgs = |r: usize| -> u64 { t.cell(r, 1).parse().unwrap() };
+        let explicit = msgs(0);
+        let vivaldi = msgs(1);
+        let ics = msgs(2);
+        // Coordinate systems answer *any* pair after a one-time cost far
+        // below the n(n-1) an explicit all-pairs census would need.
+        let n = 120u64;
+        let all_pairs = n * (n - 1);
+        assert!(ics < all_pairs / 2, "ics {ics} vs all-pairs {all_pairs}");
+        assert!(vivaldi < all_pairs, "vivaldi {vivaldi} vs all-pairs {all_pairs}");
+        // Cached explicit measurement pays two messages per distinct pair.
+        assert!(explicit <= 2 * p.queries as u64);
+    }
+
+    #[test]
+    fn churn_reduces_success_for_both_policies() {
+        let p = Params::quick(72);
+        let t = run_churn(&p);
+        assert_eq!(t.len(), 4);
+        let succ = |r: usize| -> f64 {
+            t.cell(r, 2).trim_end_matches('%').parse().unwrap()
+        };
+        // Static rows first, churn rows after.
+        assert!(succ(2) <= succ(0) + 10.0, "unbiased: churn {} vs static {}", succ(2), succ(0));
+        assert!(succ(3) <= succ(1) + 10.0, "oracle: churn {} vs static {}", succ(3), succ(1));
+        // Rejoins only under churn.
+        let rejoins: u64 = t.cell(2, 4).parse().unwrap();
+        let static_joins: u64 = t.cell(0, 4).parse().unwrap();
+        assert!(rejoins > static_joins);
+    }
+}

@@ -1,0 +1,268 @@
+//! E15 (extension) — the ISP-location collection techniques of Figure 3,
+//! head to head.
+//!
+//! The survey classifies *how* ISP-location can be collected (IP-to-ISP
+//! mapping, the oracle, P4P's iTracker, CDN inference) but does not
+//! compare them quantitatively. This harness does: the same neighbor-
+//! selection workload is served by each technique, and we report the
+//! quality of the selections (true AS-hops of the chosen peers) against
+//! the messages each technique spent — the accuracy/overhead frontier an
+//! implementer actually chooses on.
+
+use crate::experiments::NetParams;
+use crate::report::{f, Table};
+use uap_info::provider::{IspLocator, ProximityEstimator};
+use uap_info::{
+    Ip2IspService, OnoEstimator, Oracle, P4pEstimator, P4pService, PdistanceWeights,
+    SimulatedCdn,
+};
+use uap_net::{HostId, Underlay};
+use uap_sim::SimRng;
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Underlay shape.
+    pub net: NetParams,
+    /// Selection tasks (each picks the best `want` of `candidates`).
+    pub tasks: usize,
+    /// Candidate-set size per task.
+    pub candidates: usize,
+    /// Neighbors picked per task.
+    pub want: usize,
+}
+
+impl Params {
+    /// Small instance.
+    pub fn quick(seed: u64) -> Params {
+        Params {
+            net: NetParams::quick(150, seed),
+            tasks: 60,
+            candidates: 30,
+            want: 4,
+        }
+    }
+
+    /// Full instance.
+    pub fn full(seed: u64) -> Params {
+        Params {
+            net: NetParams::full(seed),
+            tasks: 500,
+            candidates: 50,
+            want: 4,
+        }
+    }
+}
+
+/// One technique's score.
+#[derive(Clone, Debug)]
+pub struct TechniqueResult {
+    /// Technique name.
+    pub name: String,
+    /// Mean true AS-hops of the selected peers (lower = better locality).
+    pub mean_selected_as_hops: f64,
+    /// Messages the technique cost.
+    pub messages: u64,
+}
+
+/// Experiment output.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// One entry per technique (random baseline first).
+    pub techniques: Vec<TechniqueResult>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+struct Task {
+    who: HostId,
+    candidates: Vec<HostId>,
+}
+
+fn make_tasks(u: &Underlay, p: &Params, rng: &mut SimRng) -> Vec<Task> {
+    let n = u.n_hosts();
+    (0..p.tasks)
+        .map(|_| {
+            let who = HostId(rng.index(n) as u32);
+            let candidates: Vec<HostId> = rng
+                .sample_indices(n, p.candidates + 1)
+                .into_iter()
+                .map(|i| HostId(i as u32))
+                .filter(|&h| h != who)
+                .take(p.candidates)
+                .collect();
+            Task { who, candidates }
+        })
+        .collect()
+}
+
+fn score(u: &Underlay, tasks: &[Task], selections: &[Vec<HostId>]) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (t, sel) in tasks.iter().zip(selections) {
+        for &s in sel {
+            sum += u.as_hops(t.who, s).unwrap_or(99) as f64;
+            count += 1;
+        }
+    }
+    sum / count.max(1) as f64
+}
+
+/// Runs the shoot-out.
+pub fn run(p: &Params) -> Outcome {
+    let u = p.net.build();
+    let mut rng = SimRng::new(p.net.seed ^ 0xE15);
+    let tasks = make_tasks(&u, p, &mut rng);
+    let mut techniques = Vec::new();
+
+    // Random baseline: pick the first `want` (candidate order is random).
+    {
+        let selections: Vec<Vec<HostId>> = tasks
+            .iter()
+            .map(|t| t.candidates.iter().copied().take(p.want).collect())
+            .collect();
+        techniques.push(TechniqueResult {
+            name: "random (no information)".into(),
+            mean_selected_as_hops: score(&u, &tasks, &selections),
+            messages: 0,
+        });
+    }
+    // Oracle: exact per-query ranking.
+    {
+        let mut oracle = Oracle::new(usize::MAX);
+        let selections: Vec<Vec<HostId>> = tasks
+            .iter()
+            .map(|t| {
+                oracle
+                    .rank(&u, t.who, &t.candidates)
+                    .into_iter()
+                    .take(p.want)
+                    .collect()
+            })
+            .collect();
+        techniques.push(TechniqueResult {
+            name: "isp oracle".into(),
+            mean_selected_as_hops: score(&u, &tasks, &selections),
+            messages: 2 * oracle.queries(),
+        });
+    }
+    // P4P: cached p-distance maps.
+    {
+        let svc = P4pService::build(&u, PdistanceWeights::default());
+        let mut est = P4pEstimator::new(&u, svc);
+        let selections: Vec<Vec<HostId>> = tasks
+            .iter()
+            .map(|t| {
+                est.rank(t.who, &t.candidates, &mut rng)
+                    .into_iter()
+                    .take(p.want)
+                    .collect()
+            })
+            .collect();
+        techniques.push(TechniqueResult {
+            name: "p4p itracker (cached maps)".into(),
+            mean_selected_as_hops: score(&u, &tasks, &selections),
+            messages: est.overhead_messages(),
+        });
+    }
+    // IP-to-ISP mapping: same-AS first, the rest in candidate order.
+    {
+        let mut mapping = Ip2IspService::build(&u, 1.0, SimRng::new(p.net.seed ^ 0x1731));
+        let selections: Vec<Vec<HostId>> = tasks
+            .iter()
+            .map(|t| {
+                let my = mapping.isp_of(t.who);
+                let mut same: Vec<HostId> = t
+                    .candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| mapping.isp_of(c) == my)
+                    .collect();
+                for &c in &t.candidates {
+                    if same.len() >= p.want {
+                        break;
+                    }
+                    if !same.contains(&c) {
+                        same.push(c);
+                    }
+                }
+                same.truncate(p.want);
+                same
+            })
+            .collect();
+        techniques.push(TechniqueResult {
+            name: "ip2isp mapping (same-AS first)".into(),
+            mean_selected_as_hops: score(&u, &tasks, &selections),
+            messages: mapping.queries(),
+        });
+    }
+    // CDN/Ono inference.
+    {
+        let cdn = SimulatedCdn::deploy(&u, 6);
+        let mut ono = OnoEstimator::new(&u, cdn, 30);
+        let selections: Vec<Vec<HostId>> = tasks
+            .iter()
+            .map(|t| {
+                ono.rank(t.who, &t.candidates, &mut rng)
+                    .into_iter()
+                    .take(p.want)
+                    .collect()
+            })
+            .collect();
+        techniques.push(TechniqueResult {
+            name: "cdn/ono ratio maps".into(),
+            mean_selected_as_hops: score(&u, &tasks, &selections),
+            messages: ono.overhead_messages(),
+        });
+    }
+
+    let mut table = Table::new(
+        "E15 — ISP-location collection techniques, quality vs overhead",
+        &["technique", "mean AS-hops of selections", "messages"],
+    );
+    for t in &techniques {
+        table.row(&[
+            t.name.clone(),
+            f(t.mean_selected_as_hops),
+            t.messages.to_string(),
+        ]);
+    }
+    Outcome { techniques, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_technique_beats_random_and_oracle_is_best() {
+        let out = run(&Params::quick(97));
+        let by_name = |n: &str| {
+            out.techniques
+                .iter()
+                .find(|t| t.name.starts_with(n))
+                .unwrap_or_else(|| panic!("missing {n}"))
+        };
+        let random = by_name("random");
+        let oracle = by_name("isp oracle");
+        let p4p = by_name("p4p");
+        let ip = by_name("ip2isp");
+        let ono = by_name("cdn/ono");
+        for t in [oracle, p4p, ip, ono] {
+            assert!(
+                t.mean_selected_as_hops < random.mean_selected_as_hops,
+                "{} ({}) not better than random ({})",
+                t.name,
+                t.mean_selected_as_hops,
+                random.mean_selected_as_hops
+            );
+        }
+        // The oracle has perfect information; nobody should beat it.
+        for t in [p4p, ip, ono] {
+            assert!(t.mean_selected_as_hops >= oracle.mean_selected_as_hops - 1e-9);
+        }
+        // P4P amortizes: far fewer messages than the oracle's per-query
+        // round trips once tasks outnumber partitions.
+        assert!(p4p.messages < oracle.messages);
+    }
+}

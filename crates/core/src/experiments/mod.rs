@@ -1,0 +1,117 @@
+//! Experiment harnesses — one module per paper artifact.
+//!
+//! | Module | Paper artifact | What it regenerates |
+//! |---|---|---|
+//! | [`e01_hierarchy`] | Figure 1 | hierarchical ISP topology census |
+//! | [`e02_cost`] | Figure 2 | transit vs peering cost curves |
+//! | [`e03_coordinates`] | Figure 4 + Examples 4/5 | ICS numbers + accuracy sweep |
+//! | [`e04_messages`] | Table 1 | Gnutella message counts, unbiased vs oracle |
+//! | [`e05_clustering`] | Figures 5/6 | overlay topology structure |
+//! | [`e06_exchange`] | §4 percentages | intra-AS file-exchange share |
+//! | [`e07_testlab`] | §5 testlab | 45-node runs on ring/star/tree/mesh |
+//! | [`e09_kademlia`] | §4 \[17\] | proximity routing in Kademlia |
+//! | [`e10_bittorrent`] | \[3\]\[32\] | swarm locality and ISP bills |
+//! | [`e11_challenges`] | §6 | asymmetry, long-hop, mobility |
+//! | [`e12_overhead`] | §5.4 | awareness overhead and churn robustness |
+//! | [`e13_variance`] | (extension) | seed sensitivity of the headline effects |
+//! | [`e14_gsh`] | §4 / Table 1 "Leopard" | geographically scoped hashing |
+//!
+//! (E8, the Table 2 impact matrix, lives in [`crate::impact`] because it
+//! composes several of these.)
+//!
+//! Every harness takes a params struct with `quick()` (seconds, used in
+//! tests and criterion benches) and `full()` (the figures quoted in
+//! EXPERIMENTS.md) constructors, and returns [`crate::report::Table`]s
+//! ready to print or dump as CSV.
+
+pub mod e01_hierarchy;
+pub mod e02_cost;
+pub mod e03_coordinates;
+pub mod e04_messages;
+pub mod e05_clustering;
+pub mod e06_exchange;
+pub mod e07_testlab;
+pub mod e09_kademlia;
+pub mod e10_bittorrent;
+pub mod e11_challenges;
+pub mod e12_overhead;
+pub mod e13_variance;
+pub mod e14_gsh;
+pub mod e15_collection;
+pub mod sweep;
+
+use uap_net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
+use uap_sim::SimRng;
+
+/// Shared underlay shape used by the overlay experiments: a hierarchical
+/// local/transit-ISP Internet (Figure 1's structure).
+#[derive(Clone, Copy, Debug)]
+pub struct NetParams {
+    /// Tier-1 (global transit) count.
+    pub tier1: usize,
+    /// Tier-2 per Tier-1.
+    pub tier2_per_tier1: usize,
+    /// Tier-3 per Tier-2.
+    pub tier3_per_tier2: usize,
+    /// End hosts attached to Tier-3 ISPs.
+    pub n_hosts: usize,
+    /// Topology/population seed.
+    pub seed: u64,
+}
+
+impl NetParams {
+    /// A small network for tests and benches (~150 hosts, 20 leaf ASes).
+    pub fn quick(n_hosts: usize, seed: u64) -> NetParams {
+        NetParams {
+            tier1: 2,
+            tier2_per_tier1: 2,
+            tier3_per_tier2: 4,
+            n_hosts,
+            seed,
+        }
+    }
+
+    /// The paper-scale network (~1 000 hosts over ~40 leaf ASes).
+    pub fn full(seed: u64) -> NetParams {
+        NetParams {
+            tier1: 3,
+            tier2_per_tier1: 3,
+            tier3_per_tier2: 4,
+            n_hosts: 1_000,
+            seed,
+        }
+    }
+
+    /// Builds the underlay.
+    pub fn build(&self) -> Underlay {
+        let mut rng = SimRng::new(self.seed);
+        let graph = TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: self.tier1,
+            tier2_per_tier1: self.tier2_per_tier1,
+            tier3_per_tier2: self.tier3_per_tier2,
+            tier2_peering_prob: 0.3,
+            tier3_peering_prob: 0.3,
+        })
+        .build(&mut rng);
+        Underlay::build(
+            graph,
+            &PopulationSpec::leaf(self.n_hosts),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_and_full_build() {
+        let q = NetParams::quick(100, 1).build();
+        assert_eq!(q.n_hosts(), 100);
+        assert_eq!(q.n_ases(), 2 + 4 + 16);
+        let f = NetParams::full(1);
+        assert_eq!(f.n_hosts, 1_000);
+    }
+}

@@ -1,0 +1,267 @@
+//! Neighbor selection strategies (§4, "usage of underlay information").
+//!
+//! The join/repair path hands a candidate list (the node's hostcache) to
+//! one of these policies:
+//!
+//! * [`NeighborSelection::Random`] — unbiased Gnutella;
+//! * [`NeighborSelection::OracleBiased`] — biased neighbor selection via
+//!   the ISP oracle of Aggarwal et al. \[1\], with the configurable list
+//!   size the study sweeps (100 vs 1000);
+//! * [`NeighborSelection::LatencyBiased`] — pick the lowest-RTT candidates
+//!   (what a Vivaldi/ping-based system does);
+//! * [`NeighborSelection::GeoBiased`] — pick geographically closest
+//!   (Globase/GeoPeer-style);
+//! * [`NeighborSelection::CapacityBiased`] — prefer high-capacity peers
+//!   (resource-aware superpeer-style attachment).
+
+use uap_info::Oracle;
+use uap_net::{HostId, Underlay};
+use uap_sim::SimRng;
+
+/// The pluggable policy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NeighborSelection {
+    /// Uniform random choice (the baseline).
+    Random,
+    /// Hand (up to `list_size` of) the hostcache to the ISP oracle, take
+    /// its top-ranked entries.
+    OracleBiased {
+        /// Maximum candidate-list length sent to the oracle per query.
+        list_size: usize,
+    },
+    /// Rank candidates by measured RTT (2 messages per probe).
+    LatencyBiased,
+    /// Rank candidates by geographic distance (requires a geolocation
+    /// service; exact ISP-provided positions are assumed here).
+    GeoBiased,
+    /// Rank candidates by descending capacity score.
+    CapacityBiased,
+}
+
+/// Mutable selection state (oracle counters, probe counters).
+pub struct Selector {
+    /// The policy in force.
+    pub policy: NeighborSelection,
+    oracle: Oracle,
+    probe_messages: u64,
+}
+
+impl Selector {
+    /// Creates a selector for a policy.
+    pub fn new(policy: NeighborSelection) -> Selector {
+        let list = match policy {
+            NeighborSelection::OracleBiased { list_size } => list_size,
+            _ => usize::MAX,
+        };
+        Selector {
+            policy,
+            oracle: Oracle::new(list),
+            probe_messages: 0,
+        }
+    }
+
+    /// Oracle queries issued (0 for non-oracle policies).
+    pub fn oracle_queries(&self) -> u64 {
+        self.oracle.queries()
+    }
+
+    /// RTT probe messages spent (0 for non-latency policies).
+    pub fn probe_messages(&self) -> u64 {
+        self.probe_messages
+    }
+
+    /// Orders `candidates` best-first for `joiner` under the policy.
+    pub fn rank(
+        &mut self,
+        underlay: &Underlay,
+        joiner: HostId,
+        candidates: &[HostId],
+        rng: &mut SimRng,
+    ) -> Vec<HostId> {
+        match self.policy {
+            NeighborSelection::Random => {
+                let mut c = candidates.to_vec();
+                rng.shuffle(&mut c);
+                c
+            }
+            NeighborSelection::OracleBiased { .. } => {
+                // The study shuffles the hostcache before the oracle call;
+                // the oracle then sorts its prefix.
+                let mut c = candidates.to_vec();
+                rng.shuffle(&mut c);
+                self.oracle.rank(underlay, joiner, &c)
+            }
+            NeighborSelection::LatencyBiased => {
+                let mut scored: Vec<(u64, HostId)> = candidates
+                    .iter()
+                    .map(|&c| {
+                        self.probe_messages += 2;
+                        (
+                            underlay.measured_rtt_us(joiner, c, rng).unwrap_or(u64::MAX),
+                            c,
+                        )
+                    })
+                    .collect();
+                scored.sort_by_key(|&(rtt, h)| (rtt, h));
+                scored.into_iter().map(|(_, h)| h).collect()
+            }
+            NeighborSelection::GeoBiased => {
+                let mut scored: Vec<(u64, HostId)> = candidates
+                    .iter()
+                    .map(|&c| {
+                        // Quantize to metres for a stable integer sort key.
+                        let km = underlay.geo_distance_km(joiner, c);
+                        ((km * 1000.0) as u64, c)
+                    })
+                    .collect();
+                scored.sort_by_key(|&(d, h)| (d, h));
+                scored.into_iter().map(|(_, h)| h).collect()
+            }
+            NeighborSelection::CapacityBiased => {
+                let mut scored: Vec<(HostId, f64)> = candidates
+                    .iter()
+                    .map(|&c| (c, underlay.host(c).capacity_score()))
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite capacity")
+                        .then(a.0.cmp(&b.0))
+                });
+                scored.into_iter().map(|(h, _)| h).collect()
+            }
+        }
+    }
+
+    /// Picks up to `want` neighbors from `candidates`.
+    pub fn select(
+        &mut self,
+        underlay: &Underlay,
+        joiner: HostId,
+        candidates: &[HostId],
+        want: usize,
+        rng: &mut SimRng,
+    ) -> Vec<HostId> {
+        let mut ranked = self.rank(underlay, joiner, candidates, rng);
+        ranked.truncate(want);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uap_net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
+
+    fn underlay() -> Underlay {
+        let mut rng = SimRng::new(81);
+        let g = TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: 2,
+            tier2_per_tier1: 2,
+            tier3_per_tier2: 3,
+            tier2_peering_prob: 0.2,
+            tier3_peering_prob: 0.2,
+        })
+        .build(&mut rng);
+        Underlay::build(g, &PopulationSpec::leaf(200), UnderlayConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn oracle_biased_prefers_same_as() {
+        let u = underlay();
+        let joiner = HostId(0);
+        let my_as = u.hosts.as_of(joiner);
+        let mut sel = Selector::new(NeighborSelection::OracleBiased { list_size: 1000 });
+        let candidates: Vec<HostId> = u.hosts.ids().filter(|&h| h != joiner).collect();
+        let mut rng = SimRng::new(82);
+        let picked = sel.select(&u, joiner, &candidates, 4, &mut rng);
+        assert_eq!(picked.len(), 4);
+        let same_as_available = u.hosts.in_as(my_as).len() - 1;
+        let same_as_picked = picked.iter().filter(|&&h| u.same_as(joiner, h)).count();
+        assert_eq!(same_as_picked, same_as_available.min(4));
+        assert_eq!(sel.oracle_queries(), 1);
+    }
+
+    #[test]
+    fn list_size_limits_oracle_view() {
+        let u = underlay();
+        let mut sel = Selector::new(NeighborSelection::OracleBiased { list_size: 5 });
+        let candidates: Vec<HostId> = u.hosts.ids().take(100).collect();
+        let mut rng = SimRng::new(83);
+        let ranked = sel.rank(&u, HostId(150), &candidates, &mut rng);
+        assert_eq!(ranked.len(), 5);
+    }
+
+    #[test]
+    fn latency_biased_orders_by_rtt() {
+        let u = underlay();
+        let mut sel = Selector::new(NeighborSelection::LatencyBiased);
+        let joiner = HostId(10);
+        let candidates: Vec<HostId> = (0..50).map(HostId).filter(|&h| h != joiner).collect();
+        let mut rng = SimRng::new(84);
+        let ranked = sel.rank(&u, joiner, &candidates, &mut rng);
+        let rtts: Vec<u64> = ranked.iter().map(|&h| u.rtt_us(joiner, h).unwrap()).collect();
+        for w in rtts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(sel.probe_messages(), 49 * 2);
+    }
+
+    #[test]
+    fn geo_biased_orders_by_distance() {
+        let u = underlay();
+        let mut sel = Selector::new(NeighborSelection::GeoBiased);
+        let joiner = HostId(7);
+        let candidates: Vec<HostId> = (0..40).map(HostId).filter(|&h| h != joiner).collect();
+        let mut rng = SimRng::new(85);
+        let ranked = sel.rank(&u, joiner, &candidates, &mut rng);
+        let dists: Vec<f64> = ranked
+            .iter()
+            .map(|&h| u.geo_distance_km(joiner, h))
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-3);
+        }
+    }
+
+    #[test]
+    fn capacity_biased_orders_descending() {
+        let u = underlay();
+        let mut sel = Selector::new(NeighborSelection::CapacityBiased);
+        let candidates: Vec<HostId> = (0..40).map(HostId).collect();
+        let mut rng = SimRng::new(86);
+        let ranked = sel.rank(&u, HostId(100), &candidates, &mut rng);
+        let caps: Vec<f64> = ranked
+            .iter()
+            .map(|&h| u.host(h).capacity_score())
+            .collect();
+        for w in caps.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let u = underlay();
+        let mut sel = Selector::new(NeighborSelection::Random);
+        let candidates: Vec<HostId> = (0..30).map(HostId).collect();
+        let mut rng = SimRng::new(87);
+        let mut ranked = sel.rank(&u, HostId(100), &candidates, &mut rng);
+        ranked.sort();
+        assert_eq!(ranked, candidates);
+        assert_eq!(sel.oracle_queries(), 0);
+        assert_eq!(sel.probe_messages(), 0);
+    }
+
+    #[test]
+    fn select_truncates() {
+        let u = underlay();
+        let mut sel = Selector::new(NeighborSelection::Random);
+        let candidates: Vec<HostId> = (0..30).map(HostId).collect();
+        let mut rng = SimRng::new(88);
+        assert_eq!(sel.select(&u, HostId(100), &candidates, 3, &mut rng).len(), 3);
+        assert_eq!(
+            sel.select(&u, HostId(100), &candidates, 99, &mut rng).len(),
+            30
+        );
+    }
+}

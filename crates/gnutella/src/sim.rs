@@ -1,0 +1,578 @@
+//! The event-driven Gnutella simulation.
+//!
+//! Joins, leaves (churn), periodic ping cycles, user queries and the
+//! file-exchange stage are events on the `uap-sim` engine; the flood
+//! mechanics themselves run synchronously inside an event (per-message
+//! events would multiply the event count by orders of magnitude without
+//! changing any reported quantity — flood latency is accumulated along the
+//! BFS tree instead).
+
+use crate::config::{wire, GnutellaConfig, RoleAssignment, ShareScheme};
+use crate::content::{ContentModel, FileId};
+use crate::overlay::{Overlay, Role};
+use crate::report::GnutellaReport;
+use crate::selection::Selector;
+use uap_info::Oracle;
+use uap_net::{HostId, TrafficCategory, Underlay};
+use uap_sim::{ChurnModel, Ctx, SimTime, Simulator, World};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// Churn transition for a host (join if offline, leave if online).
+    Churn(HostId),
+    /// Periodic discovery ping. The second field is the session epoch the
+    /// cycle belongs to; cycles from ended sessions are dropped.
+    PingCycle(HostId, u32),
+    /// User issues a query (with session epoch).
+    QueryCycle(HostId, u32),
+    /// Neighbor-set repair after losing connections.
+    Repair(HostId),
+}
+
+/// The simulation world.
+pub struct GnutellaSim {
+    /// The underlay (owned; its traffic ledger accumulates the run).
+    pub underlay: Underlay,
+    /// The overlay graph.
+    pub overlay: Overlay,
+    cfg: GnutellaConfig,
+    content: ContentModel,
+    selector: Selector,
+    exchange_oracle: Oracle,
+    shared: Vec<Vec<FileId>>,
+    hostcache: Vec<Vec<HostId>>,
+    churn: Vec<ChurnModel>,
+    epoch: Vec<u32>,
+    query_delay_sum_ms: f64,
+    download_secs_sum: f64,
+    download_bytes_intra: u64,
+    download_bytes_total: u64,
+}
+
+impl GnutellaSim {
+    /// Builds the world and schedules the bootstrap events.
+    pub fn new(underlay: Underlay, cfg: GnutellaConfig, sim: &mut Simulator<Ev>) -> GnutellaSim {
+        let n = underlay.n_hosts();
+        let content = ContentModel::new(
+            cfg.content.n_files,
+            underlay.n_ases(),
+            cfg.content.zipf_s,
+            cfg.content.locality,
+        );
+        let mut overlay = Overlay::new(n);
+        // Role assignment.
+        match &cfg.roles {
+            RoleAssignment::AllUltrapeers => {}
+            RoleAssignment::EveryKth(k) => {
+                let k = (*k).max(1);
+                for i in 0..n {
+                    if i % k != 0 {
+                        overlay.set_role(HostId(i as u32), Role::Leaf);
+                    }
+                }
+            }
+            RoleAssignment::CapacityTopFraction(frac) => {
+                let mut by_cap: Vec<HostId> = underlay.hosts.ids().collect();
+                by_cap.sort_by(|&a, &b| {
+                    underlay
+                        .host(b)
+                        .capacity_score()
+                        .partial_cmp(&underlay.host(a).capacity_score())
+                        .expect("finite capacity")
+                        .then(a.cmp(&b))
+                });
+                let n_up = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+                for &h in &by_cap[n_up..] {
+                    overlay.set_role(h, Role::Leaf);
+                }
+            }
+        }
+        let rng = sim.rng();
+        // Content seeding: each peer shares what its region fetches.
+        let shared: Vec<Vec<FileId>> = (0..n)
+            .map(|i| {
+                let h = HostId(i as u32);
+                let asn = underlay.hosts.as_of(h);
+                let count = match cfg.share_scheme {
+                    ShareScheme::Uniform => cfg.shared_per_peer,
+                    ShareScheme::Variable => match overlay.role(h) {
+                        Role::Ultrapeer => cfg.shared_per_peer * 2,
+                        Role::Leaf if i % 2 == 0 => cfg.shared_per_peer,
+                        Role::Leaf => 0,
+                    },
+                };
+                content.seed_shares(asn, count, rng)
+            })
+            .collect();
+        // Static bootstrap hostcaches: a random membership sample, "filled
+        // with a random subset of the network nodes' IP addresses" as in
+        // the testlab study.
+        let hostcache: Vec<Vec<HostId>> = (0..n)
+            .map(|i| {
+                let mut cache: Vec<HostId> = rng
+                    .sample_indices(n, cfg.hostcache_size + 1)
+                    .into_iter()
+                    .map(|x| HostId(x as u32))
+                    .filter(|&h| h != HostId(i as u32))
+                    .collect();
+                cache.truncate(cfg.hostcache_size);
+                cache
+            })
+            .collect();
+        let churn: Vec<ChurnModel> = (0..n).map(|_| ChurnModel::start(&cfg.churn, rng)).collect();
+        let selector = Selector::new(cfg.selection.clone());
+        let exchange_oracle = Oracle::new(usize::MAX);
+
+        let mut world = GnutellaSim {
+            underlay,
+            overlay,
+            cfg,
+            content,
+            selector,
+            exchange_oracle,
+            shared,
+            hostcache,
+            churn,
+            epoch: vec![0; n],
+            query_delay_sum_ms: 0.0,
+            download_secs_sum: 0.0,
+            download_bytes_intra: 0,
+            download_bytes_total: 0,
+        };
+        world.bootstrap(sim);
+        world
+    }
+
+    fn bootstrap(&mut self, sim: &mut Simulator<Ev>) {
+        let n = self.underlay.n_hosts();
+        for i in 0..n {
+            let h = HostId(i as u32);
+            if self.churn[i].is_online() {
+                // Stagger initial joins over the first minute so early
+                // joiners have someone to connect to and later ones see a
+                // grown network.
+                let t = SimTime::from_micros(sim.rng().below(60_000_000));
+                sim.schedule_at(t, Ev::Churn(h));
+            } else {
+                sim.schedule_at(self.churn[i].next_transition(), Ev::Churn(h));
+            }
+        }
+    }
+
+    fn join(&mut self, h: HostId, ctx: &mut Ctx<'_, Ev>) {
+        if self.overlay.is_online(h) {
+            return;
+        }
+        self.overlay.set_online(h, true);
+        self.epoch[h.idx()] += 1;
+        let ep = self.epoch[h.idx()];
+        ctx.metrics.incr("gnutella.joins", 1);
+        self.connect(h, ctx);
+        // Kick off this node's periodic cycles with a random phase.
+        let ping_phase = SimTime::from_micros(
+            ctx.rng.below(self.cfg.ping_interval.as_micros().max(1)),
+        );
+        ctx.schedule_in(ping_phase, Ev::PingCycle(h, ep));
+        let q = SimTime::from_secs_f64(ctx.rng.exp(self.cfg.query_interval.as_secs_f64()));
+        ctx.schedule_in(q, Ev::QueryCycle(h, ep));
+    }
+
+    /// (Re)fills a node's neighbor set from its hostcache using the
+    /// configured selection policy.
+    fn connect(&mut self, h: HostId, ctx: &mut Ctx<'_, Ev>) {
+        let target = match self.overlay.role(h) {
+            Role::Ultrapeer => self.cfg.up_degree,
+            Role::Leaf => self.cfg.leaf_degree,
+        };
+        let have = self.overlay.degree(h);
+        if have >= target {
+            return;
+        }
+        // Candidates: online ultrapeers from the hostcache (both roles
+        // attach to ultrapeers only), not already neighbors.
+        let candidates: Vec<HostId> = self.hostcache[h.idx()]
+            .iter()
+            .copied()
+            .filter(|&c| {
+                c != h
+                    && self.overlay.is_online(c)
+                    && self.overlay.role(c) == Role::Ultrapeer
+                    && !self.overlay.has_edge(h, c)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let picked =
+            self.selector
+                .select(&self.underlay, h, &candidates, target - have, ctx.rng);
+        for p in picked {
+            self.overlay.add_edge(&self.underlay, h, p);
+        }
+    }
+
+    fn leave(&mut self, h: HostId, ctx: &mut Ctx<'_, Ev>) {
+        if !self.overlay.is_online(h) {
+            return;
+        }
+        let neighbors: Vec<HostId> = self.overlay.neighbors(h).to_vec();
+        self.overlay.set_online(h, false);
+        ctx.metrics.incr("gnutella.leaves", 1);
+        // Neighbors notice the dead connection after a detection delay and
+        // repair their degree.
+        for nb in neighbors {
+            ctx.schedule_in(SimTime::from_secs(5), Ev::Repair(nb));
+        }
+    }
+
+    fn ping_cycle(&mut self, h: HostId, ep: u32, ctx: &mut Ctx<'_, Ev>) {
+        if !self.overlay.is_online(h) || self.epoch[h.idx()] != ep {
+            return;
+        }
+        let flood = self.overlay.flood(h, self.cfg.ping_ttl);
+        ctx.metrics.incr("gnutella.msg.ping", flood.messages);
+        let mut pongs = 0u64;
+        for r in &flood.reached {
+            // Each reached node answers with pong-cache records (several
+            // pong messages) routed back over `hops` overlay links.
+            pongs += r.hops as u64 * self.cfg.pongs_per_reply;
+        }
+        ctx.metrics.incr("gnutella.msg.pong", pongs);
+        if self.cfg.account_overhead_traffic {
+            self.account_overhead(h, &flood, wire::PING, wire::PONG, ctx.now());
+        }
+        // Refresh the hostcache from the pongs (newest first, bounded).
+        let cache = &mut self.hostcache[h.idx()];
+        for r in &flood.reached {
+            if r.host != h && !cache.contains(&r.host) {
+                if cache.len() >= self.cfg.hostcache_size {
+                    cache.remove(0);
+                }
+                cache.push(r.host);
+            }
+        }
+        ctx.schedule_in(self.cfg.ping_interval, Ev::PingCycle(h, ep));
+    }
+
+    fn query_cycle(&mut self, h: HostId, ep: u32, ctx: &mut Ctx<'_, Ev>) {
+        if !self.overlay.is_online(h) || self.epoch[h.idx()] != ep {
+            return;
+        }
+        // Exactly one pending QueryCycle per online session: reschedule
+        // here, success or not.
+        let next = SimTime::from_secs_f64(ctx.rng.exp(self.cfg.query_interval.as_secs_f64()));
+        ctx.schedule_in(next, Ev::QueryCycle(h, ep));
+        let asn = self.underlay.hosts.as_of(h);
+        let file = self.content.sample_interest(asn, ctx.rng);
+        ctx.metrics.incr("gnutella.queries", 1);
+        let flood = self.overlay.flood(h, self.cfg.query_ttl);
+        ctx.metrics.incr("gnutella.msg.query", flood.messages);
+        // Hits: reached nodes sharing the file reply with a QueryHit routed
+        // back over their hop distance.
+        let mut hits = Vec::new();
+        let mut hit_msgs = 0u64;
+        for r in &flood.reached {
+            if self.shared[r.host.idx()].binary_search(&file).is_ok() {
+                hits.push(*r);
+                hit_msgs += r.hops as u64;
+            }
+        }
+        ctx.metrics.incr("gnutella.msg.queryhit", hit_msgs);
+        if self.cfg.account_overhead_traffic {
+            self.account_overhead(h, &flood, wire::QUERY, 0, ctx.now());
+        }
+        if hits.is_empty() {
+            return;
+        }
+        ctx.metrics.incr("gnutella.queries.success", 1);
+        // Time to first hit: query out + hit back over the same tree path.
+        let first_hit_us = hits.iter().map(|r| 2 * r.latency_us).min().unwrap_or(0);
+        self.query_delay_sum_ms += first_hit_us as f64 / 1_000.0;
+        // File-exchange stage: choose the provider.
+        let providers: Vec<HostId> = hits.iter().map(|r| r.host).collect();
+        let provider = if self.cfg.oracle_at_file_exchange {
+            self.exchange_oracle
+                .best(&self.underlay, h, &providers)
+                .expect("non-empty providers")
+        } else if self.cfg.bandwidth_aware_source {
+            *providers
+                .iter()
+                .max_by_key(|&&p| (self.underlay.host(p).up_kbps, p))
+                .expect("non-empty providers")
+        } else {
+            *ctx.rng.pick(&providers)
+        };
+        self.download(h, provider, ctx);
+    }
+
+    fn download(&mut self, downloader: HostId, provider: HostId, ctx: &mut Ctx<'_, Ev>) {
+        let bytes = self.cfg.file_size_bytes;
+        let cat = self
+            .underlay
+            .account_transfer(ctx.now(), provider, downloader, bytes);
+        ctx.metrics.incr("gnutella.downloads", 1);
+        self.download_bytes_total += bytes;
+        if cat == TrafficCategory::IntraAs {
+            ctx.metrics.incr("gnutella.downloads.intra_as", 1);
+            self.download_bytes_intra += bytes;
+        }
+        if let Some(t) = self.underlay.transfer_time(provider, downloader, bytes) {
+            self.download_secs_sum += t.as_secs_f64();
+        }
+    }
+
+    /// Charges flood signalling bytes to the underlay ledger: each
+    /// transmission crosses one overlay edge, i.e. one underlay path.
+    /// We approximate with the BFS tree edges (duplicate copies follow the
+    /// same paths).
+    fn account_overhead(
+        &mut self,
+        origin: HostId,
+        flood: &crate::overlay::FloodResult,
+        fwd_bytes: u64,
+        reply_bytes: u64,
+        now: SimTime,
+    ) {
+        for r in &flood.reached {
+            self.underlay.account_transfer(now, origin, r.host, fwd_bytes);
+            if reply_bytes > 0 {
+                self.underlay.account_transfer(now, r.host, origin, reply_bytes);
+            }
+        }
+    }
+
+    /// Extracts the report after the run.
+    pub fn report(&self, metrics: &uap_sim::Metrics, events: u64) -> GnutellaReport {
+        let queries = metrics.counter("gnutella.queries");
+        let succ = metrics.counter("gnutella.queries.success");
+        let downloads = metrics.counter("gnutella.downloads");
+        GnutellaReport {
+            ping_msgs: metrics.counter("gnutella.msg.ping"),
+            pong_msgs: metrics.counter("gnutella.msg.pong"),
+            query_msgs: metrics.counter("gnutella.msg.query"),
+            queryhit_msgs: metrics.counter("gnutella.msg.queryhit"),
+            queries_issued: queries,
+            queries_successful: succ,
+            downloads,
+            downloads_intra_as: metrics.counter("gnutella.downloads.intra_as"),
+            mean_query_delay_ms: if succ > 0 {
+                self.query_delay_sum_ms / succ as f64
+            } else {
+                0.0
+            },
+            mean_download_secs: if downloads > 0 {
+                self.download_secs_sum / downloads as f64
+            } else {
+                0.0
+            },
+            oracle_queries: self.selector.oracle_queries() + self.exchange_oracle.queries(),
+            probe_messages: self.selector.probe_messages(),
+            edges: self.overlay.edges(),
+            download_locality: if self.download_bytes_total > 0 {
+                self.download_bytes_intra as f64 / self.download_bytes_total as f64
+            } else {
+                0.0
+            },
+            joins: metrics.counter("gnutella.joins"),
+            events,
+        }
+    }
+}
+
+impl World<Ev> for GnutellaSim {
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        match ev {
+            Ev::Churn(h) => {
+                let i = h.idx();
+                if self.churn[i].is_online() && !self.overlay.is_online(h) {
+                    // Initial (or re-) join.
+                    self.join(h, ctx);
+                    let t = self.churn[i].next_transition();
+                    if t != SimTime::MAX {
+                        ctx.schedule_at(t, Ev::Churn(h));
+                    }
+                } else {
+                    // A transition is due.
+                    let cfg = self.cfg.churn;
+                    self.churn[i].transition(&cfg, ctx.rng);
+                    if self.churn[i].is_online() {
+                        self.join(h, ctx);
+                    } else {
+                        self.leave(h, ctx);
+                    }
+                    let t = self.churn[i].next_transition();
+                    if t != SimTime::MAX {
+                        ctx.schedule_at(t, Ev::Churn(h));
+                    }
+                }
+            }
+            Ev::PingCycle(h, ep) => self.ping_cycle(h, ep, ctx),
+            Ev::QueryCycle(h, ep) => self.query_cycle(h, ep, ctx),
+            Ev::Repair(h) => {
+                if self.overlay.is_online(h) {
+                    self.connect(h, ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one configured experiment and returns the report plus the world
+/// (whose underlay ledger holds the traffic classification).
+pub fn run_experiment(
+    underlay: Underlay,
+    cfg: GnutellaConfig,
+    seed: u64,
+) -> (GnutellaReport, GnutellaSim) {
+    let duration = cfg.duration;
+    let mut sim = Simulator::new(seed);
+    let mut world = GnutellaSim::new(underlay, cfg, &mut sim);
+    let stats = sim.run_until(&mut world, duration);
+    let report = world.report(sim.metrics(), stats.events_processed);
+    (report, world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::NeighborSelection;
+    use uap_net::{PopulationSpec, TopologyKind, TopologySpec, UnderlayConfig};
+    use uap_sim::SimRng;
+
+    fn underlay(n_hosts: usize, seed: u64) -> Underlay {
+        let mut rng = SimRng::new(seed);
+        let g = TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: 2,
+            tier2_per_tier1: 2,
+            tier3_per_tier2: 3,
+            tier2_peering_prob: 0.3,
+            tier3_peering_prob: 0.3,
+        })
+        .build(&mut rng);
+        Underlay::build(g, &PopulationSpec::leaf(n_hosts), UnderlayConfig::default(), &mut rng)
+    }
+
+    fn quick_cfg(selection: NeighborSelection) -> GnutellaConfig {
+        GnutellaConfig {
+            selection,
+            duration: SimTime::from_mins(10),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_run_produces_traffic_and_searches() {
+        let (report, world) = run_experiment(
+            underlay(150, 1),
+            quick_cfg(NeighborSelection::Random),
+            42,
+        );
+        assert!(report.joins >= 150);
+        assert!(report.ping_msgs > 0);
+        assert!(report.pong_msgs > 0);
+        assert!(report.query_msgs > 0);
+        assert!(report.queries_issued > 50);
+        assert!(report.success_ratio() > 0.3, "success {}", report.success_ratio());
+        assert!(!report.edges.is_empty());
+        assert!(world.underlay.traffic.transfers() > 0);
+    }
+
+    #[test]
+    fn oracle_biased_increases_intra_as_edges() {
+        let (unbiased, _) = run_experiment(
+            underlay(200, 2),
+            quick_cfg(NeighborSelection::Random),
+            7,
+        );
+        let (biased, world) = run_experiment(
+            underlay(200, 2),
+            quick_cfg(NeighborSelection::OracleBiased { list_size: 1000 }),
+            7,
+        );
+        let intra_frac = |edges: &[(HostId, HostId)], u: &Underlay| {
+            if edges.is_empty() {
+                return 0.0;
+            }
+            edges.iter().filter(|&&(a, b)| u.same_as(a, b)).count() as f64 / edges.len() as f64
+        };
+        let fu = intra_frac(&unbiased.edges, &world.underlay);
+        let fb = intra_frac(&biased.edges, &world.underlay);
+        assert!(fb > 2.0 * fu, "biased intra {fb} vs unbiased {fu}");
+        assert!(biased.oracle_queries > 0);
+    }
+
+    #[test]
+    fn oracle_biased_reduces_message_counts() {
+        let n = 300;
+        let (unbiased, _) =
+            run_experiment(underlay(n, 3), quick_cfg(NeighborSelection::Random), 9);
+        let (biased, _) = run_experiment(
+            underlay(n, 3),
+            quick_cfg(NeighborSelection::OracleBiased { list_size: 1000 }),
+            9,
+        );
+        assert!(
+            biased.total_msgs() < unbiased.total_msgs(),
+            "biased {} !< unbiased {}",
+            biased.total_msgs(),
+            unbiased.total_msgs()
+        );
+        // Search must not collapse (the §6 "challenge" bound: allow some
+        // degradation but not a broken network).
+        assert!(biased.success_ratio() > 0.5 * unbiased.success_ratio());
+    }
+
+    #[test]
+    fn oracle_at_file_exchange_lifts_locality() {
+        let n = 250;
+        let mut cfg = quick_cfg(NeighborSelection::OracleBiased { list_size: 1000 });
+        let (plain, _) = run_experiment(underlay(n, 4), cfg.clone(), 11);
+        cfg.oracle_at_file_exchange = true;
+        let (oracle_x, _) = run_experiment(underlay(n, 4), cfg, 11);
+        assert!(
+            oracle_x.intra_as_exchange_pct() > plain.intra_as_exchange_pct(),
+            "{} !> {}",
+            oracle_x.intra_as_exchange_pct(),
+            plain.intra_as_exchange_pct()
+        );
+    }
+
+    #[test]
+    fn churn_run_stays_alive() {
+        let mut cfg = quick_cfg(NeighborSelection::Random);
+        cfg.churn = uap_sim::ChurnConfig::exponential(300.0);
+        cfg.duration = SimTime::from_mins(15);
+        let (report, world) = run_experiment(underlay(120, 5), cfg, 13);
+        assert!(report.joins > 120, "rejoins should occur: {}", report.joins);
+        assert!(report.queries_issued > 0);
+        // Some nodes online at the end.
+        assert!(!world.overlay.online_nodes().is_empty());
+    }
+
+    #[test]
+    fn leaf_roles_limit_flooding() {
+        let mut cfg = quick_cfg(NeighborSelection::Random);
+        cfg.roles = RoleAssignment::EveryKth(3);
+        let (report, world) = run_experiment(underlay(90, 6), cfg, 17);
+        // Leaves exist and are attached.
+        let leaves = (0..90)
+            .map(HostId)
+            .filter(|&h| world.overlay.role(h) == Role::Leaf)
+            .count();
+        assert_eq!(leaves, 60);
+        assert!(report.queries_issued > 0);
+        assert!(report.success_ratio() > 0.2);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = quick_cfg(NeighborSelection::OracleBiased { list_size: 100 });
+        let (a, _) = run_experiment(underlay(100, 8), cfg.clone(), 21);
+        let (b, _) = run_experiment(underlay(100, 8), cfg, 21);
+        assert_eq!(a.total_msgs(), b.total_msgs());
+        assert_eq!(a.queries_issued, b.queries_issued);
+        assert_eq!(a.downloads_intra_as, b.downloads_intra_as);
+        assert_eq!(a.edges, b.edges);
+    }
+}

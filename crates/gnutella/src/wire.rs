@@ -1,0 +1,456 @@
+//! Gnutella 0.4 wire format.
+//!
+//! The simulator accounts messages analytically, but a credible substrate
+//! must also speak the actual protocol: a 23-byte descriptor header
+//! (16-byte GUID, descriptor type, TTL, hops, little-endian payload
+//! length) followed by the typed payload. This module encodes and decodes
+//! the four descriptors the paper's Table 1 counts — `Ping`, `Pong`,
+//! `Query`, `QueryHit` — byte-compatible with the Gnutella 0.4
+//! specification (modulo the QueryHit result set, which we carry in the
+//! spec's record layout with a single result per message).
+//!
+//! The wire sizes used by the analytic accounting
+//! ([`crate::config::wire`]) are checked against these encoders in the
+//! tests, so the two layers cannot drift apart.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// The 16-byte descriptor GUID.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Guid(pub [u8; 16]);
+
+impl Guid {
+    /// Builds a GUID from a 64-bit id (simulation ids are u64s; the high
+    /// bytes carry a fixed tag so encoded GUIDs are recognizably ours).
+    pub fn from_u64(v: u64) -> Guid {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&v.to_le_bytes());
+        b[8..12].copy_from_slice(b"uap!");
+        Guid(b)
+    }
+}
+
+/// Descriptor type codes from the 0.4 specification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum DescriptorType {
+    /// 0x00.
+    Ping = 0x00,
+    /// 0x01.
+    Pong = 0x01,
+    /// 0x80.
+    Query = 0x80,
+    /// 0x81.
+    QueryHit = 0x81,
+}
+
+impl DescriptorType {
+    fn from_byte(b: u8) -> Option<DescriptorType> {
+        match b {
+            0x00 => Some(DescriptorType::Ping),
+            0x01 => Some(DescriptorType::Pong),
+            0x80 => Some(DescriptorType::Query),
+            0x81 => Some(DescriptorType::QueryHit),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded descriptor.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Descriptor {
+    /// Message GUID (flood duplicate suppression keys on this).
+    pub guid: Guid,
+    /// Remaining time-to-live.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hops: u8,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// Typed payloads of the four descriptors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Payload {
+    /// Ping: empty payload.
+    Ping,
+    /// Pong: port, IPv4, shared file count and kilobytes.
+    Pong {
+        /// Listening port.
+        port: u16,
+        /// IPv4 address (big-endian display order).
+        ip: u32,
+        /// Number of shared files.
+        files: u32,
+        /// Shared kilobytes.
+        kilobytes: u32,
+    },
+    /// Query: minimum speed + search criteria string.
+    Query {
+        /// Minimum speed in kB/s the responder must offer.
+        min_speed: u16,
+        /// Search string (NUL-terminated on the wire).
+        search: String,
+    },
+    /// QueryHit: one result record plus the responder's address/servent id.
+    QueryHit {
+        /// Responder port.
+        port: u16,
+        /// Responder IPv4.
+        ip: u32,
+        /// Responder speed in kB/s.
+        speed: u32,
+        /// File index of the result.
+        file_index: u32,
+        /// File size in bytes.
+        file_size: u32,
+        /// File name (double-NUL-terminated on the wire).
+        file_name: String,
+        /// Responder's 16-byte servent identifier.
+        servent_id: Guid,
+    },
+}
+
+impl Payload {
+    fn descriptor_type(&self) -> DescriptorType {
+        match self {
+            Payload::Ping => DescriptorType::Ping,
+            Payload::Pong { .. } => DescriptorType::Pong,
+            Payload::Query { .. } => DescriptorType::Query,
+            Payload::QueryHit { .. } => DescriptorType::QueryHit,
+        }
+    }
+}
+
+/// Errors from [`decode`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Fewer than 23 bytes available.
+    Truncated,
+    /// Unknown descriptor type byte.
+    UnknownType(u8),
+    /// Payload length field disagrees with available bytes.
+    BadLength,
+    /// Payload contents malformed (e.g. unterminated string).
+    Malformed,
+}
+
+/// Size of the fixed descriptor header.
+pub const HEADER_LEN: usize = 23;
+
+/// Encodes a descriptor to bytes.
+pub fn encode(d: &Descriptor) -> Bytes {
+    let mut payload = BytesMut::new();
+    match &d.payload {
+        Payload::Ping => {}
+        Payload::Pong {
+            port,
+            ip,
+            files,
+            kilobytes,
+        } => {
+            payload.put_u16_le(*port);
+            payload.put_u32(*ip);
+            payload.put_u32_le(*files);
+            payload.put_u32_le(*kilobytes);
+        }
+        Payload::Query { min_speed, search } => {
+            debug_assert!(
+                !search.as_bytes().contains(&0),
+                "NUL in search string would truncate on decode"
+            );
+            payload.put_u16_le(*min_speed);
+            payload.put_slice(search.as_bytes());
+            payload.put_u8(0);
+        }
+        Payload::QueryHit {
+            port,
+            ip,
+            speed,
+            file_index,
+            file_size,
+            file_name,
+            servent_id,
+        } => {
+            debug_assert!(
+                !file_name.as_bytes().contains(&0),
+                "NUL in file name would truncate on decode"
+            );
+            payload.put_u8(1); // number of hits
+            payload.put_u16_le(*port);
+            payload.put_u32(*ip);
+            payload.put_u32_le(*speed);
+            payload.put_u32_le(*file_index);
+            payload.put_u32_le(*file_size);
+            payload.put_slice(file_name.as_bytes());
+            payload.put_u8(0);
+            payload.put_u8(0);
+            payload.put_slice(&servent_id.0);
+        }
+    }
+    let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
+    out.put_slice(&d.guid.0);
+    out.put_u8(d.payload.descriptor_type() as u8);
+    out.put_u8(d.ttl);
+    out.put_u8(d.hops);
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(&payload);
+    out.freeze()
+}
+
+/// Decodes one descriptor from the front of `buf`.
+pub fn decode(buf: &mut Bytes) -> Result<Descriptor, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let mut guid = [0u8; 16];
+    buf.copy_to_slice(&mut guid);
+    let tbyte = buf.get_u8();
+    let ttl = buf.get_u8();
+    let hops = buf.get_u8();
+    let len = buf.get_u32_le() as usize;
+    let dtype = DescriptorType::from_byte(tbyte).ok_or(WireError::UnknownType(tbyte))?;
+    if buf.len() < len {
+        return Err(WireError::BadLength);
+    }
+    let mut p = buf.split_to(len);
+    let payload = match dtype {
+        DescriptorType::Ping => {
+            if !p.is_empty() {
+                return Err(WireError::Malformed);
+            }
+            Payload::Ping
+        }
+        DescriptorType::Pong => {
+            if p.len() != 14 {
+                return Err(WireError::Malformed);
+            }
+            Payload::Pong {
+                port: p.get_u16_le(),
+                ip: p.get_u32(),
+                files: p.get_u32_le(),
+                kilobytes: p.get_u32_le(),
+            }
+        }
+        DescriptorType::Query => {
+            if p.len() < 3 {
+                return Err(WireError::Malformed);
+            }
+            let min_speed = p.get_u16_le();
+            let bytes: Vec<u8> = p.to_vec();
+            let nul = bytes
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(WireError::Malformed)?;
+            let search = String::from_utf8(bytes[..nul].to_vec())
+                .map_err(|_| WireError::Malformed)?;
+            Payload::Query { min_speed, search }
+        }
+        DescriptorType::QueryHit => {
+            if p.len() < 1 + 2 + 4 + 4 + 4 + 4 + 2 + 16 {
+                return Err(WireError::Malformed);
+            }
+            let n_hits = p.get_u8();
+            if n_hits != 1 {
+                return Err(WireError::Malformed);
+            }
+            let port = p.get_u16_le();
+            let ip = p.get_u32();
+            let speed = p.get_u32_le();
+            let file_index = p.get_u32_le();
+            let file_size = p.get_u32_le();
+            let rest: Vec<u8> = p.to_vec();
+            if rest.len() < 2 + 16 {
+                return Err(WireError::Malformed);
+            }
+            let name_end = rest
+                .windows(2)
+                .position(|w| w == [0, 0])
+                .ok_or(WireError::Malformed)?;
+            let file_name = String::from_utf8(rest[..name_end].to_vec())
+                .map_err(|_| WireError::Malformed)?;
+            let sid_start = name_end + 2;
+            if rest.len() != sid_start + 16 {
+                return Err(WireError::Malformed);
+            }
+            let mut sid = [0u8; 16];
+            sid.copy_from_slice(&rest[sid_start..]);
+            Payload::QueryHit {
+                port,
+                ip,
+                speed,
+                file_index,
+                file_size,
+                file_name,
+                servent_id: Guid(sid),
+            }
+        }
+    };
+    Ok(Descriptor {
+        guid: Guid(guid),
+        ttl,
+        hops,
+        payload,
+    })
+}
+
+/// The encoded size of a descriptor without building the buffer — used to
+/// keep the analytic accounting and the codec in lock-step.
+pub fn encoded_len(payload: &Payload) -> usize {
+    HEADER_LEN
+        + match payload {
+            Payload::Ping => 0,
+            Payload::Pong { .. } => 14,
+            Payload::Query { search, .. } => 2 + search.len() + 1,
+            Payload::QueryHit { file_name, .. } => 1 + 2 + 4 + 4 + 4 + 4 + file_name.len() + 2 + 16,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::wire;
+
+    fn roundtrip(payload: Payload) -> Descriptor {
+        let d = Descriptor {
+            guid: Guid::from_u64(0xDEAD_BEEF),
+            ttl: 5,
+            hops: 2,
+            payload,
+        };
+        let enc = encode(&d);
+        assert_eq!(enc.len(), encoded_len(&d.payload));
+        let mut buf = enc.clone();
+        let back = decode(&mut buf).expect("decode");
+        assert!(buf.is_empty(), "trailing bytes");
+        assert_eq!(back, d);
+        back
+    }
+
+    #[test]
+    fn ping_roundtrip_and_size() {
+        let d = roundtrip(Payload::Ping);
+        assert_eq!(encoded_len(&d.payload) as u64, wire::PING);
+    }
+
+    #[test]
+    fn pong_roundtrip_and_size() {
+        let d = roundtrip(Payload::Pong {
+            port: 6346,
+            ip: 0x0A01_0005,
+            files: 20,
+            kilobytes: 81_920,
+        });
+        assert_eq!(encoded_len(&d.payload) as u64, wire::PONG);
+    }
+
+    #[test]
+    fn query_roundtrip_and_size_matches_accounting() {
+        // The analytic QUERY size assumes a 17-byte search string.
+        let d = roundtrip(Payload::Query {
+            min_speed: 64,
+            search: "file-000000000123".into(),
+        });
+        assert_eq!(encoded_len(&d.payload) as u64, wire::QUERY);
+    }
+
+    #[test]
+    fn queryhit_roundtrip_and_size_matches_accounting() {
+        // The analytic QUERY_HIT size assumes a 23-byte file name.
+        let d = roundtrip(Payload::QueryHit {
+            port: 6346,
+            ip: 0x0A02_0001,
+            speed: 640,
+            file_index: 7,
+            file_size: 4 << 20,
+            file_name: "shared-file-000000123.m".into(),
+            servent_id: Guid::from_u64(99),
+        });
+        assert_eq!(encoded_len(&d.payload) as u64, wire::QUERY_HIT);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let mut b = Bytes::from_static(&[0u8; 10]);
+        assert_eq!(decode(&mut b), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let d = Descriptor {
+            guid: Guid::from_u64(1),
+            ttl: 1,
+            hops: 0,
+            payload: Payload::Ping,
+        };
+        let mut raw = encode(&d).to_vec();
+        raw[16] = 0x42; // corrupt the type byte
+        let mut b = Bytes::from(raw);
+        assert_eq!(decode(&mut b), Err(WireError::UnknownType(0x42)));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let d = Descriptor {
+            guid: Guid::from_u64(1),
+            ttl: 1,
+            hops: 0,
+            payload: Payload::Pong {
+                port: 1,
+                ip: 2,
+                files: 3,
+                kilobytes: 4,
+            },
+        };
+        let enc = encode(&d);
+        // Drop the last payload byte: length field now overruns.
+        let mut b = enc.slice(..enc.len() - 1);
+        assert_eq!(decode(&mut b), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn unterminated_query_rejected() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[7u8; 16]); // guid
+        raw.push(0x80); // query
+        raw.push(3);
+        raw.push(0);
+        raw.extend_from_slice(&4u32.to_le_bytes());
+        raw.extend_from_slice(&[0x10, 0x00, b'a', b'b']); // no NUL
+        let mut b = Bytes::from(raw);
+        assert_eq!(decode(&mut b), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn stream_of_descriptors_decodes_in_order() {
+        let a = Descriptor {
+            guid: Guid::from_u64(1),
+            ttl: 7,
+            hops: 0,
+            payload: Payload::Ping,
+        };
+        let b = Descriptor {
+            guid: Guid::from_u64(2),
+            ttl: 6,
+            hops: 1,
+            payload: Payload::Query {
+                min_speed: 0,
+                search: "x".into(),
+            },
+        };
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&encode(&a));
+        stream.extend_from_slice(&encode(&b));
+        let mut buf = stream.freeze();
+        assert_eq!(decode(&mut buf).unwrap(), a);
+        assert_eq!(decode(&mut buf).unwrap(), b);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn guid_embeds_id() {
+        let g = Guid::from_u64(0x1122_3344);
+        assert_eq!(&g.0[8..12], b"uap!");
+        assert_ne!(Guid::from_u64(1), Guid::from_u64(2));
+    }
+}

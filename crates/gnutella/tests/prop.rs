@@ -1,0 +1,206 @@
+//! Property-based tests for flood mechanics and content locality.
+
+use proptest::prelude::*;
+use uap_gnutella::content::ContentModel;
+use uap_gnutella::overlay::{Overlay, Role};
+use uap_net::{AsId, HostId, PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
+use uap_sim::SimRng;
+
+fn underlay(n: usize, seed: u64) -> Underlay {
+    let mut rng = SimRng::new(seed);
+    let g = TopologySpec::new(TopologyKind::Mesh {
+        n: 6,
+        extra_edge_prob: 0.4,
+    })
+    .build(&mut rng);
+    let cfg = UnderlayConfig {
+        routing: uap_net::RoutingMode::ShortestPath,
+        ..Default::default()
+    };
+    Underlay::build(g, &PopulationSpec::uniform(n), cfg, &mut rng)
+}
+
+/// Builds a random overlay over `n` nodes with some leaves.
+fn random_overlay(u: &Underlay, n: u32, edges: usize, leaf_every: u32, rng: &mut SimRng) -> Overlay {
+    let mut o = Overlay::new(n as usize);
+    for i in 0..n {
+        o.set_online(HostId(i), true);
+        if leaf_every > 0 && i % leaf_every == 1 {
+            o.set_role(HostId(i), Role::Leaf);
+        }
+    }
+    let mut guard = 0;
+    while o.edge_count() < edges && guard < edges * 20 {
+        guard += 1;
+        let a = HostId(rng.below(n as u64) as u32);
+        let b = HostId(rng.below(n as u64) as u32);
+        if a != b {
+            o.add_edge(u, a, b);
+        }
+    }
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Flood invariants for any overlay: hop bounds, distinct reached
+    /// nodes, message count at least reached count, and latency monotone
+    /// in BFS order within each branch.
+    #[test]
+    fn flood_invariants(seed in any::<u64>(), n in 4u32..60, ttl in 1u32..6) {
+        let u = underlay(n as usize, seed);
+        let mut rng = SimRng::new(seed ^ 1);
+        let o = random_overlay(&u, n, (n as usize * 3) / 2, 4, &mut rng);
+        let origin = HostId(rng.below(n as u64) as u32);
+        let r = o.flood(origin, ttl);
+        let mut seen = std::collections::HashSet::new();
+        for x in &r.reached {
+            prop_assert!(x.hops >= 1 && x.hops <= ttl, "hops {} out of (0,{ttl}]", x.hops);
+            prop_assert!(x.host != origin);
+            prop_assert!(seen.insert(x.host), "duplicate reach");
+        }
+        prop_assert!(r.messages >= r.reached.len() as u64);
+        // Leaves never appear as forwarders: any node at hops == h > 1 must
+        // have an ultrapeer neighbor at hops == h - 1.
+        for x in &r.reached {
+            if x.hops > 1 {
+                let has_up_parent = r
+                    .reached
+                    .iter()
+                    .any(|p| {
+                        p.hops == x.hops - 1
+                            && o.role(p.host) == Role::Ultrapeer
+                            && o.has_edge(p.host, x.host)
+                    })
+                    || (x.hops == 1);
+                prop_assert!(has_up_parent, "{:?} reached without ultrapeer parent", x.host);
+            }
+        }
+    }
+
+    /// TTL monotonicity: a larger TTL never reaches fewer nodes.
+    #[test]
+    fn flood_monotone_in_ttl(seed in any::<u64>(), n in 4u32..50) {
+        let u = underlay(n as usize, seed);
+        let mut rng = SimRng::new(seed ^ 2);
+        let o = random_overlay(&u, n, n as usize * 2, 0, &mut rng);
+        let origin = HostId(0);
+        let mut prev = 0usize;
+        for ttl in 1..6 {
+            let got = o.flood(origin, ttl).reached.len();
+            prop_assert!(got >= prev, "ttl {ttl}: {got} < {prev}");
+            prev = got;
+        }
+    }
+
+    /// Content model: interests always land in the catalogue, and full
+    /// locality keeps them in the AS slice.
+    #[test]
+    fn content_interest_in_range(n_files in 10usize..2_000, n_ases in 1usize..30, seed in any::<u64>()) {
+        prop_assume!(n_files >= n_ases);
+        let m = ContentModel::new(n_files, n_ases, 0.9, 1.0);
+        let mut rng = SimRng::new(seed);
+        for a in 0..n_ases {
+            let f = m.sample_interest(AsId(a as u16), &mut rng);
+            prop_assert!((f.0 as usize) < n_files);
+        }
+    }
+
+    /// Edges are symmetric and removal restores degree bookkeeping.
+    #[test]
+    fn overlay_edge_bookkeeping(seed in any::<u64>(), n in 2u32..40) {
+        let u = underlay(n as usize, seed);
+        let mut rng = SimRng::new(seed ^ 3);
+        let mut o = Overlay::new(n as usize);
+        for i in 0..n {
+            o.set_online(HostId(i), true);
+        }
+        let mut inserted = Vec::new();
+        for _ in 0..(n * 2) {
+            let a = HostId(rng.below(n as u64) as u32);
+            let b = HostId(rng.below(n as u64) as u32);
+            if a != b && !o.has_edge(a, b) {
+                o.add_edge(&u, a, b);
+                inserted.push((a, b));
+            }
+        }
+        prop_assert_eq!(o.edge_count(), inserted.len());
+        let degree_sum: usize = (0..n).map(|i| o.degree(HostId(i))).sum();
+        prop_assert_eq!(degree_sum, 2 * inserted.len());
+        for &(a, b) in &inserted {
+            prop_assert!(o.has_edge(b, a));
+            o.remove_edge(a, b);
+        }
+        prop_assert_eq!(o.edge_count(), 0);
+    }
+}
+
+mod wire_props {
+    use proptest::prelude::*;
+    use uap_gnutella::wire::{decode, encode, encoded_len, Descriptor, Guid, Payload};
+
+    fn arb_payload() -> impl Strategy<Value = Payload> {
+        prop_oneof![
+            Just(Payload::Ping),
+            (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+                |(port, ip, files, kilobytes)| Payload::Pong {
+                    port,
+                    ip,
+                    files,
+                    kilobytes
+                }
+            ),
+            (any::<u16>(), "[a-zA-Z0-9 _.-]{0,40}").prop_map(|(min_speed, search)| {
+                Payload::Query { min_speed, search }
+            }),
+            (
+                any::<u16>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u32>(),
+                "[a-zA-Z0-9 _.-]{1,40}",
+                any::<u64>()
+            )
+                .prop_map(|(port, ip, speed, file_index, file_size, file_name, sid)| {
+                    Payload::QueryHit {
+                        port,
+                        ip,
+                        speed,
+                        file_index,
+                        file_size,
+                        file_name,
+                        servent_id: Guid::from_u64(sid),
+                    }
+                }),
+        ]
+    }
+
+    proptest! {
+        /// Any descriptor survives an encode/decode round trip, and the
+        /// size predictor agrees with the encoder.
+        #[test]
+        fn wire_roundtrip(guid in any::<u64>(), ttl in 0u8..16, hops in 0u8..16, payload in arb_payload()) {
+            let d = Descriptor {
+                guid: Guid::from_u64(guid),
+                ttl,
+                hops,
+                payload,
+            };
+            let enc = encode(&d);
+            prop_assert_eq!(enc.len(), encoded_len(&d.payload));
+            let mut buf = enc;
+            let back = decode(&mut buf).unwrap();
+            prop_assert!(buf.is_empty());
+            prop_assert_eq!(back, d);
+        }
+
+        /// Decoding never panics on arbitrary bytes — it returns an error.
+        #[test]
+        fn decode_is_total(raw in prop::collection::vec(any::<u8>(), 0..200)) {
+            let mut buf = bytes::Bytes::from(raw);
+            let _ = decode(&mut buf); // must not panic
+        }
+    }
+}

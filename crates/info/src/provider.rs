@@ -1,0 +1,72 @@
+//! Provider traits — the vocabulary between collection and usage.
+//!
+//! The paper's closing open issue is "the development of a general
+//! architecture for underlay awareness in which different underlay
+//! information can be collected and used". These traits are that
+//! architecture's collection-side interface: an overlay strategy asks for
+//! ISP location, pairwise proximity, geolocation or resource rankings
+//! without knowing which technique answers.
+
+use uap_net::{AsId, GeoPoint, HostId};
+use uap_sim::SimRng;
+
+/// Answers "which ISP does this peer connect through?" (§3.1).
+pub trait IspLocator {
+    /// The AS of `h` as this service believes it (may be wrong for noisy
+    /// mapping databases).
+    fn isp_of(&mut self, h: HostId) -> AsId;
+    /// Number of lookups served so far.
+    fn queries(&self) -> u64;
+    /// Human-readable technique name.
+    fn name(&self) -> &'static str;
+}
+
+/// Estimates pairwise proximity; **lower is closer** (§3.2).
+///
+/// Units are technique-specific (microseconds for latency estimators,
+/// dissimilarity for CDN ratio maps); only the *ordering* is contractual,
+/// which is all neighbor selection needs.
+pub trait ProximityEstimator {
+    /// Proximity estimate between two hosts.
+    fn proximity(&mut self, a: HostId, b: HostId, rng: &mut SimRng) -> f64;
+    /// Total protocol messages this estimator has cost so far.
+    fn overhead_messages(&self) -> u64;
+    /// Human-readable technique name.
+    fn name(&self) -> &'static str;
+
+    /// Ranks `candidates` by increasing estimated proximity to `from`.
+    fn rank(&mut self, from: HostId, candidates: &[HostId], rng: &mut SimRng) -> Vec<HostId> {
+        let mut scored: Vec<(f64, HostId)> = candidates
+            .iter()
+            .map(|&c| (self.proximity(from, c, rng), c))
+            .collect();
+        scored.sort_by(|x, y| {
+            x.0.partial_cmp(&y.0)
+                .expect("finite proximity")
+                .then(x.1.cmp(&y.1))
+        });
+        scored.into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+/// Answers "where is this peer?" (§3.3).
+pub trait GeoLocator {
+    /// Estimated position of `h`.
+    fn locate(&mut self, h: HostId, rng: &mut SimRng) -> GeoPoint;
+    /// Number of lookups served so far.
+    fn queries(&self) -> u64;
+    /// Human-readable technique name.
+    fn name(&self) -> &'static str;
+}
+
+/// Answers "which peers have the most resources?" (§3.4).
+pub trait ResourceDirectory {
+    /// The `k` highest-capacity online peers known to the directory.
+    fn top_k(&self, k: usize) -> Vec<HostId>;
+    /// Capacity estimate for one peer, if known.
+    fn capacity_of(&self, h: HostId) -> Option<f64>;
+    /// Total maintenance messages spent so far.
+    fn overhead_messages(&self) -> u64;
+    /// Human-readable technique name.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,495 @@
+//! The DHT network: joins, iterative lookups, store/retrieve, and the
+//! per-lookup underlay accounting experiment E9 consumes.
+//!
+//! Lookups are executed synchronously (each RPC's latency and AS path are
+//! taken from the underlay and accumulated) — the protocol is interactive
+//! request/response, so a synchronous driver measures exactly what an
+//! event-per-message driver would, at a fraction of the cost.
+
+use crate::id::Key;
+use crate::kbucket::{Contact, OverflowPolicy, RoutingTable};
+use std::collections::{HashMap, HashSet};
+use uap_net::{HostId, TrafficCategory, Underlay};
+use uap_sim::{SimRng, SimTime};
+
+/// Underlay-awareness switches (Kaune et al. \[17\]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProximityMode {
+    /// Vanilla Kademlia: LRU buckets, XOR-ordered querying.
+    None,
+    /// Proximity neighbor selection only (bucket overflow prefers near).
+    Pns,
+    /// PNS plus proximity routing (query near candidates first).
+    PnsPr,
+}
+
+/// DHT parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DhtConfig {
+    /// Bucket capacity (classic k = 20; smaller for small sims).
+    pub k: usize,
+    /// Lookup parallelism α.
+    pub alpha: usize,
+    /// Underlay-awareness mode.
+    pub proximity: ProximityMode,
+    /// Average bytes of one RPC message (request or response).
+    pub rpc_bytes: u64,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig {
+            k: 8,
+            alpha: 3,
+            proximity: ProximityMode::None,
+            rpc_bytes: 100,
+        }
+    }
+}
+
+/// What one lookup cost and returned.
+#[derive(Clone, Debug, Default)]
+pub struct LookupOutcome {
+    /// Closest contacts found (k of them), closest first.
+    pub closest: Vec<Contact>,
+    /// RPC round trips issued.
+    pub rpcs: u64,
+    /// RPCs whose underlay path crossed AS boundaries.
+    pub inter_as_rpcs: u64,
+    /// Sum of AS-hop distances over all RPCs (mean = `as_hops_sum / rpcs`).
+    pub as_hops_sum: u64,
+    /// Iterative rounds until convergence.
+    pub rounds: u32,
+    /// Total time: the per-round maximum RTT, summed.
+    pub latency_us: u64,
+}
+
+struct NodeState {
+    key: Key,
+    table: RoutingTable,
+    storage: HashMap<Key, u64>,
+    online: bool,
+}
+
+/// A whole DHT over an underlay.
+pub struct DhtNetwork {
+    /// The underlay (owned; transfers are charged to its ledger).
+    pub underlay: Underlay,
+    cfg: DhtConfig,
+    nodes: Vec<NodeState>,
+    by_key: HashMap<Key, HostId>,
+    clock: SimTime,
+}
+
+impl DhtNetwork {
+    /// Creates the network: one DHT node per underlay host (random keys),
+    /// then joins them all in host order (each bootstraps off host 0 and
+    /// performs a self-lookup, the standard join).
+    pub fn build(underlay: Underlay, cfg: DhtConfig, rng: &mut SimRng) -> DhtNetwork {
+        Self::build_with_keys(underlay, cfg, rng, |_, k| k)
+    }
+
+    /// Like [`DhtNetwork::build`], but every node's random key is passed
+    /// through `key_map(host_index, key)` first — the hook geographically
+    /// scoped hashing uses to stamp zone prefixes onto node identifiers.
+    pub fn build_with_keys<F>(
+        underlay: Underlay,
+        cfg: DhtConfig,
+        rng: &mut SimRng,
+        key_map: F,
+    ) -> DhtNetwork
+    where
+        F: Fn(usize, Key) -> Key,
+    {
+        let n = underlay.n_hosts();
+        assert!(n >= 2, "a DHT needs at least two nodes");
+        let policy = match cfg.proximity {
+            ProximityMode::None => OverflowPolicy::KeepOld,
+            ProximityMode::Pns | ProximityMode::PnsPr => OverflowPolicy::PreferNear,
+        };
+        let mut nodes = Vec::with_capacity(n);
+        let mut by_key = HashMap::new();
+        for i in 0..n {
+            let key = key_map(i, Key::random(rng));
+            by_key.insert(key, HostId(i as u32));
+            nodes.push(NodeState {
+                key,
+                table: RoutingTable::new(key, cfg.k, policy),
+                storage: HashMap::new(),
+                online: true,
+            });
+        }
+        let mut net = DhtNetwork {
+            underlay,
+            cfg,
+            nodes,
+            by_key,
+            clock: SimTime::ZERO,
+        };
+        // Joins: node i learns node 0 (or a random earlier node) and
+        // self-looks-up to populate its table; earlier nodes learn the
+        // newcomer from the RPCs they answer.
+        for i in 1..n {
+            let bootstrap = HostId(rng.index(i) as u32);
+            let me = HostId(i as u32);
+            let c = net.contact_of(bootstrap, me);
+            net.nodes[i].table.observe(c);
+            let own = net.nodes[i].key;
+            net.lookup(me, &own, rng);
+        }
+        net
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DHT is empty (never true after build).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node's DHT key.
+    pub fn key_of(&self, h: HostId) -> Key {
+        self.nodes[h.idx()].key
+    }
+
+    /// Whether a node is online.
+    pub fn is_online(&self, h: HostId) -> bool {
+        self.nodes[h.idx()].online
+    }
+
+    /// Takes a node offline (churn).
+    pub fn set_online(&mut self, h: HostId, online: bool) {
+        self.nodes[h.idx()].online = online;
+    }
+
+    /// Mean AS-hop distance of all routing-table contacts — the table-
+    /// composition effect of PNS.
+    pub fn mean_table_as_hops(&self) -> f64 {
+        let sum: f64 = self.nodes.iter().map(|n| n.table.mean_contact_as_hops()).sum();
+        sum / self.nodes.len() as f64
+    }
+
+    fn contact_of(&self, h: HostId, relative_to: HostId) -> Contact {
+        Contact {
+            key: self.nodes[h.idx()].key,
+            host: h,
+            as_hops: self.underlay.as_hops(relative_to, h).unwrap_or(u32::MAX),
+        }
+    }
+
+    /// One RPC round trip from `from` to `to`; returns the RTT and charges
+    /// the ledger. `None` if the target is offline (timeout).
+    fn rpc(&mut self, from: HostId, to: HostId, out: &mut LookupOutcome) -> Option<u64> {
+        out.rpcs += 1;
+        let cat = self
+            .underlay
+            .account_transfer(self.clock, from, to, self.cfg.rpc_bytes);
+        if cat != TrafficCategory::IntraAs {
+            out.inter_as_rpcs += 1;
+        }
+        out.as_hops_sum += self.underlay.as_hops(from, to).unwrap_or(0) as u64;
+        if !self.nodes[to.idx()].online {
+            return None; // request lost; timeout
+        }
+        self.underlay
+            .account_transfer(self.clock, to, from, self.cfg.rpc_bytes);
+        // The responder learns the caller (standard Kademlia liveness).
+        let caller = self.contact_of(from, to);
+        self.nodes[to.idx()].table.observe(caller);
+        self.underlay.rtt_us(from, to)
+    }
+
+    /// Iterative FIND_NODE lookup from `from` towards `target`.
+    pub fn lookup(&mut self, from: HostId, target: &Key, _rng: &mut SimRng) -> LookupOutcome {
+        let mut out = LookupOutcome::default();
+        let me = self.nodes[from.idx()].key;
+        let mut shortlist: Vec<Contact> = self.nodes[from.idx()].table.closest(target, self.cfg.k);
+        let mut queried: HashSet<Key> = HashSet::new();
+        let mut dead: HashSet<Key> = HashSet::new();
+        queried.insert(me);
+        loop {
+            out.rounds += 1;
+            // Candidates this round: unqueried entries of the shortlist.
+            let mut candidates: Vec<Contact> = shortlist
+                .iter()
+                .filter(|c| !queried.contains(&c.key))
+                .copied()
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            if self.cfg.proximity == ProximityMode::PnsPr {
+                // Proximity routing: among the top 2α XOR-candidates, call
+                // the underlay-closest first. The pool stays XOR-bounded so
+                // convergence is unaffected.
+                let pool = candidates.len().min(2 * self.cfg.alpha);
+                candidates[..pool].sort_by_key(|c| (c.as_hops, c.key.0));
+            }
+            candidates.truncate(self.cfg.alpha);
+            let mut round_rtt = 0u64;
+            let mut learned: Vec<Contact> = Vec::new();
+            for c in candidates {
+                queried.insert(c.key);
+                match self.rpc(from, c.host, &mut out) {
+                    Some(rtt) => {
+                        round_rtt = round_rtt.max(rtt);
+                        // The responder returns its k closest to target.
+                        let resp = self.nodes[c.host.idx()].table.closest(target, self.cfg.k);
+                        for mut r in resp {
+                            if r.key == me {
+                                continue;
+                            }
+                            // Re-base the cached AS distance on the caller.
+                            r.as_hops =
+                                self.underlay.as_hops(from, r.host).unwrap_or(u32::MAX);
+                            learned.push(r);
+                        }
+                    }
+                    None => {
+                        // Timeout: drop the dead contact and remember it so
+                        // other nodes' stale tables can't re-suggest it.
+                        dead.insert(c.key);
+                        self.nodes[from.idx()].table.remove(&c.key);
+                        shortlist.retain(|e| e.key != c.key);
+                    }
+                }
+            }
+            out.latency_us += round_rtt;
+            let before_best = shortlist.first().map(|c| c.key);
+            for l in learned {
+                if dead.contains(&l.key) {
+                    continue;
+                }
+                if self.nodes[l.host.idx()].online {
+                    self.nodes[from.idx()].table.observe(l);
+                }
+                if !shortlist.iter().any(|e| e.key == l.key) {
+                    shortlist.push(l);
+                }
+            }
+            shortlist.sort_by(|a, b| target.cmp_distance(&a.key, &b.key));
+            shortlist.truncate(self.cfg.k);
+            let after_best = shortlist.first().map(|c| c.key);
+            // Terminate when the k-closest set is fully queried or the best
+            // stopped improving and everything in range was asked.
+            let all_queried = shortlist.iter().all(|c| queried.contains(&c.key));
+            if all_queried || (before_best == after_best && out.rounds > 20) {
+                break;
+            }
+        }
+        out.closest = shortlist;
+        out
+    }
+
+    /// Stores `value` under `key` on the k closest nodes. Returns the
+    /// lookup outcome plus the number of replicas written.
+    pub fn store(&mut self, from: HostId, key: &Key, value: u64, rng: &mut SimRng) -> (LookupOutcome, usize) {
+        let mut out = self.lookup(from, key, rng);
+        let targets: Vec<HostId> = out.closest.iter().map(|c| c.host).collect();
+        let mut written = 0;
+        for t in targets {
+            if self.rpc(from, t, &mut out).is_some() {
+                self.nodes[t.idx()].storage.insert(*key, value);
+                written += 1;
+            }
+        }
+        (out, written)
+    }
+
+    /// Retrieves a value: lookup, then ask the closest nodes. Returns the
+    /// value if any replica answered.
+    pub fn retrieve(&mut self, from: HostId, key: &Key, rng: &mut SimRng) -> (LookupOutcome, Option<u64>) {
+        let mut out = self.lookup(from, key, rng);
+        let targets: Vec<HostId> = out.closest.iter().map(|c| c.host).collect();
+        for t in targets {
+            if self.rpc(from, t, &mut out).is_some() {
+                if let Some(&v) = self.nodes[t.idx()].storage.get(key) {
+                    return (out, Some(v));
+                }
+            }
+        }
+        (out, None)
+    }
+
+    /// Ground truth: the `count` online node keys closest to `target`.
+    pub fn true_closest(&self, target: &Key, count: usize) -> Vec<Key> {
+        let mut keys: Vec<Key> = self
+            .nodes
+            .iter()
+            .filter(|n| n.online)
+            .map(|n| n.key)
+            .collect();
+        keys.sort_by(|a, b| target.cmp_distance(a, b));
+        keys.truncate(count);
+        keys
+    }
+
+    /// The host owning a key (for tests).
+    pub fn host_of_key(&self, key: &Key) -> Option<HostId> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Advances the ledger clock (lookups are timestamped with it).
+    pub fn advance_clock(&mut self, dt: SimTime) {
+        self.clock += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uap_net::{PopulationSpec, TopologyKind, TopologySpec, UnderlayConfig};
+
+    fn underlay(n: usize, seed: u64) -> Underlay {
+        let mut rng = SimRng::new(seed);
+        let g = TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: 2,
+            tier2_per_tier1: 2,
+            tier3_per_tier2: 3,
+            tier2_peering_prob: 0.3,
+            tier3_peering_prob: 0.3,
+        })
+        .build(&mut rng);
+        Underlay::build(g, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+    }
+
+    fn network(n: usize, mode: ProximityMode, seed: u64) -> (DhtNetwork, SimRng) {
+        let mut rng = SimRng::new(seed);
+        let cfg = DhtConfig {
+            proximity: mode,
+            ..Default::default()
+        };
+        let net = DhtNetwork::build(underlay(n, seed), cfg, &mut rng);
+        (net, rng)
+    }
+
+    #[test]
+    fn lookups_find_the_true_closest_node() {
+        let (mut net, mut rng) = network(128, ProximityMode::None, 1);
+        let mut exact = 0;
+        for i in 0..40 {
+            let target = Key::random(&mut rng);
+            let from = HostId((i * 3) % 128);
+            let out = net.lookup(from, &target, &mut rng);
+            assert!(!out.closest.is_empty());
+            let truth = net.true_closest(&target, 1)[0];
+            if out.closest[0].key == truth {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 36, "only {exact}/40 lookups found the closest node");
+    }
+
+    #[test]
+    fn store_and_retrieve_round_trip() {
+        let (mut net, mut rng) = network(64, ProximityMode::None, 2);
+        let key = Key::hash_of(b"the-file");
+        let (_, written) = net.store(HostId(5), &key, 777, &mut rng);
+        assert!(written >= net_cfg_k_min(&net), "only {written} replicas");
+        let (_, got) = net.retrieve(HostId(40), &key, &mut rng);
+        assert_eq!(got, Some(777));
+    }
+
+    fn net_cfg_k_min(_net: &DhtNetwork) -> usize {
+        4 // at least half the default k of 8
+    }
+
+    #[test]
+    fn retrieve_missing_key_is_none() {
+        let (mut net, mut rng) = network(32, ProximityMode::None, 3);
+        let (_, got) = net.retrieve(HostId(1), &Key::hash_of(b"never-stored"), &mut rng);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn pns_reduces_table_as_distance() {
+        let (vanilla, _) = network(128, ProximityMode::None, 4);
+        let (pns, _) = network(128, ProximityMode::Pns, 4);
+        assert!(
+            pns.mean_table_as_hops() < vanilla.mean_table_as_hops(),
+            "pns {} !< vanilla {}",
+            pns.mean_table_as_hops(),
+            vanilla.mean_table_as_hops()
+        );
+    }
+
+    #[test]
+    fn pns_reduces_inter_as_lookup_traffic_without_hurting_success() {
+        let run = |mode| {
+            let (mut net, mut rng) = network(128, mode, 5);
+            net.underlay.reset_traffic();
+            let mut inter = 0u64;
+            let mut total = 0u64;
+            let mut exact = 0;
+            for i in 0..60u32 {
+                let target = Key::random(&mut rng);
+                let from = HostId((i * 2) % 128);
+                let out = net.lookup(from, &target, &mut rng);
+                inter += out.inter_as_rpcs;
+                total += out.rpcs;
+                if out.closest.first().map(|c| c.key) == net.true_closest(&target, 1).first().copied()
+                {
+                    exact += 1;
+                }
+            }
+            (inter as f64 / total as f64, exact)
+        };
+        let (frac_vanilla, succ_vanilla) = run(ProximityMode::None);
+        let (frac_pnspr, succ_pnspr) = run(ProximityMode::PnsPr);
+        assert!(
+            frac_pnspr < frac_vanilla,
+            "inter-AS fraction {frac_pnspr} !< {frac_vanilla}"
+        );
+        assert!(succ_pnspr as f64 >= 0.9 * succ_vanilla as f64);
+    }
+
+    #[test]
+    fn lookups_survive_churn() {
+        let (mut net, mut rng) = network(96, ProximityMode::None, 6);
+        // Kill 25% of nodes.
+        for i in 0..24u32 {
+            net.set_online(HostId(i * 4 + 1), false);
+        }
+        let key = Key::hash_of(b"stored-before-churn");
+        // Store after churn so replicas land on online nodes.
+        let (_, written) = net.store(HostId(0), &key, 42, &mut rng);
+        assert!(written > 0);
+        let (out, got) = net.retrieve(HostId(50), &key, &mut rng);
+        assert_eq!(got, Some(42));
+        assert!(out.rpcs > 0);
+    }
+
+    #[test]
+    fn offline_target_counts_as_timeout_and_is_pruned() {
+        let (mut net, mut rng) = network(32, ProximityMode::None, 7);
+        net.set_online(HostId(3), false);
+        // Lookups that would touch node 3 should still converge.
+        for _ in 0..10 {
+            let t = Key::random(&mut rng);
+            let out = net.lookup(HostId(0), &t, &mut rng);
+            assert!(!out.closest.iter().any(|c| c.host == HostId(3)));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (a, _) = network(64, ProximityMode::Pns, 8);
+        let (b, _) = network(64, ProximityMode::Pns, 8);
+        for i in 0..64 {
+            assert_eq!(a.key_of(HostId(i)), b.key_of(HostId(i)));
+        }
+        assert_eq!(a.mean_table_as_hops(), b.mean_table_as_hops());
+    }
+
+    #[test]
+    fn lookup_latency_and_rounds_reported() {
+        let (mut net, mut rng) = network(64, ProximityMode::None, 9);
+        let out = net.lookup(HostId(0), &Key::random(&mut rng), &mut rng);
+        assert!(out.rounds >= 1);
+        assert!(out.rpcs >= 1);
+        assert!(out.latency_us > 0);
+    }
+}

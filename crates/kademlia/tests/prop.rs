@@ -1,0 +1,101 @@
+//! Property-based tests for the XOR metric and k-bucket invariants.
+
+use proptest::prelude::*;
+use uap_kademlia::kbucket::{Contact, OverflowPolicy};
+use uap_kademlia::{Key, RoutingTable};
+use uap_net::HostId;
+use uap_sim::SimRng;
+
+fn key_from(bytes: [u8; 20]) -> Key {
+    Key(bytes)
+}
+
+proptest! {
+    /// XOR metric axioms: identity, symmetry, and the XOR "triangle
+    /// equality" d(a,c) = d(a,b) ^ d(b,c).
+    #[test]
+    fn xor_metric_axioms(a in any::<[u8; 20]>(), b in any::<[u8; 20]>(), c in any::<[u8; 20]>()) {
+        let (a, b, c) = (key_from(a), key_from(b), key_from(c));
+        prop_assert_eq!(a.distance(&a), Key::ZERO);
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        let ab = a.distance(&b);
+        let bc = b.distance(&c);
+        let mut x = [0u8; 20];
+        for (i, slot) in x.iter_mut().enumerate() {
+            *slot = ab.0[i] ^ bc.0[i];
+        }
+        prop_assert_eq!(Key(x), a.distance(&c));
+    }
+
+    /// bucket_index is consistent with the metric: all keys in bucket i
+    /// are closer than any key in bucket j > i by at least a factor
+    /// structure (their distances have the high bit at position i / j).
+    #[test]
+    fn bucket_index_matches_high_bit(a in any::<[u8; 20]>(), b in any::<[u8; 20]>()) {
+        let (a, b) = (key_from(a), key_from(b));
+        if let Some(i) = a.bucket_index(&b) {
+            let d = a.distance(&b);
+            // The highest set bit of d must be at position i (counting
+            // from the least significant bit 0 to 159).
+            let byte = d.0[19 - i / 8];
+            prop_assert!(byte >> (i % 8) & 1 == 1);
+            // No higher bit set.
+            let mut higher_clear = true;
+            for bit in (i + 1)..160 {
+                let byte = d.0[19 - bit / 8];
+                if byte >> (bit % 8) & 1 == 1 {
+                    higher_clear = false;
+                }
+            }
+            prop_assert!(higher_clear);
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Routing-table invariants under arbitrary observation sequences:
+    /// no bucket exceeds k, no duplicates, self never stored, closest()
+    /// is sorted.
+    #[test]
+    fn routing_table_invariants(seed in any::<u64>(), k in 1usize..8, n_ops in 1usize..300) {
+        let mut rng = SimRng::new(seed);
+        let own = Key::random(&mut rng);
+        for policy in [OverflowPolicy::KeepOld, OverflowPolicy::PreferNear] {
+            let mut t = RoutingTable::new(own, k, policy);
+            let mut keys = vec![own];
+            for i in 0..n_ops {
+                // Mix of new keys and re-observations.
+                let key = if i % 4 == 0 && keys.len() > 1 {
+                    keys[rng.index(keys.len())]
+                } else {
+                    let fresh = Key::random(&mut rng);
+                    keys.push(fresh);
+                    fresh
+                };
+                t.observe(Contact {
+                    key,
+                    host: HostId(i as u32),
+                    as_hops: rng.below(6) as u32,
+                });
+            }
+            for (i, s) in t.bucket_sizes().iter().enumerate() {
+                prop_assert!(*s <= k, "bucket {i} holds {s} > k={k}");
+            }
+            let all = t.closest(&own, usize::MAX);
+            let mut seen = std::collections::HashSet::new();
+            for c in &all {
+                prop_assert!(c.key != own, "self stored");
+                prop_assert!(seen.insert(c.key), "duplicate contact");
+            }
+            // closest() ordering.
+            let target = Key::random(&mut rng);
+            let sorted = t.closest(&target, 16);
+            for w in sorted.windows(2) {
+                prop_assert_ne!(
+                    target.cmp_distance(&w[0].key, &w[1].key),
+                    std::cmp::Ordering::Greater
+                );
+            }
+        }
+    }
+}

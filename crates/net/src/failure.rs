@@ -1,0 +1,176 @@
+//! Failure injection.
+//!
+//! §5.4 lists "robustness especially against churn" and overlay
+//! connectivity as open issues for underlay awareness; the resilience rows
+//! of Table 2 are measured by killing underlay links and checking what
+//! survives. This module provides deterministic link-failure sampling and
+//! the connectivity probes the experiments use.
+
+use crate::asgraph::{AsGraph, LinkKind};
+use crate::routing::{Routing, RoutingMode};
+use uap_sim::SimRng;
+
+/// A sampled set of failed links.
+#[derive(Clone, Debug)]
+pub struct FailureScenario {
+    /// `mask[i]` is true if link `i` is down.
+    pub mask: Vec<bool>,
+}
+
+impl FailureScenario {
+    /// No failures.
+    pub fn none(graph: &AsGraph) -> Self {
+        FailureScenario {
+            mask: vec![false; graph.links.len()],
+        }
+    }
+
+    /// Fails each link independently with probability `p`.
+    pub fn random(graph: &AsGraph, p: f64, rng: &mut SimRng) -> Self {
+        FailureScenario {
+            mask: (0..graph.links.len()).map(|_| rng.chance(p)).collect(),
+        }
+    }
+
+    /// Fails each *transit* link with probability `p` (peering survives) —
+    /// models provider outages.
+    pub fn transit_only(graph: &AsGraph, p: f64, rng: &mut SimRng) -> Self {
+        FailureScenario {
+            mask: graph
+                .links
+                .iter()
+                .map(|l| l.kind == LinkKind::Transit && rng.chance(p))
+                .collect(),
+        }
+    }
+
+    /// Number of failed links.
+    pub fn failed_count(&self) -> usize {
+        self.mask.iter().filter(|&&d| d).count()
+    }
+}
+
+/// Result of a connectivity probe under failures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConnectivityReport {
+    /// Fraction of ordered AS pairs still mutually reachable.
+    pub reachable_fraction: f64,
+    /// Number of connected components of the surviving graph.
+    pub components: usize,
+}
+
+/// Probes AS-level connectivity under a failure scenario, using the given
+/// routing mode (valley-free reachability can be lower than raw
+/// connectivity — policy can orphan an AS whose only surviving links are
+/// peerings).
+pub fn probe_connectivity(
+    graph: &AsGraph,
+    scenario: &FailureScenario,
+    mode: RoutingMode,
+) -> ConnectivityReport {
+    let routing = Routing::compute_with_mask(graph, mode, Some(&scenario.mask));
+    ConnectivityReport {
+        reachable_fraction: routing.reachable_fraction(),
+        components: graph.component_count(Some(&scenario.mask)),
+    }
+}
+
+/// Sweeps failure probability and returns `(p, mean reachable fraction)`
+/// over `trials` deterministic trials per point.
+pub fn reachability_sweep(
+    graph: &AsGraph,
+    mode: RoutingMode,
+    ps: &[f64],
+    trials: usize,
+    rng: &mut SimRng,
+) -> Vec<(f64, f64)> {
+    ps.iter()
+        .map(|&p| {
+            let mut acc = 0.0;
+            for _ in 0..trials {
+                let sc = FailureScenario::random(graph, p, rng);
+                acc += probe_connectivity(graph, &sc, mode).reachable_fraction;
+            }
+            (p, acc / trials as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TopologyKind, TopologySpec};
+
+    fn graph() -> AsGraph {
+        TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: 2,
+            tier2_per_tier1: 3,
+            tier3_per_tier2: 2,
+            tier2_peering_prob: 0.5,
+            tier3_peering_prob: 0.5,
+        })
+        .build(&mut SimRng::new(3))
+    }
+
+    #[test]
+    fn no_failures_full_reachability() {
+        let g = graph();
+        let sc = FailureScenario::none(&g);
+        let rep = probe_connectivity(&g, &sc, RoutingMode::ValleyFree);
+        assert_eq!(rep.reachable_fraction, 1.0);
+        assert_eq!(rep.components, 1);
+        assert_eq!(sc.failed_count(), 0);
+    }
+
+    #[test]
+    fn all_failed_isolates_everything() {
+        let g = graph();
+        let sc = FailureScenario {
+            mask: vec![true; g.links.len()],
+        };
+        let rep = probe_connectivity(&g, &sc, RoutingMode::ShortestPath);
+        assert_eq!(rep.reachable_fraction, 0.0);
+        assert_eq!(rep.components, g.len());
+    }
+
+    #[test]
+    fn reachability_degrades_monotonically_on_average() {
+        let g = graph();
+        let mut rng = SimRng::new(5);
+        let sweep = reachability_sweep(
+            &g,
+            RoutingMode::ShortestPath,
+            &[0.0, 0.3, 0.9],
+            5,
+            &mut rng,
+        );
+        assert_eq!(sweep[0].1, 1.0);
+        assert!(sweep[0].1 >= sweep[1].1);
+        assert!(sweep[1].1 >= sweep[2].1);
+    }
+
+    #[test]
+    fn transit_only_failures_spare_peerings() {
+        let g = graph();
+        let mut rng = SimRng::new(7);
+        let sc = FailureScenario::transit_only(&g, 1.0, &mut rng);
+        for (i, l) in g.links.iter().enumerate() {
+            match l.kind {
+                LinkKind::Transit => assert!(sc.mask[i]),
+                LinkKind::Peering => assert!(!sc.mask[i]),
+            }
+        }
+    }
+
+    #[test]
+    fn valley_free_reachability_not_above_raw_connectivity() {
+        let g = graph();
+        let mut rng = SimRng::new(11);
+        for _ in 0..5 {
+            let sc = FailureScenario::random(&g, 0.3, &mut rng);
+            let vf = probe_connectivity(&g, &sc, RoutingMode::ValleyFree);
+            let sp = probe_connectivity(&g, &sc, RoutingMode::ShortestPath);
+            assert!(vf.reachable_fraction <= sp.reachable_fraction + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Typed identifiers for underlay entities.
+
+use std::fmt;
+
+/// An Autonomous System (ISP) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct AsId(pub u16);
+
+impl AsId {
+    /// The AS id as a `usize` index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// An end-host (peer) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// The host id as a `usize` index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_idx() {
+        assert_eq!(AsId(3).to_string(), "AS3");
+        assert_eq!(AsId(3).idx(), 3);
+        assert_eq!(HostId(42).to_string(), "h42");
+        assert_eq!(HostId(42).idx(), 42);
+    }
+}

@@ -1,0 +1,47 @@
+//! # uap-net — the underlay network model
+//!
+//! The paper defines the *underlay* as "the substrate on which the overlay
+//! resides", abstracting the physical, MAC, network and transport layers.
+//! This crate is that substrate, simulated:
+//!
+//! * [`asgraph`] — an AS-level graph of ISPs with **transit** (customer →
+//!   provider) and **peering** links, mirroring the Internet hierarchy of
+//!   the paper's Figure 1;
+//! * [`gen`] — topology generators: the four testlab topologies of the
+//!   Aggarwal et al. study the paper reprints (ring, star, tree, random
+//!   mesh), a hierarchical local/transit-ISP Internet, and preferential
+//!   attachment;
+//! * [`routing`] — inter-domain routing, either plain shortest-path or
+//!   **valley-free** (Gao export rules);
+//! * [`host`] — end hosts with ISP attachment, IP address, geolocation and
+//!   access-link resources;
+//! * [`underlay`] — the façade overlays talk to: latency, AS hops, path
+//!   lookup and per-category traffic accounting;
+//! * [`traffic`] + [`cost`] — the transit-vs-peering **cost model** of the
+//!   paper's Figure 2: transit billed per Mbps at the 95th percentile,
+//!   peering at a flat fee;
+//! * [`failure`] — link/AS failure injection for resilience experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asgraph;
+pub mod cost;
+pub mod failure;
+pub mod gen;
+pub mod geo;
+pub mod host;
+pub mod ids;
+pub mod routing;
+pub mod traffic;
+pub mod underlay;
+
+pub use asgraph::{AsGraph, AsLink, AsNode, LinkKind, Relationship, Tier};
+pub use cost::{CostParams, IspBill};
+pub use gen::{TopologyKind, TopologySpec};
+pub use geo::GeoPoint;
+pub use host::{AccessProfile, Host, HostPopulation, PopulationSpec};
+pub use ids::{AsId, HostId};
+pub use routing::{Routing, RoutingMode};
+pub use traffic::{TrafficAccounting, TrafficCategory};
+pub use underlay::{Underlay, UnderlayConfig};

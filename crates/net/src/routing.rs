@@ -1,0 +1,387 @@
+//! Inter-domain routing.
+//!
+//! Two modes:
+//!
+//! * [`RoutingMode::ShortestPath`] — minimum-hop routing over all links,
+//!   used for the flat testlab topologies where "a router is taken as an
+//!   abstraction of an AS boundary";
+//! * [`RoutingMode::ValleyFree`] — policy routing with Gao export rules:
+//!   a path climbs customer→provider links, optionally crosses one peering
+//!   link, then descends provider→customer links. This is what makes the
+//!   hierarchical topologies bill traffic the way Figure 1's monetary
+//!   arrows say they do.
+//!
+//! Paths are selected by minimum AS-hop count, tie-broken by accumulated
+//! link latency and then deterministically by state index, so two runs with
+//! the same topology always route identically.
+
+use crate::asgraph::{AsGraph, LinkKind};
+use crate::ids::AsId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Routing policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoutingMode {
+    /// Minimum-hop over all links, ignoring business relationships.
+    ShortestPath,
+    /// Valley-free policy routing (up* peer? down*).
+    ValleyFree,
+}
+
+const INF: u64 = u64::MAX;
+
+/// Per-source Dijkstra result over the 2-phase state graph.
+struct SrcTable {
+    /// `(hops, latency_us)` per state; `hops == u32::MAX` means unreachable.
+    hops: Vec<u32>,
+    latency: Vec<u64>,
+    /// Predecessor `(state, link)` per state.
+    pred: Vec<Option<(u32, u32)>>,
+}
+
+/// All-pairs routing tables with path reconstruction.
+pub struct Routing {
+    mode: RoutingMode,
+    n: usize,
+    tables: Vec<SrcTable>,
+}
+
+impl Routing {
+    /// Computes routing tables for every source AS.
+    pub fn compute(graph: &AsGraph, mode: RoutingMode) -> Routing {
+        Self::compute_with_mask(graph, mode, None)
+    }
+
+    /// Computes routing tables excluding links marked dead in `mask`
+    /// (indexed by link index). Used by failure-injection experiments.
+    pub fn compute_with_mask(
+        graph: &AsGraph,
+        mode: RoutingMode,
+        mask: Option<&[bool]>,
+    ) -> Routing {
+        let n = graph.len();
+        let tables = (0..n)
+            .map(|src| Self::dijkstra(graph, mode, AsId(src as u16), mask))
+            .collect();
+        Routing { mode, n, tables }
+    }
+
+    /// The routing mode in effect.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    fn dijkstra(graph: &AsGraph, mode: RoutingMode, src: AsId, mask: Option<&[bool]>) -> SrcTable {
+        // State encoding: as_idx * 2 + phase. Phase 0: the valley-free
+        // prefix (may still climb); phase 1: committed to descending.
+        let n = graph.len();
+        let ns = n * 2;
+        let mut hops = vec![u32::MAX; ns];
+        let mut latency = vec![INF; ns];
+        let mut pred: Vec<Option<(u32, u32)>> = vec![None; ns];
+        let start = src.idx() * 2;
+        hops[start] = 0;
+        latency[start] = 0;
+        let mut heap: BinaryHeap<Reverse<(u32, u64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((0, 0, start as u32)));
+        while let Some(Reverse((h, lat, s))) = heap.pop() {
+            let s = s as usize;
+            if (h, lat) != (hops[s], latency[s]) {
+                continue; // stale entry
+            }
+            let x = AsId((s / 2) as u16);
+            let phase = s % 2;
+            for &li in graph.incident(x) {
+                if let Some(m) = mask {
+                    if m[li as usize] {
+                        continue;
+                    }
+                }
+                let link = &graph.links[li as usize];
+                let y = link.other(x).expect("incident link");
+                let next_phase = match mode {
+                    RoutingMode::ShortestPath => 0,
+                    RoutingMode::ValleyFree => match (phase, link.kind) {
+                        // Climbing: x must be the customer (link.b).
+                        (0, LinkKind::Transit) if link.b == x => 0,
+                        // Descending: x is the provider (link.a).
+                        (_, LinkKind::Transit) if link.a == x => 1,
+                        // One peering crossing, only from the climb phase.
+                        (0, LinkKind::Peering) => 1,
+                        _ => continue,
+                    },
+                };
+                if mode == RoutingMode::ShortestPath && phase == 1 {
+                    continue; // phase 1 unused in shortest-path mode
+                }
+                let t = y.idx() * 2 + next_phase;
+                let nh = h + 1;
+                let nlat = lat + link.latency_us;
+                if (nh, nlat) < (hops[t], latency[t]) {
+                    hops[t] = nh;
+                    latency[t] = nlat;
+                    pred[t] = Some((s as u32, li));
+                    heap.push(Reverse((nh, nlat, t as u32)));
+                }
+            }
+        }
+        SrcTable { hops, latency, pred }
+    }
+
+    fn best_state(&self, src: AsId, dst: AsId) -> Option<usize> {
+        if src.idx() >= self.n || dst.idx() >= self.n {
+            return None;
+        }
+        let t = &self.tables[src.idx()];
+        let s0 = dst.idx() * 2;
+        let s1 = s0 + 1;
+        let c0 = (t.hops[s0], t.latency[s0]);
+        let c1 = (t.hops[s1], t.latency[s1]);
+        if c0.0 == u32::MAX && c1.0 == u32::MAX {
+            return None;
+        }
+        Some(if c0 <= c1 { s0 } else { s1 })
+    }
+
+    /// AS-hop distance (0 for `src == dst`), or `None` if unreachable.
+    pub fn as_hops(&self, src: AsId, dst: AsId) -> Option<u32> {
+        let s = self.best_state(src, dst)?;
+        Some(self.tables[src.idx()].hops[s])
+    }
+
+    /// Accumulated inter-AS link latency along the chosen path, in
+    /// microseconds.
+    pub fn latency_us(&self, src: AsId, dst: AsId) -> Option<u64> {
+        let s = self.best_state(src, dst)?;
+        Some(self.tables[src.idx()].latency[s])
+    }
+
+    /// The link indices along the chosen path from `src` to `dst`, in
+    /// traversal order. Empty for `src == dst`.
+    pub fn path_links(&self, src: AsId, dst: AsId) -> Option<Vec<u32>> {
+        let mut s = self.best_state(src, dst)?;
+        let t = &self.tables[src.idx()];
+        let mut links = Vec::new();
+        while let Some((prev, li)) = t.pred[s] {
+            links.push(li);
+            s = prev as usize;
+        }
+        links.reverse();
+        Some(links)
+    }
+
+    /// The AS sequence of the chosen path, starting at `src` and ending at
+    /// `dst`.
+    pub fn path_ases(&self, graph: &AsGraph, src: AsId, dst: AsId) -> Option<Vec<AsId>> {
+        let links = self.path_links(src, dst)?;
+        let mut out = vec![src];
+        let mut cur = src;
+        for li in links {
+            cur = graph.links[li as usize].other(cur).expect("path link");
+            out.push(cur);
+        }
+        debug_assert_eq!(*out.last().unwrap(), dst);
+        Some(out)
+    }
+
+    /// Fraction of ordered AS pairs that are mutually reachable.
+    pub fn reachable_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a == b {
+                    continue;
+                }
+                total += 1;
+                if self.as_hops(AsId(a as u16), AsId(b as u16)).is_some() {
+                    ok += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asgraph::Tier;
+    use crate::geo::GeoPoint;
+
+    /// Figure-1-like fixture:
+    ///
+    /// ```text
+    ///        T1a ===== T1b          (peering)
+    ///       /   \         \
+    ///     T2a    T2b       T2c      (transit, T1 provider)
+    ///    /   \     \       /  \
+    ///  A       B    C     D    E    (transit, T2 provider)
+    ///          B ~~~ C              (peering between locals)
+    /// ```
+    fn figure1() -> AsGraph {
+        let mut g = AsGraph::new();
+        let p = |x: f64| GeoPoint::new(x, 0.0);
+        let t1a = g.add_as(Tier::Tier1, p(0.0), 100.0); // AS0
+        let t1b = g.add_as(Tier::Tier1, p(1000.0), 100.0); // AS1
+        let t2a = g.add_as(Tier::Tier2, p(-200.0), 50.0); // AS2
+        let t2b = g.add_as(Tier::Tier2, p(200.0), 50.0); // AS3
+        let t2c = g.add_as(Tier::Tier2, p(1200.0), 50.0); // AS4
+        let a = g.add_as(Tier::Tier3, p(-300.0), 20.0); // AS5
+        let b = g.add_as(Tier::Tier3, p(-100.0), 20.0); // AS6
+        let c = g.add_as(Tier::Tier3, p(150.0), 20.0); // AS7
+        let d = g.add_as(Tier::Tier3, p(1100.0), 20.0); // AS8
+        let e = g.add_as(Tier::Tier3, p(1300.0), 20.0); // AS9
+        g.add_peering(t1a, t1b, 10_000, 100_000.0);
+        g.add_transit(t1a, t2a, 5_000, 40_000.0);
+        g.add_transit(t1a, t2b, 5_000, 40_000.0);
+        g.add_transit(t1b, t2c, 5_000, 40_000.0);
+        g.add_transit(t2a, a, 2_000, 10_000.0);
+        g.add_transit(t2a, b, 2_000, 10_000.0);
+        g.add_transit(t2b, c, 2_000, 10_000.0);
+        g.add_transit(t2c, d, 2_000, 10_000.0);
+        g.add_transit(t2c, e, 2_000, 10_000.0);
+        g.add_peering(b, c, 1_000, 1_000.0);
+        g
+    }
+
+    #[test]
+    fn same_as_is_zero_hops() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        assert_eq!(r.as_hops(AsId(5), AsId(5)), Some(0));
+        assert_eq!(r.path_links(AsId(5), AsId(5)), Some(vec![]));
+    }
+
+    #[test]
+    fn siblings_route_via_common_provider() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        // A -> T2a -> B: up then down, 2 hops.
+        assert_eq!(r.as_hops(AsId(5), AsId(6)), Some(2));
+        let path = r.path_ases(&g, AsId(5), AsId(6)).unwrap();
+        assert_eq!(path, vec![AsId(5), AsId(2), AsId(6)]);
+    }
+
+    #[test]
+    fn local_peering_shortcut_is_used() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        // B and C peer directly: 1 hop instead of B-T2a-T1a-T2b-C.
+        assert_eq!(r.as_hops(AsId(6), AsId(7)), Some(1));
+        let path = r.path_ases(&g, AsId(6), AsId(7)).unwrap();
+        assert_eq!(path, vec![AsId(6), AsId(7)]);
+    }
+
+    #[test]
+    fn cross_core_route_climbs_and_descends() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        // A -> T2a -> T1a -> T1b -> T2c -> D = 5 hops, crossing the core
+        // peering link exactly once.
+        assert_eq!(r.as_hops(AsId(5), AsId(8)), Some(5));
+        let path = r.path_ases(&g, AsId(5), AsId(8)).unwrap();
+        assert_eq!(
+            path,
+            vec![AsId(5), AsId(2), AsId(0), AsId(1), AsId(4), AsId(8)]
+        );
+    }
+
+    #[test]
+    fn no_valley_paths() {
+        // A valley would be e.g. A -> T2a -> B -> C (descending into B then
+        // crossing the B~C peering). Verify B~C peering is never used as a
+        // second lateral move: route A->C must go up to T1a and down via T2b,
+        // or A->B->C would be shorter but is a valley.
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        let path = r.path_ases(&g, AsId(5), AsId(7)).unwrap();
+        // Valley-free best: A,T2a,T1a,T2b,C (4 hops). The valley path
+        // A,T2a,B,C would be 3 hops but is forbidden.
+        assert_eq!(path.len(), 5);
+        assert_eq!(path, vec![AsId(5), AsId(2), AsId(0), AsId(3), AsId(7)]);
+    }
+
+    #[test]
+    fn shortest_path_mode_ignores_policy() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ShortestPath);
+        // Without policy, A->C may cut through B's peering: A,T2a,B,C.
+        assert_eq!(r.as_hops(AsId(5), AsId(7)), Some(3));
+    }
+
+    #[test]
+    fn reachability_full_on_connected_graph() {
+        let g = figure1();
+        for mode in [RoutingMode::ShortestPath, RoutingMode::ValleyFree] {
+            let r = Routing::compute(&g, mode);
+            assert_eq!(r.reachable_fraction(), 1.0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn peering_only_graph_unreachable_beyond_one_peer_hop_valley_free() {
+        // Ring of 4 peering links: valley-free allows exactly one peering
+        // crossing, so only direct neighbors are reachable.
+        let mut g = AsGraph::new();
+        for i in 0..4 {
+            g.add_as(Tier::Tier3, GeoPoint::new(i as f64, 0.0), 10.0);
+        }
+        for i in 0..4u16 {
+            g.add_peering(AsId(i), AsId((i + 1) % 4), 1_000, 100.0);
+        }
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        assert_eq!(r.as_hops(AsId(0), AsId(1)), Some(1));
+        assert_eq!(r.as_hops(AsId(0), AsId(2)), None);
+        // Shortest-path mode reaches everything.
+        let r2 = Routing::compute(&g, RoutingMode::ShortestPath);
+        assert_eq!(r2.as_hops(AsId(0), AsId(2)), Some(2));
+    }
+
+    #[test]
+    fn failure_mask_reroutes_or_disconnects() {
+        let g = figure1();
+        // Kill the B~C peering shortcut (link index 9): B->C re-routes via
+        // the hierarchy.
+        let mut mask = vec![false; g.links.len()];
+        mask[9] = true;
+        let r = Routing::compute_with_mask(&g, RoutingMode::ValleyFree, Some(&mask));
+        assert_eq!(r.as_hops(AsId(6), AsId(7)), Some(4));
+        // Kill the T1a=T1b core peering too: D becomes unreachable from A.
+        mask[0] = true;
+        let r2 = Routing::compute_with_mask(&g, RoutingMode::ValleyFree, Some(&mask));
+        assert_eq!(r2.as_hops(AsId(5), AsId(8)), None);
+    }
+
+    #[test]
+    fn latency_accumulates_along_path() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        // A -> T2a -> B: 2000 + 2000.
+        assert_eq!(r.latency_us(AsId(5), AsId(6)), Some(4_000));
+        // A -> ... -> D: 2000 + 5000 + 10000 + 5000 + 2000.
+        assert_eq!(r.latency_us(AsId(5), AsId(8)), Some(24_000));
+    }
+
+    #[test]
+    fn path_links_consistent_with_hops() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        for a in 0..g.len() {
+            for b in 0..g.len() {
+                let (a, b) = (AsId(a as u16), AsId(b as u16));
+                if let Some(h) = r.as_hops(a, b) {
+                    assert_eq!(r.path_links(a, b).unwrap().len() as u32, h);
+                }
+            }
+        }
+    }
+}

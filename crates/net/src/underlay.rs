@@ -1,0 +1,400 @@
+//! The underlay façade.
+//!
+//! [`Underlay`] bundles the AS graph, its routing tables and the host
+//! population into the single object overlays query: host-to-host latency,
+//! AS-hop distance, path lookup, transfer-time estimation and traffic
+//! accounting. It is the "substrate on which the overlay resides".
+
+use crate::asgraph::AsGraph;
+use crate::geo::propagation_delay_us;
+use crate::host::{Host, HostPopulation, PopulationSpec};
+use crate::ids::HostId;
+use crate::routing::{Routing, RoutingMode};
+use crate::traffic::{TrafficAccounting, TrafficCategory};
+use uap_sim::{SimRng, SimTime};
+
+/// Tunables for the latency model.
+#[derive(Clone, Copy, Debug)]
+pub struct UnderlayConfig {
+    /// Routing policy.
+    pub routing: RoutingMode,
+    /// Extra per-AS traversal delay (router queueing) in microseconds.
+    pub per_as_hop_us: u64,
+    /// Multiplier applied to the reverse direction of each ordered host
+    /// pair (1.0 = symmetric). Models the asymmetric-path problem of §6.
+    pub asymmetry: f64,
+    /// Relative jitter amplitude on measured RTTs (0.0 = noiseless).
+    pub jitter: f64,
+    /// TCP window for throughput estimation: achievable rate is capped at
+    /// `window / RTT`, which is what makes low-latency (local) sources
+    /// download faster in practice.
+    pub tcp_window_bytes: u64,
+    /// Per-transit-link throughput discount modelling inter-domain
+    /// congestion (§2.1: inter-AS traffic suffers "congestion and
+    /// jitter"): effective bandwidth is divided by
+    /// `1 + transit_congestion × (transit links on the path)`.
+    pub transit_congestion: f64,
+}
+
+impl Default for UnderlayConfig {
+    fn default() -> Self {
+        UnderlayConfig {
+            routing: RoutingMode::ValleyFree,
+            per_as_hop_us: 300,
+            asymmetry: 1.0,
+            jitter: 0.0,
+            tcp_window_bytes: 256 * 1024,
+            transit_congestion: 0.5,
+        }
+    }
+}
+
+/// The assembled underlay: topology + routing + hosts.
+pub struct Underlay {
+    /// The AS graph.
+    pub graph: AsGraph,
+    /// All-pairs routing.
+    pub routing: Routing,
+    /// The attached hosts.
+    pub hosts: HostPopulation,
+    /// Configuration.
+    pub config: UnderlayConfig,
+    /// Traffic ledger for this run.
+    pub traffic: TrafficAccounting,
+}
+
+impl Underlay {
+    /// Assembles an underlay from a generated graph and a population spec.
+    pub fn build(
+        graph: AsGraph,
+        pop: &PopulationSpec,
+        config: UnderlayConfig,
+        rng: &mut SimRng,
+    ) -> Underlay {
+        let routing = Routing::compute(&graph, config.routing);
+        let hosts = HostPopulation::build(&graph, pop, rng);
+        let traffic = TrafficAccounting::new(&graph);
+        Underlay {
+            graph,
+            routing,
+            hosts,
+            config,
+            traffic,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of ASes.
+    pub fn n_ases(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// The host record.
+    pub fn host(&self, h: HostId) -> &Host {
+        self.hosts.host(h)
+    }
+
+    /// Whether two hosts attach through the same ISP.
+    pub fn same_as(&self, a: HostId, b: HostId) -> bool {
+        self.hosts.as_of(a) == self.hosts.as_of(b)
+    }
+
+    /// AS-hop distance between two hosts (0 if same AS).
+    pub fn as_hops(&self, a: HostId, b: HostId) -> Option<u32> {
+        self.routing.as_hops(self.hosts.as_of(a), self.hosts.as_of(b))
+    }
+
+    /// One-way latency from `a` to `b` in microseconds: both access links,
+    /// the inter-AS path, per-AS-hop queueing, and intra-AS propagation
+    /// between geographic positions.
+    pub fn latency_us(&self, a: HostId, b: HostId) -> Option<u64> {
+        if a == b {
+            return Some(0);
+        }
+        let ha = self.hosts.host(a);
+        let hb = self.hosts.host(b);
+        let base = ha.access_latency_us + hb.access_latency_us;
+        let (path_lat, hops) = if ha.asn == hb.asn {
+            // Intra-AS: propagation across the ISP's metro network.
+            (propagation_delay_us(ha.geo.distance_km(&hb.geo)), 0)
+        } else {
+            let lat = self.routing.latency_us(ha.asn, hb.asn)?;
+            let hops = self.routing.as_hops(ha.asn, hb.asn)? as u64;
+            (lat, hops)
+        };
+        Some(base + path_lat + hops * self.config.per_as_hop_us)
+    }
+
+    /// Directional latency including the asymmetry factor: the `a -> b`
+    /// direction is the base latency, `b -> a` is scaled. Asymmetry is
+    /// keyed on host-id order so it is consistent across calls.
+    pub fn latency_directional_us(&self, from: HostId, to: HostId) -> Option<u64> {
+        let base = self.latency_us(from, to)?;
+        if (self.config.asymmetry - 1.0).abs() < f64::EPSILON {
+            return Some(base);
+        }
+        // The "high" direction is from the larger id to the smaller.
+        if from.0 > to.0 {
+            Some((base as f64 * self.config.asymmetry) as u64)
+        } else {
+            Some(base)
+        }
+    }
+
+    /// Round-trip time in microseconds (sum of both directions).
+    pub fn rtt_us(&self, a: HostId, b: HostId) -> Option<u64> {
+        Some(self.latency_directional_us(a, b)? + self.latency_directional_us(b, a)?)
+    }
+
+    /// An RTT *measurement*: the true RTT plus multiplicative jitter. This
+    /// is what a ping observes; coordinate systems embed these noisy values.
+    pub fn measured_rtt_us(&self, a: HostId, b: HostId, rng: &mut SimRng) -> Option<u64> {
+        let rtt = self.rtt_us(a, b)?;
+        if self.config.jitter <= 0.0 {
+            return Some(rtt);
+        }
+        let f = 1.0 + rng.f64_range(0.0, self.config.jitter);
+        Some((rtt as f64 * f) as u64)
+    }
+
+    /// Estimated time to transfer `bytes` from `a` to `b`: one RTT of
+    /// handshake plus serialization at the bottleneck of `a`'s uplink,
+    /// `b`'s downlink, and the TCP window/RTT throughput cap — the cap is
+    /// what makes nearby (low-RTT) sources genuinely faster, not just
+    /// cheaper for the ISP.
+    pub fn transfer_time(&self, a: HostId, b: HostId, bytes: u64) -> Option<SimTime> {
+        let rtt = self.rtt_us(a, b)?;
+        let ha = self.hosts.host(a);
+        let hb = self.hosts.host(b);
+        let mut bottleneck_kbps = ha.up_kbps.min(hb.down_kbps).max(1) as u64;
+        // window bytes per RTT → kbit/s.
+        if let Some(tcp_cap_kbps) = self
+            .config
+            .tcp_window_bytes
+            .saturating_mul(8)
+            .saturating_mul(1_000)
+            .checked_div(rtt)
+        {
+            bottleneck_kbps = bottleneck_kbps.min(tcp_cap_kbps.max(1));
+        }
+        // Inter-domain congestion discount per transit link crossed.
+        if self.config.transit_congestion > 0.0 && ha.asn != hb.asn {
+            if let Some(links) = self.routing.path_links(ha.asn, hb.asn) {
+                let transit_links = links
+                    .iter()
+                    .filter(|&&li| {
+                        self.graph.links[li as usize].kind == crate::asgraph::LinkKind::Transit
+                    })
+                    .count() as f64;
+                let factor = 1.0 + self.config.transit_congestion * transit_links;
+                bottleneck_kbps = ((bottleneck_kbps as f64 / factor) as u64).max(1);
+            }
+        }
+        let ser_us = bytes.saturating_mul(8).saturating_mul(1_000) / bottleneck_kbps;
+        Some(SimTime::from_micros(rtt + ser_us))
+    }
+
+    /// Records a transfer in the traffic ledger and returns its category.
+    pub fn account_transfer(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        bytes: u64,
+    ) -> TrafficCategory {
+        let src_as = self.hosts.as_of(from);
+        let dst_as = self.hosts.as_of(to);
+        if src_as == dst_as {
+            return self.traffic.record(&self.graph, now, src_as, &[], bytes);
+        }
+        match self.routing.path_links(src_as, dst_as) {
+            Some(path) => self.traffic.record(&self.graph, now, src_as, &path, bytes),
+            // Unroutable pair (disconnected graph, or valley-free policy
+            // with no compliant path): the transfer cannot happen, so no
+            // link carries the bytes — but it must NOT be mistaken for
+            // local traffic.
+            None => TrafficCategory::InterAsTransit,
+        }
+    }
+
+    /// Geographic distance between two hosts in kilometres.
+    pub fn geo_distance_km(&self, a: HostId, b: HostId) -> f64 {
+        self.hosts.host(a).geo.distance_km(&self.hosts.host(b).geo)
+    }
+
+    /// Resets the traffic ledger (e.g. between experiment phases).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = TrafficAccounting::new(&self.graph);
+    }
+
+    /// Moves a host to another AS (mobility, §6 challenge). Cached
+    /// underlay information held by services built earlier becomes stale —
+    /// which is precisely what experiment E11c measures.
+    pub fn migrate_host(&mut self, h: HostId, new_as: crate::ids::AsId, rng: &mut SimRng) {
+        self.hosts.migrate(&self.graph, h, new_as, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TopologyKind, TopologySpec};
+
+    fn underlay(asym: f64) -> Underlay {
+        let mut rng = SimRng::new(42);
+        let spec = TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: 2,
+            tier2_per_tier1: 2,
+            tier3_per_tier2: 3,
+            tier2_peering_prob: 0.3,
+            tier3_peering_prob: 0.3,
+        });
+        let graph = spec.build(&mut rng);
+        Underlay::build(
+            graph,
+            &PopulationSpec::leaf(200),
+            UnderlayConfig {
+                asymmetry: asym,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn self_latency_is_zero() {
+        let u = underlay(1.0);
+        assert_eq!(u.latency_us(HostId(0), HostId(0)), Some(0));
+    }
+
+    #[test]
+    fn latency_is_symmetric_by_default() {
+        let u = underlay(1.0);
+        for i in 0..10u32 {
+            let (a, b) = (HostId(i), HostId(i + 50));
+            assert_eq!(u.latency_us(a, b), u.latency_us(b, a));
+            assert_eq!(
+                u.rtt_us(a, b).unwrap(),
+                2 * u.latency_us(a, b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn same_as_pairs_are_much_closer() {
+        let u = underlay(1.0);
+        // Find an intra-AS pair and an inter-AS pair with the same access
+        // profiles would be ideal; statistically intra < inter on average.
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for a in 0..50u32 {
+            for b in (a + 1)..50u32 {
+                let (a, b) = (HostId(a), HostId(b));
+                let l = u.latency_us(a, b).unwrap() as f64;
+                if u.same_as(a, b) {
+                    intra.push(l);
+                } else {
+                    inter.push(l);
+                }
+            }
+        }
+        assert!(!intra.is_empty() && !inter.is_empty());
+        let mi = intra.iter().sum::<f64>() / intra.len() as f64;
+        let me = inter.iter().sum::<f64>() / inter.len() as f64;
+        assert!(mi < me, "intra {mi} not < inter {me}");
+    }
+
+    #[test]
+    fn asymmetry_skews_directions() {
+        let u = underlay(1.5);
+        let (a, b) = (HostId(3), HostId(120));
+        let ab = u.latency_directional_us(a, b).unwrap();
+        let ba = u.latency_directional_us(b, a).unwrap();
+        assert!(ba > ab);
+        assert!((ba as f64 / ab as f64 - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn measured_rtt_jitter_bounds() {
+        let mut rng = SimRng::new(9);
+        let mut u = underlay(1.0);
+        u.config.jitter = 0.2;
+        let (a, b) = (HostId(1), HostId(2));
+        let truth = u.rtt_us(a, b).unwrap();
+        for _ in 0..100 {
+            let m = u.measured_rtt_us(a, b, &mut rng).unwrap();
+            assert!(m >= truth && m as f64 <= truth as f64 * 1.2 + 1.0);
+        }
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let u = underlay(1.0);
+        let (a, b) = (HostId(0), HostId(1));
+        let t1 = u.transfer_time(a, b, 100_000).unwrap();
+        let t2 = u.transfer_time(a, b, 1_000_000).unwrap();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn unroutable_transfer_is_not_counted_as_local() {
+        // Peering-only ring under valley-free policy: hosts more than one
+        // peering hop apart are mutually unreachable. Their (impossible)
+        // transfer must not inflate the intra-AS locality figure.
+        let mut rng = SimRng::new(77);
+        let graph = crate::gen::TopologySpec::new(crate::gen::TopologyKind::Ring { n: 5 })
+            .build(&mut rng);
+        let mut u = Underlay::build(
+            graph,
+            &crate::host::PopulationSpec::uniform(10),
+            UnderlayConfig {
+                routing: crate::routing::RoutingMode::ValleyFree,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let far = u
+            .hosts
+            .ids()
+            .find(|&h| u.as_hops(HostId(0), h).is_none())
+            .expect("ring has unreachable pairs under valley-free policy");
+        let cat = u.account_transfer(SimTime::ZERO, HostId(0), far, 1_000);
+        assert_eq!(cat, TrafficCategory::InterAsTransit);
+        let (intra, _, _) = u.traffic.totals();
+        assert_eq!(intra, 0);
+    }
+
+    #[test]
+    fn accounting_classifies_intra_vs_inter() {
+        let mut u = underlay(1.0);
+        // Find an intra-AS pair.
+        let mut intra_pair = None;
+        let mut inter_pair = None;
+        for a in 0..200u32 {
+            for b in (a + 1)..200u32 {
+                let (a, b) = (HostId(a), HostId(b));
+                if u.same_as(a, b) && intra_pair.is_none() {
+                    intra_pair = Some((a, b));
+                }
+                if !u.same_as(a, b) && inter_pair.is_none() {
+                    inter_pair = Some((a, b));
+                }
+            }
+        }
+        let (ia, ib) = intra_pair.unwrap();
+        let (ea, eb) = inter_pair.unwrap();
+        assert_eq!(
+            u.account_transfer(SimTime::ZERO, ia, ib, 1_000),
+            TrafficCategory::IntraAs
+        );
+        let cat = u.account_transfer(SimTime::ZERO, ea, eb, 1_000);
+        assert_ne!(cat, TrafficCategory::IntraAs);
+        assert!(u.traffic.locality_fraction() > 0.0);
+        u.reset_traffic();
+        assert_eq!(u.traffic.transfers(), 0);
+    }
+}

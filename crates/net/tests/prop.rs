@@ -1,0 +1,131 @@
+//! Property-based tests for routing, traffic and cost invariants.
+
+use proptest::prelude::*;
+use uap_net::{
+    AsId, LinkKind, Relationship, Routing, RoutingMode, TopologyKind, TopologySpec,
+};
+use uap_sim::SimRng;
+
+fn random_hierarchy(seed: u64, t1: usize, t2: usize, t3: usize) -> uap_net::AsGraph {
+    TopologySpec::new(TopologyKind::Hierarchical {
+        tier1: t1,
+        tier2_per_tier1: t2,
+        tier3_per_tier2: t3,
+        tier2_peering_prob: 0.4,
+        tier3_peering_prob: 0.4,
+    })
+    .build(&mut SimRng::new(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every valley-free path is (up)* (peer)? (down)*: after the first
+    /// non-up move, no further up or peer moves appear.
+    #[test]
+    fn valley_free_paths_have_no_valley(seed in any::<u64>(), t1 in 1usize..4, t2 in 1usize..4, t3 in 1usize..4) {
+        let g = random_hierarchy(seed, t1, t2, t3);
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        for a in 0..g.len() {
+            for b in 0..g.len() {
+                let (a, b) = (AsId(a as u16), AsId(b as u16));
+                if a == b { continue; }
+                if let Some(path) = r.path_ases(&g, a, b) {
+                    let mut descending = false;
+                    for w in path.windows(2) {
+                        let rel = g.relationship(w[0], w[1]).expect("path uses real links");
+                        match rel {
+                            Relationship::CustomerOf => {
+                                // climbing: must still be in the up phase
+                                prop_assert!(!descending, "up move after descent in {path:?}");
+                            }
+                            Relationship::PeerWith => {
+                                prop_assert!(!descending, "peer move after descent in {path:?}");
+                                descending = true;
+                            }
+                            Relationship::ProviderOf => {
+                                descending = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Valley-free never finds a shorter path than unrestricted routing,
+    /// and both agree that paths have consistent endpoints.
+    #[test]
+    fn policy_never_beats_shortest_path(seed in any::<u64>()) {
+        let g = random_hierarchy(seed, 2, 2, 2);
+        let vf = Routing::compute(&g, RoutingMode::ValleyFree);
+        let sp = Routing::compute(&g, RoutingMode::ShortestPath);
+        for a in 0..g.len() {
+            for b in 0..g.len() {
+                let (a, b) = (AsId(a as u16), AsId(b as u16));
+                let h_sp = sp.as_hops(a, b);
+                if let Some(h_vf) = vf.as_hops(a, b) {
+                    prop_assert!(h_sp.is_some());
+                    prop_assert!(h_vf >= h_sp.unwrap());
+                }
+            }
+        }
+    }
+
+    /// AS-hop distance is symmetric under valley-free routing on these
+    /// graphs (up*peer?down* reverses into up*peer?down*).
+    #[test]
+    fn valley_free_hops_are_symmetric(seed in any::<u64>()) {
+        let g = random_hierarchy(seed, 2, 3, 2);
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        for a in 0..g.len() {
+            for b in (a + 1)..g.len() {
+                let (a, b) = (AsId(a as u16), AsId(b as u16));
+                prop_assert_eq!(r.as_hops(a, b), r.as_hops(b, a));
+            }
+        }
+    }
+
+    /// Path links are real links forming a chain from src to dst.
+    #[test]
+    fn paths_are_wellformed_chains(seed in any::<u64>()) {
+        let g = random_hierarchy(seed, 2, 2, 3);
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        for a in 0..g.len() {
+            for b in 0..g.len() {
+                let (a, b) = (AsId(a as u16), AsId(b as u16));
+                if let Some(links) = r.path_links(a, b) {
+                    let mut cur = a;
+                    for li in links {
+                        let link = &g.links[li as usize];
+                        let next = link.other(cur);
+                        prop_assert!(next.is_some(), "link {li} not incident to {cur}");
+                        cur = next.unwrap();
+                    }
+                    prop_assert_eq!(cur, b);
+                }
+            }
+        }
+    }
+
+    /// Transit links always connect a provider to a customer of a lower or
+    /// equal tier depth in generated hierarchies (no customer above its
+    /// provider).
+    #[test]
+    fn hierarchy_transit_links_point_downward(seed in any::<u64>()) {
+        use uap_net::Tier;
+        let g = random_hierarchy(seed, 2, 2, 2);
+        let rank = |t: Tier| match t {
+            Tier::Tier1 => 0,
+            Tier::Tier2 => 1,
+            Tier::Tier3 => 2,
+        };
+        for l in &g.links {
+            if l.kind == LinkKind::Transit {
+                let pa = rank(g.nodes[l.a.idx()].tier);
+                let pb = rank(g.nodes[l.b.idx()].tier);
+                prop_assert!(pa < pb, "provider {:?} not above customer {:?}", l.a, l.b);
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The simulation driver.
+//!
+//! [`Simulator`] owns the clock, the event queue, the RNG and the metrics
+//! registry. A protocol crate supplies a [`World`] implementation; the engine
+//! pops events in deterministic order and hands each to the world together
+//! with a [`Ctx`] through which the world schedules follow-up events.
+
+use crate::event::EventQueue;
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// A protocol state machine driven by the engine.
+pub trait World<E> {
+    /// Handles one event. `ctx` exposes the clock, scheduling, randomness and
+    /// metrics.
+    fn handle(&mut self, event: E, ctx: &mut Ctx<'_, E>);
+}
+
+/// Engine services exposed to the world while it handles an event.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    /// Deterministic random number generator for this run.
+    pub rng: &'a mut SimRng,
+    /// Metrics registry for this run.
+    pub metrics: &'a mut Metrics,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` after `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute time `at`; clamped to "now" if in the
+    /// past so causality is never violated.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Requests the run to stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of events processed.
+    pub events_processed: u64,
+    /// Simulated time at which the run ended.
+    pub end_time: SimTime,
+    /// Whether the run ended because the world called [`Ctx::stop`].
+    pub stopped_early: bool,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    rng: SimRng,
+    metrics: Metrics,
+    events_processed: u64,
+    /// Hard cap on processed events; guards against protocol bugs that
+    /// generate unbounded event storms. Default: 500 million.
+    pub event_limit: u64,
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::new(seed),
+            metrics: Metrics::new(),
+            events_processed: 0,
+            event_limit: 500_000_000,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time before the run starts (or
+    /// between runs).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// The RNG, for pre-run setup draws.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics registry (for setup-time accounting and quantiles).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Consumes the simulator, returning its metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    /// Runs until the queue is empty or the world stops the run.
+    pub fn run<W: World<E>>(&mut self, world: &mut W) -> RunStats {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs until `deadline` (inclusive of events at the deadline), the queue
+    /// empties, or the world stops the run.
+    pub fn run_until<W: World<E>>(&mut self, world: &mut W, deadline: SimTime) -> RunStats {
+        let mut stopped = false;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            if self.events_processed >= self.event_limit {
+                panic!(
+                    "event limit {} exceeded at t={} — runaway event storm?",
+                    self.event_limit, self.now
+                );
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "event queue delivered out of order");
+            self.now = t;
+            self.events_processed += 1;
+            let mut ctx = Ctx {
+                now: self.now,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                metrics: &mut self.metrics,
+                stop: &mut stopped,
+            };
+            world.handle(ev, &mut ctx);
+            if stopped {
+                break;
+            }
+        }
+        if !stopped && self.now < deadline && deadline != SimTime::MAX {
+            // Queue drained before the deadline: advance the clock so
+            // rate-style metrics (bytes/sec over the run) are well defined.
+            self.now = deadline;
+        }
+        RunStats {
+            events_processed: self.events_processed,
+            end_time: self.now,
+            stopped_early: stopped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    struct Echo {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World<Ev> for Echo {
+        fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+            match ev {
+                Ev::Ping(n) => {
+                    self.seen.push((ctx.now(), n));
+                    ctx.metrics.incr("ping", 1);
+                    if n < 3 {
+                        ctx.schedule_in(SimTime::from_millis(10), Ev::Ping(n + 1));
+                    }
+                }
+                Ev::Stop => ctx.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_clock() {
+        let mut sim = Simulator::new(1);
+        sim.schedule_at(SimTime::from_millis(1), Ev::Ping(0));
+        let mut w = Echo { seen: vec![] };
+        let stats = sim.run(&mut w);
+        assert_eq!(stats.events_processed, 4);
+        assert_eq!(w.seen.len(), 4);
+        assert_eq!(w.seen[3], (SimTime::from_millis(31), 3));
+        assert_eq!(sim.metrics().counter("ping"), 4);
+        assert!(!stats.stopped_early);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut sim = Simulator::new(1);
+        sim.schedule_at(SimTime::from_millis(1), Ev::Stop);
+        sim.schedule_at(SimTime::from_millis(2), Ev::Ping(0));
+        let mut w = Echo { seen: vec![] };
+        let stats = sim.run(&mut w);
+        assert!(stats.stopped_early);
+        assert!(w.seen.is_empty());
+    }
+
+    #[test]
+    fn deadline_cuts_off_and_advances_clock() {
+        let mut sim = Simulator::new(1);
+        sim.schedule_at(SimTime::from_millis(1), Ev::Ping(0));
+        let mut w = Echo { seen: vec![] };
+        let stats = sim.run_until(&mut w, SimTime::from_millis(15));
+        // Pings at 1ms and 11ms fire; 21ms is beyond the deadline.
+        assert_eq!(w.seen.len(), 2);
+        assert_eq!(stats.end_time, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        struct Clamper {
+            fired_at: Option<SimTime>,
+        }
+        enum E2 {
+            First,
+            Late,
+        }
+        impl World<E2> for Clamper {
+            fn handle(&mut self, ev: E2, ctx: &mut Ctx<'_, E2>) {
+                match ev {
+                    E2::First => ctx.schedule_at(SimTime::ZERO, E2::Late),
+                    E2::Late => self.fired_at = Some(ctx.now()),
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.schedule_at(SimTime::from_millis(5), E2::First);
+        let mut w = Clamper { fired_at: None };
+        sim.run(&mut w);
+        assert_eq!(w.fired_at, Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        fn trace(seed: u64) -> Vec<(SimTime, u32)> {
+            struct R;
+            enum E {
+                Step(u32),
+            }
+            impl World<E> for R {
+                fn handle(&mut self, E::Step(n): E, ctx: &mut Ctx<'_, E>) {
+                    if n < 50 {
+                        let d = SimTime::from_micros(ctx.rng.range(1, 1000));
+                        ctx.schedule_in(d, E::Step(n + 1));
+                        ctx.metrics.record("step", n as f64);
+                    }
+                }
+            }
+            let mut sim = Simulator::new(seed);
+            sim.schedule_at(SimTime::ZERO, E::Step(0));
+            let mut w = R;
+            sim.run(&mut w);
+            vec![(sim.now(), sim.metrics().counter("x") as u32)]
+        }
+        assert_eq!(trace(42), trace(42));
+        assert_ne!(trace(42), trace(43));
+    }
+}

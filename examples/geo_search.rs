@@ -1,0 +1,88 @@
+//! Location-constrained search on a Globase.KOM-style geolocation overlay
+//! — the "new application areas" of the paper's Table 2 (find peers near a
+//! point of interest, emergency-service style).
+//!
+//! ```sh
+//! cargo run --release --example geo_search
+//! ```
+
+use underlay_p2p::core::geo_overlay::{GeoOverlay, Rect};
+use underlay_p2p::info::{GeoLocator, GeoService, GeoSource};
+use underlay_p2p::net::{
+    PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig,
+};
+use underlay_p2p::sim::SimRng;
+
+fn build_underlay(seed: u64) -> Underlay {
+    let mut rng = SimRng::new(seed);
+    let graph = TopologySpec::new(TopologyKind::Hierarchical {
+        tier1: 2,
+        tier2_per_tier1: 3,
+        tier3_per_tier2: 4,
+        tier2_peering_prob: 0.2,
+        tier3_peering_prob: 0.2,
+    })
+    .build(&mut rng);
+    Underlay::build(
+        graph,
+        &PopulationSpec::leaf(500),
+        UnderlayConfig::default(),
+        &mut rng,
+    )
+}
+
+fn main() {
+    let underlay = build_underlay(31);
+    let mut rng = SimRng::new(31);
+    let world = Rect::new(0.0, 0.0, 5_000.0, 5_000.0);
+
+    println!("== geolocation overlay (Globase.KOM-style zone tree) ==\n");
+    for source in [GeoSource::Gps, GeoSource::IpMapping] {
+        let mut locator = GeoService::new(&underlay, source);
+        let mut overlay = GeoOverlay::new(world, 8);
+        for h in underlay.hosts.ids() {
+            overlay.join(h, locator.locate(h, &mut rng));
+        }
+        // "Find peers within ~300 km of the incident" — a box centered on
+        // a real peer so the region is populated.
+        let incident = underlay.host(underlay_p2p::net::HostId(0)).geo;
+        let q = Rect::new(
+            incident.x_km - 300.0,
+            incident.y_km - 300.0,
+            incident.x_km + 300.0,
+            incident.y_km + 300.0,
+        );
+        let out = overlay.search(&q);
+        let truth: Vec<_> = underlay
+            .hosts
+            .ids()
+            .filter(|&h| q.contains(&underlay.host(h).geo))
+            .collect();
+        let found_true = out
+            .found
+            .iter()
+            .filter(|h| q.contains(&underlay.host(**h).geo))
+            .count();
+        println!("registration source: {}", locator.name());
+        println!(
+            "  query answered with {} messages over {} zones (flooding would need {})",
+            out.messages,
+            out.zones_visited,
+            underlay.n_hosts()
+        );
+        println!(
+            "  reported {} peers; truly in range {}/{} (recall {:.0}%)\n",
+            out.found.len(),
+            found_true,
+            truth.len(),
+            if truth.is_empty() {
+                100.0
+            } else {
+                100.0 * found_true as f64 / truth.len() as f64
+            }
+        );
+    }
+    println!("GPS registrations give exact recall at a tiny message cost;");
+    println!("IP-mapping registrations land peers in the wrong zones — the");
+    println!("accuracy gap §3.3 warns about, made measurable.");
+}

@@ -1,0 +1,40 @@
+//! # underlay-p2p
+//!
+//! A Rust reproduction of *Underlay Awareness in P2P Systems: Techniques
+//! and Challenges* (Abboud, Kovacevic, Graffi, Pussep, Steinmetz — IPDPS
+//! 2009): the paper's taxonomy implemented as a working framework, with an
+//! AS-level underlay simulator, three overlay substrates, every collection
+//! technique of its Figure 3, every usage strategy of its §4, and a
+//! harness regenerating each of its tables and figures.
+//!
+//! This crate is the façade: it re-exports the workspace members under
+//! one roof so examples and downstream users can depend on a single
+//! package.
+//!
+//! ```
+//! use underlay_p2p::net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
+//! use underlay_p2p::sim::SimRng;
+//!
+//! let mut rng = SimRng::new(42);
+//! let graph = TopologySpec::new(TopologyKind::Hierarchical {
+//!     tier1: 2,
+//!     tier2_per_tier1: 2,
+//!     tier3_per_tier2: 2,
+//!     tier2_peering_prob: 0.3,
+//!     tier3_peering_prob: 0.3,
+//! })
+//! .build(&mut rng);
+//! let underlay = Underlay::build(graph, &PopulationSpec::leaf(50), UnderlayConfig::default(), &mut rng);
+//! assert_eq!(underlay.n_hosts(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use uap_bittorrent as bittorrent;
+pub use uap_coords as coords;
+pub use uap_core as core;
+pub use uap_gnutella as gnutella;
+pub use uap_info as info;
+pub use uap_kademlia as kademlia;
+pub use uap_net as net;
+pub use uap_sim as sim;

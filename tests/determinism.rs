@@ -1,0 +1,61 @@
+//! Reproducibility: every experiment harness is a pure function of its
+//! parameters and seed. Two invocations must agree to the last digit —
+//! this is what makes the EXPERIMENTS.md numbers regenerable.
+
+use underlay_p2p::core::experiments::{
+    e01_hierarchy, e02_cost, e04_messages, e05_clustering, e09_kademlia,
+};
+
+#[test]
+fn e01_census_is_deterministic() {
+    let p = e01_hierarchy::Params::quick(3);
+    let a = e01_hierarchy::run(&p);
+    let b = e01_hierarchy::run(&p);
+    assert_eq!(a.table.render(), b.table.render());
+}
+
+#[test]
+fn e02_cost_is_deterministic() {
+    let a = e02_cost::run(&e02_cost::Params::full());
+    let b = e02_cost::run(&e02_cost::Params::full());
+    assert_eq!(a.table.to_csv(), b.table.to_csv());
+}
+
+#[test]
+fn e04_messages_is_deterministic() {
+    let mut p = e04_messages::Params::quick(5);
+    p.duration = underlay_p2p::sim::SimTime::from_mins(4);
+    let a = e04_messages::run(&p);
+    let b = e04_messages::run(&p);
+    assert_eq!(a.table.to_csv(), b.table.to_csv());
+}
+
+#[test]
+fn e05_clustering_is_deterministic() {
+    let mut p = e05_clustering::Params::quick(6);
+    p.duration = underlay_p2p::sim::SimTime::from_mins(3);
+    let a = e05_clustering::run(&p);
+    let b = e05_clustering::run(&p);
+    assert_eq!(a.table.to_csv(), b.table.to_csv());
+    assert_eq!(a.snapshots[0].edges, b.snapshots[0].edges);
+}
+
+#[test]
+fn e09_kademlia_is_deterministic() {
+    let mut p = e09_kademlia::Params::quick(7);
+    p.lookups = 30;
+    let a = e09_kademlia::run(&p);
+    let b = e09_kademlia::run(&p);
+    assert_eq!(a.table.to_csv(), b.table.to_csv());
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let mut p1 = e04_messages::Params::quick(100);
+    let mut p2 = e04_messages::Params::quick(101);
+    p1.duration = underlay_p2p::sim::SimTime::from_mins(4);
+    p2.duration = underlay_p2p::sim::SimTime::from_mins(4);
+    let a = e04_messages::run(&p1);
+    let b = e04_messages::run(&p2);
+    assert_ne!(a.table.to_csv(), b.table.to_csv());
+}
