@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, runnable locally or from CI:
+#
+#   ./ci/check.sh
+#
+# Steps (in order, fail-fast):
+#   1. cargo fmt --check        — formatting drift
+#   2. cargo clippy -D warnings — lints (unwrap_used etc.; see clippy.toml)
+#   3. xtask lint               — the determinism static-analysis pass
+#   4. cargo build --release    — tier-1: release build
+#   5. cargo test               — tier-1: root-package tests
+#   6. cargo test --workspace   — every crate's unit + integration tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+step "determinism lint (cargo run -p xtask -- lint)"
+cargo run -q -p xtask -- lint
+
+step "cargo build --release"
+cargo build --release -q
+
+step "cargo test (root package)"
+cargo test -q
+
+step "cargo test --workspace"
+cargo test --workspace -q
+
+printf '\nAll checks passed.\n'

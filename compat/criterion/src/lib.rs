@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container has no registry access, so the real criterion cannot be
+//! resolved; this stub implements exactly the surface the workspace's
+//! benches use — [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size` / `warm_up_time` / `measurement_time` / `finish`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple wall-clock measurement loop
+//! (median of `sample_size` samples). It reports timings to stdout but
+//! produces no HTML reports and does no statistical regression analysis.
+//!
+//! Wall-clock time here is fine: benches measure the host, they are not
+//! part of the deterministic simulation (and `compat/` is outside the
+//! determinism lint's scan set for exactly this reason).
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing callback handle, passed to the bench closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a batch of iterations, accumulating into the sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+fn run_one(id: &str, settings: &Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // which also gives a per-iteration time estimate.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        warm_elapsed += b.elapsed;
+        warm_iters += 1;
+    }
+    let est = warm_elapsed
+        .checked_div(warm_iters as u32)
+        .unwrap_or_default();
+    // Size each sample so all samples together roughly fill the
+    // measurement budget.
+    let per_sample = settings.measurement_time.as_nanos() / settings.sample_size.max(1) as u128;
+    let iters = if est.as_nanos() == 0 {
+        1
+    } else {
+        (per_sample / est.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+    let mut samples: Vec<Duration> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size.max(1) {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.checked_div(iters as u32).unwrap_or_default());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!("{id:<40} time: [{lo:>10.2?} {median:>10.2?} {hi:>10.2?}]  ({iters} iter/sample)");
+}
+
+/// The benchmark driver. One instance is threaded through every
+/// registered bench function by [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &self.settings, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing measurement settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks with shared (overridable) settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &self.settings, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op in this stub; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions under one group name, mirroring criterion's
+/// macro of the same name (simple `(name, targets…)` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main`, running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.benchmark_group("demo")
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1))
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline drop-in subset of the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped-thread API).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; closures passed to [`Scope::spawn`] receive a fresh
+    /// reference to it, mirroring crossbeam's signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local state can be
+    /// spawned; all are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic here
+    /// instead of surfacing it through the returned `Result` (std's scope
+    /// semantics); callers that `.expect()` the result see the same
+    /// abort-on-panic behaviour either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+}

@@ -29,7 +29,11 @@ fn bench_experiments(c: &mut Criterion) {
         b.iter(|| black_box(e03_coordinates::example_table()))
     });
     g.bench_function("e03_accuracy_quick", |b| {
-        b.iter(|| black_box(e03_coordinates::run_accuracy(&e03_coordinates::Params::quick(2))))
+        b.iter(|| {
+            black_box(e03_coordinates::run_accuracy(
+                &e03_coordinates::Params::quick(2),
+            ))
+        })
     });
     g.bench_function("e04_message_counts_quick", |b| {
         let mut p = e04_messages::Params::quick(3);

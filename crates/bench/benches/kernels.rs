@@ -43,7 +43,12 @@ fn hierarchical_underlay(n_hosts: usize, seed: u64) -> Underlay {
         tier3_peering_prob: 0.3,
     })
     .build(&mut rng);
-    Underlay::build(g, &PopulationSpec::leaf(n_hosts), UnderlayConfig::default(), &mut rng)
+    Underlay::build(
+        g,
+        &PopulationSpec::leaf(n_hosts),
+        UnderlayConfig::default(),
+        &mut rng,
+    )
 }
 
 fn bench_routing(c: &mut Criterion) {

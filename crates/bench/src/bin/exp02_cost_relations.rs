@@ -4,7 +4,11 @@ use uap_core::experiments::e02_cost::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
-    let p = if cli.quick { Params::quick() } else { Params::full() };
+    let p = if cli.quick {
+        Params::quick()
+    } else {
+        Params::full()
+    };
     let out = run(&p);
     emit(&cli, "exp02_cost_relations", &out.table);
     println!(

@@ -5,6 +5,10 @@ use uap_core::experiments::e03_coordinates::{example_table, run_accuracy, Params
 fn main() {
     let cli = Cli::parse();
     emit(&cli, "exp03_ics_example", &example_table());
-    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let p = if cli.quick {
+        Params::quick(cli.seed)
+    } else {
+        Params::full(cli.seed)
+    };
     emit(&cli, "exp03_accuracy", &run_accuracy(&p));
 }

@@ -4,7 +4,11 @@ use uap_core::experiments::e05_clustering::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
-    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let p = if cli.quick {
+        Params::quick(cli.seed)
+    } else {
+        Params::full(cli.seed)
+    };
     let out = run(&p);
     emit(&cli, "exp05_overlay_clustering", &out.table);
     // Edge lists for external plotting (the "visualization" of Fig. 5/6).

@@ -4,7 +4,11 @@ use uap_core::experiments::e06_exchange::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
-    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let p = if cli.quick {
+        Params::quick(cli.seed)
+    } else {
+        Params::full(cli.seed)
+    };
     let out = run(&p);
     emit(&cli, "exp06_file_exchange_locality", &out.table);
 }

@@ -4,7 +4,11 @@ use uap_core::experiments::e07_testlab::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
-    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let p = if cli.quick {
+        Params::quick(cli.seed)
+    } else {
+        Params::full(cli.seed)
+    };
     let out = run(&p);
     emit(&cli, "exp07_testlab", &out.table);
 }

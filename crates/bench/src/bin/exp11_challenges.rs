@@ -4,7 +4,11 @@ use uap_core::experiments::e11_challenges::{run_asymmetry, run_long_hop, run_mob
 
 fn main() {
     let cli = Cli::parse();
-    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let p = if cli.quick {
+        Params::quick(cli.seed)
+    } else {
+        Params::full(cli.seed)
+    };
     emit(&cli, "exp11_asymmetry", &run_asymmetry(&p));
     emit(&cli, "exp11_long_hop", &run_long_hop(&p));
     emit(&cli, "exp11_mobility", &run_mobility(&p));

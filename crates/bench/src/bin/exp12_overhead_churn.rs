@@ -4,7 +4,11 @@ use uap_core::experiments::e12_overhead::{run_churn, run_overhead, Params};
 
 fn main() {
     let cli = Cli::parse();
-    let p = if cli.quick { Params::quick(cli.seed) } else { Params::full(cli.seed) };
+    let p = if cli.quick {
+        Params::quick(cli.seed)
+    } else {
+        Params::full(cli.seed)
+    };
     emit(&cli, "exp12_overhead", &run_overhead(&p));
     emit(&cli, "exp12_churn", &run_churn(&p));
 }

@@ -15,7 +15,6 @@
 //! reproduction path is exercised by `cargo bench`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use std::path::PathBuf;
 use uap_core::report::Table;

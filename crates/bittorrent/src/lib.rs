@@ -16,7 +16,6 @@
 //! the Figure-2 cost model can price each policy's ISP bill.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod pieces;
 pub mod swarm;

@@ -8,7 +8,7 @@
 
 use crate::pieces::PieceSet;
 use crate::tracker::{Tracker, TrackerPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use uap_net::{HostId, Underlay};
 use uap_sim::{SimRng, SimTime};
 
@@ -94,7 +94,7 @@ impl SwarmReport {
             return 0.0;
         }
         let mut v = self.completion_secs.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(|a, b| a.total_cmp(b));
         v[v.len() / 2]
     }
 }
@@ -104,9 +104,9 @@ struct Peer {
     pieces: PieceSet,
     neighbors: Vec<HostId>,
     /// Bytes received from each neighbor last round (tit-for-tat input).
-    received_last: HashMap<HostId, u64>,
+    received_last: BTreeMap<HostId, u64>,
     /// Byte credit toward the next piece, per sender.
-    credit: HashMap<HostId, u64>,
+    credit: BTreeMap<HostId, u64>,
     done_at: Option<u32>,
     is_seed: bool,
 }
@@ -137,13 +137,13 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
                 PieceSet::empty(cfg.n_pieces)
             },
             neighbors: Vec::new(),
-            received_last: HashMap::new(),
-            credit: HashMap::new(),
+            received_last: BTreeMap::new(),
+            credit: BTreeMap::new(),
             done_at: None,
             is_seed: i < cfg.n_seeds,
         })
         .collect();
-    let index: HashMap<HostId, usize> = members.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+    let index: BTreeMap<HostId, usize> = members.iter().enumerate().map(|(i, &h)| (h, i)).collect();
     let mut tracker = Tracker::new(cfg.tracker);
     // Initial announces.
     for i in 0..peers.len() {
@@ -197,11 +197,7 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
                 };
                 (std::cmp::Reverse(scaled), peers[j].host)
             });
-            let mut set: Vec<usize> = interested
-                .iter()
-                .copied()
-                .take(cfg.unchoke_slots)
-                .collect();
+            let mut set: Vec<usize> = interested.iter().copied().take(cfg.unchoke_slots).collect();
             // Optimistic slots: random interested peers outside the set.
             let leftovers: Vec<usize> = interested
                 .iter()
@@ -221,21 +217,19 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
         }
         // Phase 2: move bytes along each unchoked flow.
         let round_secs = cfg.round.as_secs_f64();
-        let mut received_this: Vec<HashMap<HostId, u64>> =
-            vec![HashMap::new(); peers.len()];
+        let mut received_this: Vec<BTreeMap<HostId, u64>> = vec![BTreeMap::new(); peers.len()];
         let mut completions: Vec<(usize, usize)> = Vec::new(); // (peer, piece)
         for i in 0..peers.len() {
             if unchokes[i].is_empty() {
                 continue;
             }
             let up_kbps = underlay.host(peers[i].host).up_kbps as f64;
-            let share_bytes = (up_kbps * 1_000.0 / 8.0 * round_secs
-                / unchokes[i].len() as f64) as u64;
+            let share_bytes =
+                (up_kbps * 1_000.0 / 8.0 * round_secs / unchokes[i].len() as f64) as u64;
             for &j in &unchokes[i] {
                 // Receiver-side cap: downlink split across its own inflows
                 // is approximated by capping at downlink/2.
-                let down_cap = (underlay.host(peers[j].host).down_kbps as f64 * 1_000.0
-                    / 8.0
+                let down_cap = (underlay.host(peers[j].host).down_kbps as f64 * 1_000.0 / 8.0
                     * round_secs
                     / 2.0) as u64;
                 let flow = share_bytes.min(down_cap).max(1);
@@ -255,14 +249,12 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
                         peers[j]
                             .pieces
                             .missing_from(sender_pieces)
-                            .filter(|&p| {
-                                !completions.iter().any(|&(pj, pp)| pj == j && pp == p)
-                            })
+                            .filter(|&p| !completions.iter().any(|&(pj, pp)| pj == j && pp == p))
                             .min_by_key(|&p| (availability[p], p))
                     };
                     match wanted {
                         Some(p) => {
-                            *peers[j].credit.get_mut(&src).expect("credit entry") -=
+                            *peers[j].credit.get_mut(&src).expect("credit entry") -= // lint:allow(expect)
                                 cfg.piece_bytes;
                             completions.push((j, p));
                         }
@@ -293,8 +285,7 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
             for i in 0..peers.len() {
                 if peers[i].done_at.is_none() && !peers[i].is_seed {
                     let who = peers[i].host;
-                    let got =
-                        tracker.announce(&underlay, who, &members, cfg.max_peers, &mut rng);
+                    let got = tracker.announce(&underlay, who, &members, cfg.max_peers, &mut rng);
                     peers[i].neighbors = got;
                 }
             }
@@ -334,7 +325,12 @@ mod tests {
             tier3_peering_prob: 0.4,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(n),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     fn small_cfg(tracker: TrackerPolicy) -> SwarmConfig {

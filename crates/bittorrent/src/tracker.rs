@@ -104,8 +104,7 @@ impl Tracker {
                     .collect();
                 scored.sort_by_key(|&(h, _)| h);
                 let cheap = want.saturating_sub(2);
-                let mut out: Vec<HostId> =
-                    scored.iter().take(cheap).map(|&(_, p)| p).collect();
+                let mut out: Vec<HostId> = scored.iter().take(cheap).map(|&(_, p)| p).collect();
                 // Two random entries for piece diversity.
                 for &(_, p) in scored.iter().skip(cheap) {
                     if out.len() >= want {
@@ -144,7 +143,12 @@ mod tests {
             tier3_peering_prob: 0.2,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(200), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(200),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -176,7 +180,11 @@ mod tests {
         let got = t.announce(&u, who, &swarm, 30, &mut rng);
         let internal = got.iter().filter(|&&p| u.same_as(who, p)).count();
         let avail = u.hosts.in_as(u.hosts.as_of(who)).len() - 1;
-        assert_eq!(internal, avail.min(25), "internal {internal}, avail {avail}");
+        assert_eq!(
+            internal,
+            avail.min(25),
+            "internal {internal}, avail {avail}"
+        );
         // External connections are present (piece diversity).
         assert!(got.len() > internal);
     }

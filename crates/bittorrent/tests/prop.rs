@@ -16,7 +16,12 @@ fn underlay(seed: u64) -> Underlay {
         tier3_peering_prob: 0.2,
     })
     .build(&mut rng);
-    Underlay::build(g, &PopulationSpec::leaf(60), UnderlayConfig::default(), &mut rng)
+    Underlay::build(
+        g,
+        &PopulationSpec::leaf(60),
+        UnderlayConfig::default(),
+        &mut rng,
+    )
 }
 
 proptest! {

@@ -36,8 +36,7 @@ impl LandmarkBins {
         let mut order: Vec<u8> = (0..rtts_ms.len() as u8).collect();
         order.sort_by(|&a, &b| {
             rtts_ms[a as usize]
-                .partial_cmp(&rtts_ms[b as usize])
-                .expect("finite RTTs")
+                .total_cmp(&rtts_ms[b as usize])
                 .then(a.cmp(&b))
         });
         let levels = rtts_ms

@@ -58,11 +58,8 @@ impl EmbeddingQuality {
                 stress: 0.0,
             };
         }
-        let mut errs: Vec<f64> = valid
-            .iter()
-            .map(|&(p, a)| relative_error(p, a))
-            .collect();
-        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        let mut errs: Vec<f64> = valid.iter().map(|&(p, a)| relative_error(p, a)).collect();
+        errs.sort_by(|a, b| a.total_cmp(b));
         let n = errs.len();
         let q = |f: f64| errs[(((f * n as f64).ceil() as usize).clamp(1, n)) - 1];
         EmbeddingQuality {
@@ -106,9 +103,7 @@ mod tests {
 
     #[test]
     fn quantiles_ordered() {
-        let pairs: Vec<(f64, f64)> = (1..=100)
-            .map(|i| (100.0 + i as f64, 100.0))
-            .collect();
+        let pairs: Vec<(f64, f64)> = (1..=100).map(|i| (100.0 + i as f64, 100.0)).collect();
         let q = EmbeddingQuality::evaluate(&pairs);
         assert!(q.median_rel_err <= q.p90_rel_err);
         assert!(q.median_rel_err > 0.0);

@@ -23,7 +23,6 @@
 //! beacon sets needs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod binning;
 pub mod embedding;

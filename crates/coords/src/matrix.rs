@@ -189,13 +189,11 @@ impl Matrix {
                 }
             }
         }
-        let mut pairs: Vec<(f64, Vec<f64>)> =
-            (0..n).map(|k| (a[(k, k)], v.col(k))).collect();
+        let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|k| (a[(k, k)], v.col(k))).collect();
         pairs.sort_by(|x, y| {
             y.0.abs()
-                .partial_cmp(&x.0.abs())
-                .expect("finite eigenvalues")
-                .then_with(|| x.0.partial_cmp(&y.0).expect("finite").reverse())
+                .total_cmp(&x.0.abs())
+                .then_with(|| x.0.total_cmp(&y.0).reverse())
         });
         let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let mut vectors = Matrix::zeros(n, n);
@@ -323,11 +321,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = Matrix::from_rows(
-            3,
-            3,
-            vec![2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0],
-        );
+        let m = Matrix::from_rows(3, 3, vec![2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0]);
         let (_, v) = m.symmetric_eigen();
         let vtv = v.transpose().matmul(&v);
         for i in 0..3 {

@@ -93,8 +93,8 @@ impl VivaldiNode {
         let dist = self.predict_ms(remote);
         let rel_err = (dist - rtt_ms).abs() / rtt_ms;
         // Exponentially-weighted error update.
-        self.error = (rel_err * self.cfg.ce * w + self.error * (1.0 - self.cfg.ce * w))
-            .clamp(0.0, 10.0);
+        self.error =
+            (rel_err * self.cfg.ce * w + self.error * (1.0 - self.cfg.ce * w)).clamp(0.0, 10.0);
         // Force along the unit vector from remote to self, magnitude
         // (rtt - dist), applied with the adaptive timestep δ = c_c · w.
         let delta = self.cfg.cc * w;
@@ -125,10 +125,19 @@ impl VivaldiNode {
     }
 }
 
-/// Runs `rounds` gossip rounds over a full RTT matrix: in each round every
-/// node samples one random peer. Returns the final nodes. This is the
-/// centralized driver used by experiments and tests; the overlay crates
-/// drive updates from live protocol traffic instead.
+/// Runs `rounds` update rounds over a full RTT matrix: in each round every
+/// node absorbs one sample from every other node, in index order. Returns
+/// the final nodes. This is the centralized driver used by experiments and
+/// tests; the overlay crates drive updates from live protocol traffic
+/// instead.
+///
+/// The sweep is deliberately systematic rather than sampling one random
+/// peer per round: on small topologies, single-random-peer gossip can
+/// settle into a *folded* spring equilibrium (a local minimum of the
+/// spring energy) that the shrinking adaptive timestep then freezes in
+/// place permanently. Balanced all-pairs updates escape those folds. The
+/// RNG is still needed for the coincident-coordinate bootstrap kick in
+/// [`VivaldiNode::update`].
 pub fn gossip_converge(
     rtt_ms: &[Vec<f64>],
     cfg: VivaldiConfig,
@@ -139,12 +148,13 @@ pub fn gossip_converge(
     let mut nodes: Vec<VivaldiNode> = (0..n).map(|_| VivaldiNode::new(cfg)).collect();
     for _ in 0..rounds {
         for i in 0..n {
-            let j = rng.index(n);
-            if i == j {
-                continue;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let remote = nodes[j].clone();
+                nodes[i].update(&remote, rtt_ms[i][j], rng);
             }
-            let remote = nodes[j].clone();
-            nodes[i].update(&remote, rtt_ms[i][j], rng);
         }
     }
     nodes
@@ -188,7 +198,11 @@ mod tests {
                 }
                 let p = nodes[i].predict_ms(&nodes[j]);
                 let e = (p - rtts[i][j]).abs() / rtts[i][j];
-                assert!(e < 0.15, "pair ({i},{j}): predicted {p}, true {}", rtts[i][j]);
+                assert!(
+                    e < 0.15,
+                    "pair ({i},{j}): predicted {p}, true {}",
+                    rtts[i][j]
+                );
             }
         }
     }

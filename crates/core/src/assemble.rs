@@ -83,9 +83,7 @@ pub fn build_proximity_estimator<'a>(
 ) -> Option<Box<dyn ProximityEstimator + 'a>> {
     profile.validate().ok()?;
     Some(match profile.collection {
-        CollectionTechnique::ExplicitMeasurement => {
-            Box::new(ExplicitPinger::new(underlay, true))
-        }
+        CollectionTechnique::ExplicitMeasurement => Box::new(ExplicitPinger::new(underlay, true)),
         CollectionTechnique::VivaldiCoordinates => {
             let mut svc = VivaldiService::new(underlay.n_hosts(), VivaldiConfig::default());
             svc.converge(underlay, cfg.vivaldi_rounds, 4, rng);
@@ -198,7 +196,8 @@ mod tests {
             assert_eq!(ranked.len(), candidates.len(), "{technique:?}");
             let rtt = |h: HostId| underlay.rtt_us(from, h).unwrap() as f64;
             let top: f64 = ranked[..5].iter().map(|&h| rtt(h)).sum::<f64>() / 5.0;
-            let all: f64 = candidates.iter().map(|&h| rtt(h)).sum::<f64>() / candidates.len() as f64;
+            let all: f64 =
+                candidates.iter().map(|&h| rtt(h)).sum::<f64>() / candidates.len() as f64;
             assert!(
                 top < all,
                 "{technique:?}: top-5 mean RTT {top} not below population mean {all}"
@@ -233,7 +232,9 @@ mod tests {
             &mut rng
         )
         .is_none());
-        assert!(build_geo_locator(&profile(CollectionTechnique::IspComponent), &underlay).is_none());
+        assert!(
+            build_geo_locator(&profile(CollectionTechnique::IspComponent), &underlay).is_none()
+        );
     }
 
     #[test]

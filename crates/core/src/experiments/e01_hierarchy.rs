@@ -79,15 +79,21 @@ pub fn run(p: &Params) -> Outcome {
         &["quantity", "value"],
     );
     let mut push = |k: &str, v: String| table.row(&[k.to_owned(), v]);
-    push("Tier-1 (global transit) ISPs", count_tier(Tier::Tier1).to_string());
-    push("Tier-2 (regional) ISPs", count_tier(Tier::Tier2).to_string());
-    push("Tier-3 (local) ISPs", count_tier(Tier::Tier3).to_string());
-    push("transit links (monetary flow edges)", transit_links.to_string());
-    push("peering links (settlement-free)", peering_links.to_string());
     push(
-        "connected",
-        graph.is_connected(None).to_string(),
+        "Tier-1 (global transit) ISPs",
+        count_tier(Tier::Tier1).to_string(),
     );
+    push(
+        "Tier-2 (regional) ISPs",
+        count_tier(Tier::Tier2).to_string(),
+    );
+    push("Tier-3 (local) ISPs", count_tier(Tier::Tier3).to_string());
+    push(
+        "transit links (monetary flow edges)",
+        transit_links.to_string(),
+    );
+    push("peering links (settlement-free)", peering_links.to_string());
+    push("connected", graph.is_connected(None).to_string());
     let reach = routing.reachable_fraction();
     push("valley-free reachability", format!("{:.4}", reach));
     // Mean AS path length as a proxy for the hierarchy's diameter.
@@ -104,7 +110,11 @@ pub fn run(p: &Params) -> Outcome {
             }
         }
     }
-    let mean_hops = if pairs > 0 { hops_sum as f64 / pairs as f64 } else { 0.0 };
+    let mean_hops = if pairs > 0 {
+        hops_sum as f64 / pairs as f64
+    } else {
+        0.0
+    };
     push("mean AS path length", format!("{:.2}", mean_hops));
     Outcome {
         table,

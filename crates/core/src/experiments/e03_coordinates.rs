@@ -79,16 +79,8 @@ pub fn example_table() -> Table {
         table.row(&[k.to_owned(), paper.to_owned(), format!("{got:.4}")]);
     };
     push("alpha (n=2)", "0.6", ics2.alpha());
-    push(
-        "|c1| axis 1 (n=2)",
-        "2.1",
-        ics2.beacon_coord(0)[0].abs(),
-    );
-    push(
-        "|c1| axis 2 (n=2)",
-        "1.5",
-        ics2.beacon_coord(0)[1].abs(),
-    );
+    push("|c1| axis 1 (n=2)", "2.1", ics2.beacon_coord(0)[0].abs());
+    push("|c1| axis 2 (n=2)", "1.5", ics2.beacon_coord(0)[1].abs());
     push(
         "inter-AS beacon distance (n=2)",
         "3",
@@ -226,6 +218,9 @@ mod tests {
             }
         }
         let last_vivaldi_err: f64 = t.cell(t.len() - 2, 2).parse().unwrap();
-        assert!(last_vivaldi_err < 0.6, "converged vivaldi err {last_vivaldi_err}");
+        assert!(
+            last_vivaldi_err < 0.6,
+            "converged vivaldi err {last_vivaldi_err}"
+        );
     }
 }

@@ -82,11 +82,7 @@ pub struct Outcome {
 pub fn run(p: &Params) -> Outcome {
     let seed = p.net.seed ^ 0xE4;
     let mut reports: Vec<(String, GnutellaReport)> = Vec::new();
-    let (unbiased, _) = run_experiment(
-        p.net.build(),
-        p.config(NeighborSelection::Random),
-        seed,
-    );
+    let (unbiased, _) = run_experiment(p.net.build(), p.config(NeighborSelection::Random), seed);
     reports.push(("Unbiased Gnutella".into(), unbiased));
     for &cache in &p.cache_sizes {
         let (r, _) = run_experiment(

@@ -135,7 +135,11 @@ mod tests {
         // network connected": fewer inter-AS edges, but not a shattered
         // graph.
         assert!(biased.inter_as_edges < random.inter_as_edges);
-        assert!(biased.components <= 3, "biased overlay shattered: {}", biased.components);
+        assert!(
+            biased.components <= 3,
+            "biased overlay shattered: {}",
+            biased.components
+        );
         assert_eq!(random.components, 1);
     }
 

@@ -73,11 +73,7 @@ pub fn run(p: &Params) -> Outcome {
         cfg
     };
     let configs: Vec<(String, f64, GnutellaConfig)> = vec![
-        (
-            "unbiased".into(),
-            6.5,
-            mk(NeighborSelection::Random, false),
-        ),
+        ("unbiased".into(), 6.5, mk(NeighborSelection::Random, false)),
         (
             "oracle list 100".into(),
             7.3,
@@ -125,11 +121,25 @@ mod tests {
         assert!(m[1] > m[0], "cache-100 {} !> unbiased {}", m[1], m[0]);
         // …the two list sizes are close at test scale (the gradient needs
         // paper-scale populations; EXPERIMENTS.md records it)…
-        assert!(m[2] >= m[1] * 0.9, "cache-1000 {} vs cache-100 {}", m[2], m[1]);
+        assert!(
+            m[2] >= m[1] * 0.9,
+            "cache-1000 {} vs cache-100 {}",
+            m[2],
+            m[1]
+        );
         // …and consulting the oracle at file-exchange time gives the
         // characteristic jump over the unbiased share.
-        assert!(m[3] >= m[2], "exchange-oracle {} below cache-1000 {}", m[3], m[2]);
+        assert!(
+            m[3] >= m[2],
+            "exchange-oracle {} below cache-1000 {}",
+            m[3],
+            m[2]
+        );
         assert!(m[3] > 2.0 * m[0], "no jump: {} vs unbiased {}", m[3], m[0]);
-        assert!(m[3] > 10.0, "oracle-exchange share suspiciously low: {}", m[3]);
+        assert!(
+            m[3] > 10.0,
+            "oracle-exchange share suspiciously low: {}",
+            m[3]
+        );
     }
 }

@@ -18,8 +18,7 @@
 
 use crate::report::Table;
 use uap_gnutella::{
-    run_experiment, GnutellaConfig, GnutellaReport, NeighborSelection, RoleAssignment,
-    ShareScheme,
+    run_experiment, GnutellaConfig, GnutellaReport, NeighborSelection, RoleAssignment, ShareScheme,
 };
 use uap_net::{gen::testlab_specs, PopulationSpec, RoutingMode, Underlay, UnderlayConfig};
 use uap_sim::{SimRng, SimTime};
@@ -59,7 +58,7 @@ fn testlab_underlay(name: &str, p: &Params) -> Underlay {
     let (_, spec) = testlab_specs()
         .into_iter()
         .find(|(n, _)| *n == name)
-        .expect("known testlab topology");
+        .expect("known testlab topology"); // lint:allow(expect)
     let mut rng = SimRng::new(p.seed);
     let graph = spec.build(&mut rng);
     let cfg = UnderlayConfig {

@@ -152,9 +152,7 @@ pub fn run(p: &Params) -> Outcome {
             total += out.rpcs;
             hops_sum += out.as_hops_sum;
             lat += out.latency_us as f64 / 1_000.0;
-            if out.closest.first().map(|c| c.key)
-                == net.true_closest(&target, 1).first().copied()
-            {
+            if out.closest.first().map(|c| c.key) == net.true_closest(&target, 1).first().copied() {
                 exact += 1;
             }
         }
@@ -204,7 +202,11 @@ mod tests {
             pnspr.mean_rpc_as_hops,
             vanilla.mean_rpc_as_hops
         );
-        assert!(vanilla.exactness > 0.8, "vanilla exactness {}", vanilla.exactness);
+        assert!(
+            vanilla.exactness > 0.8,
+            "vanilla exactness {}",
+            vanilla.exactness
+        );
     }
 
     #[test]

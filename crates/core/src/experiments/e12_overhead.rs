@@ -17,7 +17,7 @@ use crate::report::{f, pct, Table};
 use uap_coords::VivaldiConfig;
 use uap_gnutella::{run_experiment, GnutellaConfig, NeighborSelection};
 use uap_info::provider::{ProximityEstimator, ResourceDirectory};
-use uap_info::{IcsService, Oracle, OnoEstimator, SimulatedCdn, SkyEyeTree, VivaldiService};
+use uap_info::{IcsService, OnoEstimator, Oracle, SimulatedCdn, SkyEyeTree, VivaldiService};
 use uap_net::HostId;
 use uap_sim::{ChurnConfig, SimRng, SimTime};
 
@@ -177,7 +177,10 @@ pub fn run_churn(p: &Params) -> Table {
     for &session in &p.churn_sessions {
         for (label, selection) in [
             ("unbiased", NeighborSelection::Random),
-            ("oracle", NeighborSelection::OracleBiased { list_size: 1000 }),
+            (
+                "oracle",
+                NeighborSelection::OracleBiased { list_size: 1000 },
+            ),
         ] {
             let cfg = GnutellaConfig {
                 selection,
@@ -225,7 +228,10 @@ mod tests {
         let n = 120u64;
         let all_pairs = n * (n - 1);
         assert!(ics < all_pairs / 2, "ics {ics} vs all-pairs {all_pairs}");
-        assert!(vivaldi < all_pairs, "vivaldi {vivaldi} vs all-pairs {all_pairs}");
+        assert!(
+            vivaldi < all_pairs,
+            "vivaldi {vivaldi} vs all-pairs {all_pairs}"
+        );
         // Cached explicit measurement pays two messages per distinct pair.
         assert!(explicit <= 2 * p.queries as u64);
     }
@@ -235,12 +241,20 @@ mod tests {
         let p = Params::quick(72);
         let t = run_churn(&p);
         assert_eq!(t.len(), 4);
-        let succ = |r: usize| -> f64 {
-            t.cell(r, 2).trim_end_matches('%').parse().unwrap()
-        };
+        let succ = |r: usize| -> f64 { t.cell(r, 2).trim_end_matches('%').parse().unwrap() };
         // Static rows first, churn rows after.
-        assert!(succ(2) <= succ(0) + 10.0, "unbiased: churn {} vs static {}", succ(2), succ(0));
-        assert!(succ(3) <= succ(1) + 10.0, "oracle: churn {} vs static {}", succ(3), succ(1));
+        assert!(
+            succ(2) <= succ(0) + 10.0,
+            "unbiased: churn {} vs static {}",
+            succ(2),
+            succ(0)
+        );
+        assert!(
+            succ(3) <= succ(1) + 10.0,
+            "oracle: churn {} vs static {}",
+            succ(3),
+            succ(1)
+        );
         // Rejoins only under churn.
         let rejoins: u64 = t.cell(2, 4).parse().unwrap();
         let static_joins: u64 = t.cell(0, 4).parse().unwrap();

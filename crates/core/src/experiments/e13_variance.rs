@@ -78,7 +78,9 @@ fn exchange_locality_jump(p: &Params, seed: u64) -> f64 {
             ..Default::default()
         };
         cfg.content.locality = 0.2;
-        run_experiment(net.build(), cfg, seed).0.intra_as_exchange_pct()
+        run_experiment(net.build(), cfg, seed)
+            .0
+            .intra_as_exchange_pct()
     };
     run(true) - run(false)
 }

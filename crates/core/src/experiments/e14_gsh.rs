@@ -97,7 +97,8 @@ fn run_plain(p: &Params) -> SystemResult {
     seen_zones.sort_unstable();
     seen_zones.dedup();
     for &z in &seen_zones {
-        let publisher = HostId(zones.iter().position(|&x| x == z).unwrap() as u32);
+        // lint:allow(expect) — z was drawn from this very list two lines up
+        let publisher = HostId(zones.iter().position(|&x| x == z).expect("seen zone") as u32);
         for name in regional_names(z, p.items_per_zone) {
             let key = Key::hash_of(&name);
             dht.store(publisher, &key, 1, &mut rng);
@@ -148,7 +149,8 @@ fn run_scoped(p: &Params) -> SystemResult {
     seen_zones.sort_unstable();
     seen_zones.dedup();
     for &z in &seen_zones {
-        let publisher = HostId(zones.iter().position(|&x| x == z).unwrap() as u32);
+        // lint:allow(expect) — z was drawn from this very list two lines up
+        let publisher = HostId(zones.iter().position(|&x| x == z).expect("seen zone") as u32);
         for name in regional_names(z, p.items_per_zone) {
             dht.publish_regional(publisher, &name, 1, &mut rng);
         }
@@ -216,8 +218,16 @@ mod tests {
     #[test]
     fn gsh_localizes_regional_retrievals() {
         let out = run(&Params::quick(91));
-        assert!(out.plain.success > 0.95, "plain success {}", out.plain.success);
-        assert!(out.scoped.success > 0.95, "scoped success {}", out.scoped.success);
+        assert!(
+            out.plain.success > 0.95,
+            "plain success {}",
+            out.plain.success
+        );
+        assert!(
+            out.scoped.success > 0.95,
+            "scoped success {}",
+            out.scoped.success
+        );
         assert!(
             out.scoped.as_hops_per_rpc < out.plain.as_hops_per_rpc,
             "scoped {} !< plain {}",

@@ -13,8 +13,7 @@ use crate::experiments::NetParams;
 use crate::report::{f, Table};
 use uap_info::provider::{IspLocator, ProximityEstimator};
 use uap_info::{
-    Ip2IspService, OnoEstimator, Oracle, P4pEstimator, P4pService, PdistanceWeights,
-    SimulatedCdn,
+    Ip2IspService, OnoEstimator, Oracle, P4pEstimator, P4pService, PdistanceWeights, SimulatedCdn,
 };
 use uap_net::{HostId, Underlay};
 use uap_sim::SimRng;

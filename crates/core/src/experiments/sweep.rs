@@ -33,16 +33,16 @@ where
                 if i >= n {
                     break;
                 }
-                let item = slots[i].lock().take().expect("each slot taken once");
+                let item = slots[i].lock().take().expect("each slot taken once"); // lint:allow(expect)
                 let r = f(item);
                 *results[i].lock() = Some(r);
             });
         }
     })
-    .expect("worker panicked");
+    .expect("worker panicked"); // lint:allow(expect)
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("all slots filled"))
+        .map(|m| m.into_inner().expect("all slots filled")) // lint:allow(expect)
         .collect()
 }
 

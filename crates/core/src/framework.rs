@@ -285,9 +285,15 @@ mod tests {
     fn taxonomy_matches_figure3_shape() {
         let t = taxonomy();
         assert_eq!(t.len(), 10);
-        let isp = t.iter().filter(|(i, _)| *i == InfoType::IspLocation).count();
+        let isp = t
+            .iter()
+            .filter(|(i, _)| *i == InfoType::IspLocation)
+            .count();
         let lat = t.iter().filter(|(i, _)| *i == InfoType::Latency).count();
-        let geo = t.iter().filter(|(i, _)| *i == InfoType::Geolocation).count();
+        let geo = t
+            .iter()
+            .filter(|(i, _)| *i == InfoType::Geolocation)
+            .count();
         let res = t
             .iter()
             .filter(|(i, _)| *i == InfoType::PeerResources)
@@ -329,7 +335,11 @@ mod tests {
     #[test]
     fn every_surveyed_system_is_expressible() {
         for (name, profile) in AwarenessProfile::surveyed_systems() {
-            assert!(profile.validate().is_ok(), "{name}: {:?}", profile.validate());
+            assert!(
+                profile.validate().is_ok(),
+                "{name}: {:?}",
+                profile.validate()
+            );
         }
     }
 

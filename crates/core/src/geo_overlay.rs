@@ -54,21 +54,37 @@ impl Rect {
         let mx = (self.x0 + self.x1) / 2.0;
         let my = (self.y0 + self.y1) / 2.0;
         match q {
-            0 => Rect { x0: self.x0, y0: self.y0, x1: mx, y1: my },
-            1 => Rect { x0: mx, y0: self.y0, x1: self.x1, y1: my },
-            2 => Rect { x0: self.x0, y0: my, x1: mx, y1: self.y1 },
-            _ => Rect { x0: mx, y0: my, x1: self.x1, y1: self.y1 },
+            0 => Rect {
+                x0: self.x0,
+                y0: self.y0,
+                x1: mx,
+                y1: my,
+            },
+            1 => Rect {
+                x0: mx,
+                y0: self.y0,
+                x1: self.x1,
+                y1: my,
+            },
+            2 => Rect {
+                x0: self.x0,
+                y0: my,
+                x1: mx,
+                y1: self.y1,
+            },
+            _ => Rect {
+                x0: mx,
+                y0: my,
+                x1: self.x1,
+                y1: self.y1,
+            },
         }
     }
 }
 
 enum Node {
-    Leaf {
-        members: Vec<(HostId, GeoPoint)>,
-    },
-    Inner {
-        children: Box<[Node; 4]>,
-    },
+    Leaf { members: Vec<(HostId, GeoPoint)> },
+    Inner { children: Box<[Node; 4]> },
 }
 
 /// Result of a location-constrained query.
@@ -135,15 +151,30 @@ impl GeoOverlay {
                 if members.len() > max && depth < 20 {
                     let old = std::mem::take(members);
                     let mut children = Box::new([
-                        Node::Leaf { members: Vec::new() },
-                        Node::Leaf { members: Vec::new() },
-                        Node::Leaf { members: Vec::new() },
-                        Node::Leaf { members: Vec::new() },
+                        Node::Leaf {
+                            members: Vec::new(),
+                        },
+                        Node::Leaf {
+                            members: Vec::new(),
+                        },
+                        Node::Leaf {
+                            members: Vec::new(),
+                        },
+                        Node::Leaf {
+                            members: Vec::new(),
+                        },
                     ]);
                     for (m, p) in old {
                         for q in 0..4 {
                             if zone.quadrant(q).contains(&p) {
-                                Self::insert(&mut children[q], zone.quadrant(q), m, p, max, depth + 1);
+                                Self::insert(
+                                    &mut children[q],
+                                    zone.quadrant(q),
+                                    m,
+                                    p,
+                                    max,
+                                    depth + 1,
+                                );
                                 break;
                             }
                         }
@@ -224,7 +255,7 @@ impl GeoOverlay {
     pub fn search_with_failures(
         &self,
         query: &Rect,
-        dead: &std::collections::HashSet<HostId>,
+        dead: &std::collections::BTreeSet<HostId>,
     ) -> GeoQueryOutcome {
         let mut out = GeoQueryOutcome::default();
         Self::search_failures_rec(&self.root, self.bounds, query, dead, &mut out);
@@ -235,7 +266,7 @@ impl GeoOverlay {
         node: &Node,
         zone: Rect,
         query: &Rect,
-        dead: &std::collections::HashSet<HostId>,
+        dead: &std::collections::BTreeSet<HostId>,
         out: &mut GeoQueryOutcome,
     ) {
         if !zone.intersects(query) {
@@ -276,7 +307,11 @@ impl GeoOverlay {
     /// The supervisor (highest-capacity member) of the zone containing
     /// `pos`, if any.
     pub fn supervisor_at(&self, underlay: &Underlay, pos: &GeoPoint) -> Option<HostId> {
-        fn rec<'a>(node: &'a Node, zone: Rect, pos: &GeoPoint) -> Option<&'a Vec<(HostId, GeoPoint)>> {
+        fn rec<'a>(
+            node: &'a Node,
+            zone: Rect,
+            pos: &GeoPoint,
+        ) -> Option<&'a Vec<(HostId, GeoPoint)>> {
             match node {
                 Node::Leaf { members } => Some(members),
                 Node::Inner { children } => {
@@ -296,8 +331,7 @@ impl GeoOverlay {
                 underlay
                     .host(*a)
                     .capacity_score()
-                    .partial_cmp(&underlay.host(*b).capacity_score())
-                    .expect("finite capacity")
+                    .total_cmp(&underlay.host(*b).capacity_score())
                     .then(b.cmp(a))
             })
             .map(|&(h, _)| h)
@@ -335,7 +369,12 @@ mod tests {
             tier3_peering_prob: 0.0,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(n),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -357,7 +396,11 @@ mod tests {
         assert_eq!(g.len(), 300);
         let q = Rect::new(1_000.0, 1_000.0, 3_000.0, 3_000.0);
         let out = g.search(&q);
-        let truth: Vec<HostId> = u.hosts.ids().filter(|&h| q.contains(&u.host(h).geo)).collect();
+        let truth: Vec<HostId> = u
+            .hosts
+            .ids()
+            .filter(|&h| q.contains(&u.host(h).geo))
+            .collect();
         let mut found = out.found.clone();
         found.sort();
         let mut expected = truth.clone();
@@ -456,8 +499,11 @@ mod tests {
             noisy.join(h, ipmap.locate(h, &mut rng));
         }
         let q = Rect::new(1_000.0, 1_000.0, 2_000.0, 2_000.0);
-        let truth: std::collections::HashSet<HostId> =
-            u.hosts.ids().filter(|&h| q.contains(&u.host(h).geo)).collect();
+        let truth: std::collections::BTreeSet<HostId> = u
+            .hosts
+            .ids()
+            .filter(|&h| q.contains(&u.host(h).geo))
+            .collect();
         if truth.is_empty() {
             return; // fixture produced empty region; nothing to compare
         }
@@ -474,7 +520,7 @@ mod tests {
 #[cfg(test)]
 mod failure_tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     use uap_net::{HostId, PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
     use uap_sim::SimRng;
 
@@ -488,7 +534,12 @@ mod failure_tests {
             tier3_peering_prob: 0.0,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(n),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     fn populated_overlay(u: &Underlay) -> GeoOverlay {
@@ -505,7 +556,7 @@ mod failure_tests {
         let g = populated_overlay(&u);
         let q = Rect::new(500.0, 500.0, 4_500.0, 4_500.0);
         let plain = g.search(&q);
-        let fail = g.search_with_failures(&q, &HashSet::new());
+        let fail = g.search_with_failures(&q, &BTreeSet::new());
         let mut a = plain.found.clone();
         let mut b = fail.found.clone();
         a.sort();
@@ -520,12 +571,12 @@ mod failure_tests {
         let q = Rect::new(0.0, 0.0, 5_000.0, 5_000.0);
         let mut rng = SimRng::new(142);
         // Kill 30% of peers.
-        let dead: HashSet<HostId> = rng
+        let dead: BTreeSet<HostId> = rng
             .sample_indices(300, 90)
             .into_iter()
             .map(|i| HostId(i as u32))
             .collect();
-        let healthy = g.search_with_failures(&q, &HashSet::new());
+        let healthy = g.search_with_failures(&q, &BTreeSet::new());
         let degraded = g.search_with_failures(&q, &dead);
         // Dead peers never appear in results.
         assert!(degraded.found.iter().all(|h| !dead.contains(h)));
@@ -539,11 +590,7 @@ mod failure_tests {
         );
         // Live peers in answered zones are still found: recall over live
         // peers stays high (only fully-dead zones lose members).
-        let live_truth = healthy
-            .found
-            .iter()
-            .filter(|h| !dead.contains(h))
-            .count();
+        let live_truth = healthy.found.iter().filter(|h| !dead.contains(h)).count();
         assert!(
             degraded.found.len() as f64 > 0.9 * live_truth as f64,
             "recall collapsed: {} of {}",
@@ -559,7 +606,7 @@ mod failure_tests {
         g.join(HostId(1), GeoPoint::new(10.0, 10.0));
         g.join(HostId(2), GeoPoint::new(12.0, 10.0));
         g.join(HostId(3), GeoPoint::new(90.0, 90.0));
-        let dead: HashSet<HostId> = [HostId(1), HostId(2)].into_iter().collect();
+        let dead: BTreeSet<HostId> = [HostId(1), HostId(2)].into_iter().collect();
         let out = g.search_with_failures(&Rect::new(0.0, 0.0, 100.0, 100.0), &dead);
         assert_eq!(out.found, vec![HostId(3)]);
     }

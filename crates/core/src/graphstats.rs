@@ -7,7 +7,7 @@
 //! that: intra-AS edge fraction, inter-AS edge count, connectivity of the
 //! online subgraph, and degree statistics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use uap_net::{HostId, Underlay};
 
 /// Structural summary of one overlay snapshot.
@@ -44,7 +44,7 @@ impl OverlayStats {
 
     /// Computes the statistics for an edge list over an underlay.
     pub fn compute(underlay: &Underlay, edges: &[(HostId, HostId)]) -> OverlayStats {
-        let mut degree: HashMap<HostId, usize> = HashMap::new();
+        let mut degree: BTreeMap<HostId, usize> = BTreeMap::new();
         let mut intra = 0usize;
         for &(a, b) in edges {
             *degree.entry(a).or_insert(0) += 1;
@@ -63,7 +63,7 @@ impl OverlayStats {
 
         // Union-find over participating nodes.
         let ids: Vec<HostId> = degree.keys().copied().collect();
-        let index: HashMap<HostId, usize> = ids.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let index: BTreeMap<HostId, usize> = ids.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let mut parent: Vec<usize> = (0..ids.len()).collect();
         fn find(parent: &mut [usize], x: usize) -> usize {
             let mut r = x;
@@ -96,8 +96,8 @@ impl OverlayStats {
         let as_modularity = if m == 0.0 {
             0.0
         } else {
-            let mut e_in: HashMap<u16, f64> = HashMap::new();
-            let mut deg_sum: HashMap<u16, f64> = HashMap::new();
+            let mut e_in: BTreeMap<u16, f64> = BTreeMap::new();
+            let mut deg_sum: BTreeMap<u16, f64> = BTreeMap::new();
             for &(a, b) in edges {
                 let (aa, ab) = (underlay.hosts.as_of(a).0, underlay.hosts.as_of(b).0);
                 if aa == ab {
@@ -144,7 +144,12 @@ mod tests {
             tier3_peering_prob: 0.0,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(100), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(100),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]

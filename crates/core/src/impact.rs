@@ -26,8 +26,8 @@ use crate::report::Table;
 use uap_gnutella::{
     run_experiment, GnutellaConfig, GnutellaReport, NeighborSelection, RoleAssignment,
 };
-use uap_net::{Routing, RoutingMode, Underlay};
 use uap_net::failure::FailureScenario;
+use uap_net::{Routing, RoutingMode, Underlay};
 use uap_sim::{SimRng, SimTime};
 
 /// A Table 2 band.
@@ -166,8 +166,11 @@ fn edge_survival_under_transit_failure(
     }
     let mut rng = SimRng::new(seed ^ 0xFA11);
     let scenario = FailureScenario::transit_only(&underlay.graph, 0.3, &mut rng);
-    let routing =
-        Routing::compute_with_mask(&underlay.graph, RoutingMode::ValleyFree, Some(&scenario.mask));
+    let routing = Routing::compute_with_mask(
+        &underlay.graph,
+        RoutingMode::ValleyFree,
+        Some(&scenario.mask),
+    );
     let alive = report
         .edges
         .iter()
@@ -335,13 +338,7 @@ pub fn run(net: &NetParams, duration: SimTime) -> ImpactMatrix {
 
     let mut table = Table::new(
         "Table 2 — measured impact of underlay awareness (band / paper band)",
-        &[
-            "Parameter",
-            COLS[0],
-            COLS[1],
-            COLS[2],
-            COLS[3],
-        ],
+        &["Parameter", COLS[0], COLS[1], COLS[2], COLS[3]],
     );
     for (ri, row_name) in ROWS.iter().enumerate() {
         let mut row = vec![row_name.to_string()];

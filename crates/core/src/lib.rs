@@ -25,7 +25,6 @@
 //!   experiment binaries.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod assemble;
 pub mod experiments;

@@ -92,7 +92,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -167,7 +171,7 @@ mod tests {
     #[test]
     fn number_formatting() {
         assert_eq!(f(0.0), "0");
-        assert_eq!(f(3.14159), "3.142");
+        assert_eq!(f(std::f64::consts::PI), "3.142");
         assert_eq!(f(42.5), "42.5");
         assert_eq!(f(1234.56), "1235");
         assert_eq!(pct(0.4057), "40.57%");

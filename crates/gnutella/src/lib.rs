@@ -30,7 +30,6 @@
 //! is the empirical premise the paper cites (\[25\]\[18\]\[24\]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod config;
 pub mod content;

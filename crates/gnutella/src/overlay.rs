@@ -273,7 +273,10 @@ mod tests {
         o.set_online(HostId(0), false);
         assert_eq!(o.edge_count(), 0);
         assert_eq!(o.degree(HostId(1)), 0);
-        assert_eq!(o.online_nodes(), vec![HostId(1), HostId(2), HostId(3), HostId(4)]);
+        assert_eq!(
+            o.online_nodes(),
+            vec![HostId(1), HostId(2), HostId(3), HostId(4)]
+        );
     }
 
     #[test]
@@ -315,10 +318,7 @@ mod tests {
         let r = o.flood(HostId(0), 3);
         let lat: Vec<u64> = r.reached.iter().map(|x| x.latency_us).collect();
         assert!(lat[0] < lat[1] && lat[1] < lat[2]);
-        assert_eq!(
-            lat[0],
-            u.latency_us(HostId(0), HostId(1)).unwrap()
-        );
+        assert_eq!(lat[0], u.latency_us(HostId(0), HostId(1)).unwrap());
     }
 
     #[test]

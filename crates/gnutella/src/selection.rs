@@ -122,11 +122,7 @@ impl Selector {
                     .iter()
                     .map(|&c| (c, underlay.host(c).capacity_score()))
                     .collect();
-                scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .expect("finite capacity")
-                        .then(a.0.cmp(&b.0))
-                });
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 scored.into_iter().map(|(h, _)| h).collect()
             }
         }
@@ -162,7 +158,12 @@ mod tests {
             tier3_peering_prob: 0.2,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(200), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(200),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -199,7 +200,10 @@ mod tests {
         let candidates: Vec<HostId> = (0..50).map(HostId).filter(|&h| h != joiner).collect();
         let mut rng = SimRng::new(84);
         let ranked = sel.rank(&u, joiner, &candidates, &mut rng);
-        let rtts: Vec<u64> = ranked.iter().map(|&h| u.rtt_us(joiner, h).unwrap()).collect();
+        let rtts: Vec<u64> = ranked
+            .iter()
+            .map(|&h| u.rtt_us(joiner, h).unwrap())
+            .collect();
         for w in rtts.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -230,10 +234,7 @@ mod tests {
         let candidates: Vec<HostId> = (0..40).map(HostId).collect();
         let mut rng = SimRng::new(86);
         let ranked = sel.rank(&u, HostId(100), &candidates, &mut rng);
-        let caps: Vec<f64> = ranked
-            .iter()
-            .map(|&h| u.host(h).capacity_score())
-            .collect();
+        let caps: Vec<f64> = ranked.iter().map(|&h| u.host(h).capacity_score()).collect();
         for w in caps.windows(2) {
             assert!(w[0] >= w[1]);
         }
@@ -258,7 +259,10 @@ mod tests {
         let mut sel = Selector::new(NeighborSelection::Random);
         let candidates: Vec<HostId> = (0..30).map(HostId).collect();
         let mut rng = SimRng::new(88);
-        assert_eq!(sel.select(&u, HostId(100), &candidates, 3, &mut rng).len(), 3);
+        assert_eq!(
+            sel.select(&u, HostId(100), &candidates, 3, &mut rng).len(),
+            3
+        );
         assert_eq!(
             sel.select(&u, HostId(100), &candidates, 99, &mut rng).len(),
             30

@@ -78,8 +78,7 @@ impl GnutellaSim {
                     underlay
                         .host(b)
                         .capacity_score()
-                        .partial_cmp(&underlay.host(a).capacity_score())
-                        .expect("finite capacity")
+                        .total_cmp(&underlay.host(a).capacity_score())
                         .then(a.cmp(&b))
                 });
                 let n_up = ((n as f64 * frac).ceil() as usize).clamp(1, n);
@@ -170,9 +169,8 @@ impl GnutellaSim {
         ctx.metrics.incr("gnutella.joins", 1);
         self.connect(h, ctx);
         // Kick off this node's periodic cycles with a random phase.
-        let ping_phase = SimTime::from_micros(
-            ctx.rng.below(self.cfg.ping_interval.as_micros().max(1)),
-        );
+        let ping_phase =
+            SimTime::from_micros(ctx.rng.below(self.cfg.ping_interval.as_micros().max(1)));
         ctx.schedule_in(ping_phase, Ev::PingCycle(h, ep));
         let q = SimTime::from_secs_f64(ctx.rng.exp(self.cfg.query_interval.as_secs_f64()));
         ctx.schedule_in(q, Ev::QueryCycle(h, ep));
@@ -204,9 +202,9 @@ impl GnutellaSim {
         if candidates.is_empty() {
             return;
         }
-        let picked =
-            self.selector
-                .select(&self.underlay, h, &candidates, target - have, ctx.rng);
+        let picked = self
+            .selector
+            .select(&self.underlay, h, &candidates, target - have, ctx.rng);
         for p in picked {
             self.overlay.add_edge(&self.underlay, h, p);
         }
@@ -294,12 +292,12 @@ impl GnutellaSim {
         let provider = if self.cfg.oracle_at_file_exchange {
             self.exchange_oracle
                 .best(&self.underlay, h, &providers)
-                .expect("non-empty providers")
+                .expect("non-empty providers") // lint:allow(expect)
         } else if self.cfg.bandwidth_aware_source {
             *providers
                 .iter()
                 .max_by_key(|&&p| (self.underlay.host(p).up_kbps, p))
-                .expect("non-empty providers")
+                .expect("non-empty providers") // lint:allow(expect)
         } else {
             *ctx.rng.pick(&providers)
         };
@@ -335,9 +333,11 @@ impl GnutellaSim {
         now: SimTime,
     ) {
         for r in &flood.reached {
-            self.underlay.account_transfer(now, origin, r.host, fwd_bytes);
+            self.underlay
+                .account_transfer(now, origin, r.host, fwd_bytes);
             if reply_bytes > 0 {
-                self.underlay.account_transfer(now, r.host, origin, reply_bytes);
+                self.underlay
+                    .account_transfer(now, r.host, origin, reply_bytes);
             }
         }
     }
@@ -450,7 +450,12 @@ mod tests {
             tier3_peering_prob: 0.3,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(n_hosts), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(n_hosts),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     fn quick_cfg(selection: NeighborSelection) -> GnutellaConfig {
@@ -463,28 +468,26 @@ mod tests {
 
     #[test]
     fn baseline_run_produces_traffic_and_searches() {
-        let (report, world) = run_experiment(
-            underlay(150, 1),
-            quick_cfg(NeighborSelection::Random),
-            42,
-        );
+        let (report, world) =
+            run_experiment(underlay(150, 1), quick_cfg(NeighborSelection::Random), 42);
         assert!(report.joins >= 150);
         assert!(report.ping_msgs > 0);
         assert!(report.pong_msgs > 0);
         assert!(report.query_msgs > 0);
         assert!(report.queries_issued > 50);
-        assert!(report.success_ratio() > 0.3, "success {}", report.success_ratio());
+        assert!(
+            report.success_ratio() > 0.3,
+            "success {}",
+            report.success_ratio()
+        );
         assert!(!report.edges.is_empty());
         assert!(world.underlay.traffic.transfers() > 0);
     }
 
     #[test]
     fn oracle_biased_increases_intra_as_edges() {
-        let (unbiased, _) = run_experiment(
-            underlay(200, 2),
-            quick_cfg(NeighborSelection::Random),
-            7,
-        );
+        let (unbiased, _) =
+            run_experiment(underlay(200, 2), quick_cfg(NeighborSelection::Random), 7);
         let (biased, world) = run_experiment(
             underlay(200, 2),
             quick_cfg(NeighborSelection::OracleBiased { list_size: 1000 }),
@@ -505,8 +508,7 @@ mod tests {
     #[test]
     fn oracle_biased_reduces_message_counts() {
         let n = 300;
-        let (unbiased, _) =
-            run_experiment(underlay(n, 3), quick_cfg(NeighborSelection::Random), 9);
+        let (unbiased, _) = run_experiment(underlay(n, 3), quick_cfg(NeighborSelection::Random), 9);
         let (biased, _) = run_experiment(
             underlay(n, 3),
             quick_cfg(NeighborSelection::OracleBiased { list_size: 1000 }),

@@ -242,8 +242,8 @@ pub fn decode(buf: &mut Bytes) -> Result<Descriptor, WireError> {
                 .iter()
                 .position(|&b| b == 0)
                 .ok_or(WireError::Malformed)?;
-            let search = String::from_utf8(bytes[..nul].to_vec())
-                .map_err(|_| WireError::Malformed)?;
+            let search =
+                String::from_utf8(bytes[..nul].to_vec()).map_err(|_| WireError::Malformed)?;
             Payload::Query { min_speed, search }
         }
         DescriptorType::QueryHit => {
@@ -267,8 +267,8 @@ pub fn decode(buf: &mut Bytes) -> Result<Descriptor, WireError> {
                 .windows(2)
                 .position(|w| w == [0, 0])
                 .ok_or(WireError::Malformed)?;
-            let file_name = String::from_utf8(rest[..name_end].to_vec())
-                .map_err(|_| WireError::Malformed)?;
+            let file_name =
+                String::from_utf8(rest[..name_end].to_vec()).map_err(|_| WireError::Malformed)?;
             let sid_start = name_end + 2;
             if rest.len() != sid_start + 16 {
                 return Err(WireError::Malformed);

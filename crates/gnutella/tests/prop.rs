@@ -21,7 +21,13 @@ fn underlay(n: usize, seed: u64) -> Underlay {
 }
 
 /// Builds a random overlay over `n` nodes with some leaves.
-fn random_overlay(u: &Underlay, n: u32, edges: usize, leaf_every: u32, rng: &mut SimRng) -> Overlay {
+fn random_overlay(
+    u: &Underlay,
+    n: u32,
+    edges: usize,
+    leaf_every: u32,
+    rng: &mut SimRng,
+) -> Overlay {
     let mut o = Overlay::new(n as usize);
     for i in 0..n {
         o.set_online(HostId(i), true);
@@ -151,9 +157,8 @@ mod wire_props {
                     kilobytes
                 }
             ),
-            (any::<u16>(), "[a-zA-Z0-9 _.-]{0,40}").prop_map(|(min_speed, search)| {
-                Payload::Query { min_speed, search }
-            }),
+            (any::<u16>(), "[a-zA-Z0-9 _.-]{0,40}")
+                .prop_map(|(min_speed, search)| { Payload::Query { min_speed, search } }),
             (
                 any::<u16>(),
                 any::<u32>(),
@@ -163,17 +168,19 @@ mod wire_props {
                 "[a-zA-Z0-9 _.-]{1,40}",
                 any::<u64>()
             )
-                .prop_map(|(port, ip, speed, file_index, file_size, file_name, sid)| {
-                    Payload::QueryHit {
-                        port,
-                        ip,
-                        speed,
-                        file_index,
-                        file_size,
-                        file_name,
-                        servent_id: Guid::from_u64(sid),
+                .prop_map(
+                    |(port, ip, speed, file_index, file_size, file_name, sid)| {
+                        Payload::QueryHit {
+                            port,
+                            ip,
+                            speed,
+                            file_index,
+                            file_size,
+                            file_name,
+                            servent_id: Guid::from_u64(sid),
+                        }
                     }
-                }),
+                ),
         ]
     }
 

@@ -13,7 +13,7 @@
 //! measuring each other.
 
 use crate::provider::ProximityEstimator;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use uap_net::{AsId, HostId, Underlay};
 use uap_sim::SimRng;
 
@@ -34,9 +34,7 @@ impl SimulatedCdn {
     pub fn deploy(underlay: &Underlay, k: usize) -> SimulatedCdn {
         let n = underlay.n_ases();
         let k = k.clamp(1, n);
-        let replica_ases = (0..k)
-            .map(|i| AsId((i * n / k) as u16))
-            .collect();
+        let replica_ases = (0..k).map(|i| AsId((i * n / k) as u16)).collect();
         SimulatedCdn {
             replica_ases,
             gamma: 2.0,
@@ -54,10 +52,7 @@ impl SimulatedCdn {
             .replica_ases
             .iter()
             .map(|&r| {
-                let hops = underlay
-                    .routing
-                    .as_hops(my_as, r)
-                    .unwrap_or(u32::MAX / 2) as f64;
+                let hops = underlay.routing.as_hops(my_as, r).unwrap_or(u32::MAX / 2) as f64;
                 let proximity_w = (1.0 + hops).powf(-self.gamma);
                 let noise = 1.0 + rng.f64_range(-self.load_noise, self.load_noise);
                 proximity_w * noise.max(0.01)
@@ -112,7 +107,7 @@ pub struct OnoEstimator<'a> {
     cdn: SimulatedCdn,
     /// Requests each peer samples to build its ratio map.
     pub samples_per_peer: usize,
-    maps: HashMap<HostId, RatioMap>,
+    maps: BTreeMap<HostId, RatioMap>,
     messages: u64,
 }
 
@@ -123,7 +118,7 @@ impl<'a> OnoEstimator<'a> {
             underlay,
             cdn,
             samples_per_peer,
-            maps: HashMap::new(),
+            maps: BTreeMap::new(),
             messages: 0,
         }
     }
@@ -182,7 +177,12 @@ mod tests {
             tier3_peering_prob: 0.2,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(200), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(200),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]

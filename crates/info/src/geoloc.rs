@@ -122,7 +122,12 @@ mod tests {
             tier3_peering_prob: 0.0,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(100), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(100),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -163,7 +168,10 @@ mod tests {
         }
         let mean_err = total_err / u.n_hosts() as f64;
         // Rough: tens of km, far beyond GPS error.
-        assert!(mean_err > 1.0, "mean error {mean_err} km suspiciously small");
+        assert!(
+            mean_err > 1.0,
+            "mean error {mean_err} km suspiciously small"
+        );
         assert!(mean_err <= svc.expected_error_km());
     }
 
@@ -171,7 +179,10 @@ mod tests {
     fn names_distinguish_sources() {
         let u = underlay();
         assert_eq!(GeoService::new(&u, GeoSource::Gps).name(), "gps");
-        assert_eq!(GeoService::new(&u, GeoSource::IpMapping).name(), "ip2location");
+        assert_eq!(
+            GeoService::new(&u, GeoSource::IpMapping).name(),
+            "ip2location"
+        );
         assert_eq!(
             GeoService::new(&u, GeoSource::IspProvided).name(),
             "isp-provided"

@@ -52,7 +52,12 @@ impl IcsService {
 
     /// Builds the system: measures the beacon matrix, constructs the
     /// transform with `dims` dimensions, and embeds every host.
-    pub fn build(underlay: &Underlay, n_beacons: usize, dims: usize, rng: &mut SimRng) -> IcsService {
+    pub fn build(
+        underlay: &Underlay,
+        n_beacons: usize,
+        dims: usize,
+        rng: &mut SimRng,
+    ) -> IcsService {
         let beacons = Self::pick_beacons(underlay, n_beacons);
         let m = beacons.len();
         assert!(m >= 2, "need at least two beacons");
@@ -67,7 +72,7 @@ impl IcsService {
                 }
                 let rtt = underlay
                     .measured_rtt_us(beacons[i], beacons[j], rng)
-                    .expect("beacons mutually reachable") as f64
+                    .expect("beacons mutually reachable") as f64 // lint:allow(expect)
                     / 1_000.0;
                 d[(i, j)] = rtt;
                 messages += 1;
@@ -125,11 +130,18 @@ impl IcsService {
 
     /// Predicted RTT between two hosts in microseconds.
     pub fn predict_us(&self, a: HostId, b: HostId) -> f64 {
-        self.system.predict(&self.coords[a.idx()], &self.coords[b.idx()]) * 1_000.0
+        self.system
+            .predict(&self.coords[a.idx()], &self.coords[b.idx()])
+            * 1_000.0
     }
 
     /// Evaluates prediction accuracy on `n_pairs` random pairs.
-    pub fn quality(&self, underlay: &Underlay, n_pairs: usize, rng: &mut SimRng) -> EmbeddingQuality {
+    pub fn quality(
+        &self,
+        underlay: &Underlay,
+        n_pairs: usize,
+        rng: &mut SimRng,
+    ) -> EmbeddingQuality {
         let n = self.coords.len();
         let pairs: Vec<(f64, f64)> = (0..n_pairs)
             .filter_map(|_| {
@@ -175,7 +187,12 @@ mod tests {
             tier3_peering_prob: 0.3,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(60), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(60),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -202,7 +219,11 @@ mod tests {
         let svc = IcsService::build(&u, 8, 4, &mut rng);
         let q = svc.quality(&u, 400, &mut rng);
         assert!(q.n > 300);
-        assert!(q.median_rel_err < 0.5, "median rel err {}", q.median_rel_err);
+        assert!(
+            q.median_rel_err < 0.5,
+            "median rel err {}",
+            q.median_rel_err
+        );
     }
 
     #[test]
@@ -232,7 +253,8 @@ mod tests {
         let d = uap_coords::matrix::l2(own, bc);
         // Not exact (jitterless here, but the embedding is lossy):
         // must still be far smaller than typical inter-beacon distances.
-        let spread = uap_coords::matrix::l2(svc.system().beacon_coord(0), svc.system().beacon_coord(1));
+        let spread =
+            uap_coords::matrix::l2(svc.system().beacon_coord(0), svc.system().beacon_coord(1));
         assert!(d < spread, "self-embedding {d} vs spread {spread}");
     }
 }

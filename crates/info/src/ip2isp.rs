@@ -8,14 +8,14 @@
 //! accuracy to model stale or mis-registered entries.
 
 use crate::provider::IspLocator;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use uap_net::{AsId, HostId, Underlay};
 use uap_sim::SimRng;
 
 /// A prefix-keyed ISP lookup database.
 pub struct Ip2IspService {
     /// /16 prefix (upper 16 bits of the IPv4 address) → AS.
-    prefix_table: HashMap<u16, AsId>,
+    prefix_table: BTreeMap<u16, AsId>,
     /// Host IP cache so lookups don't need the underlay.
     host_ips: Vec<u32>,
     /// Probability a lookup returns the correct AS; misses return a
@@ -31,7 +31,7 @@ impl Ip2IspService {
     /// of 1.0 models an authoritative registry; lower values model the
     /// "less accurate" public mapping databases.
     pub fn build(underlay: &Underlay, accuracy: f64, rng: SimRng) -> Ip2IspService {
-        let mut prefix_table = HashMap::new();
+        let mut prefix_table = BTreeMap::new();
         let mut host_ips = vec![0u32; underlay.n_hosts()];
         for h in underlay.hosts.ids() {
             let host = underlay.host(h);
@@ -56,7 +56,9 @@ impl Ip2IspService {
             Some(truth)
         } else {
             // A stale database points at some other AS.
-            Some(AsId((truth.0 + 1 + self.rng.below(self.n_ases.max(2) as u64 - 1) as u16) % self.n_ases))
+            Some(AsId(
+                (truth.0 + 1 + self.rng.below(self.n_ases.max(2) as u64 - 1) as u16) % self.n_ases,
+            ))
         }
     }
 }
@@ -64,7 +66,7 @@ impl Ip2IspService {
 impl IspLocator for Ip2IspService {
     fn isp_of(&mut self, h: HostId) -> AsId {
         let ip = self.host_ips[h.idx()];
-        self.lookup_ip(ip).expect("host prefixes are registered")
+        self.lookup_ip(ip).expect("host prefixes are registered") // lint:allow(expect)
     }
 
     fn queries(&self) -> u64 {
@@ -91,7 +93,12 @@ mod tests {
             tier3_peering_prob: 0.0,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(100), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(100),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]

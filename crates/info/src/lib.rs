@@ -26,7 +26,6 @@
 //! awareness" the paper calls for in its conclusions.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod cdn;
 pub mod geoloc;

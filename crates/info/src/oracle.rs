@@ -36,7 +36,12 @@ impl Oracle {
     /// truncating the input to `max_list` entries first — exactly the
     /// oracle call of \[1\]. Unreachable candidates sort last. Ties keep the
     /// caller's order (the oracle is not a load balancer).
-    pub fn rank(&mut self, underlay: &Underlay, querier: HostId, candidates: &[HostId]) -> Vec<HostId> {
+    pub fn rank(
+        &mut self,
+        underlay: &Underlay,
+        querier: HostId,
+        candidates: &[HostId],
+    ) -> Vec<HostId> {
         self.queries += 1;
         let take = candidates.len().min(self.max_list);
         self.ranked_entries += take as u64;
@@ -53,7 +58,12 @@ impl Oracle {
     }
 
     /// The single best candidate, if any.
-    pub fn best(&mut self, underlay: &Underlay, querier: HostId, candidates: &[HostId]) -> Option<HostId> {
+    pub fn best(
+        &mut self,
+        underlay: &Underlay,
+        querier: HostId,
+        candidates: &[HostId],
+    ) -> Option<HostId> {
         self.rank(underlay, querier, candidates).into_iter().next()
     }
 
@@ -84,7 +94,12 @@ mod tests {
             tier3_peering_prob: 0.3,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(300), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(300),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! transit link expensive.
 
 use crate::provider::ProximityEstimator;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use uap_net::{AsId, HostId, LinkKind, Underlay};
 use uap_sim::SimRng;
 
@@ -42,7 +42,7 @@ pub struct P4pService {
     pdistance: Vec<Vec<f64>>,
     n_ases: usize,
     map_fetches: u64,
-    cached_maps: HashMap<AsId, Vec<f64>>,
+    cached_maps: BTreeMap<AsId, Vec<f64>>,
 }
 
 impl P4pService {
@@ -70,7 +70,7 @@ impl P4pService {
                 }
                 for &li in g.incident(AsId(x)) {
                     let link = &g.links[li as usize];
-                    let y = link.other(AsId(x)).expect("incident").idx();
+                    let y = link.other(AsId(x)).expect("incident").idx(); // lint:allow(expect)
                     let w = match link.kind {
                         LinkKind::Peering => weights.peering,
                         LinkKind::Transit => weights.transit,
@@ -87,7 +87,7 @@ impl P4pService {
             pdistance,
             n_ases: n,
             map_fetches: 0,
-            cached_maps: HashMap::new(),
+            cached_maps: BTreeMap::new(),
         }
     }
 
@@ -172,7 +172,12 @@ mod tests {
             tier3_peering_prob: 0.3,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(150), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(150),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]

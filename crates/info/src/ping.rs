@@ -7,7 +7,7 @@
 //! models the sparing use the paper recommends.
 
 use crate::provider::ProximityEstimator;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use uap_net::{HostId, Underlay};
 use uap_sim::SimRng;
 
@@ -18,7 +18,7 @@ pub struct ExplicitPinger<'a> {
     /// When true, each ordered pair is only measured once and then served
     /// from cache.
     pub cache_enabled: bool,
-    cache: HashMap<(HostId, HostId), f64>,
+    cache: BTreeMap<(HostId, HostId), f64>,
     messages: u64,
     probes: u64,
 }
@@ -29,7 +29,7 @@ impl<'a> ExplicitPinger<'a> {
         ExplicitPinger {
             underlay,
             cache_enabled,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             messages: 0,
             probes: 0,
         }

@@ -40,11 +40,7 @@ pub trait ProximityEstimator {
             .iter()
             .map(|&c| (self.proximity(from, c, rng), c))
             .collect();
-        scored.sort_by(|x, y| {
-            x.0.partial_cmp(&y.0)
-                .expect("finite proximity")
-                .then(x.1.cmp(&y.1))
-        });
+        scored.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
         scored.into_iter().map(|(_, c)| c).collect()
     }
 }

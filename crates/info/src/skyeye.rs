@@ -13,7 +13,7 @@
 //! cost of one message per non-root member per round.
 
 use crate::provider::ResourceDirectory;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use uap_net::{HostId, Underlay};
 
 /// One peer's self-reported resources.
@@ -47,7 +47,7 @@ pub struct SkyEyeTree {
     branching: usize,
     k_cap: usize,
     members: Vec<HostId>,
-    reports: HashMap<HostId, ResourceReport>,
+    reports: BTreeMap<HostId, ResourceReport>,
     root_top: Vec<ResourceReport>,
     stats: SystemStats,
     messages: u64,
@@ -141,7 +141,11 @@ impl SkyEyeTree {
         self.root_top = top;
         self.stats = SystemStats {
             members: count,
-            mean_capacity: if count > 0 { cap_sum / count as f64 } else { 0.0 },
+            mean_capacity: if count > 0 {
+                cap_sum / count as f64
+            } else {
+                0.0
+            },
             total_storage_gb: storage_sum,
         };
     }
@@ -167,12 +171,7 @@ impl SkyEyeTree {
             cap += ccap;
             storage += cst;
         }
-        top.sort_by(|a, b| {
-            b.capacity
-                .partial_cmp(&a.capacity)
-                .expect("finite capacity")
-                .then(a.host.cmp(&b.host))
-        });
+        top.sort_by(|a, b| b.capacity.total_cmp(&a.capacity).then(a.host.cmp(&b.host)));
         top.truncate(self.k_cap);
         (top, count, cap, storage)
     }
@@ -222,7 +221,12 @@ mod tests {
             tier3_peering_prob: 0.0,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(64), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(64),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]

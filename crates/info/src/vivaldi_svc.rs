@@ -83,7 +83,12 @@ impl VivaldiService {
     }
 
     /// Evaluates prediction accuracy on `n_pairs` random host pairs.
-    pub fn quality(&self, underlay: &Underlay, n_pairs: usize, rng: &mut SimRng) -> EmbeddingQuality {
+    pub fn quality(
+        &self,
+        underlay: &Underlay,
+        n_pairs: usize,
+        rng: &mut SimRng,
+    ) -> EmbeddingQuality {
         let n = self.nodes.len();
         let pairs: Vec<(f64, f64)> = (0..n_pairs)
             .filter_map(|_| {
@@ -130,7 +135,12 @@ mod tests {
             tier3_peering_prob: 0.3,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(80), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(80),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -147,7 +157,11 @@ mod tests {
             before.median_rel_err,
             after.median_rel_err
         );
-        assert!(after.median_rel_err < 0.5, "median {}", after.median_rel_err);
+        assert!(
+            after.median_rel_err < 0.5,
+            "median {}",
+            after.median_rel_err
+        );
     }
 
     #[test]
@@ -176,7 +190,11 @@ mod tests {
         // The mean true RTT of the top 5 must beat the bottom 5.
         let rtt = |h: HostId| u.rtt_us(from, h).unwrap() as f64;
         let top: f64 = ranked[..5].iter().map(|&h| rtt(h)).sum::<f64>() / 5.0;
-        let bottom: f64 = ranked[ranked.len() - 5..].iter().map(|&h| rtt(h)).sum::<f64>() / 5.0;
+        let bottom: f64 = ranked[ranked.len() - 5..]
+            .iter()
+            .map(|&h| rtt(h))
+            .sum::<f64>()
+            / 5.0;
         assert!(top < bottom, "top {top} not < bottom {bottom}");
     }
 

@@ -65,9 +65,8 @@ impl ScopedDht {
             .ids()
             .map(|h| zone_of(&underlay.host(h).geo, world_km))
             .collect();
-        let dht = DhtNetwork::build_with_keys(underlay, cfg, rng, |i, key| {
-            scope_key(zones[i], &key)
-        });
+        let dht =
+            DhtNetwork::build_with_keys(underlay, cfg, rng, |i, key| scope_key(zones[i], &key));
         ScopedDht { dht, world_km }
     }
 
@@ -122,7 +121,12 @@ mod tests {
             tier3_peering_prob: 0.3,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(n),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -150,12 +154,7 @@ mod tests {
     #[test]
     fn regional_content_round_trips() {
         let mut rng = SimRng::new(3);
-        let mut dht = ScopedDht::build(
-            underlay(128, 3),
-            DhtConfig::default(),
-            5_000.0,
-            &mut rng,
-        );
+        let mut dht = ScopedDht::build(underlay(128, 3), DhtConfig::default(), 5_000.0, &mut rng);
         // A publisher stores regional content; a same-zone requester finds
         // it under the same key.
         let publisher = HostId(0);
@@ -198,7 +197,8 @@ mod tests {
                 let mut dht = ScopedDht::build(underlay(192, 7), cfg, 5_000.0, &mut rng);
                 for i in 0..60u32 {
                     let h = HostId(i % 192);
-                    let key = dht.regional_key(dht.zone_of_host(h), format!("c{}", i % 10).as_bytes());
+                    let key =
+                        dht.regional_key(dht.zone_of_host(h), format!("c{}", i % 10).as_bytes());
                     let out = dht.dht.lookup(h, &key, &mut rng);
                     hops += out.as_hops_sum;
                     rpcs += out.rpcs;

@@ -67,6 +67,16 @@ impl RoutingTable {
     /// Observes a contact (on any received message). Returns true if the
     /// contact ended up in the table.
     pub fn observe(&mut self, c: Contact) -> bool {
+        let inserted = self.observe_inner(c);
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            // lint:allow(panic) — debug-only invariant guard
+            panic!("routing table corrupted after observe: {e}");
+        }
+        inserted
+    }
+
+    fn observe_inner(&mut self, c: Contact) -> bool {
         let idx = match self.own.bucket_index(&c.key) {
             Some(i) => i,
             None => return false, // self
@@ -90,7 +100,7 @@ impl RoutingTable {
                     .iter()
                     .enumerate()
                     .max_by_key(|(i, e)| (e.as_hops, *i))
-                    .expect("bucket non-empty");
+                    .expect("bucket non-empty"); // lint:allow(expect)
                 if c.as_hops < far.as_hops {
                     bucket[far_pos] = c;
                     true
@@ -106,6 +116,49 @@ impl RoutingTable {
         if let Some(idx) = self.own.bucket_index(key) {
             self.buckets[idx].retain(|e| e.key != *key);
         }
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            // lint:allow(panic) — debug-only invariant guard
+            panic!("routing table corrupted after remove: {e}");
+        }
+    }
+
+    /// Validates the table's structural invariants: every bucket holds at
+    /// most `k` contacts, every contact sits in the bucket its XOR distance
+    /// dictates, no key appears twice anywhere, and the owner's own key is
+    /// never stored. Called under `debug_assertions` from [`Self::observe`]
+    /// and [`Self::remove`]; also usable directly from tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if bucket.len() > self.k {
+                return Err(format!(
+                    "bucket {i} holds {} contacts, capacity k = {}",
+                    bucket.len(),
+                    self.k
+                ));
+            }
+            for c in bucket {
+                match self.own.bucket_index(&c.key) {
+                    None => {
+                        return Err(format!("own key {:?} stored in bucket {i}", c.key));
+                    }
+                    Some(want) if want != i => {
+                        return Err(format!(
+                            "contact {:?} in bucket {i}, belongs in bucket {want}",
+                            c.key
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let mut seen: std::collections::BTreeSet<Key> = std::collections::BTreeSet::new();
+        for c in self.buckets.iter().flatten() {
+            if !seen.insert(c.key) {
+                return Err(format!("key {:?} appears twice in the table", c.key));
+            }
+        }
+        Ok(())
     }
 
     /// The `count` contacts closest to `target` in XOR distance,
@@ -240,6 +293,54 @@ mod tests {
                 std::cmp::Ordering::Greater
             );
         }
+    }
+
+    #[test]
+    fn invariants_hold_under_churn() {
+        let mut rng = SimRng::new(5);
+        let own = Key::random(&mut rng);
+        let mut t = RoutingTable::new(own, 3, OverflowPolicy::PreferNear);
+        let mut keys = Vec::new();
+        for i in 0..400 {
+            let k = Key::random(&mut rng);
+            t.observe(contact(k, (i % 7) as u32));
+            keys.push(k);
+            if i % 3 == 0 {
+                t.remove(&keys[(i * 31) % keys.len()]);
+            }
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_corruption() {
+        let own = Key::ZERO;
+        let mut t = RoutingTable::new(own, 2, OverflowPolicy::KeepOld);
+        let mk = |tail: u8| {
+            let mut b = [0u8; 20];
+            b[0] = 0x80;
+            b[19] = tail;
+            Key(b)
+        };
+        t.observe(contact(mk(1), 1));
+        t.observe(contact(mk(2), 1));
+        // Over-capacity bucket.
+        t.buckets[159].push(contact(mk(3), 1));
+        assert!(t.check_invariants().unwrap_err().contains("capacity"));
+        t.buckets[159].pop();
+        // Misplaced contact: a top-bit key stuffed into bucket 0.
+        t.buckets[0].push(contact(mk(4), 1));
+        assert!(t.check_invariants().unwrap_err().contains("belongs in"));
+        t.buckets[0].pop();
+        // Duplicate key smuggled into another slot of the same bucket.
+        t.buckets[159][1] = contact(mk(1), 9);
+        assert!(t.check_invariants().unwrap_err().contains("twice"));
+        t.buckets[159][1] = contact(mk(2), 1);
+        // Own key stored.
+        t.buckets[0].push(contact(own, 0));
+        assert!(t.check_invariants().unwrap_err().contains("own key"));
+        t.buckets[0].pop();
+        t.check_invariants().unwrap();
     }
 
     #[test]

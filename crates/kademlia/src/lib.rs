@@ -21,14 +21,13 @@
 //! at unchanged success rates and hop counts.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod gsh;
 pub mod id;
 pub mod kbucket;
 pub mod network;
 
+pub use gsh::ScopedDht;
 pub use id::Key;
 pub use kbucket::{Contact, RoutingTable};
-pub use gsh::ScopedDht;
 pub use network::{DhtConfig, DhtNetwork, LookupOutcome, ProximityMode};

@@ -8,7 +8,7 @@
 
 use crate::id::Key;
 use crate::kbucket::{Contact, OverflowPolicy, RoutingTable};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use uap_net::{HostId, TrafficCategory, Underlay};
 use uap_sim::{SimRng, SimTime};
 
@@ -67,7 +67,7 @@ pub struct LookupOutcome {
 struct NodeState {
     key: Key,
     table: RoutingTable,
-    storage: HashMap<Key, u64>,
+    storage: BTreeMap<Key, u64>,
     online: bool,
 }
 
@@ -77,7 +77,7 @@ pub struct DhtNetwork {
     pub underlay: Underlay,
     cfg: DhtConfig,
     nodes: Vec<NodeState>,
-    by_key: HashMap<Key, HostId>,
+    by_key: BTreeMap<Key, HostId>,
     clock: SimTime,
 }
 
@@ -108,14 +108,14 @@ impl DhtNetwork {
             ProximityMode::Pns | ProximityMode::PnsPr => OverflowPolicy::PreferNear,
         };
         let mut nodes = Vec::with_capacity(n);
-        let mut by_key = HashMap::new();
+        let mut by_key = BTreeMap::new();
         for i in 0..n {
             let key = key_map(i, Key::random(rng));
             by_key.insert(key, HostId(i as u32));
             nodes.push(NodeState {
                 key,
                 table: RoutingTable::new(key, cfg.k, policy),
-                storage: HashMap::new(),
+                storage: BTreeMap::new(),
                 online: true,
             });
         }
@@ -168,7 +168,11 @@ impl DhtNetwork {
     /// Mean AS-hop distance of all routing-table contacts — the table-
     /// composition effect of PNS.
     pub fn mean_table_as_hops(&self) -> f64 {
-        let sum: f64 = self.nodes.iter().map(|n| n.table.mean_contact_as_hops()).sum();
+        let sum: f64 = self
+            .nodes
+            .iter()
+            .map(|n| n.table.mean_contact_as_hops())
+            .sum();
         sum / self.nodes.len() as f64
     }
 
@@ -207,8 +211,8 @@ impl DhtNetwork {
         let mut out = LookupOutcome::default();
         let me = self.nodes[from.idx()].key;
         let mut shortlist: Vec<Contact> = self.nodes[from.idx()].table.closest(target, self.cfg.k);
-        let mut queried: HashSet<Key> = HashSet::new();
-        let mut dead: HashSet<Key> = HashSet::new();
+        let mut queried: BTreeSet<Key> = BTreeSet::new();
+        let mut dead: BTreeSet<Key> = BTreeSet::new();
         queried.insert(me);
         loop {
             out.rounds += 1;
@@ -243,8 +247,7 @@ impl DhtNetwork {
                                 continue;
                             }
                             // Re-base the cached AS distance on the caller.
-                            r.as_hops =
-                                self.underlay.as_hops(from, r.host).unwrap_or(u32::MAX);
+                            r.as_hops = self.underlay.as_hops(from, r.host).unwrap_or(u32::MAX);
                             learned.push(r);
                         }
                     }
@@ -286,7 +289,13 @@ impl DhtNetwork {
 
     /// Stores `value` under `key` on the k closest nodes. Returns the
     /// lookup outcome plus the number of replicas written.
-    pub fn store(&mut self, from: HostId, key: &Key, value: u64, rng: &mut SimRng) -> (LookupOutcome, usize) {
+    pub fn store(
+        &mut self,
+        from: HostId,
+        key: &Key,
+        value: u64,
+        rng: &mut SimRng,
+    ) -> (LookupOutcome, usize) {
         let mut out = self.lookup(from, key, rng);
         let targets: Vec<HostId> = out.closest.iter().map(|c| c.host).collect();
         let mut written = 0;
@@ -301,7 +310,12 @@ impl DhtNetwork {
 
     /// Retrieves a value: lookup, then ask the closest nodes. Returns the
     /// value if any replica answered.
-    pub fn retrieve(&mut self, from: HostId, key: &Key, rng: &mut SimRng) -> (LookupOutcome, Option<u64>) {
+    pub fn retrieve(
+        &mut self,
+        from: HostId,
+        key: &Key,
+        rng: &mut SimRng,
+    ) -> (LookupOutcome, Option<u64>) {
         let mut out = self.lookup(from, key, rng);
         let targets: Vec<HostId> = out.closest.iter().map(|c| c.host).collect();
         for t in targets {
@@ -353,7 +367,12 @@ mod tests {
             tier3_peering_prob: 0.3,
         })
         .build(&mut rng);
-        Underlay::build(g, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+        Underlay::build(
+            g,
+            &PopulationSpec::leaf(n),
+            UnderlayConfig::default(),
+            &mut rng,
+        )
     }
 
     fn network(n: usize, mode: ProximityMode, seed: u64) -> (DhtNetwork, SimRng) {
@@ -380,7 +399,10 @@ mod tests {
                 exact += 1;
             }
         }
-        assert!(exact >= 36, "only {exact}/40 lookups found the closest node");
+        assert!(
+            exact >= 36,
+            "only {exact}/40 lookups found the closest node"
+        );
     }
 
     #[test]
@@ -430,7 +452,8 @@ mod tests {
                 let out = net.lookup(from, &target, &mut rng);
                 inter += out.inter_as_rpcs;
                 total += out.rpcs;
-                if out.closest.first().map(|c| c.key) == net.true_closest(&target, 1).first().copied()
+                if out.closest.first().map(|c| c.key)
+                    == net.true_closest(&target, 1).first().copied()
                 {
                     exact += 1;
                 }

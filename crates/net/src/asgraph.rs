@@ -112,7 +112,7 @@ impl AsGraph {
 
     /// Adds an AS and returns its id.
     pub fn add_as(&mut self, tier: Tier, geo_center: GeoPoint, service_radius_km: f64) -> AsId {
-        let id = AsId(u16::try_from(self.nodes.len()).expect("too many ASes"));
+        let id = AsId(u16::try_from(self.nodes.len()).expect("too many ASes")); // lint:allow(expect)
         self.nodes.push(AsNode {
             id,
             tier,
@@ -135,7 +135,7 @@ impl AsGraph {
             link.a,
             link.b
         );
-        let idx = u32::try_from(self.links.len()).expect("too many links");
+        let idx = u32::try_from(self.links.len()).expect("too many links"); // lint:allow(expect)
         self.adj[link.a.idx()].push(idx);
         self.adj[link.b.idx()].push(idx);
         self.links.push(link);
@@ -179,7 +179,9 @@ impl AsGraph {
     /// Neighbors of `x` with the connecting link index.
     pub fn neighbors(&self, x: AsId) -> impl Iterator<Item = (AsId, u32)> + '_ {
         self.adj[x.idx()].iter().map(move |&li| {
-            let other = self.links[li as usize].other(x).expect("adjacency invariant");
+            let other = self.links[li as usize]
+                .other(x)
+                .expect("adjacency invariant"); // lint:allow(expect)
             (other, li)
         })
     }
@@ -274,7 +276,7 @@ impl AsGraph {
                     }
                     let y = self.links[li as usize]
                         .other(AsId(x as u16))
-                        .expect("adjacency invariant")
+                        .expect("adjacency invariant") // lint:allow(expect)
                         .idx();
                     if !seen[y] {
                         seen[y] = true;
@@ -329,10 +331,22 @@ mod tests {
     #[test]
     fn relationships() {
         let g = triangle();
-        assert_eq!(g.relationship(AsId(0), AsId(1)), Some(Relationship::ProviderOf));
-        assert_eq!(g.relationship(AsId(1), AsId(0)), Some(Relationship::CustomerOf));
-        assert_eq!(g.relationship(AsId(1), AsId(2)), Some(Relationship::PeerWith));
-        assert_eq!(g.relationship(AsId(2), AsId(1)), Some(Relationship::PeerWith));
+        assert_eq!(
+            g.relationship(AsId(0), AsId(1)),
+            Some(Relationship::ProviderOf)
+        );
+        assert_eq!(
+            g.relationship(AsId(1), AsId(0)),
+            Some(Relationship::CustomerOf)
+        );
+        assert_eq!(
+            g.relationship(AsId(1), AsId(2)),
+            Some(Relationship::PeerWith)
+        );
+        assert_eq!(
+            g.relationship(AsId(2), AsId(1)),
+            Some(Relationship::PeerWith)
+        );
     }
 
     #[test]

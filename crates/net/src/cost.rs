@@ -101,7 +101,7 @@ pub fn bill_all(
     params: &CostParams,
     horizon: SimTime,
 ) -> Vec<IspBill> {
-    (0..graph.len())
+    let bills: Vec<IspBill> = (0..graph.len())
         .map(|i| {
             let asn = AsId(i as u16);
             let p95 = traffic.transit_p95_mbps(asn, horizon);
@@ -118,7 +118,13 @@ pub fn bill_all(
                 peering_usd: params.peering_cost(peering_links),
             }
         })
-        .collect()
+        .collect();
+    #[cfg(debug_assertions)]
+    if let Err(e) = crate::invariants::check_cost_non_negative(&bills) {
+        // lint:allow(panic) — debug-only invariant guard
+        panic!("cost model produced an invalid bill: {e}");
+    }
+    bills
 }
 
 /// Sum of all ASes' transit bills — the system-wide avoidable cost that
@@ -138,7 +144,10 @@ mod tests {
         assert_eq!(p.transit_cost(10.0), 200.0);
         assert_eq!(p.transit_cost(100.0), 2_000.0);
         // Per-Mbps price is flat.
-        assert_eq!(p.transit_cost_per_mbps(1.0), p.transit_cost_per_mbps(1_000.0));
+        assert_eq!(
+            p.transit_cost_per_mbps(1.0),
+            p.transit_cost_per_mbps(1_000.0)
+        );
     }
 
     #[test]

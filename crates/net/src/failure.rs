@@ -137,13 +137,8 @@ mod tests {
     fn reachability_degrades_monotonically_on_average() {
         let g = graph();
         let mut rng = SimRng::new(5);
-        let sweep = reachability_sweep(
-            &g,
-            RoutingMode::ShortestPath,
-            &[0.0, 0.3, 0.9],
-            5,
-            &mut rng,
-        );
+        let sweep =
+            reachability_sweep(&g, RoutingMode::ShortestPath, &[0.0, 0.3, 0.9], 5, &mut rng);
         assert_eq!(sweep[0].1, 1.0);
         assert!(sweep[0].1 >= sweep[1].1);
         assert!(sweep[1].1 >= sweep[2].1);

@@ -198,12 +198,14 @@ impl TopologySpec {
             // Children scatter near their parent.
             let pc = g.nodes[parent.idx()].geo_center;
             let p = GeoPoint::new(
-                (pc.x_km + rng.f64_range(-0.15, 0.15) * self.world_km)
-                    .clamp(0.0, self.world_km),
-                (pc.y_km + rng.f64_range(-0.15, 0.15) * self.world_km)
-                    .clamp(0.0, self.world_km),
+                (pc.x_km + rng.f64_range(-0.15, 0.15) * self.world_km).clamp(0.0, self.world_km),
+                (pc.y_km + rng.f64_range(-0.15, 0.15) * self.world_km).clamp(0.0, self.world_km),
             );
-            let tier = if i <= fanout { Tier::Tier2 } else { Tier::Tier3 };
+            let tier = if i <= fanout {
+                Tier::Tier2
+            } else {
+                Tier::Tier3
+            };
             let child = g.add_as(tier, p, self.world_km / 20.0);
             let lat = self.link_latency(&g, parent, child);
             g.add_transit(parent, child, lat, 5_000.0);
@@ -387,7 +389,10 @@ pub fn testlab_specs() -> Vec<(&'static str, TopologySpec)> {
     vec![
         ("ring", TopologySpec::new(TopologyKind::Ring { n: 5 })),
         ("star", TopologySpec::new(TopologyKind::Star { n: 5 })),
-        ("tree", TopologySpec::new(TopologyKind::Tree { n: 5, fanout: 2 })),
+        (
+            "tree",
+            TopologySpec::new(TopologyKind::Tree { n: 5, fanout: 2 }),
+        ),
         (
             "mesh",
             TopologySpec::new(TopologyKind::Mesh {
@@ -499,7 +504,9 @@ mod tests {
         let g = TopologySpec::new(TopologyKind::PreferentialAttachment { n: 200, m: 2 })
             .build(&mut rng());
         assert!(g.is_connected(None));
-        let mut degrees: Vec<usize> = (0..g.len()).map(|i| g.incident(AsId(i as u16)).len()).collect();
+        let mut degrees: Vec<usize> = (0..g.len())
+            .map(|i| g.incident(AsId(i as u16)).len())
+            .collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         // Heavy-tailed: the max degree should far exceed the median.
         assert!(degrees[0] >= 4 * degrees[g.len() / 2]);

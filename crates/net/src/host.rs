@@ -172,7 +172,7 @@ impl HostPopulation {
                 Some(*acc)
             })
             .collect();
-        let total = *cdf.last().expect("non-empty graph");
+        let total = *cdf.last().expect("non-empty graph"); // lint:allow(expect)
 
         let mut hosts = Vec::with_capacity(spec.n);
         let mut by_as = vec![Vec::new(); graph.len()];

@@ -1,0 +1,222 @@
+//! Runtime invariant checkers for the underlay model.
+//!
+//! Complements the static determinism lint (`cargo run -p xtask -- lint`):
+//! where the lint bans nondeterminism *sources*, these checkers catch
+//! *logic* corruption at the model's trust boundaries. Each checker
+//! returns `Err(description)` rather than panicking so tests can assert
+//! on the failure text; the call sites in [`crate::routing`],
+//! [`crate::traffic`] and [`crate::cost`] run them under
+//! `debug_assertions` only, so release experiment sweeps pay nothing.
+//!
+//! Checkers:
+//!
+//! * [`check_valley_free`] — an AS path obeys the Gao export rules
+//!   (§2.1 / Figure 1): climb customer→provider links, cross at most one
+//!   peering link, then descend provider→customer links; no valleys, no
+//!   AS revisited.
+//! * [`check_traffic_conservation`] — the per-link byte ledger of
+//!   [`crate::traffic::TrafficAccounting`] sums to its per-category
+//!   totals: bytes are neither created nor destroyed by classification.
+//! * [`check_cost_non_negative`] — no bill contains a negative or
+//!   non-finite charge (the cost model is a sum of non-negative tariffs).
+
+use crate::asgraph::{AsGraph, LinkKind, Relationship};
+use crate::cost::IspBill;
+use crate::ids::AsId;
+use crate::traffic::TrafficAccounting;
+
+/// Validates that `path` (a sequence of ASes, as returned by
+/// [`crate::routing::Routing::path_ases`]) is valley-free: the
+/// relationship sequence matches `up* peer? down*`, every hop is a real
+/// link, and no AS appears twice.
+pub fn check_valley_free(graph: &AsGraph, path: &[AsId]) -> Result<(), String> {
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    enum Phase {
+        Climbing,
+        Descending,
+    }
+    let mut phase = Phase::Climbing;
+    for (i, w) in path.windows(2).enumerate() {
+        let (x, y) = (w[0], w[1]);
+        let rel = graph
+            .relationship(x, y)
+            .ok_or_else(|| format!("hop {i}: {x} and {y} are not directly linked"))?;
+        phase = match (phase, rel) {
+            // Climbing: x buys transit from y (y is x's provider).
+            (Phase::Climbing, Relationship::CustomerOf) => Phase::Climbing,
+            // At most one peering crossing, only at the top of the climb.
+            (Phase::Climbing, Relationship::PeerWith) => Phase::Descending,
+            // Descending: x sells transit to y; allowed from either phase.
+            (_, Relationship::ProviderOf) => Phase::Descending,
+            (Phase::Descending, rel) => {
+                return Err(format!(
+                    "hop {i}: {x}->{y} is {rel:?} after the path started descending — a valley"
+                ));
+            }
+        };
+    }
+    for (i, a) in path.iter().enumerate() {
+        if path[i + 1..].contains(a) {
+            return Err(format!("AS {a} appears twice — routing loop"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates byte conservation in `traffic` against `graph`: the sum of
+/// per-link bytes over peering links must equal the peering total, and
+/// likewise for transit links. (Intra-AS bytes never touch a link.)
+pub fn check_traffic_conservation(
+    graph: &AsGraph,
+    traffic: &TrafficAccounting,
+) -> Result<(), String> {
+    let (_, peering_total, transit_total) = traffic.totals();
+    let mut peering_sum = 0u64;
+    let mut transit_sum = 0u64;
+    for (li, link) in graph.links.iter().enumerate() {
+        let b = traffic.link_bytes(li as u32);
+        match link.kind {
+            LinkKind::Peering => peering_sum += b,
+            LinkKind::Transit => transit_sum += b,
+        }
+    }
+    if peering_sum != peering_total {
+        return Err(format!(
+            "peering bytes not conserved: per-link sum {peering_sum} != total {peering_total}"
+        ));
+    }
+    if transit_sum != transit_total {
+        return Err(format!(
+            "transit bytes not conserved: per-link sum {transit_sum} != total {transit_total}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates that every bill is composed of finite, non-negative charges.
+pub fn check_cost_non_negative(bills: &[IspBill]) -> Result<(), String> {
+    for b in bills {
+        for (what, v) in [
+            ("transit_p95_mbps", b.transit_p95_mbps),
+            ("transit_usd", b.transit_usd),
+            ("peering_usd", b.peering_usd),
+            ("total_usd", b.total_usd()),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{}: {what} = {v} (negative or non-finite)", b.asn));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asgraph::Tier;
+    use crate::cost::{bill_all, CostParams};
+    use crate::geo::GeoPoint;
+    use crate::routing::{Routing, RoutingMode};
+    use uap_sim::SimTime;
+
+    /// T1 over two T2s over two stubs each, stubs b/c peered.
+    fn hierarchy() -> AsGraph {
+        let mut g = AsGraph::new();
+        let p = |x: f64| GeoPoint::new(x, 0.0);
+        let t1 = g.add_as(Tier::Tier1, p(0.0), 100.0); // AS0
+        let t2a = g.add_as(Tier::Tier2, p(-100.0), 50.0); // AS1
+        let t2b = g.add_as(Tier::Tier2, p(100.0), 50.0); // AS2
+        let a = g.add_as(Tier::Tier3, p(-150.0), 20.0); // AS3
+        let b = g.add_as(Tier::Tier3, p(-50.0), 20.0); // AS4
+        let c = g.add_as(Tier::Tier3, p(50.0), 20.0); // AS5
+        g.add_transit(t1, t2a, 5_000, 40_000.0);
+        g.add_transit(t1, t2b, 5_000, 40_000.0);
+        g.add_transit(t2a, a, 2_000, 10_000.0);
+        g.add_transit(t2a, b, 2_000, 10_000.0);
+        g.add_transit(t2b, c, 2_000, 10_000.0);
+        g.add_peering(b, c, 1_000, 1_000.0);
+        g
+    }
+
+    #[test]
+    fn computed_valley_free_paths_validate() {
+        let g = hierarchy();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        for src in 0..g.len() {
+            for dst in 0..g.len() {
+                if src == dst {
+                    continue;
+                }
+                let path = r.path_ases(&g, AsId(src as u16), AsId(dst as u16)).unwrap();
+                check_valley_free(&g, &path).unwrap_or_else(|e| panic!("path {path:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn valley_is_rejected() {
+        let g = hierarchy();
+        // a -> t2a -> b -> c: descends t2a->b then crosses peering b~c.
+        let valley = [AsId(3), AsId(1), AsId(4), AsId(5)];
+        let err = check_valley_free(&g, &valley).unwrap_err();
+        assert!(err.contains("valley"), "{err}");
+        // Unlinked hop.
+        let err = check_valley_free(&g, &[AsId(3), AsId(5)]).unwrap_err();
+        assert!(err.contains("not directly linked"), "{err}");
+        // Loop.
+        let err = check_valley_free(&g, &[AsId(3), AsId(1), AsId(0), AsId(1)]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn double_peering_is_a_valley() {
+        let mut g = hierarchy();
+        let d = g.add_as(Tier::Tier3, GeoPoint::new(80.0, 0.0), 20.0); // AS6
+        g.add_peering(AsId(5), d, 1_000, 1_000.0);
+        // b ~ c ~ d crosses two peering links.
+        let err = check_valley_free(&g, &[AsId(4), AsId(5), AsId(6)]).unwrap_err();
+        assert!(err.contains("valley"), "{err}");
+    }
+
+    #[test]
+    fn traffic_ledger_conserves_bytes() {
+        let g = hierarchy();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        let mut t = TrafficAccounting::new(&g);
+        let mut now = SimTime::ZERO;
+        for src in 0..g.len() {
+            for dst in 0..g.len() {
+                if src == dst {
+                    continue;
+                }
+                let path = r.path_links(AsId(src as u16), AsId(dst as u16)).unwrap();
+                t.record(&g, now, AsId(src as u16), &path, 10_000);
+                now += SimTime::from_secs(1);
+            }
+        }
+        check_traffic_conservation(&g, &t).unwrap();
+    }
+
+    #[test]
+    fn bills_validate_non_negative() {
+        let g = hierarchy();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        let mut t = TrafficAccounting::new(&g);
+        let path = r.path_links(AsId(3), AsId(5)).unwrap();
+        t.record(&g, SimTime::from_secs(30), AsId(3), &path, 1 << 20);
+        let bills = bill_all(&g, &t, &CostParams::default(), SimTime::from_hours(1));
+        check_cost_non_negative(&bills).unwrap();
+    }
+
+    #[test]
+    fn corrupt_bill_is_caught() {
+        let g = hierarchy();
+        let t = TrafficAccounting::new(&g);
+        let mut bills = bill_all(&g, &t, &CostParams::default(), SimTime::from_hours(1));
+        bills[0].transit_usd = -1.0;
+        let err = check_cost_non_negative(&bills).unwrap_err();
+        assert!(err.contains("transit_usd"), "{err}");
+        bills[0].transit_usd = f64::NAN;
+        assert!(check_cost_non_negative(&bills).is_err());
+    }
+}

@@ -20,10 +20,11 @@
 //! * [`traffic`] + [`cost`] — the transit-vs-peering **cost model** of the
 //!   paper's Figure 2: transit billed per Mbps at the 95th percentile,
 //!   peering at a flat fee;
-//! * [`failure`] — link/AS failure injection for resilience experiments.
+//! * [`failure`] — link/AS failure injection for resilience experiments;
+//! * [`invariants`] — runtime checkers (valley-free routes, traffic
+//!   conservation, cost non-negativity) wired in under `debug_assertions`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod asgraph;
 pub mod cost;
@@ -32,6 +33,7 @@ pub mod gen;
 pub mod geo;
 pub mod host;
 pub mod ids;
+pub mod invariants;
 pub mod routing;
 pub mod traffic;
 pub mod underlay;

@@ -55,11 +55,7 @@ impl Routing {
 
     /// Computes routing tables excluding links marked dead in `mask`
     /// (indexed by link index). Used by failure-injection experiments.
-    pub fn compute_with_mask(
-        graph: &AsGraph,
-        mode: RoutingMode,
-        mask: Option<&[bool]>,
-    ) -> Routing {
+    pub fn compute_with_mask(graph: &AsGraph, mode: RoutingMode, mask: Option<&[bool]>) -> Routing {
         let n = graph.len();
         let tables = (0..n)
             .map(|src| Self::dijkstra(graph, mode, AsId(src as u16), mask))
@@ -99,7 +95,7 @@ impl Routing {
                     }
                 }
                 let link = &graph.links[li as usize];
-                let y = link.other(x).expect("incident link");
+                let y = link.other(x).expect("incident link"); // lint:allow(expect)
                 let next_phase = match mode {
                     RoutingMode::ShortestPath => 0,
                     RoutingMode::ValleyFree => match (phase, link.kind) {
@@ -126,7 +122,11 @@ impl Routing {
                 }
             }
         }
-        SrcTable { hops, latency, pred }
+        SrcTable {
+            hops,
+            latency,
+            pred,
+        }
     }
 
     fn best_state(&self, src: AsId, dst: AsId) -> Option<usize> {
@@ -178,10 +178,17 @@ impl Routing {
         let mut out = vec![src];
         let mut cur = src;
         for li in links {
-            cur = graph.links[li as usize].other(cur).expect("path link");
+            cur = graph.links[li as usize].other(cur).expect("path link"); // lint:allow(expect)
             out.push(cur);
         }
-        debug_assert_eq!(*out.last().unwrap(), dst);
+        debug_assert_eq!(out.last().copied(), Some(dst));
+        #[cfg(debug_assertions)]
+        if self.mode == RoutingMode::ValleyFree {
+            if let Err(e) = crate::invariants::check_valley_free(graph, &out) {
+                // lint:allow(panic) — debug-only invariant guard
+                panic!("valley-free violation on {src}->{dst}: {e}");
+            }
+        }
         Some(out)
     }
 

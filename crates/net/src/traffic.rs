@@ -75,7 +75,7 @@ impl TrafficAccounting {
         for &li in path_links {
             let link = &graph.links[li as usize];
             self.per_link_bytes[li as usize] += bytes;
-            let next = link.other(cur).expect("path follows links");
+            let next = link.other(cur).expect("path follows links"); // lint:allow(expect)
             match link.kind {
                 LinkKind::Peering => {
                     self.peering_bytes += bytes;
@@ -93,6 +93,11 @@ impl TrafficAccounting {
                 }
             }
             cur = next;
+        }
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::invariants::check_traffic_conservation(graph, self) {
+            // lint:allow(panic) — debug-only invariant guard
+            panic!("traffic ledger corrupted: {e}");
         }
         if crossed_transit {
             TrafficCategory::InterAsTransit
@@ -150,7 +155,7 @@ impl TrafficAccounting {
             .map(|&b| b as f64 * 8.0 / 1e6 / width_s)
             .collect();
         rates.resize(n_windows.max(rates.len()), 0.0);
-        rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        rates.sort_by(|a, b| a.total_cmp(b));
         // Nearest-rank 95th percentile.
         let rank = ((0.95 * rates.len() as f64).ceil() as usize).clamp(1, rates.len());
         rates[rank - 1]

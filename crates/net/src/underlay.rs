@@ -105,7 +105,8 @@ impl Underlay {
 
     /// AS-hop distance between two hosts (0 if same AS).
     pub fn as_hops(&self, a: HostId, b: HostId) -> Option<u32> {
-        self.routing.as_hops(self.hosts.as_of(a), self.hosts.as_of(b))
+        self.routing
+            .as_hops(self.hosts.as_of(a), self.hosts.as_of(b))
     }
 
     /// One-way latency from `a` to `b` in microseconds: both access links,
@@ -277,10 +278,7 @@ mod tests {
         for i in 0..10u32 {
             let (a, b) = (HostId(i), HostId(i + 50));
             assert_eq!(u.latency_us(a, b), u.latency_us(b, a));
-            assert_eq!(
-                u.rtt_us(a, b).unwrap(),
-                2 * u.latency_us(a, b).unwrap()
-            );
+            assert_eq!(u.rtt_us(a, b).unwrap(), 2 * u.latency_us(a, b).unwrap());
         }
     }
 
@@ -346,8 +344,8 @@ mod tests {
         // peering hop apart are mutually unreachable. Their (impossible)
         // transfer must not inflate the intra-AS locality figure.
         let mut rng = SimRng::new(77);
-        let graph = crate::gen::TopologySpec::new(crate::gen::TopologyKind::Ring { n: 5 })
-            .build(&mut rng);
+        let graph =
+            crate::gen::TopologySpec::new(crate::gen::TopologyKind::Ring { n: 5 }).build(&mut rng);
         let mut u = Underlay::build(
             graph,
             &crate::host::PopulationSpec::uniform(10),

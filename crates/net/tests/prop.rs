@@ -1,9 +1,7 @@
 //! Property-based tests for routing, traffic and cost invariants.
 
 use proptest::prelude::*;
-use uap_net::{
-    AsId, LinkKind, Relationship, Routing, RoutingMode, TopologyKind, TopologySpec,
-};
+use uap_net::{AsId, LinkKind, Relationship, Routing, RoutingMode, TopologyKind, TopologySpec};
 use uap_sim::SimRng;
 
 fn random_hierarchy(seed: u64, t1: usize, t2: usize, t3: usize) -> uap_net::AsGraph {

@@ -231,7 +231,10 @@ mod tests {
         let d = SessionDist::Exponential { mean_secs: 30.0 };
         let mut rng = SimRng::new(4);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| d.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| d.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
     }
 }

@@ -1,0 +1,334 @@
+//! Insertion-ordered deterministic map and set.
+//!
+//! `std::collections::HashMap` iterates in a per-process randomized order
+//! (SipHash keys are seeded from the OS), so any simulation state that is
+//! ever iterated — metric dumps, draining queues, tie-breaking scans —
+//! becomes a run-to-run nondeterminism hazard. The workspace lint
+//! (`cargo run -p xtask -- lint`) therefore bans `HashMap`/`HashSet` in
+//! sim-path code. [`DetMap`] and [`DetSet`] are the drop-in alternatives
+//! when *insertion order* is the natural iteration order; use `BTreeMap`/
+//! `BTreeSet` when key order is.
+//!
+//! Lookups stay O(1) via an internal hash index (private, never
+//! iterated, so its randomized order cannot leak). Iteration follows
+//! insertion order. `remove` preserves the order of the remaining
+//! entries (shift semantics, O(n) — same trade-off as `indexmap`'s
+//! `shift_remove`); re-inserting an existing key updates the value but
+//! keeps the key's original position.
+
+use std::borrow::Borrow;
+// The index is never iterated, so HashMap's randomized order cannot
+// affect observable behaviour. lint:allow(hashmap)
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A map that iterates in insertion order with O(1) lookups.
+#[derive(Clone, Debug, Default)]
+pub struct DetMap<K, V> {
+    entries: Vec<(K, V)>,
+    index: HashMap<K, usize>, // lint:allow(hashmap)
+}
+
+impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DetMap {
+            entries: Vec::new(),
+            index: HashMap::new(), // lint:allow(hashmap)
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `value` under `key`. Returns the previous value if the key
+    /// was present; its insertion position is kept in that case.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.index.get(&key) {
+            Some(&i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            None => {
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Borrowed-key lookup.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.index.get(key).map(|&i| &self.entries[i].1)
+    }
+
+    /// Mutable borrowed-key lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        match self.index.get(key) {
+            Some(&i) => Some(&mut self.entries[i].1),
+            None => None,
+        }
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.index.contains_key(key)
+    }
+
+    /// Removes `key`, returning its value. Later entries shift down one
+    /// position (O(n)) so the remaining iteration order is unchanged.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let i = self.index.remove(key)?;
+        let (_, value) = self.entries.remove(i);
+        for (k, _) in &self.entries[i..] {
+            if let Some(slot) = self.index.get_mut::<K>(k) {
+                *slot -= 1;
+            }
+        }
+        Some(value)
+    }
+
+    /// Returns the value under `key`, inserting `default()` first if absent.
+    pub fn entry_or_insert_with<F: FnOnce() -> V>(&mut self, key: K, default: F) -> &mut V {
+        let i = match self.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.entries.len();
+                self.index.insert(key.clone(), i);
+                self.entries.push((key, default()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    /// Entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Mutable entries in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = DetMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<'a, K: Eq + Hash + Clone, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, (K, V)>, fn(&'a (K, V)) -> (&'a K, &'a V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        fn split<K, V>(e: &(K, V)) -> (&K, &V) {
+            (&e.0, &e.1)
+        }
+        self.entries.iter().map(split)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A set that iterates in insertion order with O(1) membership tests.
+#[derive(Clone, Debug, Default)]
+pub struct DetSet<T> {
+    map: DetMap<T, ()>,
+}
+
+impl<T: Eq + Hash + Clone> DetSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        DetSet { map: DetMap::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Adds `value`; returns true if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.map.insert(value, ()).is_none()
+    }
+
+    /// True when `value` is a member.
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.map.contains_key(value)
+    }
+
+    /// Removes `value`; returns true if it was present. O(n) shift, order
+    /// of the remaining elements unchanged.
+    pub fn remove<Q>(&mut self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.map.remove(value).is_some()
+    }
+
+    /// Elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.map.keys()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl<T: Eq + Hash + Clone> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = DetSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{DetMap, DetSet};
+
+    #[test]
+    fn iteration_follows_insertion_order() {
+        let mut m = DetMap::new();
+        for k in [30u32, 10, 20, 5] {
+            m.insert(k, k * 2);
+        }
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![30, 10, 20, 5]);
+        let vals: Vec<u32> = m.values().copied().collect();
+        assert_eq!(vals, vec![60, 20, 40, 10]);
+    }
+
+    #[test]
+    fn reinsert_keeps_position_and_returns_old() {
+        let mut m = DetMap::new();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.insert("a", 9), Some(1));
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(m.get("a"), Some(&9));
+    }
+
+    #[test]
+    fn remove_shifts_but_preserves_order() {
+        let mut m: DetMap<u8, u8> = (0u8..6).map(|k| (k, k)).collect();
+        assert_eq!(m.remove(&2), Some(2));
+        assert_eq!(m.remove(&9), None);
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![0, 1, 3, 4, 5]);
+        // Index stays consistent after the shift.
+        for k in [0u8, 1, 3, 4, 5] {
+            assert_eq!(m.get(&k), Some(&k));
+        }
+        m.insert(2, 2);
+        assert_eq!(
+            m.keys().copied().collect::<Vec<_>>(),
+            vec![0, 1, 3, 4, 5, 2]
+        );
+    }
+
+    #[test]
+    fn entry_or_insert_with() {
+        let mut m: DetMap<&str, Vec<u32>> = DetMap::new();
+        m.entry_or_insert_with("x", Vec::new).push(1);
+        m.entry_or_insert_with("x", Vec::new).push(2);
+        assert_eq!(m.get("x"), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut s = DetSet::new();
+        assert!(s.insert(7u64));
+        assert!(!s.insert(7));
+        assert!(s.insert(3));
+        assert!(s.contains(&7));
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![7, 3]);
+        assert!(s.remove(&7));
+        assert!(!s.remove(&7));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn same_insertions_same_order_across_instances() {
+        // The determinism property itself: two maps fed the same sequence
+        // iterate identically (unlike HashMap, whose order is seeded).
+        let feed = |m: &mut DetMap<u64, u64>| {
+            for k in [9u64, 1, 8, 2, 7, 3] {
+                m.insert(k, k);
+            }
+            m.remove(&8);
+            m.insert(100, 100);
+        };
+        let (mut a, mut b) = (DetMap::new(), DetMap::new());
+        feed(&mut a);
+        feed(&mut b);
+        let ka: Vec<u64> = a.keys().copied().collect();
+        let kb: Vec<u64> = b.keys().copied().collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka, vec![9, 1, 2, 7, 3, 100]);
+    }
+}

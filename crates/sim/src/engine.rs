@@ -137,12 +137,14 @@ impl<E> Simulator<E> {
                 break;
             }
             if self.events_processed >= self.event_limit {
+                // Deliberate abort: a runaway event storm means the world is
+                // livelocked and no useful result exists. lint:allow(panic)
                 panic!(
                     "event limit {} exceeded at t={} — runaway event storm?",
                     self.event_limit, self.now
                 );
             }
-            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            let (t, ev) = self.queue.pop().expect("peeked event vanished"); // lint:allow(expect)
             debug_assert!(t >= self.now, "event queue delivered out of order");
             self.now = t;
             self.events_processed += 1;

@@ -42,9 +42,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod churn;
+pub mod detmap;
 pub mod engine;
 pub mod event;
 pub mod metrics;
@@ -52,6 +52,7 @@ pub mod rng;
 pub mod time;
 
 pub use churn::{ChurnConfig, ChurnModel, SessionDist};
+pub use detmap::{DetMap, DetSet};
 pub use engine::{Ctx, RunStats, Simulator, World};
 pub use event::EventQueue;
 pub use metrics::{Histogram, Metrics, TimeSeries};

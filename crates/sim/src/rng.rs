@@ -154,7 +154,7 @@ impl Zipf {
             acc += 1.0 / ((r + 1) as f64).powf(s);
             cdf.push(acc);
         }
-        let total = *cdf.last().unwrap();
+        let total = *cdf.last().expect("cdf has n >= 1 entries"); // lint:allow(expect)
         for v in &mut cdf {
             *v /= total;
         }
@@ -174,10 +174,7 @@ impl Zipf {
     /// Draws a rank in `[0, n)`.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("NaN in Zipf CDF"))
-        {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

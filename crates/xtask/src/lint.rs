@@ -1,0 +1,717 @@
+//! The determinism lint: a token-level static-analysis pass over every
+//! workspace `.rs` file.
+//!
+//! The simulator's contract is that a run is a pure function of its
+//! configuration and seed (see `docs/DETERMINISM.md`). Four classes of
+//! code break that contract silently, so they are banned mechanically:
+//!
+//! | rule        | bans                                                        |
+//! |-------------|-------------------------------------------------------------|
+//! | `hashmap`   | `HashMap`/`HashSet` in non-test sim-path code (iteration    |
+//! |             | order is per-process random; use `BTreeMap`/`BTreeSet` or   |
+//! |             | `uap_sim::detmap::{DetMap, DetSet}`)                        |
+//! | `wallclock` | `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`  |
+//! |             | (wall clocks and ambient randomness; use `SimTime`/`SimRng`)|
+//! | `unwrap`    | `.unwrap()` / `.expect(` / `panic!` in library code         |
+//! |             | (non-test, non-bin) without an allow comment                |
+//! | `floatsum`  | f64 accumulation over unordered containers:                 |
+//! |             | `.values()…sum()` chains, or `.iter()…sum()` in files that  |
+//! |             | also mention `HashMap`/`HashSet` (float addition is not     |
+//! |             | associative, so the random order changes the total)         |
+//!
+//! Escape hatch: a `// lint:allow(<rule>)` comment on the same line or
+//! the line directly above suppresses that rule there. The scanner is
+//! deliberately token-level (`syn` is unavailable offline): comments,
+//! strings and char literals are stripped first so the rules only ever
+//! match real code tokens, and `#[cfg(test)]` module bodies are excluded
+//! by brace matching.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule identifiers accepted by `lint:allow(...)`.
+const RULES: [&str; 4] = ["hashmap", "wallclock", "unwrap", "floatsum"];
+
+/// One diagnostic, rendered as `path:line: rule(<name>): message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: rule({}): {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// What kind of file is being scanned; decides which rules apply.
+#[derive(Clone, Copy, Debug)]
+pub struct FileKind {
+    /// Whole file is test code (`tests/` integration dirs): rules
+    /// `hashmap`, `unwrap` and `floatsum` are off, `wallclock` stays on.
+    pub is_test_file: bool,
+    /// Binary / build-tool code (`main.rs`, `src/bin/`, the xtask crate):
+    /// rule `unwrap` is off — a CLI aborting with a message is fine.
+    pub is_bin: bool,
+    /// Simulation-path code (the `uap-*` crates and the root `src/`):
+    /// rules `hashmap` and `floatsum` apply only here.
+    pub is_sim_path: bool,
+}
+
+/// Scans the workspace rooted at `root`; returns every violation found.
+pub fn run(root: &Path) -> Vec<Violation> {
+    let mut files: Vec<(PathBuf, FileKind)> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut crates: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            let is_xtask = krate.file_name().is_some_and(|n| n == "xtask");
+            collect_rs(&krate.join("src"), &mut files, |p| FileKind {
+                is_test_file: false,
+                is_bin: is_bin_path(p),
+                is_sim_path: !is_xtask,
+            });
+            collect_rs(&krate.join("tests"), &mut files, |_| FileKind {
+                is_test_file: true,
+                is_bin: false,
+                is_sim_path: false,
+            });
+        }
+    }
+    collect_rs(&root.join("src"), &mut files, |p| FileKind {
+        is_test_file: false,
+        is_bin: is_bin_path(p),
+        is_sim_path: true,
+    });
+    collect_rs(&root.join("tests"), &mut files, |_| FileKind {
+        is_test_file: true,
+        is_bin: false,
+        is_sim_path: false,
+    });
+
+    let mut out = Vec::new();
+    for (path, kind) in files {
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        out.extend(scan_source(&label, &source, kind));
+    }
+    out
+}
+
+/// True for crate roots compiled as binaries.
+fn is_bin_path(p: &Path) -> bool {
+    p.file_name().is_some_and(|n| n == "main.rs") || p.components().any(|c| c.as_os_str() == "bin")
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order.
+fn collect_rs(
+    dir: &Path,
+    out: &mut Vec<(PathBuf, FileKind)>,
+    kind: impl Fn(&Path) -> FileKind + Copy,
+) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out, kind);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let k = kind(&p);
+            out.push((p, k));
+        }
+    }
+}
+
+/// Per-line view of a source file after lexical stripping.
+struct Line {
+    /// Code with comments / string contents / char literals blanked out.
+    code: String,
+    /// Rules allowed by `lint:allow(...)` comments on this line.
+    allows: BTreeSet<String>,
+    /// True when the line is inside a `#[cfg(test)]` module body.
+    in_test: bool,
+}
+
+/// Scans one file's source text. Separated from I/O so the unit tests can
+/// feed synthetic sources and assert exact diagnostics.
+pub fn scan_source(label: &str, source: &str, kind: FileKind) -> Vec<Violation> {
+    let lines = lex(source);
+    let mut out = Vec::new();
+
+    let allowed = |lines: &[Line], i: usize, rule: &str| -> bool {
+        lines[i].allows.contains(rule) || (i > 0 && lines[i - 1].allows.contains(rule))
+    };
+
+    // floatsum needs file-level context: `.iter()…sum()` is only
+    // suspicious when the file actually handles unordered containers.
+    let mentions_unordered = lines.iter().any(|l| {
+        find_ident(&l.code, "HashMap").is_some() || find_ident(&l.code, "HashSet").is_some()
+    });
+
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let code = &line.code;
+        let in_test = kind.is_test_file || line.in_test;
+
+        if kind.is_sim_path && !in_test && !allowed(&lines, i, "hashmap") {
+            for ident in ["HashMap", "HashSet"] {
+                if find_ident(code, ident).is_some() {
+                    out.push(Violation {
+                        path: label.to_string(),
+                        line: lineno,
+                        rule: "hashmap",
+                        msg: format!(
+                            "{ident} iterates in per-process random order; use BTree{} or \
+                             uap_sim::detmap::{}",
+                            &ident[4..],
+                            if ident == "HashMap" {
+                                "DetMap"
+                            } else {
+                                "DetSet"
+                            },
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !allowed(&lines, i, "wallclock") {
+            for (pat, fix) in [
+                ("Instant::now", "use uap_sim::SimTime from the event loop"),
+                ("SystemTime", "use uap_sim::SimTime from the event loop"),
+                (
+                    "thread_rng",
+                    "thread the seeded uap_sim::SimRng through instead",
+                ),
+                (
+                    "rand::random",
+                    "thread the seeded uap_sim::SimRng through instead",
+                ),
+            ] {
+                if find_path_token(code, pat).is_some() {
+                    out.push(Violation {
+                        path: label.to_string(),
+                        line: lineno,
+                        rule: "wallclock",
+                        msg: format!("`{pat}` breaks seed-reproducibility; {fix}"),
+                    });
+                }
+            }
+        }
+
+        if !in_test && !kind.is_bin && !allowed(&lines, i, "unwrap") {
+            for (pat, what) in [
+                (".unwrap()", "unwrap"),
+                (".expect(", "expect"),
+                ("panic!", "panic"),
+            ] {
+                let hit = if pat == "panic!" {
+                    find_ident(code, "panic").is_some_and(|p| code[p..].starts_with("panic!"))
+                } else {
+                    code.contains(pat)
+                };
+                // `.expect(` and panics justified in place carry their own
+                // finer-grained allow names for auditability.
+                if hit && !allowed(&lines, i, what) {
+                    out.push(Violation {
+                        path: label.to_string(),
+                        line: lineno,
+                        rule: "unwrap",
+                        msg: format!(
+                            "`{what}` in library code; return a Result, or justify with \
+                             `// lint:allow({what})`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if kind.is_sim_path && !in_test && !allowed(&lines, i, "floatsum") {
+            let values_sum = chained(code, ".values()", ".sum");
+            let iter_sum = mentions_unordered && chained(code, ".iter()", ".sum");
+            if values_sum || iter_sum {
+                out.push(Violation {
+                    path: label.to_string(),
+                    line: lineno,
+                    rule: "floatsum",
+                    msg: "float accumulation over a possibly-unordered container; collect \
+                          into a Vec and sort, or use an ordered map"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when `first` is followed (same line, any chain in between) by `then`.
+fn chained(code: &str, first: &str, then: &str) -> bool {
+    code.find(first)
+        .is_some_and(|i| code[i + first.len()..].contains(then))
+}
+
+/// Finds `ident` at identifier boundaries; returns its byte offset.
+fn find_ident(code: &str, ident: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(ident) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + ident.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + ident.len();
+    }
+    None
+}
+
+/// Finds a (possibly `::`-qualified) token like `Instant::now`, requiring
+/// identifier boundaries on both ends.
+fn find_path_token(code: &str, pat: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pat) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + pat.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + pat.len();
+    }
+    None
+}
+
+/// Lexically strips `source` into per-line code views.
+///
+/// Handles line/block comments (nested), string literals, raw strings
+/// (`r"…"`, `r#"…"#`, any hash depth), byte strings, char literals vs
+/// lifetimes, and records `lint:allow(...)` comments. After stripping it
+/// marks `#[cfg(test)] mod … { … }` bodies via brace matching.
+fn lex(source: &str) -> Vec<Line> {
+    let n_lines = source.lines().count().max(1);
+    let mut lines: Vec<Line> = (0..n_lines)
+        .map(|_| Line {
+            code: String::new(),
+            allows: BTreeSet::new(),
+            in_test: false,
+        })
+        .collect();
+
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 0usize;
+
+    let push = |lines: &mut Vec<Line>, line: usize, c: char| {
+        if let Some(l) = lines.get_mut(line) {
+            l.code.push(c);
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                // Line comment: capture for lint:allow, then skip to EOL.
+                let start = i;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                record_allows(&text, line, &mut lines);
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i.min(bytes.len())].iter().collect();
+                record_allows(&text, start_line, &mut lines);
+            }
+            '"' => {
+                // String literal (plain or after b); contents blanked.
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push(&mut lines, line, '"');
+            }
+            'r' if matches!(bytes.get(i + 1), Some(&'"') | Some(&'#')) => {
+                // Raw string r"…" / r#"…"# / r##"…"## …
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&'"') {
+                    i = j + 1;
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == '\n' {
+                            line += 1;
+                        } else if bytes[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0;
+                            while seen < hashes && bytes.get(k) == Some(&'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    push(&mut lines, line, '"');
+                } else {
+                    push(&mut lines, line, 'r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal closes within a
+                // few chars; a lifetime is 'ident with no closing quote.
+                if bytes.get(i + 1) == Some(&'\\') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    push(&mut lines, line, '\'');
+                } else if bytes.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                    push(&mut lines, line, '\'');
+                } else {
+                    push(&mut lines, line, '\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                push(&mut lines, line, c);
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Records every rule named in a `lint:allow(a, b)` comment onto `line`.
+fn record_allows(comment: &str, line: usize, lines: &mut [Line]) {
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow(") {
+        let tail = &rest[at + "lint:allow(".len()..];
+        if let Some(close) = tail.find(')') {
+            for rule in tail[..close].split(',') {
+                let rule = rule.trim().to_string();
+                // Fine-grained names (`expect`, `panic`) ride on rule
+                // `unwrap`'s checks; accept them alongside RULES.
+                if RULES.contains(&rule.as_str()) || rule == "expect" || rule == "panic" {
+                    if let Some(l) = lines.get_mut(line) {
+                        l.allows.insert(rule);
+                    }
+                }
+            }
+            rest = &tail[close..];
+        } else {
+            break;
+        }
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` bodies.
+fn mark_test_regions(lines: &mut [Line]) {
+    let joined: Vec<(usize, char)> = lines
+        .iter()
+        .enumerate()
+        .flat_map(|(ln, l)| l.code.chars().map(move |c| (ln, c)).chain([(ln, '\n')]))
+        .collect();
+    let text: String = joined.iter().map(|&(_, c)| c).collect();
+
+    let mut search_from = 0;
+    while let Some(rel) = text[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + rel;
+        // Find the first '{' after the attribute (the mod body opener).
+        let Some(open_rel) = text[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0usize;
+        let mut end = text.len();
+        for (off, ch) in text[open..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let start_line = joined[attr_at].0;
+        let end_line = joined[end.min(joined.len() - 1)].0;
+        for l in lines.iter_mut().take(end_line + 1).skip(start_line) {
+            l.in_test = true;
+        }
+        search_from = end.min(text.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileKind = FileKind {
+        is_test_file: false,
+        is_bin: false,
+        is_sim_path: true,
+    };
+
+    fn rules_of(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn flags_hashmap_with_file_line() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["hashmap", "hashmap"]);
+        assert_eq!(vs[0].line, 1);
+        assert_eq!(vs[1].line, 2);
+        assert_eq!(vs[0].path, "crates/sim/src/x.rs");
+        // The rendered diagnostic is file:line: rule(...): …
+        assert!(vs[0]
+            .to_string()
+            .starts_with("crates/sim/src/x.rs:1: rule(hashmap)"));
+    }
+
+    #[test]
+    fn seeded_thread_rng_violation_is_reported() {
+        // The acceptance scenario: a thread_rng() call seeded into
+        // crates/sim must produce a non-empty diagnostic with file:line.
+        let src = "fn jitter() -> u64 {\n    let mut r = rand::thread_rng();\n    r.gen()\n}\n";
+        let vs = scan_source("crates/sim/src/rng.rs", src, LIB);
+        assert_eq!(vs.len(), 1);
+        assert_eq!((vs[0].rule, vs[0].line), ("wallclock", 2));
+    }
+
+    #[test]
+    fn wallclock_tokens_flagged_even_in_tests_dir() {
+        let kind = FileKind {
+            is_test_file: true,
+            is_bin: false,
+            is_sim_path: false,
+        };
+        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&scan_source("tests/x.rs", src, kind)),
+            vec!["wallclock"]
+        );
+    }
+
+    #[test]
+    fn unwrap_expect_panic_in_library() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"b\");\n    if a + b > 9 { panic!(\"no\"); }\n    a\n}\n";
+        let vs = scan_source("crates/net/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap", "unwrap", "unwrap"]);
+        assert_eq!(vs.iter().map(|v| v.line).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn bins_and_test_modules_may_unwrap() {
+        let bin = FileKind {
+            is_test_file: false,
+            is_bin: true,
+            is_sim_path: true,
+        };
+        let src = "fn main() { std::fs::read(\"x\").unwrap(); }\n";
+        assert!(scan_source("src/main.rs", src, bin).is_empty());
+
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(3).unwrap(); let m = std::collections::HashMap::<u8, u8>::new(); drop(m); }\n}\n";
+        assert!(scan_source("crates/sim/src/x.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_still_checked() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(3).unwrap(); }\n}\nfn after(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(vs[0].line, 5);
+    }
+
+    #[test]
+    fn allow_comments_suppress_same_and_next_line() {
+        let src = "use std::collections::HashMap; // lint:allow(hashmap)\n// lint:allow(hashmap)\ntype T = HashMap<u8, u8>;\n";
+        assert!(scan_source("crates/sim/src/x.rs", src, LIB).is_empty());
+        // …but only for the named rule.
+        let src = "let x = opt.unwrap(); // lint:allow(hashmap)\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/sim/src/x.rs", src, LIB)),
+            vec!["unwrap"]
+        );
+    }
+
+    #[test]
+    fn expect_allow_is_fine_grained() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.expect(\"invariant: set in new()\") // lint:allow(expect)\n}\n";
+        assert!(scan_source("crates/net/src/x.rs", src, LIB).is_empty());
+        // an `expect` allow does not bless a bare unwrap
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(expect)\n}\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/net/src/x.rs", src, LIB)),
+            vec!["unwrap"]
+        );
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_count() {
+        let src = "// HashMap is banned here\nfn f() -> &'static str { \"HashMap thread_rng Instant::now .unwrap()\" }\nconst R: &str = r#\"SystemTime panic!\"#;\n";
+        assert!(scan_source("crates/sim/src/x.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_lexer() {
+        let src =
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g(o: Option<char>) -> char { o.unwrap() }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(vs[0].line, 2);
+    }
+
+    #[test]
+    fn floatsum_on_values_chains() {
+        let src =
+            "fn total(m: &std::collections::BTreeMap<u8, f64>) -> f64 {\n    m.values().sum()\n}\n";
+        // .values().sum() is flagged regardless of receiver type: even on
+        // ordered maps the chain is one refactor away from a HashMap.
+        let vs = scan_source("crates/core/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["floatsum"]);
+        // .iter().sum() only fires in files that mention unordered maps.
+        let src = "fn t(v: &[f64]) -> f64 { v.iter().sum() }\n";
+        assert!(scan_source("crates/core/src/x.rs", src, LIB).is_empty());
+        let src = "struct S { m: HashMap<u8, f64> } // lint:allow(hashmap)\nfn t(s: &S) -> f64 { s.m.iter().map(|(_, v)| v).sum::<f64>() }\n";
+        let vs = scan_source("crates/core/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["floatsum"]);
+    }
+
+    #[test]
+    fn non_sim_path_skips_container_rules_only() {
+        let xtask = FileKind {
+            is_test_file: false,
+            is_bin: true,
+            is_sim_path: false,
+        };
+        let src = "fn f() { let m = std::collections::HashMap::<u8, u8>::new(); drop(m); let _t = std::time::SystemTime::now(); }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/xtask/src/x.rs", src, xtask)),
+            vec!["wallclock"]
+        );
+    }
+
+    #[test]
+    fn end_to_end_on_disk_scan_finds_seeded_violation() {
+        // Full-pipeline self-test: write a synthetic crate tree with a
+        // thread_rng call, run the directory walker, expect exactly the
+        // seeded diagnostic with its file:line.
+        let root = std::env::temp_dir().join(format!("xtask-lint-selftest-{}", std::process::id()));
+        let src_dir = root.join("crates/sim/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "pub fn f() -> u64 {\n    let mut r = rand::thread_rng();\n    r.gen()\n}\n",
+        )
+        .unwrap();
+        let vs = run(&root);
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "wallclock");
+        assert_eq!(vs[0].line, 2);
+        assert!(vs[0].path.ends_with("lib.rs"));
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        // The acceptance gate: the real workspace must lint clean. Uses
+        // the same root resolution as the binary.
+        let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = manifest.parent().unwrap().parent().unwrap();
+        let vs = run(root);
+        assert!(
+            vs.is_empty(),
+            "workspace has lint violations:\n{}",
+            vs.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Workspace automation tasks (the cargo `xtask` pattern).
+//!
+//! The only task today is the determinism lint:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! which scans every workspace `.rs` file for repo-specific determinism
+//! hazards (see [`lint`] and `docs/DETERMINISM.md`) and exits non-zero
+//! with `file:line` diagnostics when any are found.
+
+mod lint;
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = lint::run(&root);
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            if violations.is_empty() {
+                eprintln!("xtask lint: clean");
+                std::process::exit(0);
+            } else {
+                eprintln!(
+                    "xtask lint: {} violation(s) — see docs/DETERMINISM.md for the rules \
+                     and the `// lint:allow(<rule>)` escape hatch",
+                    violations.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest) // lint:allow(unwrap) — unreachable: the manifest always has two ancestors
+}

@@ -5,7 +5,7 @@
 //! cargo run --release --example coordinates
 //! ```
 
-use underlay_p2p::coords::{VivaldiConfig};
+use underlay_p2p::coords::VivaldiConfig;
 use underlay_p2p::core::experiments::e03_coordinates::example_table;
 use underlay_p2p::info::{IcsService, VivaldiService};
 use underlay_p2p::net::{
@@ -68,7 +68,9 @@ fn main() {
             best = (HostId(i), p);
         }
     }
-    let truth = underlay.rtt_us(from, best.0).unwrap() as f64;
+    let truth = underlay
+        .rtt_us(from, best.0)
+        .expect("hosts share the underlay") as f64;
     println!(
         "\nVivaldi says {} is closest to {} (predicted {:.1} ms; true RTT {:.1} ms)",
         best.0,

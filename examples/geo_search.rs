@@ -8,9 +8,7 @@
 
 use underlay_p2p::core::geo_overlay::{GeoOverlay, Rect};
 use underlay_p2p::info::{GeoLocator, GeoService, GeoSource};
-use underlay_p2p::net::{
-    PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig,
-};
+use underlay_p2p::net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
 use underlay_p2p::sim::SimRng;
 
 fn build_underlay(seed: u64) -> Underlay {

@@ -7,9 +7,7 @@
 
 use underlay_p2p::core::graphstats::OverlayStats;
 use underlay_p2p::gnutella::{run_experiment, GnutellaConfig, NeighborSelection};
-use underlay_p2p::net::{
-    PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig,
-};
+use underlay_p2p::net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
 use underlay_p2p::sim::{SimRng, SimTime};
 
 fn build_underlay(seed: u64) -> Underlay {

@@ -6,14 +6,10 @@
 //! cargo run --release --example supernode_selection
 //! ```
 
-use underlay_p2p::gnutella::{
-    run_experiment, GnutellaConfig, NeighborSelection, RoleAssignment,
-};
+use underlay_p2p::gnutella::{run_experiment, GnutellaConfig, NeighborSelection, RoleAssignment};
 use underlay_p2p::info::provider::ResourceDirectory;
 use underlay_p2p::info::SkyEyeTree;
-use underlay_p2p::net::{
-    PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig,
-};
+use underlay_p2p::net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
 use underlay_p2p::sim::{SimRng, SimTime};
 
 fn build_underlay(seed: u64) -> Underlay {

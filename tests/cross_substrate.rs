@@ -20,7 +20,12 @@ fn build_underlay(seed: u64, n: usize) -> Underlay {
         tier3_peering_prob: 0.3,
     })
     .build(&mut rng);
-    Underlay::build(graph, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+    Underlay::build(
+        graph,
+        &PopulationSpec::leaf(n),
+        UnderlayConfig::default(),
+        &mut rng,
+    )
 }
 
 /// The headline claim of the whole survey, across all three substrates:

@@ -20,7 +20,12 @@ fn build_underlay(seed: u64, n: usize) -> Underlay {
         tier3_peering_prob: 0.3,
     })
     .build(&mut rng);
-    Underlay::build(graph, &PopulationSpec::leaf(n), UnderlayConfig::default(), &mut rng)
+    Underlay::build(
+        graph,
+        &PopulationSpec::leaf(n),
+        UnderlayConfig::default(),
+        &mut rng,
+    )
 }
 
 #[test]
@@ -74,7 +79,10 @@ fn latency_pipeline_vivaldi_vs_ground_truth() {
     let candidates: Vec<HostId> = (1..120).map(HostId).collect();
     let ranked = vivaldi.rank(from, &candidates, &mut rng);
     let mean_rtt = |hs: &[HostId]| {
-        hs.iter().map(|&h| u.rtt_us(from, h).unwrap() as f64).sum::<f64>() / hs.len() as f64
+        hs.iter()
+            .map(|&h| u.rtt_us(from, h).unwrap() as f64)
+            .sum::<f64>()
+            / hs.len() as f64
     };
     let top = mean_rtt(&ranked[..8]);
     let all = mean_rtt(&candidates);
