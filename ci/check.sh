@@ -10,6 +10,8 @@
 #   4. cargo build --release    — tier-1: release build
 #   5. cargo test               — tier-1: root-package tests
 #   6. cargo test --workspace   — every crate's unit + integration tests
+#   7. ci/trace_gate.sh         — trace determinism: two same-seed runs
+#                                 byte-identical under `xtask trace diff`
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,5 +34,8 @@ cargo test -q
 
 step "cargo test --workspace"
 cargo test --workspace -q
+
+step "trace determinism gate (ci/trace_gate.sh)"
+./ci/trace_gate.sh
 
 printf '\nAll checks passed.\n'

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Trace-determinism gate: two same-seed runs of one experiment binary
+# must produce byte-identical JSONL traces and RunReport JSON (modulo
+# the wall-clock lines, which `xtask trace diff` exempts).
+#
+#   ./ci/trace_gate.sh [seed]
+#
+# Uses exp04 (Gnutella message counts) because it exercises the engine,
+# the overlay, the oracle and the underlay accounting in one run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-42}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+run() { # run <dir>
+  mkdir -p "$1"
+  cargo run --release -q -p uap-bench --bin exp04_message_counts -- \
+    --quick --seed "$SEED" --out "$1" --trace "$1/exp04.trace.jsonl" \
+    > "$1/stdout.txt"
+}
+
+echo "run A (seed $SEED)"
+run "$WORK/a"
+echo "run B (seed $SEED)"
+run "$WORK/b"
+
+echo "trace diff (JSONL)"
+cargo run --release -q -p xtask -- trace diff \
+  "$WORK/a/exp04.trace.jsonl" "$WORK/b/exp04.trace.jsonl"
+
+echo "trace diff (RunReport JSON)"
+cargo run --release -q -p xtask -- trace diff \
+  "$WORK/a/exp04_message_counts.report.json" \
+  "$WORK/b/exp04_message_counts.report.json"
+
+echo "trace summary"
+cargo run --release -q -p xtask -- trace summary "$WORK/a/exp04.trace.jsonl"
+
+echo "trace gate passed."

@@ -1,9 +1,10 @@
 //! E1 — Figure 1: Internet hierarchy census.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e01_hierarchy::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp01_hierarchy");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
@@ -15,4 +16,10 @@ fn main() {
         "monetary flow: {} transit links billed customer->provider; {} settlement-free peerings",
         out.transit_links, out.peering_links
     );
+    tel.table(&out.table);
+    tel.report
+        .value("transit_links", out.transit_links)
+        .value("peering_links", out.peering_links)
+        .value("valley_free_reachability", out.valley_free_reachability);
+    tel.finish(0);
 }

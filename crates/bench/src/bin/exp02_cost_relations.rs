@@ -1,9 +1,10 @@
 //! E2 — Figure 2: transit vs peering cost curves.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e02_cost::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp02_cost_relations");
     let p = if cli.quick {
         Params::quick()
     } else {
@@ -15,4 +16,7 @@ fn main() {
         "per-Mbps crossover (peering becomes cheaper): {:.1} Mbps",
         out.crossover_mbps
     );
+    tel.table(&out.table);
+    tel.report.value("crossover_mbps", out.crossover_mbps);
+    tel.finish(0);
 }

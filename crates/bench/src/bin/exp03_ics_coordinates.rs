@@ -1,14 +1,20 @@
 //! E3 — Figure 4 / Examples 4-5: the ICS coordinate system + accuracy sweep.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e03_coordinates::{example_table, run_accuracy, Params};
 
 fn main() {
     let cli = Cli::parse();
-    emit(&cli, "exp03_ics_example", &example_table());
+    let mut tel = Run::start(&cli, "exp03_ics_coordinates");
+    let example = example_table();
+    emit(&cli, "exp03_ics_example", &example);
+    tel.table(&example);
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
         Params::full(cli.seed)
     };
-    emit(&cli, "exp03_accuracy", &run_accuracy(&p));
+    let accuracy = run_accuracy(&p);
+    emit(&cli, "exp03_accuracy", &accuracy);
+    tel.table(&accuracy);
+    tel.finish(0);
 }

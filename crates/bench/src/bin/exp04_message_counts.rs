@@ -1,17 +1,21 @@
 //! E4 — Table 1: Gnutella message counts, unbiased vs oracle-biased.
-use uap_bench::{emit, Cli};
-use uap_core::experiments::e04_messages::{run, Params};
+use uap_bench::{emit, Cli, Run};
+use uap_core::experiments::e04_messages::{run_traced, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp04_message_counts");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
         Params::full(cli.seed)
     };
-    let out = run(&p);
+    let out = run_traced(&p, &mut tel.tracer);
     emit(&cli, "exp04_message_counts", &out.table);
     for (name, r) in &out.reports {
         println!("--- {name} ---\n{r}");
     }
+    tel.table(&out.table);
+    let events: u64 = out.reports.iter().map(|(_, r)| r.events).sum();
+    tel.finish(events);
 }

@@ -1,9 +1,10 @@
 //! E5 — Figures 5/6: overlay structure under neighbor-selection policies.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e05_clustering::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp05_overlay_clustering");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
@@ -22,4 +23,6 @@ fn main() {
             eprintln!("warning: {e}");
         }
     }
+    tel.table(&out.table);
+    tel.finish(0);
 }

@@ -1,9 +1,10 @@
 //! E6 — §4: intra-AS share of file exchanges (6.5/7.3/10.02/40.57 %).
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e06_exchange::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp06_file_exchange_locality");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
@@ -11,4 +12,6 @@ fn main() {
     };
     let out = run(&p);
     emit(&cli, "exp06_file_exchange_locality", &out.table);
+    tel.table(&out.table);
+    tel.finish(0);
 }

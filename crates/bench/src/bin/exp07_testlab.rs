@@ -1,9 +1,10 @@
 //! E7 — §5 testlab: 45 Gnutella nodes on ring/star/tree/mesh.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e07_testlab::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp07_testlab");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
@@ -11,4 +12,6 @@ fn main() {
     };
     let out = run(&p);
     emit(&cli, "exp07_testlab", &out.table);
+    tel.table(&out.table);
+    tel.finish(0);
 }

@@ -1,11 +1,12 @@
 //! E8 — Table 2: the measured impact matrix.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::NetParams;
 use uap_core::impact;
 use uap_sim::SimTime;
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp08_impact_matrix");
     let (net, duration) = if cli.quick {
         (NetParams::quick(200, cli.seed), SimTime::from_mins(8))
     } else {
@@ -17,4 +18,7 @@ fn main() {
         "agreement with the paper's Table 2 (effect vs neutral): {:.0}%",
         100.0 * m.agreement()
     );
+    tel.table(&m.table);
+    tel.report.value("agreement", m.agreement());
+    tel.finish(0);
 }

@@ -1,14 +1,22 @@
 //! E9 — proximity neighbor selection in Kademlia (Kaune et al. \[17\]).
-use uap_bench::{emit, Cli};
-use uap_core::experiments::e09_kademlia::{run, Params};
+use uap_bench::{emit, Cli, Run};
+use uap_core::experiments::e09_kademlia::{run_traced, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp09_kademlia_proximity");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
         Params::full(cli.seed)
     };
-    let out = run(&p);
+    let out = run_traced(&p, &mut tel.tracer);
     emit(&cli, "exp09_kademlia_proximity", &out.table);
+    tel.table(&out.table);
+    let rpcs: f64 = out
+        .modes
+        .iter()
+        .map(|m| m.mean_rpcs * p.lookups as f64)
+        .sum();
+    tel.finish(rpcs as u64);
 }

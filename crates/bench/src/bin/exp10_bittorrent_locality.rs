@@ -1,14 +1,18 @@
 //! E10 — swarm locality and ISP bills (BNS \[3\], CAT \[32\]).
-use uap_bench::{emit, Cli};
-use uap_core::experiments::e10_bittorrent::{run, Params};
+use uap_bench::{emit, Cli, Run};
+use uap_core::experiments::e10_bittorrent::{run_traced, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp10_bittorrent_locality");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
         Params::full(cli.seed)
     };
-    let out = run(&p);
+    let out = run_traced(&p, &mut tel.tracer);
     emit(&cli, "exp10_bittorrent_locality", &out.table);
+    tel.table(&out.table);
+    let rounds: u64 = out.policies.iter().map(|p| p.rounds as u64).sum();
+    tel.finish(rounds);
 }

@@ -1,15 +1,22 @@
 //! E11 — §6 challenges: asymmetry, long hop, mobility.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e11_challenges::{run_asymmetry, run_long_hop, run_mobility, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp11_challenges");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
         Params::full(cli.seed)
     };
-    emit(&cli, "exp11_asymmetry", &run_asymmetry(&p));
-    emit(&cli, "exp11_long_hop", &run_long_hop(&p));
-    emit(&cli, "exp11_mobility", &run_mobility(&p));
+    for (name, table) in [
+        ("exp11_asymmetry", run_asymmetry(&p)),
+        ("exp11_long_hop", run_long_hop(&p)),
+        ("exp11_mobility", run_mobility(&p)),
+    ] {
+        emit(&cli, name, &table);
+        tel.table(&table);
+    }
+    tel.finish(0);
 }

@@ -1,14 +1,21 @@
 //! E12 — §5.4 open issues: awareness overhead and churn robustness.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e12_overhead::{run_churn, run_overhead, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp12_overhead_churn");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
         Params::full(cli.seed)
     };
-    emit(&cli, "exp12_overhead", &run_overhead(&p));
-    emit(&cli, "exp12_churn", &run_churn(&p));
+    for (name, table) in [
+        ("exp12_overhead", run_overhead(&p)),
+        ("exp12_churn", run_churn(&p)),
+    ] {
+        emit(&cli, name, &table);
+        tel.table(&table);
+    }
+    tel.finish(0);
 }

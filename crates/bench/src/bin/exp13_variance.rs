@@ -1,9 +1,10 @@
 //! E13 (extension) — seed sensitivity of the headline effects.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e13_variance::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp13_variance");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
@@ -11,4 +12,6 @@ fn main() {
     };
     let out = run(&p);
     emit(&cli, "exp13_variance", &out.table);
+    tel.table(&out.table);
+    tel.finish(0);
 }

@@ -1,9 +1,10 @@
 //! E14 — geographically scoped hashing (Leopard \[33\]) vs a plain DHT.
-use uap_bench::{emit, Cli};
+use uap_bench::{emit, Cli, Run};
 use uap_core::experiments::e14_gsh::{run, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp14_gsh");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
@@ -11,4 +12,6 @@ fn main() {
     };
     let out = run(&p);
     emit(&cli, "exp14_gsh", &out.table);
+    tel.table(&out.table);
+    tel.finish(0);
 }

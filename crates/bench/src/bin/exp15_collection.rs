@@ -1,14 +1,18 @@
 //! E15 — ISP-location collection techniques: quality vs overhead.
-use uap_bench::{emit, Cli};
-use uap_core::experiments::e15_collection::{run, Params};
+use uap_bench::{emit, Cli, Run};
+use uap_core::experiments::e15_collection::{run_traced, Params};
 
 fn main() {
     let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp15_collection");
     let p = if cli.quick {
         Params::quick(cli.seed)
     } else {
         Params::full(cli.seed)
     };
-    let out = run(&p);
+    let out = run_traced(&p, &mut tel.tracer);
     emit(&cli, "exp15_collection", &out.table);
+    tel.table(&out.table);
+    let messages: u64 = out.techniques.iter().map(|t| t.messages).sum();
+    tel.finish(messages);
 }

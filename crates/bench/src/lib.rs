@@ -2,12 +2,43 @@
 //!
 //! One binary per paper artifact (run with `cargo run --release -p
 //! uap-bench --bin expNN_…`), each printing the table/series the paper
-//! reports and writing a CSV under `results/`. Common flags:
+//! reports, writing a CSV under `results/`, and emitting the structured
+//! telemetry files described below. Common flags:
 //!
 //! * `--quick` — the fast test-scale parameters (default is the full,
 //!   paper-scale configuration);
 //! * `--seed <u64>` — experiment seed (default 42);
-//! * `--out <dir>` — CSV output directory (default `results`).
+//! * `--out <dir>` — output directory (default `results`);
+//! * `--trace <path>` — also write the run's structured trace as JSONL
+//!   to `<path>` (see `docs/OBSERVABILITY.md` for the event schema).
+//!
+//! ## Telemetry files
+//!
+//! Every binary writes, next to its CSVs:
+//!
+//! * **`<name>.report.json`** — the deterministic
+//!   [`uap_sim::RunReport`]: config, seed, headline values (every table
+//!   cell), counters, histogram quantiles and time series. Two same-seed
+//!   runs produce byte-identical reports except for the `wall_secs`
+//!   line, which `cargo run -p xtask -- trace diff` skips.
+//!
+//! * **`BENCH_<name>.json`** — the machine-readable perf sample, one
+//!   JSON object with exactly these keys, in this order:
+//!
+//!   | key              | type   | meaning                                     |
+//!   |------------------|--------|---------------------------------------------|
+//!   | `experiment`     | string | experiment id (e.g. `exp04_message_counts`) |
+//!   | `seed`           | u64    | the run's root seed                         |
+//!   | `quick`          | bool   | `--quick` parameters were used              |
+//!   | `events`         | u64    | simulation events (or rounds) processed     |
+//!   | `wall_secs`      | f64    | wall-clock duration, from the one allowed   |
+//!   |                  |        | [`uap_sim::WallTimer`] boundary             |
+//!   | `events_per_sec` | f64    | `events / wall_secs` (0 when unmeasured)    |
+//!
+//!   `wall_secs` and `events_per_sec` are intentionally *not*
+//!   deterministic — they are the perf trajectory — which is why they
+//!   live in `BENCH_*.json` and not in the trace or the RunReport's
+//!   compared lines.
 //!
 //! The Criterion benches (`cargo bench -p uap-bench`) time the hot kernels
 //! (event queue, routing, coordinates, flooding, DHT lookups, swarm
@@ -17,7 +48,8 @@
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
-use uap_core::report::Table;
+use uap_core::report::{artifact_line, Table};
+use uap_sim::{RunReport, TraceLevel, Tracer, WallTimer};
 
 /// Parsed common CLI flags.
 #[derive(Clone, Debug)]
@@ -26,8 +58,10 @@ pub struct Cli {
     pub quick: bool,
     /// Experiment seed.
     pub seed: u64,
-    /// Output directory for CSVs.
+    /// Output directory for CSVs and telemetry JSON.
     pub out: PathBuf,
+    /// Optional JSONL trace output path.
+    pub trace: Option<PathBuf>,
 }
 
 impl Cli {
@@ -42,6 +76,7 @@ impl Cli {
             quick: false,
             seed: 42,
             out: PathBuf::from("results"),
+            trace: None,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -55,6 +90,10 @@ impl Cli {
                     let v = it.next().unwrap_or_else(|| usage("--out needs a value"));
                     cli.out = PathBuf::from(v);
                 }
+                "--trace" => {
+                    let v = it.next().unwrap_or_else(|| usage("--trace needs a value"));
+                    cli.trace = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -67,7 +106,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--quick] [--seed <u64>] [--out <dir>]");
+    eprintln!("usage: <experiment> [--quick] [--seed <u64>] [--out <dir>] [--trace <path>]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -76,9 +115,114 @@ pub fn emit(cli: &Cli, name: &str, table: &Table) {
     println!("{}", table.render());
     let path = cli.out.join(format!("{name}.csv"));
     match table.write_csv(&path) {
-        Ok(()) => println!("(csv written to {})\n", path.display()),
+        Ok(()) => println!("{}\n", artifact_line("csv", &path)),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+}
+
+/// Telemetry accumulator for one experiment binary run: owns the
+/// [`RunReport`], the [`Tracer`] handed to traced harnesses, and the
+/// wall-clock timer. Construct with [`Run::start`], feed it tables and
+/// config, then call [`Run::finish`] to write `<name>.report.json`,
+/// `BENCH_<name>.json`, and (with `--trace`) the JSONL trace.
+pub struct Run {
+    name: String,
+    out: PathBuf,
+    trace_path: Option<PathBuf>,
+    /// The structured report being accumulated.
+    pub report: RunReport,
+    /// Tracer to thread through traced experiment harnesses. Disabled
+    /// unless `--trace` was given (so the hot path stays free).
+    pub tracer: Tracer,
+    wall: WallTimer,
+}
+
+impl Run {
+    /// Starts telemetry for the binary `name` (also the RunReport's
+    /// experiment id and the stem of every written file).
+    pub fn start(cli: &Cli, name: &str) -> Run {
+        let mut report = RunReport::new(name, cli.seed);
+        report.config("quick", cli.quick);
+        let tracer = if cli.trace.is_some() {
+            Tracer::buffered(TraceLevel::Debug)
+        } else {
+            Tracer::disabled()
+        };
+        Run {
+            name: name.to_owned(),
+            out: cli.out.clone(),
+            trace_path: cli.trace.clone(),
+            report,
+            tracer,
+            wall: WallTimer::start(),
+        }
+    }
+
+    /// Folds every cell of a rendered table into the report's headline
+    /// values, keyed `"<row name>/<column header>"`.
+    pub fn table(&mut self, table: &Table) {
+        let header = table.header().to_vec();
+        for r in 0..table.len() {
+            let cells = table.row_cells(r).to_vec();
+            for (j, h) in header.iter().enumerate().skip(1) {
+                self.report.value(format!("{}/{}", cells[0], h), &cells[j]);
+            }
+        }
+    }
+
+    /// Writes the telemetry files and prints their paths. `events` is the
+    /// run's total event (or round) count for the throughput sample.
+    pub fn finish(mut self, events: u64) {
+        let wall = self.wall.elapsed_secs();
+        self.report.events = events;
+        self.report.wall_secs = Some(wall);
+        if let Err(e) = std::fs::create_dir_all(&self.out) {
+            eprintln!("warning: could not create {}: {e}", self.out.display());
+        }
+        let report_path = self.out.join(format!("{}.report.json", self.name));
+        match self.report.write_json(&report_path) {
+            Ok(()) => println!("{}", artifact_line("report", &report_path)),
+            Err(e) => eprintln!("warning: could not write {}: {e}", report_path.display()),
+        }
+        let bench_path = self.out.join(format!("BENCH_{}.json", self.name));
+        let quick = self
+            .report
+            .config
+            .iter()
+            .any(|(k, v)| k == "quick" && v == "true");
+        let bench = bench_json(&self.name, self.report.seed, quick, events, wall);
+        match std::fs::write(&bench_path, bench) {
+            Ok(()) => println!("{}", artifact_line("bench", &bench_path)),
+            Err(e) => eprintln!("warning: could not write {}: {e}", bench_path.display()),
+        }
+        if let Some(tp) = &self.trace_path {
+            if let Some(dir) = tp.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let mut buf = Vec::new();
+            match self.tracer.write_jsonl(&mut buf) {
+                Ok(()) => match std::fs::write(tp, &buf) {
+                    Ok(()) => println!("{}", artifact_line("trace", tp)),
+                    Err(e) => eprintln!("warning: could not write {}: {e}", tp.display()),
+                },
+                Err(e) => eprintln!("warning: could not serialize trace: {e}"),
+            }
+        }
+    }
+}
+
+/// Renders the `BENCH_*.json` document (schema in the module docs).
+fn bench_json(name: &str, seed: u64, quick: bool, events: u64, wall_secs: f64) -> String {
+    let eps = if wall_secs > 0.0 {
+        events as f64 / wall_secs
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"experiment\": \"{name}\",\n  \"seed\": {seed},\n  \"quick\": {quick},\n  \
+         \"events\": {events},\n  \"wall_secs\": {wall_secs:?},\n  \
+         \"events_per_sec\": {eps:?}\n}}\n"
+    )
 }
 
 #[cfg(test)]
@@ -91,17 +235,58 @@ mod tests {
         assert!(!c.quick);
         assert_eq!(c.seed, 42);
         assert_eq!(c.out, PathBuf::from("results"));
+        assert!(c.trace.is_none());
     }
 
     #[test]
     fn parse_flags() {
         let c = Cli::parse_from(
-            ["--quick", "--seed", "7", "--out", "/tmp/x"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--quick",
+                "--seed",
+                "7",
+                "--out",
+                "/tmp/x",
+                "--trace",
+                "/tmp/t.jsonl",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert!(c.quick);
         assert_eq!(c.seed, 7);
         assert_eq!(c.out, PathBuf::from("/tmp/x"));
+        assert_eq!(c.trace, Some(PathBuf::from("/tmp/t.jsonl")));
+    }
+
+    #[test]
+    fn run_folds_table_cells_into_report_values() {
+        let cli = Cli::parse_from(Vec::<String>::new());
+        let mut run = Run::start(&cli, "exp_test");
+        let mut t = Table::new("demo", &["row", "count"]);
+        t.row(&["ping".into(), "7".into()]);
+        run.table(&t);
+        assert_eq!(
+            run.report.values,
+            vec![("ping/count".to_owned(), "7".to_owned())]
+        );
+        assert!(!run.tracer.is_active());
+    }
+
+    #[test]
+    fn trace_flag_enables_the_tracer() {
+        let cli = Cli::parse_from(["--trace", "/tmp/t.jsonl"].iter().map(|s| s.to_string()));
+        let run = Run::start(&cli, "exp_test");
+        assert!(run.tracer.is_active());
+    }
+
+    #[test]
+    fn bench_json_schema_is_stable() {
+        let j = bench_json("exp_test", 42, true, 100, 2.0);
+        assert_eq!(
+            j,
+            "{\n  \"experiment\": \"exp_test\",\n  \"seed\": 42,\n  \"quick\": true,\n  \
+             \"events\": 100,\n  \"wall_secs\": 2.0,\n  \"events_per_sec\": 50.0\n}\n"
+        );
     }
 }

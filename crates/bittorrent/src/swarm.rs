@@ -10,7 +10,7 @@ use crate::pieces::PieceSet;
 use crate::tracker::{Tracker, TrackerPolicy};
 use std::collections::BTreeMap;
 use uap_net::{HostId, Underlay};
-use uap_sim::{SimRng, SimTime};
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
 
 /// Swarm parameters.
 #[derive(Clone, Debug)]
@@ -114,8 +114,22 @@ struct Peer {
 /// Runs one swarm to completion (or `max_rounds`). Returns the report and
 /// the underlay (whose ledger holds the traffic classification for the
 /// cost model).
+pub fn run_swarm(underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmReport, Underlay) {
+    let mut tracer = Tracer::disabled();
+    run_swarm_with(underlay, cfg, seed, &mut tracer)
+}
+
+/// Like [`run_swarm`], but records structured trace events into `tracer`:
+/// per-peer unchoke decisions (Trace), piece completions and per-round
+/// summaries (Debug), and one `swarm.done` event (Info). Timestamps are
+/// the round boundaries.
 #[allow(clippy::needless_range_loop)] // indices cross-reference several arrays
-pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmReport, Underlay) {
+pub fn run_swarm_with(
+    mut underlay: Underlay,
+    cfg: SwarmConfig,
+    seed: u64,
+    tracer: &mut Tracer,
+) -> (SwarmReport, Underlay) {
     let mut rng = SimRng::new(seed);
     let n_members = cfg.n_leechers + cfg.n_seeds;
     assert!(
@@ -213,10 +227,16 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
                     set.push(pick);
                 }
             }
+            tracer.emit(now, "bittorrent", TraceLevel::Trace, "unchoke", |f| {
+                f.u64("peer", peers[i].host.0 as u64)
+                    .u64("slots", set.len() as u64)
+                    .bool("cost_aware", cfg.cost_aware_choking);
+            });
             unchokes.push(set);
         }
         // Phase 2: move bytes along each unchoked flow.
         let round_secs = cfg.round.as_secs_f64();
+        let mut round_bytes = 0u64;
         let mut received_this: Vec<BTreeMap<HostId, u64>> = vec![BTreeMap::new(); peers.len()];
         let mut completions: Vec<(usize, usize)> = Vec::new(); // (peer, piece)
         for i in 0..peers.len() {
@@ -236,6 +256,7 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
                 let (src, dst) = (peers[i].host, peers[j].host);
                 underlay.account_transfer(now, src, dst, flow);
                 payload_bytes += flow;
+                round_bytes += flow;
                 *received_this[j].entry(src).or_insert(0) += flow;
                 *peers[j].credit.entry(src).or_insert(0) += flow;
                 // Convert credit into pieces (rarest-first among what the
@@ -268,14 +289,27 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
             }
         }
         // Phase 3: commit completions, completion times, re-announces.
+        let n_completions = completions.len();
         for (j, p) in completions {
             if peers[j].pieces.insert(p) {
                 availability[p] += 1;
+                tracer.emit(now, "bittorrent", TraceLevel::Trace, "piece", |f| {
+                    f.u64("peer", peers[j].host.0 as u64).u64("piece", p as u64);
+                });
             }
             if peers[j].pieces.is_complete() && peers[j].done_at.is_none() {
                 peers[j].done_at = Some(rounds);
+                tracer.emit(now, "bittorrent", TraceLevel::Debug, "peer.done", |f| {
+                    f.u64("peer", peers[j].host.0 as u64)
+                        .u64("round", rounds as u64);
+                });
             }
         }
+        tracer.emit(now, "bittorrent", TraceLevel::Debug, "round", |f| {
+            f.u64("round", rounds as u64)
+                .u64("pieces", n_completions as u64)
+                .u64("bytes", round_bytes);
+        });
         for (j, recv) in received_this.into_iter().enumerate() {
             peers[j].received_last = recv;
         }
@@ -307,6 +341,16 @@ pub fn run_swarm(mut underlay: Underlay, cfg: SwarmConfig, seed: u64) -> (SwarmR
         payload_bytes,
         announces: tracker.announces(),
     };
+    let end = cfg.round.mul(rounds as u64);
+    underlay.trace_link_totals(end, tracer);
+    tracer.emit(end, "bittorrent", TraceLevel::Info, "swarm.done", |f| {
+        f.u64("rounds", report.rounds as u64)
+            .u64("completed", report.completed as u64)
+            .u64("leechers", report.leechers as u64)
+            .u64("payload_bytes", report.payload_bytes)
+            .u64("announces", report.announces)
+            .f64("intra_as_fraction", report.intra_as_fraction);
+    });
     (report, underlay)
 }
 
@@ -406,6 +450,21 @@ mod tests {
         let (report, _) = run_swarm(underlay(80, 5), cfg, 23);
         assert_eq!(report.rounds, 3);
         assert!(report.completed < report.leechers);
+    }
+
+    #[test]
+    fn traced_swarm_runs_are_byte_identical() {
+        let trace = || {
+            let mut cfg = small_cfg(TrackerPolicy::Random);
+            cfg.max_rounds = 30;
+            let mut t = Tracer::buffered(TraceLevel::Debug);
+            run_swarm_with(underlay(80, 9), cfg, 37, &mut t);
+            t.to_jsonl()
+        };
+        let a = trace();
+        assert!(a.contains("\"k\":\"round\""));
+        assert!(a.contains("\"k\":\"swarm.done\""));
+        assert_eq!(a, trace());
     }
 
     #[test]

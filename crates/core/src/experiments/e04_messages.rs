@@ -17,8 +17,8 @@
 
 use crate::experiments::NetParams;
 use crate::report::Table;
-use uap_gnutella::{run_experiment, GnutellaConfig, GnutellaReport, NeighborSelection};
-use uap_sim::{ChurnConfig, SimTime};
+use uap_gnutella::{run_experiment_with, GnutellaConfig, GnutellaReport, NeighborSelection};
+use uap_sim::{ChurnConfig, SimTime, TraceLevel, Tracer};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -80,15 +80,43 @@ pub struct Outcome {
 
 /// Runs the experiment.
 pub fn run(p: &Params) -> Outcome {
+    run_traced(p, &mut Tracer::disabled())
+}
+
+/// Like [`run`], but threads `tracer` through every sub-run; a
+/// `experiment`/`phase` marker (Info) separates the per-configuration
+/// trace segments so `xtask trace diff` divergence points name the run
+/// they fall in.
+pub fn run_traced(p: &Params, tracer: &mut Tracer) -> Outcome {
     let seed = p.net.seed ^ 0xE4;
+    let phase = |t: &mut Tracer, name: &str| {
+        let owned = name.to_owned();
+        t.emit(
+            SimTime::ZERO,
+            "experiment",
+            TraceLevel::Info,
+            "phase",
+            |f| {
+                f.str("name", owned);
+            },
+        );
+    };
     let mut reports: Vec<(String, GnutellaReport)> = Vec::new();
-    let (unbiased, _) = run_experiment(p.net.build(), p.config(NeighborSelection::Random), seed);
+    phase(tracer, "unbiased");
+    let (unbiased, _) = run_experiment_with(
+        p.net.build(),
+        p.config(NeighborSelection::Random),
+        seed,
+        tracer,
+    );
     reports.push(("Unbiased Gnutella".into(), unbiased));
     for &cache in &p.cache_sizes {
-        let (r, _) = run_experiment(
+        phase(tracer, &format!("biased-cache-{cache}"));
+        let (r, _) = run_experiment_with(
             p.net.build(),
             p.config(NeighborSelection::OracleBiased { list_size: cache }),
             seed,
+            tracer,
         );
         reports.push((format!("Biased, cache {cache}"), r));
     }

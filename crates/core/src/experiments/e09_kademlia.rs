@@ -12,7 +12,7 @@ use crate::report::{f, pct, Table};
 use uap_kademlia::{DhtConfig, DhtNetwork, Key, ProximityMode};
 use uap_net::host::AttachmentDist;
 use uap_net::{HostId, PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
-use uap_sim::SimRng;
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
 
 /// Builds the E9 underlay with a **heavy-tailed AS population** (Zipf-like
 /// weights over the leaf ASes): a few big consumer ISPs hold most peers,
@@ -113,6 +113,13 @@ pub struct Outcome {
 
 /// Runs the comparison.
 pub fn run(p: &Params) -> Outcome {
+    run_traced(p, &mut Tracer::disabled())
+}
+
+/// Like [`run`], but installs `tracer` into each [`DhtNetwork`] so lookup
+/// hop traces (`kademlia`/`lookup.*`) are recorded, with one
+/// `experiment`/`phase` marker (Info) per proximity mode.
+pub fn run_traced(p: &Params, tracer: &mut Tracer) -> Outcome {
     let mut modes = Vec::new();
     let mut table = Table::new(
         "E9 — proximity neighbor selection in Kademlia (after [17])",
@@ -131,12 +138,22 @@ pub fn run(p: &Params) -> Outcome {
         ("PNS", ProximityMode::Pns),
         ("PNS+PR", ProximityMode::PnsPr),
     ] {
+        tracer.emit(
+            SimTime::ZERO,
+            "experiment",
+            TraceLevel::Info,
+            "phase",
+            |f| {
+                f.str("name", label);
+            },
+        );
         let mut rng = SimRng::new(p.net.seed ^ 0xE9);
         let cfg = DhtConfig {
             proximity: mode,
             ..Default::default()
         };
         let mut net = DhtNetwork::build(heavy_tailed_underlay(&p.net), cfg, &mut rng);
+        net.tracer = std::mem::take(tracer);
         net.underlay.reset_traffic();
         let n = net.len();
         let mut inter = 0u64;
@@ -156,6 +173,7 @@ pub fn run(p: &Params) -> Outcome {
                 exact += 1;
             }
         }
+        *tracer = std::mem::take(&mut net.tracer);
         let result = ModeResult {
             mode,
             inter_as_fraction: inter as f64 / total.max(1) as f64,

@@ -9,10 +9,10 @@
 
 use crate::experiments::NetParams;
 use crate::report::{f, pct, Table};
-use uap_bittorrent::{run_swarm, SwarmConfig, TrackerPolicy};
+use uap_bittorrent::{run_swarm_with, SwarmConfig, TrackerPolicy};
 use uap_net::cost::{bill_all, total_transit_usd};
 use uap_net::CostParams;
-use uap_sim::SimTime;
+use uap_sim::{SimTime, TraceLevel, Tracer};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -67,6 +67,8 @@ pub struct PolicyResult {
     pub mean_completion_secs: f64,
     /// Leechers finished.
     pub completed: usize,
+    /// Rounds the swarm ran.
+    pub rounds: u32,
     /// Total transit bytes (per-link weighted).
     pub transit_bytes: u64,
     /// Summed ISP transit bill (USD/month equivalent).
@@ -84,6 +86,13 @@ pub struct Outcome {
 
 /// Runs the comparison.
 pub fn run(p: &Params) -> Outcome {
+    run_traced(p, &mut Tracer::disabled())
+}
+
+/// Like [`run`], but threads `tracer` through every swarm run so piece
+/// exchange and choke decisions (`bittorrent`/`*`) are recorded, with one
+/// `experiment`/`phase` marker (Info) per tracker policy.
+pub fn run_traced(p: &Params, tracer: &mut Tracer) -> Outcome {
     let configs: Vec<(String, TrackerPolicy, bool)> = vec![
         ("random tracker".into(), TrackerPolicy::Random, false),
         (
@@ -125,7 +134,17 @@ pub fn run(p: &Params) -> Outcome {
             cost_aware_choking: cat,
             ..Default::default()
         };
-        let (report, underlay) = run_swarm(p.net.build(), cfg, p.net.seed ^ 0xE10);
+        let phase = label.clone();
+        tracer.emit(
+            SimTime::ZERO,
+            "experiment",
+            TraceLevel::Info,
+            "phase",
+            |f| {
+                f.str("name", phase);
+            },
+        );
+        let (report, underlay) = run_swarm_with(p.net.build(), cfg, p.net.seed ^ 0xE10, tracer);
         let horizon = SimTime::from_secs(10).mul(report.rounds as u64);
         let bills = bill_all(&underlay.graph, &underlay.traffic, &p.cost, horizon);
         let (_, _, transit_bytes) = underlay.traffic.totals();
@@ -134,6 +153,7 @@ pub fn run(p: &Params) -> Outcome {
             intra_fraction: report.intra_as_fraction,
             mean_completion_secs: report.mean_completion_secs(),
             completed: report.completed,
+            rounds: report.rounds,
             transit_bytes,
             transit_bill_usd: total_transit_usd(&bills),
         };

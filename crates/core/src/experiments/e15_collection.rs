@@ -16,7 +16,7 @@ use uap_info::{
     Ip2IspService, OnoEstimator, Oracle, P4pEstimator, P4pService, PdistanceWeights, SimulatedCdn,
 };
 use uap_net::{HostId, Underlay};
-use uap_sim::SimRng;
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
 
 /// Experiment parameters.
 #[derive(Clone, Copy, Debug)]
@@ -109,13 +109,32 @@ fn score(u: &Underlay, tasks: &[Task], selections: &[Vec<HostId>]) -> f64 {
 
 /// Runs the shoot-out.
 pub fn run(p: &Params) -> Outcome {
+    run_traced(p, &mut Tracer::disabled())
+}
+
+/// Like [`run`], but records the per-call collection cost of the oracle
+/// technique (`info`/`oracle.rank`) into `tracer`, with one
+/// `experiment`/`phase` marker (Info) per technique.
+pub fn run_traced(p: &Params, tracer: &mut Tracer) -> Outcome {
     let u = p.net.build();
     let mut rng = SimRng::new(p.net.seed ^ 0xE15);
     let tasks = make_tasks(&u, p, &mut rng);
     let mut techniques = Vec::new();
+    let phase = |t: &mut Tracer, name: &'static str| {
+        t.emit(
+            SimTime::ZERO,
+            "experiment",
+            TraceLevel::Info,
+            "phase",
+            |f| {
+                f.str("name", name);
+            },
+        );
+    };
 
     // Random baseline: pick the first `want` (candidate order is random).
     {
+        phase(tracer, "random");
         let selections: Vec<Vec<HostId>> = tasks
             .iter()
             .map(|t| t.candidates.iter().copied().take(p.want).collect())
@@ -128,12 +147,13 @@ pub fn run(p: &Params) -> Outcome {
     }
     // Oracle: exact per-query ranking.
     {
+        phase(tracer, "oracle");
         let mut oracle = Oracle::new(usize::MAX);
         let selections: Vec<Vec<HostId>> = tasks
             .iter()
             .map(|t| {
                 oracle
-                    .rank(&u, t.who, &t.candidates)
+                    .rank_traced(&u, t.who, &t.candidates, SimTime::ZERO, tracer)
                     .into_iter()
                     .take(p.want)
                     .collect()
@@ -147,6 +167,7 @@ pub fn run(p: &Params) -> Outcome {
     }
     // P4P: cached p-distance maps.
     {
+        phase(tracer, "p4p");
         let svc = P4pService::build(&u, PdistanceWeights::default());
         let mut est = P4pEstimator::new(&u, svc);
         let selections: Vec<Vec<HostId>> = tasks
@@ -166,6 +187,7 @@ pub fn run(p: &Params) -> Outcome {
     }
     // IP-to-ISP mapping: same-AS first, the rest in candidate order.
     {
+        phase(tracer, "ip2isp");
         let mut mapping = Ip2IspService::build(&u, 1.0, SimRng::new(p.net.seed ^ 0x1731));
         let selections: Vec<Vec<HostId>> = tasks
             .iter()
@@ -197,6 +219,7 @@ pub fn run(p: &Params) -> Outcome {
     }
     // CDN/Ono inference.
     {
+        phase(tracer, "cdn-ono");
         let cdn = SimulatedCdn::deploy(&u, 6);
         let mut ono = OnoEstimator::new(&u, cdn, 30);
         let selections: Vec<Vec<HostId>> = tasks

@@ -51,6 +51,16 @@ impl Table {
         &self.rows[r][c]
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Row accessor.
+    pub fn row_cells(&self, r: usize) -> &[String] {
+        &self.rows[r]
+    }
+
     /// Renders the table as aligned text.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
@@ -117,6 +127,13 @@ impl Table {
     }
 }
 
+/// Renders the one-line pointer the experiment binaries print for every
+/// artifact they write (CSV, RunReport JSON, trace JSONL), so a run's
+/// output always names the files it produced.
+pub fn artifact_line(kind: &str, path: &Path) -> String {
+    format!("({kind} written to {})", path.display())
+}
+
 /// Formats a float with sensible precision for tables.
 pub fn f(v: f64) -> String {
     if v == 0.0 {
@@ -166,6 +183,12 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn artifact_line_names_the_path() {
+        let line = artifact_line("csv", Path::new("results/out.csv"));
+        assert_eq!(line, "(csv written to results/out.csv)");
     }
 
     #[test]

@@ -44,4 +44,4 @@ pub use content::{ContentModel, FileId};
 pub use overlay::Overlay;
 pub use report::GnutellaReport;
 pub use selection::NeighborSelection;
-pub use sim::{run_experiment, GnutellaSim};
+pub use sim::{run_experiment, run_experiment_with, GnutellaSim};

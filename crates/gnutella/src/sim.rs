@@ -14,7 +14,7 @@ use crate::report::GnutellaReport;
 use crate::selection::Selector;
 use uap_info::Oracle;
 use uap_net::{HostId, TrafficCategory, Underlay};
-use uap_sim::{ChurnModel, Ctx, SimTime, Simulator, World};
+use uap_sim::{ChurnModel, Ctx, SimTime, Simulator, TraceLevel, Tracer, World};
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +123,18 @@ impl GnutellaSim {
         let selector = Selector::new(cfg.selection.clone());
         let exchange_oracle = Oracle::new(usize::MAX);
 
+        // Role census: how the promotion policy split the population
+        // (CapacityTopFraction is the capacity-ranked ultrapeer promotion).
+        let ultrapeers = (0..n)
+            .filter(|&i| overlay.role(HostId(i as u32)) == Role::Ultrapeer)
+            .count();
+        sim.tracer_mut()
+            .emit(SimTime::ZERO, "gnutella", TraceLevel::Info, "roles", |f| {
+                f.u64("hosts", n as u64)
+                    .u64("ultrapeers", ultrapeers as u64)
+                    .u64("leaves", (n - ultrapeers) as u64);
+            });
+
         let mut world = GnutellaSim {
             underlay,
             overlay,
@@ -167,6 +179,9 @@ impl GnutellaSim {
         self.epoch[h.idx()] += 1;
         let ep = self.epoch[h.idx()];
         ctx.metrics.incr("gnutella.joins", 1);
+        ctx.trace("gnutella", TraceLevel::Debug, "join", |f| {
+            f.u64("host", h.0 as u64).u64("epoch", ep as u64);
+        });
         self.connect(h, ctx);
         // Kick off this node's periodic cycles with a random phase.
         let ping_phase =
@@ -205,9 +220,13 @@ impl GnutellaSim {
         let picked = self
             .selector
             .select(&self.underlay, h, &candidates, target - have, ctx.rng);
+        let added = picked.len();
         for p in picked {
             self.overlay.add_edge(&self.underlay, h, p);
         }
+        ctx.trace("gnutella", TraceLevel::Trace, "connect", |f| {
+            f.u64("host", h.0 as u64).u64("added", added as u64);
+        });
     }
 
     fn leave(&mut self, h: HostId, ctx: &mut Ctx<'_, Ev>) {
@@ -217,6 +236,10 @@ impl GnutellaSim {
         let neighbors: Vec<HostId> = self.overlay.neighbors(h).to_vec();
         self.overlay.set_online(h, false);
         ctx.metrics.incr("gnutella.leaves", 1);
+        ctx.trace("gnutella", TraceLevel::Debug, "leave", |f| {
+            f.u64("host", h.0 as u64)
+                .u64("neighbors", neighbors.len() as u64);
+        });
         // Neighbors notice the dead connection after a detection delay and
         // repair their degree.
         for nb in neighbors {
@@ -237,6 +260,12 @@ impl GnutellaSim {
             pongs += r.hops as u64 * self.cfg.pongs_per_reply;
         }
         ctx.metrics.incr("gnutella.msg.pong", pongs);
+        ctx.trace("gnutella", TraceLevel::Debug, "flood.ping", |f| {
+            f.u64("host", h.0 as u64)
+                .u64("msgs", flood.messages)
+                .u64("reached", flood.reached.len() as u64)
+                .u64("pongs", pongs);
+        });
         if self.cfg.account_overhead_traffic {
             self.account_overhead(h, &flood, wire::PING, wire::PONG, ctx.now());
         }
@@ -277,6 +306,13 @@ impl GnutellaSim {
             }
         }
         ctx.metrics.incr("gnutella.msg.queryhit", hit_msgs);
+        ctx.trace("gnutella", TraceLevel::Debug, "flood.query", |f| {
+            f.u64("host", h.0 as u64)
+                .u64("file", file.0 as u64)
+                .u64("msgs", flood.messages)
+                .u64("reached", flood.reached.len() as u64)
+                .u64("hits", hits.len() as u64);
+        });
         if self.cfg.account_overhead_traffic {
             self.account_overhead(h, &flood, wire::QUERY, 0, ctx.now());
         }
@@ -306,18 +342,33 @@ impl GnutellaSim {
 
     fn download(&mut self, downloader: HostId, provider: HostId, ctx: &mut Ctx<'_, Ev>) {
         let bytes = self.cfg.file_size_bytes;
-        let cat = self
-            .underlay
-            .account_transfer(ctx.now(), provider, downloader, bytes);
+        let cat = self.underlay.account_transfer_traced(
+            ctx.now(),
+            provider,
+            downloader,
+            bytes,
+            ctx.tracer,
+        );
         ctx.metrics.incr("gnutella.downloads", 1);
         self.download_bytes_total += bytes;
         if cat == TrafficCategory::IntraAs {
             ctx.metrics.incr("gnutella.downloads.intra_as", 1);
             self.download_bytes_intra += bytes;
         }
-        if let Some(t) = self.underlay.transfer_time(provider, downloader, bytes) {
-            self.download_secs_sum += t.as_secs_f64();
+        let secs = self
+            .underlay
+            .transfer_time(provider, downloader, bytes)
+            .map(|t| t.as_secs_f64());
+        if let Some(s) = secs {
+            self.download_secs_sum += s;
         }
+        ctx.trace("gnutella", TraceLevel::Debug, "download", |f| {
+            f.u64("downloader", downloader.0 as u64)
+                .u64("provider", provider.0 as u64)
+                .u64("bytes", bytes)
+                .str("cat", cat.name())
+                .f64("secs", secs.unwrap_or(-1.0));
+        });
     }
 
     /// Charges flood signalling bytes to the underlay ledger: each
@@ -416,6 +467,15 @@ impl World<Ev> for GnutellaSim {
             }
         }
     }
+
+    fn kind_of(&self, ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Churn(_) => "churn",
+            Ev::PingCycle(..) => "ping_cycle",
+            Ev::QueryCycle(..) => "query_cycle",
+            Ev::Repair(_) => "repair",
+        }
+    }
 }
 
 /// Runs one configured experiment and returns the report plus the world
@@ -425,11 +485,41 @@ pub fn run_experiment(
     cfg: GnutellaConfig,
     seed: u64,
 ) -> (GnutellaReport, GnutellaSim) {
+    let mut tracer = Tracer::disabled();
+    run_experiment_with(underlay, cfg, seed, &mut tracer)
+}
+
+/// Like [`run_experiment`], but records into `tracer` (temporarily moved
+/// into the engine for the duration of the run and restored afterwards).
+/// At end of run this emits the per-link traffic totals and one
+/// `gnutella`/`run.end` summary event.
+pub fn run_experiment_with(
+    underlay: Underlay,
+    cfg: GnutellaConfig,
+    seed: u64,
+    tracer: &mut Tracer,
+) -> (GnutellaReport, GnutellaSim) {
     let duration = cfg.duration;
     let mut sim = Simulator::new(seed);
+    sim.set_tracer(std::mem::take(tracer));
     let mut world = GnutellaSim::new(underlay, cfg, &mut sim);
     let stats = sim.run_until(&mut world, duration);
     let report = world.report(sim.metrics(), stats.events_processed);
+    let mut t = sim.take_tracer();
+    world.underlay.trace_link_totals(stats.end_time, &mut t);
+    t.emit(
+        stats.end_time,
+        "gnutella",
+        TraceLevel::Info,
+        "run.end",
+        |f| {
+            f.u64("events", stats.events_processed)
+                .u64("queries", report.queries_issued)
+                .u64("downloads", report.downloads)
+                .u64("msgs", report.total_msgs());
+        },
+    );
+    *tracer = t;
     (report, world)
 }
 

@@ -1,0 +1,71 @@
+//! Golden-trace determinism: two same-seed Gnutella runs must serialize
+//! byte-identical JSONL trace files. This is a much finer check than
+//! comparing end-of-run reports — any divergence in event order, field
+//! order, or float formatting shows up as a byte difference, and
+//! `xtask trace diff` can then localize the first diverging event.
+
+use uap_gnutella::config::GnutellaConfig;
+use uap_gnutella::selection::NeighborSelection;
+use uap_gnutella::sim::run_experiment_with;
+use uap_net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
+
+fn underlay(n_hosts: usize, seed: u64) -> Underlay {
+    let mut rng = SimRng::new(seed);
+    let g = TopologySpec::new(TopologyKind::Hierarchical {
+        tier1: 2,
+        tier2_per_tier1: 2,
+        tier3_per_tier2: 3,
+        tier2_peering_prob: 0.3,
+        tier3_peering_prob: 0.3,
+    })
+    .build(&mut rng);
+    Underlay::build(
+        g,
+        &PopulationSpec::leaf(n_hosts),
+        UnderlayConfig::default(),
+        &mut rng,
+    )
+}
+
+fn trace_bytes(seed: u64) -> Vec<u8> {
+    let cfg = GnutellaConfig {
+        selection: NeighborSelection::Random,
+        duration: SimTime::from_mins(5),
+        ..Default::default()
+    };
+    let mut tracer = Tracer::buffered(TraceLevel::Debug);
+    let (_report, _world) = run_experiment_with(underlay(80, 3), cfg, seed, &mut tracer);
+    let mut out = Vec::new();
+    tracer.write_jsonl(&mut out).expect("in-memory write");
+    out
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_trace_files() {
+    let a = trace_bytes(42);
+    let b = trace_bytes(42);
+    assert!(!a.is_empty(), "a debug-level run must emit trace events");
+    assert_eq!(a, b, "same-seed traces must be byte-identical");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    assert_ne!(trace_bytes(42), trace_bytes(43));
+}
+
+#[test]
+fn trace_lines_parse_and_cover_expected_components() {
+    let bytes = trace_bytes(42);
+    let text = String::from_utf8(bytes).expect("utf-8 trace");
+    let mut components = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let ev = uap_sim::trace::parse_jsonl_line(line).expect("every line parses");
+        components.insert(ev.component);
+    }
+    assert!(
+        components.contains("gnutella"),
+        "components: {components:?}"
+    );
+    assert!(components.contains("net"), "components: {components:?}");
+}

@@ -14,7 +14,7 @@
 use crate::provider::ProximityEstimator;
 use uap_coords::{EmbeddingQuality, IcsSystem, Matrix};
 use uap_net::{HostId, Underlay};
-use uap_sim::SimRng;
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
 
 /// The deployed coordinate system with every host embedded.
 pub struct IcsService {
@@ -111,6 +111,26 @@ impl IcsService {
             coords,
             messages,
         }
+    }
+
+    /// Like [`IcsService::build`], but emits one `info`/`ics.build` trace
+    /// event (Debug level) summarizing the collection cost: beacon count,
+    /// embedding dimensions, and total probe messages spent.
+    pub fn build_traced(
+        underlay: &Underlay,
+        n_beacons: usize,
+        dims: usize,
+        rng: &mut SimRng,
+        now: SimTime,
+        tracer: &mut Tracer,
+    ) -> IcsService {
+        let svc = Self::build(underlay, n_beacons, dims, rng);
+        tracer.emit(now, "info", TraceLevel::Debug, "ics.build", |f| {
+            f.u64("beacons", svc.beacons.len() as u64)
+                .u64("dims", dims as u64)
+                .u64("messages", svc.messages);
+        });
+        svc
     }
 
     /// The beacon hosts.

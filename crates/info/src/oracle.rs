@@ -12,6 +12,7 @@
 //! tables — that is the whole point of the technique.
 
 use uap_net::{HostId, Underlay};
+use uap_sim::{SimTime, TraceLevel, Tracer};
 
 /// The ISP-side ranking component.
 pub struct Oracle {
@@ -55,6 +56,33 @@ impl Oracle {
             .collect();
         scored.sort_by_key(|&(hops, pos, _)| (hops, pos));
         scored.into_iter().map(|(_, _, c)| c).collect()
+    }
+
+    /// Like [`Oracle::rank`], but emits one `info`/`oracle.rank` trace
+    /// event (Debug level) recording the querier, list length and the
+    /// AS-hop distance of the winning candidate — the per-call collection
+    /// cost E15 accounts.
+    pub fn rank_traced(
+        &mut self,
+        underlay: &Underlay,
+        querier: HostId,
+        candidates: &[HostId],
+        now: SimTime,
+        tracer: &mut Tracer,
+    ) -> Vec<HostId> {
+        let ranked = self.rank(underlay, querier, candidates);
+        if tracer.is_enabled("info", TraceLevel::Debug) {
+            let best_hops = ranked
+                .first()
+                .and_then(|&b| underlay.as_hops(querier, b))
+                .unwrap_or(u32::MAX);
+            tracer.emit(now, "info", TraceLevel::Debug, "oracle.rank", |f| {
+                f.u64("querier", querier.0 as u64)
+                    .u64("list", candidates.len().min(self.max_list) as u64)
+                    .u64("best_as_hops", best_hops as u64);
+            });
+        }
+        ranked
     }
 
     /// The single best candidate, if any.

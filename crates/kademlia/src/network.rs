@@ -10,7 +10,7 @@ use crate::id::Key;
 use crate::kbucket::{Contact, OverflowPolicy, RoutingTable};
 use std::collections::{BTreeMap, BTreeSet};
 use uap_net::{HostId, TrafficCategory, Underlay};
-use uap_sim::{SimRng, SimTime};
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
 
 /// Underlay-awareness switches (Kaune et al. \[17\]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,6 +75,10 @@ struct NodeState {
 pub struct DhtNetwork {
     /// The underlay (owned; transfers are charged to its ledger).
     pub underlay: Underlay,
+    /// Structured trace collector (disabled by default; swap one in with
+    /// [`std::mem::take`]-style replacement to record `kademlia` lookup
+    /// hop traces, timestamped with the ledger clock).
+    pub tracer: Tracer,
     cfg: DhtConfig,
     nodes: Vec<NodeState>,
     by_key: BTreeMap<Key, HostId>,
@@ -121,6 +125,7 @@ impl DhtNetwork {
         }
         let mut net = DhtNetwork {
             underlay,
+            tracer: Tracer::disabled(),
             cfg,
             nodes,
             by_key,
@@ -206,9 +211,24 @@ impl DhtNetwork {
         self.underlay.rtt_us(from, to)
     }
 
+    /// First 8 bytes of a key as an integer — a stable, compact label for
+    /// trace events (full 160-bit keys would bloat every line).
+    fn key_prefix(k: &Key) -> u64 {
+        u64::from_be_bytes([
+            k.0[0], k.0[1], k.0[2], k.0[3], k.0[4], k.0[5], k.0[6], k.0[7],
+        ])
+    }
+
     /// Iterative FIND_NODE lookup from `from` towards `target`.
     pub fn lookup(&mut self, from: HostId, target: &Key, _rng: &mut SimRng) -> LookupOutcome {
         let mut out = LookupOutcome::default();
+        self.tracer
+            .emit(self.clock, "kademlia", TraceLevel::Debug, "lookup.start", {
+                let target_pfx = Self::key_prefix(target);
+                move |f| {
+                    f.u64("from", from.0 as u64).u64("target", target_pfx);
+                }
+            });
         let me = self.nodes[from.idx()].key;
         let mut shortlist: Vec<Contact> = self.nodes[from.idx()].table.closest(target, self.cfg.k);
         let mut queried: BTreeSet<Key> = BTreeSet::new();
@@ -233,6 +253,7 @@ impl DhtNetwork {
                 candidates[..pool].sort_by_key(|c| (c.as_hops, c.key.0));
             }
             candidates.truncate(self.cfg.alpha);
+            let asked = candidates.len();
             let mut round_rtt = 0u64;
             let mut learned: Vec<Contact> = Vec::new();
             for c in candidates {
@@ -261,6 +282,18 @@ impl DhtNetwork {
                 }
             }
             out.latency_us += round_rtt;
+            self.tracer
+                .emit(self.clock, "kademlia", TraceLevel::Debug, "lookup.hop", {
+                    let round = out.rounds;
+                    let rpcs = out.rpcs;
+                    move |f| {
+                        f.u64("from", from.0 as u64)
+                            .u64("round", round as u64)
+                            .u64("asked", asked as u64)
+                            .u64("rpcs", rpcs)
+                            .u64("round_rtt_us", round_rtt);
+                    }
+                });
             let before_best = shortlist.first().map(|c| c.key);
             for l in learned {
                 if dead.contains(&l.key) {
@@ -283,6 +316,23 @@ impl DhtNetwork {
                 break;
             }
         }
+        self.tracer
+            .emit(self.clock, "kademlia", TraceLevel::Debug, "lookup.done", {
+                let best = shortlist
+                    .first()
+                    .map(|c| Self::key_prefix(&c.key))
+                    .unwrap_or(0);
+                let (rounds, rpcs, inter, lat) =
+                    (out.rounds, out.rpcs, out.inter_as_rpcs, out.latency_us);
+                move |f| {
+                    f.u64("from", from.0 as u64)
+                        .u64("rounds", rounds as u64)
+                        .u64("rpcs", rpcs)
+                        .u64("inter_as_rpcs", inter)
+                        .u64("latency_us", lat)
+                        .u64("best", best);
+                }
+            });
         out.closest = shortlist;
         out
     }
@@ -495,6 +545,24 @@ mod tests {
             let out = net.lookup(HostId(0), &t, &mut rng);
             assert!(!out.closest.iter().any(|c| c.host == HostId(3)));
         }
+    }
+
+    #[test]
+    fn lookup_hops_are_traced_deterministically() {
+        let trace = || {
+            let (mut net, mut rng) = network(64, ProximityMode::PnsPr, 11);
+            net.tracer = Tracer::buffered(TraceLevel::Debug);
+            for i in 0..5u32 {
+                let t = Key::random(&mut rng);
+                net.lookup(HostId(i), &t, &mut rng);
+            }
+            net.tracer.to_jsonl()
+        };
+        let a = trace();
+        assert!(a.contains("\"k\":\"lookup.start\""));
+        assert!(a.contains("\"k\":\"lookup.hop\""));
+        assert!(a.contains("\"k\":\"lookup.done\""));
+        assert_eq!(a, trace(), "same-seed lookup traces must be byte-identical");
     }
 
     #[test]

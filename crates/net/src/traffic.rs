@@ -22,6 +22,17 @@ pub enum TrafficCategory {
     InterAsTransit,
 }
 
+impl TrafficCategory {
+    /// Stable short name used in trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficCategory::IntraAs => "intra",
+            TrafficCategory::InterAsPeering => "peering",
+            TrafficCategory::InterAsTransit => "transit",
+        }
+    }
+}
+
 /// Accumulated traffic statistics for one simulation run.
 #[derive(Clone, Debug)]
 pub struct TrafficAccounting {
@@ -130,6 +141,12 @@ impl TrafficAccounting {
     /// Bytes carried by link `li`.
     pub fn link_bytes(&self, li: u32) -> u64 {
         self.per_link_bytes[li as usize]
+    }
+
+    /// Per-link byte totals, indexed by link id. Used by the trace layer
+    /// to emit end-of-run per-link traffic events.
+    pub fn per_link_bytes(&self) -> &[u64] {
+        &self.per_link_bytes
     }
 
     /// Fraction of transfer bytes (weighted per-link) that stayed intra-AS.

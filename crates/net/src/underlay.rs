@@ -11,7 +11,7 @@ use crate::host::{Host, HostPopulation, PopulationSpec};
 use crate::ids::HostId;
 use crate::routing::{Routing, RoutingMode};
 use crate::traffic::{TrafficAccounting, TrafficCategory};
-use uap_sim::{SimRng, SimTime};
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
 
 /// Tunables for the latency model.
 #[derive(Clone, Copy, Debug)]
@@ -222,6 +222,82 @@ impl Underlay {
         }
     }
 
+    /// Like [`Underlay::account_transfer`], but also emits a `net`/`transfer`
+    /// trace event (Debug level) recording the routing decision: endpoint
+    /// hosts and ASes, byte count, traffic category, and the number of
+    /// links / transit links the valley-free path crossed. The extra path
+    /// inspection only runs when the `net` component is enabled.
+    pub fn account_transfer_traced(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        bytes: u64,
+        tracer: &mut Tracer,
+    ) -> TrafficCategory {
+        let cat = self.account_transfer(now, from, to, bytes);
+        if tracer.is_enabled("net", TraceLevel::Debug) {
+            let src_as = self.hosts.as_of(from);
+            let dst_as = self.hosts.as_of(to);
+            let (links, transit) = if src_as == dst_as {
+                (0, 0)
+            } else {
+                match self.routing.path_links(src_as, dst_as) {
+                    Some(path) => {
+                        let transit = path
+                            .iter()
+                            .filter(|&&li| {
+                                self.graph.links[li as usize].kind
+                                    == crate::asgraph::LinkKind::Transit
+                            })
+                            .count();
+                        (path.len(), transit)
+                    }
+                    None => (0, 0),
+                }
+            };
+            tracer.emit(now, "net", TraceLevel::Debug, "transfer", |f| {
+                f.u64("from", from.0 as u64)
+                    .u64("to", to.0 as u64)
+                    .u64("src_as", src_as.idx() as u64)
+                    .u64("dst_as", dst_as.idx() as u64)
+                    .u64("bytes", bytes)
+                    .str("cat", cat.name())
+                    .u64("links", links as u64)
+                    .u64("transit", transit as u64);
+            });
+        }
+        cat
+    }
+
+    /// Emits one `net`/`link.total` trace event (Debug level) per link
+    /// that carried traffic, capturing the per-link byte distribution at
+    /// the moment of the call (typically end of run).
+    pub fn trace_link_totals(&self, now: SimTime, tracer: &mut Tracer) {
+        if !tracer.is_enabled("net", TraceLevel::Debug) {
+            return;
+        }
+        for (li, &bytes) in self.traffic.per_link_bytes().iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            let link = &self.graph.links[li];
+            tracer.emit(now, "net", TraceLevel::Debug, "link.total", |f| {
+                f.u64("link", li as u64)
+                    .str(
+                        "kind",
+                        match link.kind {
+                            crate::asgraph::LinkKind::Peering => "peering",
+                            crate::asgraph::LinkKind::Transit => "transit",
+                        },
+                    )
+                    .u64("a", link.a.idx() as u64)
+                    .u64("b", link.b.idx() as u64)
+                    .u64("bytes", bytes);
+            });
+        }
+    }
+
     /// Geographic distance between two hosts in kilometres.
     pub fn geo_distance_km(&self, a: HostId, b: HostId) -> f64 {
         self.hosts.host(a).geo.distance_km(&self.hosts.host(b).geo)
@@ -364,6 +440,34 @@ mod tests {
         assert_eq!(cat, TrafficCategory::InterAsTransit);
         let (intra, _, _) = u.traffic.totals();
         assert_eq!(intra, 0);
+    }
+
+    #[test]
+    fn traced_transfer_records_routing_decision() {
+        let mut u = underlay(1.0);
+        let mut tracer = uap_sim::Tracer::buffered(uap_sim::TraceLevel::Debug);
+        // Find an inter-AS pair.
+        let (a, b) = (0..200u32)
+            .flat_map(|a| ((a + 1)..200u32).map(move |b| (HostId(a), HostId(b))))
+            .find(|&(a, b)| !u.same_as(a, b))
+            .unwrap();
+        let cat = u.account_transfer_traced(SimTime::ZERO, a, b, 5_000, &mut tracer);
+        u.trace_link_totals(SimTime::ZERO, &mut tracer);
+        let events = tracer.events();
+        let transfer = events.iter().find(|e| e.kind == "transfer").unwrap();
+        assert_eq!(transfer.component, "net");
+        assert!(transfer
+            .fields
+            .iter()
+            .any(|(k, v)| k == "cat" && *v == uap_sim::trace::Value::Str(cat.name().into())));
+        assert!(
+            events.iter().any(|e| e.kind == "link.total"),
+            "an inter-AS transfer must leave per-link totals"
+        );
+        // A disabled tracer records nothing and costs no path inspection.
+        let mut off = uap_sim::Tracer::disabled();
+        u.account_transfer_traced(SimTime::ZERO, a, b, 5_000, &mut off);
+        assert_eq!(off.len(), 0);
     }
 
     #[test]

@@ -9,12 +9,20 @@ use crate::event::EventQueue;
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::trace::{Fields, TraceLevel, Tracer, WallTimer};
 
 /// A protocol state machine driven by the engine.
 pub trait World<E> {
     /// Handles one event. `ctx` exposes the clock, scheduling, randomness and
     /// metrics.
     fn handle(&mut self, event: E, ctx: &mut Ctx<'_, E>);
+
+    /// A stable, static name for the event's type, used by the engine's
+    /// per-kind profiling counters (`engine.events.<kind>`) and dispatch
+    /// trace events. Worlds with a single event shape can keep the default.
+    fn kind_of(&self, _event: &E) -> &'static str {
+        "event"
+    }
 }
 
 /// Engine services exposed to the world while it handles an event.
@@ -25,6 +33,9 @@ pub struct Ctx<'a, E> {
     pub rng: &'a mut SimRng,
     /// Metrics registry for this run.
     pub metrics: &'a mut Metrics,
+    /// Structured trace collector for this run (no-op unless the harness
+    /// installed one via [`Simulator::set_tracer`]).
+    pub tracer: &'a mut Tracer,
     stop: &'a mut bool,
 }
 
@@ -54,6 +65,20 @@ impl<'a, E> Ctx<'a, E> {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// Emits a trace event stamped with the current simulated time. The
+    /// field-builder closure only runs when `component`/`level` is enabled,
+    /// so this costs one branch on the disabled path.
+    #[inline]
+    pub fn trace(
+        &mut self,
+        component: &'static str,
+        level: TraceLevel,
+        kind: &'static str,
+        build: impl FnOnce(&mut Fields),
+    ) {
+        self.tracer.emit(self.now, component, level, kind, build);
+    }
 }
 
 /// Summary of a completed run.
@@ -67,12 +92,116 @@ pub struct RunStats {
     pub stopped_early: bool,
 }
 
+/// Opt-in, determinism-safe engine profiling.
+///
+/// Everything the profiler writes into [`Metrics`] is a pure function of
+/// the run (event kinds, queue depths, sim-time buckets) and therefore
+/// byte-identical across same-seed runs. The one wall-clock facility —
+/// the stage timer — is kept *outside* the metrics registry and the
+/// tracer: its reading is only available through
+/// [`Simulator::profile_wall_secs`], for `BENCH_*.json`-style perf
+/// artifacts that are excluded from determinism comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileConfig {
+    /// Sample the queue depth into the `engine.queue_depth` time series
+    /// every this many processed events (`0` disables the series).
+    pub queue_depth_every: u64,
+    /// Record the `engine.events_per_sec` time series: events processed
+    /// per simulated second.
+    pub events_per_sim_sec: bool,
+    /// Start the opt-in wall-clock stage timer (the wallclock allow
+    /// boundary lives in [`crate::trace`]).
+    pub wall_timer: bool,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            queue_depth_every: 1024,
+            events_per_sim_sec: true,
+            wall_timer: false,
+        }
+    }
+}
+
+/// Internal profiler state.
+struct Profiler {
+    cfg: ProfileConfig,
+    /// Events processed per [`World::kind_of`] name; flushed into
+    /// `engine.events.<kind>` counters when a run segment ends.
+    kinds: std::collections::BTreeMap<&'static str, u64>,
+    /// Current events-per-sim-second bucket: (second index, count).
+    sec_bucket: (u64, u64),
+    wall: Option<WallTimer>,
+}
+
+impl Profiler {
+    fn new(cfg: ProfileConfig) -> Profiler {
+        Profiler {
+            cfg,
+            kinds: std::collections::BTreeMap::new(),
+            sec_bucket: (0, 0),
+            wall: if cfg.wall_timer {
+                Some(WallTimer::start())
+            } else {
+                None
+            },
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        kind: &'static str,
+        now: SimTime,
+        queue_len: usize,
+        n: u64,
+        metrics: &mut Metrics,
+    ) {
+        *self.kinds.entry(kind).or_insert(0) += 1;
+        if self.cfg.queue_depth_every > 0 && n.is_multiple_of(self.cfg.queue_depth_every) {
+            metrics.trace("engine.queue_depth", now, queue_len as f64);
+        }
+        if self.cfg.events_per_sim_sec {
+            let sec = now.as_micros() / 1_000_000;
+            if sec != self.sec_bucket.0 {
+                if self.sec_bucket.1 > 0 {
+                    metrics.trace(
+                        "engine.events_per_sec",
+                        SimTime::from_secs(self.sec_bucket.0),
+                        self.sec_bucket.1 as f64,
+                    );
+                }
+                self.sec_bucket = (sec, 0);
+            }
+            self.sec_bucket.1 += 1;
+        }
+    }
+
+    /// Drains accumulated per-kind counts into `engine.events.<kind>`
+    /// counters and closes the open events-per-sec bucket.
+    fn flush(&mut self, metrics: &mut Metrics) {
+        for (kind, n) in std::mem::take(&mut self.kinds) {
+            metrics.incr(&format!("engine.events.{kind}"), n);
+        }
+        if self.cfg.events_per_sim_sec && self.sec_bucket.1 > 0 {
+            metrics.trace(
+                "engine.events_per_sec",
+                SimTime::from_secs(self.sec_bucket.0),
+                self.sec_bucket.1 as f64,
+            );
+            self.sec_bucket.1 = 0;
+        }
+    }
+}
+
 /// The discrete-event simulator.
 pub struct Simulator<E> {
     queue: EventQueue<E>,
     now: SimTime,
     rng: SimRng,
     metrics: Metrics,
+    tracer: Tracer,
+    profiler: Option<Profiler>,
     events_processed: u64,
     /// Hard cap on processed events; guards against protocol bugs that
     /// generate unbounded event storms. Default: 500 million.
@@ -87,9 +216,48 @@ impl<E> Simulator<E> {
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
+            tracer: Tracer::disabled(),
+            profiler: None,
             events_processed: 0,
             event_limit: 500_000_000,
         }
+    }
+
+    /// Installs a tracer; the default is the no-op [`Tracer::disabled`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer (for setup-time events).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Removes and returns the tracer, leaving a disabled one behind.
+    /// Harnesses use this to write the trace after the run.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Enables determinism-safe engine profiling (see [`ProfileConfig`]).
+    pub fn enable_profiling(&mut self, cfg: ProfileConfig) {
+        self.profiler = Some(Profiler::new(cfg));
+    }
+
+    /// Wall-clock seconds since profiling was enabled, if the opt-in
+    /// stage timer was requested. This value never enters [`Metrics`] or
+    /// the trace stream — it exists solely for perf artifacts that the
+    /// determinism gate excludes.
+    pub fn profile_wall_secs(&self) -> Option<f64> {
+        self.profiler
+            .as_ref()
+            .and_then(|p| p.wall.as_ref())
+            .map(|w| w.elapsed_secs())
     }
 
     /// Current simulated time.
@@ -148,17 +316,38 @@ impl<E> Simulator<E> {
             debug_assert!(t >= self.now, "event queue delivered out of order");
             self.now = t;
             self.events_processed += 1;
+            if self.profiler.is_some() || self.tracer.is_enabled("engine", TraceLevel::Trace) {
+                let kind = world.kind_of(&ev);
+                let queue_len = self.queue.len();
+                if let Some(p) = &mut self.profiler {
+                    p.on_event(
+                        kind,
+                        self.now,
+                        queue_len,
+                        self.events_processed,
+                        &mut self.metrics,
+                    );
+                }
+                self.tracer
+                    .emit(self.now, "engine", TraceLevel::Trace, "dispatch", |f| {
+                        f.str("kind", kind).u64("queue", queue_len as u64);
+                    });
+            }
             let mut ctx = Ctx {
                 now: self.now,
                 queue: &mut self.queue,
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
+                tracer: &mut self.tracer,
                 stop: &mut stopped,
             };
             world.handle(ev, &mut ctx);
             if stopped {
                 break;
             }
+        }
+        if let Some(p) = &mut self.profiler {
+            p.flush(&mut self.metrics);
         }
         if !stopped && self.now < deadline && deadline != SimTime::MAX {
             // Queue drained before the deadline: advance the clock so
@@ -193,11 +382,21 @@ mod tests {
                 Ev::Ping(n) => {
                     self.seen.push((ctx.now(), n));
                     ctx.metrics.incr("ping", 1);
+                    ctx.trace("echo", TraceLevel::Debug, "ping", |f| {
+                        f.u64("n", n as u64);
+                    });
                     if n < 3 {
                         ctx.schedule_in(SimTime::from_millis(10), Ev::Ping(n + 1));
                     }
                 }
                 Ev::Stop => ctx.stop(),
+            }
+        }
+
+        fn kind_of(&self, ev: &Ev) -> &'static str {
+            match ev {
+                Ev::Ping(_) => "ping",
+                Ev::Stop => "stop",
             }
         }
     }
@@ -259,6 +458,57 @@ mod tests {
         let mut w = Clamper { fired_at: None };
         sim.run(&mut w);
         assert_eq!(w.fired_at, Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn profiling_counts_events_per_kind() {
+        let mut sim = Simulator::new(1);
+        sim.enable_profiling(ProfileConfig {
+            queue_depth_every: 1,
+            events_per_sim_sec: true,
+            wall_timer: false,
+        });
+        sim.schedule_at(SimTime::from_millis(1), Ev::Ping(0));
+        let mut w = Echo { seen: vec![] };
+        sim.run(&mut w);
+        assert_eq!(sim.metrics().counter("engine.events.ping"), 4);
+        assert_eq!(sim.metrics().counter("engine.events.stop"), 0);
+        let depth = sim
+            .metrics()
+            .time_series("engine.queue_depth")
+            .expect("series");
+        assert_eq!(depth.len(), 4);
+        let eps = sim
+            .metrics()
+            .time_series("engine.events_per_sec")
+            .expect("series");
+        assert!(!eps.is_empty());
+        assert!(sim.profile_wall_secs().is_none(), "wall timer is opt-in");
+    }
+
+    #[test]
+    fn world_trace_events_carry_sim_time() {
+        let mut sim = Simulator::new(1);
+        sim.set_tracer(Tracer::buffered(TraceLevel::Trace));
+        sim.schedule_at(SimTime::from_millis(1), Ev::Ping(0));
+        let mut w = Echo { seen: vec![] };
+        sim.run(&mut w);
+        let tracer = sim.take_tracer();
+        let pings: Vec<_> = tracer
+            .events()
+            .into_iter()
+            .filter(|e| e.component == "echo")
+            .collect();
+        assert_eq!(pings.len(), 4);
+        assert_eq!(pings[0].t, SimTime::from_millis(1));
+        assert_eq!(pings[3].t, SimTime::from_millis(31));
+        // Engine dispatch events interleave at Trace level.
+        assert!(tracer
+            .events()
+            .iter()
+            .any(|e| e.component == "engine" && e.kind == "dispatch"));
+        // Tracer was swapped out for a disabled one.
+        assert!(!sim.tracer().is_active());
     }
 
     #[test]

@@ -49,12 +49,16 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod rng;
+pub mod runreport;
 pub mod time;
+pub mod trace;
 
 pub use churn::{ChurnConfig, ChurnModel, SessionDist};
 pub use detmap::{DetMap, DetSet};
-pub use engine::{Ctx, RunStats, Simulator, World};
+pub use engine::{Ctx, ProfileConfig, RunStats, Simulator, World};
 pub use event::EventQueue;
 pub use metrics::{Histogram, Metrics, TimeSeries};
 pub use rng::{SimRng, Zipf};
+pub use runreport::{HistogramSummary, RunReport};
 pub use time::SimTime;
+pub use trace::{Fields, TraceEvent, TraceLevel, Tracer, Value, WallTimer};

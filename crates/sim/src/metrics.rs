@@ -44,17 +44,39 @@ impl Histogram {
     }
 
     /// Arithmetic mean, or `None` if empty.
+    ///
+    /// Computed with [`Histogram::sum`], so the result depends only on the
+    /// multiset of samples — not on the order they were recorded in.
     pub fn mean(&self) -> Option<f64> {
         if self.samples.is_empty() {
             None
         } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+            Some(self.sum() / self.samples.len() as f64)
         }
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples, as a stable sequential sum over the *sorted*
+    /// samples.
+    ///
+    /// Float addition is not associative, so a naive insertion-order sum
+    /// makes two logically-equal runs that record in different orders
+    /// report different bits — breaking the byte-identical run-report
+    /// contract. Sorting first (by `total_cmp`) fixes the evaluation
+    /// order as a function of the sample multiset alone.
     pub fn sum(&self) -> f64 {
-        self.samples.iter().sum()
+        let mut acc = 0.0;
+        if self.sorted {
+            for &v in &self.samples {
+                acc += v;
+            }
+        } else {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            for v in sorted {
+                acc += v;
+            }
+        }
+        acc
     }
 
     /// Minimum sample, or `None` if empty.
@@ -213,6 +235,12 @@ impl Metrics {
         self.histograms.get_mut(name)
     }
 
+    /// All histograms, sorted by name, with mutable access so summaries
+    /// can take quantiles (which sort lazily).
+    pub fn histograms_mut(&mut self) -> impl Iterator<Item = (&str, &mut Histogram)> {
+        self.histograms.iter_mut().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Appends a point to the named time series.
     pub fn trace(&mut self, name: &str, t: SimTime, v: f64) {
         match self.series.get_mut(name) {
@@ -228,6 +256,11 @@ impl Metrics {
     /// The named time series, if any point was recorded.
     pub fn time_series(&self, name: &str) -> Option<&TimeSeries> {
         self.series.get(name)
+    }
+
+    /// All time series, sorted by name.
+    pub fn all_series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, s)| (k.as_str(), s))
     }
 
     /// Merges another registry into this one (counters add; samples and
@@ -302,6 +335,56 @@ mod tests {
         h.record(1.0);
         h.record(2.0);
         assert_eq!(h.median(), Some(2.0));
+    }
+
+    #[test]
+    fn sum_and_mean_are_insertion_order_independent() {
+        // Regression: 1e16 + (-1e16) + 1.0 evaluates to 1.0 in one order
+        // and 0.0 in another under naive left-to-right accumulation. The
+        // sorted stable sum must give bit-identical results for any
+        // recording order of the same multiset.
+        let orders: [&[f64]; 3] = [
+            &[1e16, -1e16, 1.0],
+            &[1e16, 1.0, -1e16],
+            &[1.0, 1e16, -1e16],
+        ];
+        let sums: Vec<u64> = orders
+            .iter()
+            .map(|o| {
+                let mut h = Histogram::new();
+                for &v in *o {
+                    h.record(v);
+                }
+                h.sum().to_bits()
+            })
+            .collect();
+        assert_eq!(sums[0], sums[1]);
+        assert_eq!(sums[1], sums[2]);
+        let means: Vec<u64> = orders
+            .iter()
+            .map(|o| {
+                let mut h = Histogram::new();
+                for &v in *o {
+                    h.record(v);
+                }
+                h.mean().map(f64::to_bits).unwrap_or(0)
+            })
+            .collect();
+        assert_eq!(means[0], means[1]);
+        assert_eq!(means[1], means[2]);
+    }
+
+    #[test]
+    fn sum_agrees_whether_sorted_lazily_or_not() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3.5, -1.25, 7.0, 0.5] {
+            a.record(v);
+            b.record(v);
+        }
+        // Force `b` into the sorted state via a quantile query.
+        let _ = b.median();
+        assert_eq!(a.sum().to_bits(), b.sum().to_bits());
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! |             | associative, so the random order changes the total)         |
 //!
 //! Escape hatch: a `// lint:allow(<rule>)` comment on the same line or
-//! the line directly above suppresses that rule there. The scanner is
+//! the line directly above suppresses that rule there. Exception: a
+//! `wallclock` allow is honored only inside the documented trace-sink
+//! boundary ([`WALLCLOCK_BOUNDARY`], the `uap_sim::WallTimer` home);
+//! anywhere else the allow comment is itself reported, so wall-clock
+//! readings cannot quietly spread past the one audited site. The scanner is
 //! deliberately token-level (`syn` is unavailable offline): comments,
 //! strings and char literals are stripped first so the rules only ever
 //! match real code tokens, and `#[cfg(test)]` module bodies are excluded
@@ -32,6 +36,18 @@ use std::path::{Path, PathBuf};
 
 /// The rule identifiers accepted by `lint:allow(...)`.
 const RULES: [&str; 4] = ["hashmap", "wallclock", "unwrap", "floatsum"];
+
+/// The only files where a `wallclock` allow comment is honored: the
+/// trace sink's `WallTimer` boundary (see `docs/OBSERVABILITY.md`).
+/// Anywhere else the allow comment is itself a violation — wall-clock
+/// readings must stay out of simulation state and traced output.
+const WALLCLOCK_BOUNDARY: [&str; 1] = ["crates/sim/src/trace.rs"];
+
+/// True when `label` is one of the [`WALLCLOCK_BOUNDARY`] files.
+fn in_wallclock_boundary(label: &str) -> bool {
+    let norm = label.replace('\\', "/");
+    WALLCLOCK_BOUNDARY.iter().any(|b| norm.ends_with(b))
+}
 
 /// One diagnostic, rendered as `path:line: rule(<name>): message`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -174,10 +190,25 @@ pub fn scan_source(label: &str, source: &str, kind: FileKind) -> Vec<Violation> 
         find_ident(&l.code, "HashMap").is_some() || find_ident(&l.code, "HashSet").is_some()
     });
 
+    let wallclock_boundary = in_wallclock_boundary(label);
+
     for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
         let code = &line.code;
         let in_test = kind.is_test_file || line.in_test;
+
+        if !wallclock_boundary && line.allows.contains("wallclock") {
+            out.push(Violation {
+                path: label.to_string(),
+                line: lineno,
+                rule: "wallclock",
+                msg: format!(
+                    "`lint:allow(wallclock)` is only valid inside the documented trace-sink \
+                     boundary ({}); move the timing into uap_sim::WallTimer",
+                    WALLCLOCK_BOUNDARY.join(", ")
+                ),
+            });
+        }
 
         if kind.is_sim_path && !in_test && !allowed(&lines, i, "hashmap") {
             for ident in ["HashMap", "HashSet"] {
@@ -201,7 +232,7 @@ pub fn scan_source(label: &str, source: &str, kind: FileKind) -> Vec<Violation> 
             }
         }
 
-        if !allowed(&lines, i, "wallclock") {
+        if !(wallclock_boundary && allowed(&lines, i, "wallclock")) {
             for (pat, fix) in [
                 ("Instant::now", "use uap_sim::SimTime from the event loop"),
                 ("SystemTime", "use uap_sim::SimTime from the event loop"),
@@ -630,6 +661,17 @@ mod tests {
             rules_of(&scan_source("crates/net/src/x.rs", src, LIB)),
             vec!["unwrap"]
         );
+    }
+
+    #[test]
+    fn wallclock_allow_only_honored_in_boundary_file() {
+        let src = "pub fn t() -> std::time::Instant {\n    std::time::Instant::now() // lint:allow(wallclock)\n}\n";
+        // Inside the documented boundary the allow works.
+        assert!(scan_source("crates/sim/src/trace.rs", src, LIB).is_empty());
+        // Outside it, both the token and the misplaced allow are reported.
+        let vs = scan_source("crates/net/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["wallclock", "wallclock"]);
+        assert!(vs[0].msg.contains("boundary"));
     }
 
     #[test]

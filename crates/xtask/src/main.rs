@@ -1,16 +1,21 @@
 //! Workspace automation tasks (the cargo `xtask` pattern).
 //!
-//! The only task today is the determinism lint:
-//!
 //! ```text
 //! cargo run -p xtask -- lint
+//! cargo run -p xtask -- trace summary <trace.jsonl>
+//! cargo run -p xtask -- trace diff <a> <b>
 //! ```
 //!
-//! which scans every workspace `.rs` file for repo-specific determinism
+//! `lint` scans every workspace `.rs` file for repo-specific determinism
 //! hazards (see [`lint`] and `docs/DETERMINISM.md`) and exits non-zero
-//! with `file:line` diagnostics when any are found.
+//! with `file:line` diagnostics when any are found. `trace` summarizes
+//! and compares the JSONL traces / RunReport JSON the experiment
+//! binaries emit (see [`trace_cmd`] and `docs/OBSERVABILITY.md`); `diff`
+//! exits 1 on the first divergence, which makes it the CI determinism
+//! gate.
 
 mod lint;
+mod trace_cmd;
 
 use std::path::PathBuf;
 
@@ -35,11 +40,59 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
-            std::process::exit(2);
+        Some("trace") => trace_main(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn trace_main(args: &[String]) -> ! {
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let [path] = &args[1..] else { usage() };
+            let content = read_or_die(path);
+            match trace_cmd::summarize(&content) {
+                Ok(s) => {
+                    print!("{s}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("xtask trace summary: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("diff") => {
+            let [a, b] = &args[1..] else { usage() };
+            let ca = read_or_die(a);
+            let cb = read_or_die(b);
+            let r = trace_cmd::diff(&ca, &cb);
+            print!("{}", trace_cmd::render_diff((a, b), &r));
+            match r {
+                trace_cmd::DiffResult::Identical { .. } => std::process::exit(0),
+                trace_cmd::DiffResult::Divergence { .. } => std::process::exit(1),
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn read_or_die(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask trace: cannot read {path}: {e}");
+            std::process::exit(1);
         }
     }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo run -p xtask -- lint\n       \
+         cargo run -p xtask -- trace summary <trace.jsonl>\n       \
+         cargo run -p xtask -- trace diff <a> <b>"
+    );
+    std::process::exit(2);
 }
 
 /// The workspace root, two levels up from this crate's manifest.

@@ -1,0 +1,288 @@
+//! `cargo run -p xtask -- trace <summary|diff>` — the trace toolbox.
+//!
+//! * `trace summary <file.jsonl>` — per-component / per-kind event
+//!   counts, the simulated time span, and event rates for one JSONL
+//!   trace written by a `--trace` run (or by
+//!   `uap_sim::Tracer::write_jsonl`).
+//!
+//! * `trace diff <a> <b>` — line-by-line comparison of two trace or
+//!   `RunReport` JSON files that reports the **first divergence**. Lines
+//!   whose key starts with `"wall` (the RunReport's `wall_secs`) are
+//!   exempt on both sides — wall time is the one value allowed to differ
+//!   between same-seed runs. When the diverging lines parse as trace
+//!   events, the diagnostic names each side's seq / sim-time /
+//!   component / kind, which localizes a determinism break to the exact
+//!   event where two runs' histories fork (see `docs/OBSERVABILITY.md`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use uap_sim::trace::parse_jsonl_line;
+
+/// Outcome of a [`diff`] comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiffResult {
+    /// Every compared line matched.
+    Identical {
+        /// Lines compared.
+        lines: usize,
+        /// Wall-clock lines exempted from comparison.
+        skipped: usize,
+    },
+    /// The files differ; `line` is 1-indexed.
+    Divergence {
+        /// First diverging line number.
+        line: usize,
+        /// That line in the first file (None = file ended).
+        a: Option<String>,
+        /// That line in the second file (None = file ended).
+        b: Option<String>,
+    },
+}
+
+/// True for report lines exempt from determinism comparison: the leaf
+/// key starts with `wall` (e.g. `  "wall_secs": 1.23`).
+fn is_wall_line(line: &str) -> bool {
+    line.trim_start().starts_with("\"wall")
+}
+
+/// Compares two files line by line; see the module docs for the wall
+/// exemption. Returns the first divergence, if any.
+pub fn diff(a: &str, b: &str) -> DiffResult {
+    let la: Vec<&str> = a.lines().collect();
+    let lb: Vec<&str> = b.lines().collect();
+    let mut skipped = 0usize;
+    for i in 0..la.len().max(lb.len()) {
+        match (la.get(i), lb.get(i)) {
+            (Some(&x), Some(&y)) => {
+                if is_wall_line(x) && is_wall_line(y) {
+                    skipped += 1;
+                    continue;
+                }
+                if x != y {
+                    return DiffResult::Divergence {
+                        line: i + 1,
+                        a: Some(x.to_owned()),
+                        b: Some(y.to_owned()),
+                    };
+                }
+            }
+            (x, y) => {
+                return DiffResult::Divergence {
+                    line: i + 1,
+                    a: x.map(|s| (*s).to_owned()),
+                    b: y.map(|s| (*s).to_owned()),
+                }
+            }
+        }
+    }
+    DiffResult::Identical {
+        lines: la.len(),
+        skipped,
+    }
+}
+
+/// Renders a [`DiffResult`] for the terminal, decoding trace-event lines
+/// into `seq/t/component/kind` context when they parse.
+pub fn render_diff(labels: (&str, &str), r: &DiffResult) -> String {
+    let mut out = String::new();
+    match r {
+        DiffResult::Identical { lines, skipped } => {
+            let _ = writeln!(
+                out,
+                "identical: {lines} line(s) compared, {skipped} wall-clock line(s) exempt"
+            );
+        }
+        DiffResult::Divergence { line, a, b } => {
+            let _ = writeln!(out, "first divergence at line {line}:");
+            for (label, side) in [(labels.0, a), (labels.1, b)] {
+                match side {
+                    None => {
+                        let _ = writeln!(out, "  {label}: <end of file>");
+                    }
+                    Some(text) => {
+                        let _ = writeln!(out, "  {label}: {text}");
+                        if let Ok(ev) = parse_jsonl_line(text) {
+                            let _ = writeln!(
+                                out,
+                                "    = seq {} at t={}us, component `{}`, kind `{}`",
+                                ev.seq,
+                                ev.t.as_micros(),
+                                ev.component,
+                                ev.kind
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Summarizes a JSONL trace: totals, sim-time span, and per-component /
+/// per-kind counts. Errors on the first malformed line.
+pub fn summarize(content: &str) -> Result<String, String> {
+    let mut total = 0u64;
+    let mut by_component: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_kind: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut t_min = u64::MAX;
+    let mut t_max = 0u64;
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        total += 1;
+        let t = ev.t.as_micros();
+        t_min = t_min.min(t);
+        t_max = t_max.max(t);
+        *by_component.entry(ev.component.clone()).or_insert(0) += 1;
+        *by_kind.entry((ev.component, ev.kind)).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    if total == 0 {
+        let _ = writeln!(out, "empty trace (0 events)");
+        return Ok(out);
+    }
+    let span_us = t_max.saturating_sub(t_min);
+    let _ = writeln!(
+        out,
+        "{total} event(s) over {:.3} simulated second(s) (t = {t_min}us .. {t_max}us)",
+        span_us as f64 / 1e6
+    );
+    if span_us > 0 {
+        let _ = writeln!(
+            out,
+            "rate: {:.1} events per simulated second",
+            total as f64 / (span_us as f64 / 1e6)
+        );
+    }
+    let _ = writeln!(out, "by component:");
+    for (c, n) in &by_component {
+        let _ = writeln!(out, "  {c:<12} {n}");
+    }
+    let _ = writeln!(out, "by kind:");
+    let mut kinds: Vec<(&(String, String), &u64)> = by_kind.iter().collect();
+    kinds.sort_by(|x, y| y.1.cmp(x.1).then_with(|| x.0.cmp(y.0)));
+    for ((c, k), n) in kinds {
+        let _ = writeln!(out, "  {:<28} {n}", format!("{c}/{k}"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uap_sim::{SimTime, TraceLevel, Tracer};
+
+    fn sample_trace() -> String {
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        t.emit(
+            SimTime::from_secs(1),
+            "net",
+            TraceLevel::Info,
+            "transfer",
+            |f| {
+                f.u64("bytes", 100);
+            },
+        );
+        t.emit(
+            SimTime::from_secs(2),
+            "net",
+            TraceLevel::Debug,
+            "transfer",
+            |f| {
+                f.u64("bytes", 200);
+            },
+        );
+        t.emit(
+            SimTime::from_secs(3),
+            "gnutella",
+            TraceLevel::Info,
+            "join",
+            |f| {
+                f.u64("host", 7);
+            },
+        );
+        t.to_jsonl()
+    }
+
+    #[test]
+    fn identical_traces_diff_clean() {
+        let a = sample_trace();
+        assert_eq!(
+            diff(&a, &a),
+            DiffResult::Identical {
+                lines: 3,
+                skipped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn divergence_reports_first_line_with_event_context() {
+        let a = sample_trace();
+        let b = a.replacen("\"bytes\":200", "\"bytes\":999", 1);
+        let r = diff(&a, &b);
+        let DiffResult::Divergence { line, .. } = &r else {
+            panic!("expected divergence");
+        };
+        assert_eq!(*line, 2);
+        let rendered = render_diff(("a.jsonl", "b.jsonl"), &r);
+        assert!(rendered.contains("first divergence at line 2"));
+        assert!(rendered.contains("component `net`, kind `transfer`"));
+    }
+
+    #[test]
+    fn truncated_file_diverges_at_the_missing_line() {
+        let a = sample_trace();
+        let b: String = a.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let r = diff(&a, &b);
+        assert_eq!(
+            r,
+            DiffResult::Divergence {
+                line: 3,
+                a: Some(a.lines().nth(2).map(str::to_owned).expect("3 lines")),
+                b: None,
+            }
+        );
+        assert!(render_diff(("a", "b"), &r).contains("<end of file>"));
+    }
+
+    #[test]
+    fn wall_lines_are_exempt_on_both_sides() {
+        let a = "{\n  \"seed\": 1,\n  \"wall_secs\": 1.5\n}\n";
+        let b = "{\n  \"seed\": 1,\n  \"wall_secs\": 9.9\n}\n";
+        assert_eq!(
+            diff(a, b),
+            DiffResult::Identical {
+                lines: 4,
+                skipped: 1
+            }
+        );
+        // A wall line against a non-wall line is still a divergence.
+        let c = "{\n  \"seed\": 2,\n  \"wall_secs\": 1.5\n}\n";
+        assert!(matches!(diff(a, c), DiffResult::Divergence { line: 2, .. }));
+    }
+
+    #[test]
+    fn summary_counts_components_and_kinds() {
+        let s = summarize(&sample_trace()).expect("valid trace");
+        assert!(s.contains("3 event(s)"));
+        assert!(s.contains("net          2"));
+        assert!(s.contains("gnutella     1"));
+        assert!(s.contains("net/transfer"));
+        assert!(s.contains("2.000 simulated second(s)"));
+    }
+
+    #[test]
+    fn summary_rejects_malformed_lines() {
+        let err = summarize("not json\n").expect_err("must fail");
+        assert!(err.starts_with("line 1:"));
+    }
+
+    #[test]
+    fn empty_trace_summarizes() {
+        assert!(summarize("").expect("ok").contains("empty trace"));
+    }
+}
