@@ -12,6 +12,8 @@
 #   6. cargo test --workspace   — every crate's unit + integration tests
 #   7. ci/trace_gate.sh         — trace determinism: two same-seed runs
 #                                 byte-identical under `xtask trace diff`
+#   8. ci/perf_smoke.sh         — routing hot-path qps within 5x of the
+#                                 committed floors (docs/PERFORMANCE.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,5 +39,8 @@ cargo test --workspace -q
 
 step "trace determinism gate (ci/trace_gate.sh)"
 ./ci/trace_gate.sh
+
+step "routing perf smoke (ci/perf_smoke.sh)"
+./ci/perf_smoke.sh
 
 printf '\nAll checks passed.\n'

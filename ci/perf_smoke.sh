@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Perf-smoke gate for the routing hot path:
+#
+#   ./ci/perf_smoke.sh
+#
+# Runs the routing microbench in quick mode and fails if the small-size
+# path / transfer query rates drop more than 5x below the committed
+# floors. The floors are the post-CSR/route-cache rates measured on the
+# reference dev box (path ~440M qps, transfer ~90M qps); the 5x slack
+# absorbs machine-to-machine and noisy-neighbor variance while still
+# catching a reintroduced per-query allocation or table walk, which
+# costs an order of magnitude.
+#
+# Floors are in queries/sec. Update them (with a note in
+# docs/PERFORMANCE.md) only when a deliberate trade-off changes the
+# hot-path cost model.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATH_QPS_FLOOR=440000000
+TRANSFER_QPS_FLOOR=90000000
+SLACK=5
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "routing microbench (quick)"
+cargo run --release -q -p uap-bench --bin bench_routing -- \
+  --quick --out "$WORK" | tee "$WORK/stdout.txt"
+
+line="$(grep '^PERF size=small ' "$WORK/stdout.txt")"
+path_qps="$(sed -n 's/.* path_qps=\([0-9]*\).*/\1/p' <<<"$line")"
+transfer_qps="$(sed -n 's/.* transfer_qps=\([0-9]*\).*/\1/p' <<<"$line")"
+
+if [[ -z "$path_qps" || -z "$transfer_qps" ]]; then
+  echo "FAIL: could not parse PERF line: $line" >&2
+  exit 1
+fi
+
+check() { # check <label> <measured> <floor>
+  local min=$(($3 / SLACK))
+  if (($2 < min)); then
+    echo "FAIL: $1 = $2 qps, below $min (floor $3 / ${SLACK}x slack)" >&2
+    exit 1
+  fi
+  echo "ok: $1 = $2 qps (>= $min)"
+}
+
+check path_qps "$path_qps" "$PATH_QPS_FLOOR"
+check transfer_qps "$transfer_qps" "$TRANSFER_QPS_FLOOR"
+
+echo "perf smoke passed."

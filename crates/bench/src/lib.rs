@@ -40,6 +40,11 @@
 //!   live in `BENCH_*.json` and not in the trace or the RunReport's
 //!   compared lines.
 //!
+//!   One binary deviates from this schema: `bench_routing` is a pure
+//!   microbench with no simulation run, so its `BENCH_routing.json`
+//!   carries per-topology-size query rates instead of event counts —
+//!   see `docs/PERFORMANCE.md` for that document's layout.
+//!
 //! The Criterion benches (`cargo bench -p uap-bench`) time the hot kernels
 //! (event queue, routing, coordinates, flooding, DHT lookups, swarm
 //! rounds) and run scaled-down versions of the experiments so the whole

@@ -476,6 +476,30 @@ mod tests {
     }
 
     #[test]
+    fn swarm_flow_model_bypasses_route_cache() {
+        // The swarm moves bytes with the bandwidth-share model
+        // (account_transfer), not per-flow latency queries, so a full run
+        // must leave the AS-pair route cache untouched — a regression here
+        // means someone added a latency probe to the per-round hot loop.
+        let (_, u) = run_swarm(underlay(80, 8), small_cfg(TrackerPolicy::Random), 41);
+        assert_eq!(u.route_cache_stats(), (0, 0));
+        // The cache still answers post-run analysis queries on the same
+        // underlay: any inter-AS pair registers a hit.
+        let mut probed = false;
+        for a in 0..u.n_hosts() {
+            let (ha, hb) = (HostId(a as u32), HostId(((a + 1) % u.n_hosts()) as u32));
+            if !u.same_as(ha, hb) {
+                assert!(u.rtt_us(ha, hb).is_some());
+                probed = true;
+                break;
+            }
+        }
+        assert!(probed, "hierarchy population must span multiple ASes");
+        let (hits, _) = u.route_cache_stats();
+        assert!(hits > 0);
+    }
+
+    #[test]
     fn cost_aware_choking_flag_shifts_traffic() {
         let mut base = small_cfg(TrackerPolicy::Random);
         let (plain, _) = run_swarm(underlay(80, 7), base.clone(), 31);

@@ -26,6 +26,8 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // Order-preserving fork-join: results land in their input slots, so
+    // output is independent of worker scheduling. lint:allow(threads)
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| loop {

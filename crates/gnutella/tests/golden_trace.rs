@@ -28,17 +28,27 @@ fn underlay(n_hosts: usize, seed: u64) -> Underlay {
     )
 }
 
-fn trace_bytes(seed: u64) -> Vec<u8> {
+/// Runs a same-configuration experiment, returning the serialized trace,
+/// the rendered run report, and the underlay route-cache counters.
+fn run_once(seed: u64) -> (Vec<u8>, String, (u64, u64)) {
     let cfg = GnutellaConfig {
         selection: NeighborSelection::Random,
         duration: SimTime::from_mins(5),
         ..Default::default()
     };
     let mut tracer = Tracer::buffered(TraceLevel::Debug);
-    let (_report, _world) = run_experiment_with(underlay(80, 3), cfg, seed, &mut tracer);
+    let (report, world) = run_experiment_with(underlay(80, 3), cfg, seed, &mut tracer);
     let mut out = Vec::new();
     tracer.write_jsonl(&mut out).expect("in-memory write");
-    out
+    (
+        out,
+        format!("{report:?}"),
+        world.underlay.route_cache_stats(),
+    )
+}
+
+fn trace_bytes(seed: u64) -> Vec<u8> {
+    run_once(seed).0
 }
 
 #[test]
@@ -52,6 +62,22 @@ fn same_seed_runs_produce_byte_identical_trace_files() {
 #[test]
 fn different_seeds_diverge() {
     assert_ne!(trace_bytes(42), trace_bytes(43));
+}
+
+#[test]
+fn same_seed_runs_produce_identical_reports_and_cache_counters() {
+    let (_, report_a, cache_a) = run_once(42);
+    let (_, report_b, cache_b) = run_once(42);
+    assert_eq!(
+        report_a, report_b,
+        "same-seed run reports must be identical"
+    );
+    assert_eq!(
+        cache_a, cache_b,
+        "route-cache hit/miss counters must be deterministic"
+    );
+    let (hits, _misses) = cache_a;
+    assert!(hits > 0, "a 5-minute run must exercise the route cache");
 }
 
 #[test]

@@ -583,4 +583,21 @@ mod tests {
         assert!(out.rpcs >= 1);
         assert!(out.latency_us > 0);
     }
+
+    #[test]
+    fn lookups_hit_route_cache_and_export_metrics() {
+        let (mut net, mut rng) = network(64, ProximityMode::None, 10);
+        for i in 0..5u32 {
+            let t = Key::random(&mut rng);
+            net.lookup(HostId(i), &t, &mut rng);
+        }
+        // Every inter-AS RPC answers its RTT from the precomputed AS-pair
+        // cache, so a handful of lookups must register hits.
+        let (hits, misses) = net.underlay.route_cache_stats();
+        assert!(hits > 0, "inter-AS RPCs should hit the route cache");
+        let mut m = uap_sim::Metrics::new();
+        net.underlay.export_route_cache_metrics(&mut m);
+        assert_eq!(m.counter("net.route_cache.hit"), hits);
+        assert_eq!(m.counter("net.route_cache.miss"), misses);
+    }
 }

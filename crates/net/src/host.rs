@@ -226,6 +226,7 @@ impl HostPopulation {
     }
 
     /// The host record.
+    #[inline]
     pub fn host(&self, id: HostId) -> &Host {
         &self.hosts[id.idx()]
     }
@@ -236,6 +237,7 @@ impl HostPopulation {
     }
 
     /// The AS a host attaches through.
+    #[inline]
     pub fn as_of(&self, id: HostId) -> AsId {
         self.hosts[id.idx()].asn
     }

@@ -190,7 +190,7 @@ mod tests {
                     continue;
                 }
                 let path = r.path_links(AsId(src as u16), AsId(dst as u16)).unwrap();
-                t.record(&g, now, AsId(src as u16), &path, 10_000);
+                t.record(&g, now, AsId(src as u16), path, 10_000);
                 now += SimTime::from_secs(1);
             }
         }
@@ -203,7 +203,7 @@ mod tests {
         let r = Routing::compute(&g, RoutingMode::ValleyFree);
         let mut t = TrafficAccounting::new(&g);
         let path = r.path_links(AsId(3), AsId(5)).unwrap();
-        t.record(&g, SimTime::from_secs(30), AsId(3), &path, 1 << 20);
+        t.record(&g, SimTime::from_secs(30), AsId(3), path, 1 << 20);
         let bills = bill_all(&g, &t, &CostParams::default(), SimTime::from_hours(1));
         check_cost_non_negative(&bills).unwrap();
     }

@@ -14,6 +14,21 @@
 //! Paths are selected by minimum AS-hop count, tie-broken by accumulated
 //! link latency and then deterministically by state index, so two runs with
 //! the same topology always route identically.
+//!
+//! ## Hot-path layout
+//!
+//! Every query overlays issue (`latency_us`, `as_hops`, `path_links`,
+//! transit-link counts) is answered from a fully materialized route
+//! table: one flat [`RouteSummary`] per ordered `(src, dst)` pair plus a
+//! single CSR link-index arena shared by all paths, so [`Routing::route`]
+//! is one indexed load and [`Routing::path_links`] returns a borrowed
+//! `&[u32]` slice without allocating. The table is built in parallel
+//! across source ASes with `std::thread::scope` (each source's Dijkstra
+//! is independent); workers own contiguous source ranges and results are
+//! assembled in source order, so the table is **byte-identical** to the
+//! serial build regardless of thread count or scheduling — see
+//! `docs/PERFORMANCE.md` for the determinism argument and the
+//! `threads` lint boundary that keeps scoped threads quarantined here.
 
 use crate::asgraph::{AsGraph, LinkKind};
 use crate::ids::AsId;
@@ -40,15 +55,58 @@ struct SrcTable {
     pred: Vec<Option<(u32, u32)>>,
 }
 
-/// All-pairs routing tables with path reconstruction.
+/// Route metrics and CSR path location for one ordered `(src, dst)` pair.
+///
+/// `hops == u32::MAX` encodes an unreachable pair; [`Routing::route`]
+/// filters those out, so a summary obtained through it always describes a
+/// real path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteSummary {
+    /// AS-hop count (0 for `src == dst`).
+    pub hops: u32,
+    /// Accumulated inter-AS link latency along the path, in microseconds.
+    pub latency_us: u64,
+    /// Number of transit (customer–provider) links on the path — what
+    /// [`crate::underlay::Underlay::transfer_time`] discounts bandwidth by,
+    /// precomputed so no per-transfer path scan is needed.
+    pub transit_links: u32,
+    /// Offset of this pair's path in the shared link-index arena.
+    path_off: usize,
+    /// Number of links in the path (equals `hops` for reachable pairs).
+    path_len: u32,
+}
+
+const UNREACHABLE: RouteSummary = RouteSummary {
+    hops: u32::MAX,
+    latency_us: INF,
+    transit_links: 0,
+    path_off: 0,
+    path_len: 0,
+};
+
+/// One worker's output: the rows for a contiguous range of source ASes,
+/// with `path_off` relative to the chunk-local arena (shifted during
+/// assembly).
+struct Chunk {
+    summaries: Vec<RouteSummary>,
+    arena: Vec<u32>,
+}
+
+/// All-pairs routing with precomputed per-pair summaries and CSR paths.
+#[derive(PartialEq, Eq)]
 pub struct Routing {
     mode: RoutingMode,
     n: usize,
-    tables: Vec<SrcTable>,
+    /// `n × n` summaries, row-major by source AS.
+    summaries: Vec<RouteSummary>,
+    /// All path link indices, one CSR arena shared by every pair.
+    arena: Vec<u32>,
 }
 
 impl Routing {
-    /// Computes routing tables for every source AS.
+    /// Computes routing tables for every source AS, fanning the per-source
+    /// Dijkstra runs out over scoped threads. The result is byte-identical
+    /// to [`Routing::compute_serial`] for any thread count.
     pub fn compute(graph: &AsGraph, mode: RoutingMode) -> Routing {
         Self::compute_with_mask(graph, mode, None)
     }
@@ -56,11 +114,140 @@ impl Routing {
     /// Computes routing tables excluding links marked dead in `mask`
     /// (indexed by link index). Used by failure-injection experiments.
     pub fn compute_with_mask(graph: &AsGraph, mode: RoutingMode, mask: Option<&[bool]>) -> Routing {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::compute_with_mask_threads(graph, mode, mask, threads)
+    }
+
+    /// Like [`Routing::compute_with_mask`] with an explicit worker count
+    /// (the differential tests sweep this to prove scheduling cannot leak
+    /// into the table).
+    pub fn compute_with_mask_threads(
+        graph: &AsGraph,
+        mode: RoutingMode,
+        mask: Option<&[bool]>,
+        threads: usize,
+    ) -> Routing {
         let n = graph.len();
-        let tables = (0..n)
-            .map(|src| Self::dijkstra(graph, mode, AsId(src as u16), mask))
+        let threads = threads.clamp(1, n.max(1));
+        if n == 0 || threads == 1 {
+            return Self::assemble(
+                graph,
+                mode,
+                vec![Self::build_chunk(graph, mode, mask, 0, n)],
+            );
+        }
+        // Contiguous source ranges, one per worker. Workers return their
+        // chunks through join handles collected in spawn order, so the
+        // assembled table depends only on (graph, mode, mask) — never on
+        // which worker finished first.
+        let per = n.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|w| (w * per, ((w + 1) * per).min(n)))
+            .filter(|&(lo, hi)| lo < hi)
             .collect();
-        Routing { mode, n, tables }
+        // The routing-build boundary: deterministic fork-join over
+        // disjoint source ranges, joined in source order. lint:allow(threads)
+        let chunks: Vec<Chunk> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| s.spawn(move || Self::build_chunk(graph, mode, mask, lo, hi)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("routing worker panicked")) // lint:allow(expect)
+                .collect()
+        });
+        Self::assemble(graph, mode, chunks)
+    }
+
+    /// The serial reference build: same output as [`Routing::compute`],
+    /// no threads. Retained so tests can assert the parallel build is
+    /// byte-identical, and as the readable specification of the table.
+    pub fn compute_serial(graph: &AsGraph, mode: RoutingMode, mask: Option<&[bool]>) -> Routing {
+        let n = graph.len();
+        Self::assemble(
+            graph,
+            mode,
+            vec![Self::build_chunk(graph, mode, mask, 0, n)],
+        )
+    }
+
+    /// Builds the rows for sources `lo..hi` with chunk-local arena offsets.
+    fn build_chunk(
+        graph: &AsGraph,
+        mode: RoutingMode,
+        mask: Option<&[bool]>,
+        lo: usize,
+        hi: usize,
+    ) -> Chunk {
+        let n = graph.len();
+        let mut summaries = Vec::with_capacity((hi - lo) * n);
+        let mut arena = Vec::new();
+        for src in lo..hi {
+            let t = Self::dijkstra(graph, mode, AsId(src as u16), mask);
+            for dst in 0..n {
+                summaries.push(Self::summarize(graph, &t, dst, &mut arena));
+            }
+        }
+        Chunk { summaries, arena }
+    }
+
+    /// Reduces one destination's Dijkstra states to a [`RouteSummary`],
+    /// appending its path to `arena`.
+    fn summarize(graph: &AsGraph, t: &SrcTable, dst: usize, arena: &mut Vec<u32>) -> RouteSummary {
+        let s0 = dst * 2;
+        let s1 = s0 + 1;
+        let c0 = (t.hops[s0], t.latency[s0]);
+        let c1 = (t.hops[s1], t.latency[s1]);
+        if c0.0 == u32::MAX && c1.0 == u32::MAX {
+            return UNREACHABLE;
+        }
+        let mut s = if c0 <= c1 { s0 } else { s1 };
+        let (hops, latency_us) = if c0 <= c1 { c0 } else { c1 };
+        let path_off = arena.len();
+        while let Some((prev, li)) = t.pred[s] {
+            arena.push(li);
+            s = prev as usize;
+        }
+        arena[path_off..].reverse();
+        let transit_links = arena[path_off..]
+            .iter()
+            .filter(|&&li| graph.links[li as usize].kind == LinkKind::Transit)
+            .count() as u32;
+        RouteSummary {
+            hops,
+            latency_us,
+            transit_links,
+            path_off,
+            path_len: (arena.len() - path_off) as u32,
+        }
+    }
+
+    /// Concatenates per-range chunks (in source order) into the flat table,
+    /// shifting chunk-local arena offsets to global ones.
+    fn assemble(graph: &AsGraph, mode: RoutingMode, chunks: Vec<Chunk>) -> Routing {
+        let n = graph.len();
+        let mut summaries = Vec::with_capacity(n * n);
+        let mut arena = Vec::with_capacity(chunks.iter().map(|c| c.arena.len()).sum());
+        for chunk in chunks {
+            let base = arena.len();
+            summaries.extend(chunk.summaries.into_iter().map(|mut s| {
+                if s.hops != u32::MAX {
+                    s.path_off += base;
+                }
+                s
+            }));
+            arena.extend(chunk.arena);
+        }
+        debug_assert_eq!(summaries.len(), n * n);
+        Routing {
+            mode,
+            n,
+            summaries,
+            arena,
+        }
     }
 
     /// The routing mode in effect.
@@ -129,46 +316,42 @@ impl Routing {
         }
     }
 
-    fn best_state(&self, src: AsId, dst: AsId) -> Option<usize> {
+    /// The precomputed summary for `(src, dst)`: hops, latency and transit
+    /// count in one table read. `None` if either id is out of range or the
+    /// pair is unreachable.
+    #[inline]
+    pub fn route(&self, src: AsId, dst: AsId) -> Option<&RouteSummary> {
         if src.idx() >= self.n || dst.idx() >= self.n {
             return None;
         }
-        let t = &self.tables[src.idx()];
-        let s0 = dst.idx() * 2;
-        let s1 = s0 + 1;
-        let c0 = (t.hops[s0], t.latency[s0]);
-        let c1 = (t.hops[s1], t.latency[s1]);
-        if c0.0 == u32::MAX && c1.0 == u32::MAX {
-            return None;
+        let s = &self.summaries[src.idx() * self.n + dst.idx()];
+        if s.hops == u32::MAX {
+            None
+        } else {
+            Some(s)
         }
-        Some(if c0 <= c1 { s0 } else { s1 })
     }
 
     /// AS-hop distance (0 for `src == dst`), or `None` if unreachable.
+    #[inline]
     pub fn as_hops(&self, src: AsId, dst: AsId) -> Option<u32> {
-        let s = self.best_state(src, dst)?;
-        Some(self.tables[src.idx()].hops[s])
+        Some(self.route(src, dst)?.hops)
     }
 
     /// Accumulated inter-AS link latency along the chosen path, in
     /// microseconds.
+    #[inline]
     pub fn latency_us(&self, src: AsId, dst: AsId) -> Option<u64> {
-        let s = self.best_state(src, dst)?;
-        Some(self.tables[src.idx()].latency[s])
+        Some(self.route(src, dst)?.latency_us)
     }
 
     /// The link indices along the chosen path from `src` to `dst`, in
-    /// traversal order. Empty for `src == dst`.
-    pub fn path_links(&self, src: AsId, dst: AsId) -> Option<Vec<u32>> {
-        let mut s = self.best_state(src, dst)?;
-        let t = &self.tables[src.idx()];
-        let mut links = Vec::new();
-        while let Some((prev, li)) = t.pred[s] {
-            links.push(li);
-            s = prev as usize;
-        }
-        links.reverse();
-        Some(links)
+    /// traversal order, borrowed from the CSR arena (no allocation).
+    /// Empty for `src == dst`.
+    #[inline]
+    pub fn path_links(&self, src: AsId, dst: AsId) -> Option<&[u32]> {
+        let s = self.route(src, dst)?;
+        Some(&self.arena[s.path_off..s.path_off + s.path_len as usize])
     }
 
     /// The AS sequence of the chosen path, starting at `src` and ending at
@@ -177,7 +360,7 @@ impl Routing {
         let links = self.path_links(src, dst)?;
         let mut out = vec![src];
         let mut cur = src;
-        for li in links {
+        for &li in links {
             cur = graph.links[li as usize].other(cur).expect("path link"); // lint:allow(expect)
             out.push(cur);
         }
@@ -194,27 +377,76 @@ impl Routing {
 
     /// Fraction of ordered AS pairs that are mutually reachable.
     pub fn reachable_fraction(&self) -> f64 {
-        if self.n == 0 {
+        if self.n <= 1 {
             return 1.0;
         }
-        let mut ok = 0usize;
-        let mut total = 0usize;
-        for a in 0..self.n {
-            for b in 0..self.n {
-                if a == b {
-                    continue;
-                }
-                total += 1;
-                if self.as_hops(AsId(a as u16), AsId(b as u16)).is_some() {
-                    ok += 1;
-                }
-            }
+        let reachable = self
+            .summaries
+            .iter()
+            .filter(|s| s.hops != u32::MAX && s.hops != 0)
+            .count();
+        reachable as f64 / (self.n * (self.n - 1)) as f64
+    }
+}
+
+/// The pre-CSR per-query implementation, retained as the differential
+/// reference: it answers every query by probing the raw Dijkstra state
+/// tables and walking predecessor links, exactly as the production code
+/// did before the flat table existed. Tests assert [`Routing`] agrees
+/// with it on hops, latency, paths and reachability for every pair.
+pub struct ReferenceRouting {
+    n: usize,
+    tables: Vec<SrcTable>,
+}
+
+impl ReferenceRouting {
+    /// Computes the per-source Dijkstra tables serially.
+    pub fn compute(graph: &AsGraph, mode: RoutingMode, mask: Option<&[bool]>) -> ReferenceRouting {
+        let n = graph.len();
+        let tables = (0..n)
+            .map(|src| Routing::dijkstra(graph, mode, AsId(src as u16), mask))
+            .collect();
+        ReferenceRouting { n, tables }
+    }
+
+    fn best_state(&self, src: AsId, dst: AsId) -> Option<usize> {
+        if src.idx() >= self.n || dst.idx() >= self.n {
+            return None;
         }
-        if total == 0 {
-            1.0
-        } else {
-            ok as f64 / total as f64
+        let t = &self.tables[src.idx()];
+        let s0 = dst.idx() * 2;
+        let s1 = s0 + 1;
+        let c0 = (t.hops[s0], t.latency[s0]);
+        let c1 = (t.hops[s1], t.latency[s1]);
+        if c0.0 == u32::MAX && c1.0 == u32::MAX {
+            return None;
         }
+        Some(if c0 <= c1 { s0 } else { s1 })
+    }
+
+    /// AS-hop distance, or `None` if unreachable.
+    pub fn as_hops(&self, src: AsId, dst: AsId) -> Option<u32> {
+        let s = self.best_state(src, dst)?;
+        Some(self.tables[src.idx()].hops[s])
+    }
+
+    /// Accumulated path latency in microseconds.
+    pub fn latency_us(&self, src: AsId, dst: AsId) -> Option<u64> {
+        let s = self.best_state(src, dst)?;
+        Some(self.tables[src.idx()].latency[s])
+    }
+
+    /// The link indices along the chosen path (allocating, per query).
+    pub fn path_links(&self, src: AsId, dst: AsId) -> Option<Vec<u32>> {
+        let mut s = self.best_state(src, dst)?;
+        let t = &self.tables[src.idx()];
+        let mut links = Vec::new();
+        while let Some((prev, li)) = t.pred[s] {
+            links.push(li);
+            s = prev as usize;
+        }
+        links.reverse();
+        Some(links)
     }
 }
 
@@ -265,7 +497,7 @@ mod tests {
         let g = figure1();
         let r = Routing::compute(&g, RoutingMode::ValleyFree);
         assert_eq!(r.as_hops(AsId(5), AsId(5)), Some(0));
-        assert_eq!(r.path_links(AsId(5), AsId(5)), Some(vec![]));
+        assert_eq!(r.path_links(AsId(5), AsId(5)), Some(&[][..]));
     }
 
     #[test]
@@ -387,6 +619,72 @@ mod tests {
                 let (a, b) = (AsId(a as u16), AsId(b as u16));
                 if let Some(h) = r.as_hops(a, b) {
                     assert_eq!(r.path_links(a, b).unwrap().len() as u32, h);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_summary_combines_all_metrics() {
+        let g = figure1();
+        let r = Routing::compute(&g, RoutingMode::ValleyFree);
+        // A -> ... -> D crosses 4 transit links and the core peering.
+        let s = r.route(AsId(5), AsId(8)).unwrap();
+        assert_eq!(s.hops, 5);
+        assert_eq!(s.latency_us, 24_000);
+        assert_eq!(s.transit_links, 4);
+        // B -> C is the pure peering shortcut.
+        let s = r.route(AsId(6), AsId(7)).unwrap();
+        assert_eq!((s.hops, s.transit_links), (1, 0));
+        // Unreachable and out-of-range pairs yield None.
+        assert!(r.route(AsId(0), AsId(99)).is_none());
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        let g = figure1();
+        for mode in [RoutingMode::ShortestPath, RoutingMode::ValleyFree] {
+            let serial = Routing::compute_serial(&g, mode, None);
+            for threads in [1, 2, 3, 7, 16] {
+                let par = Routing::compute_with_mask_threads(&g, mode, None, threads);
+                assert!(
+                    serial == par,
+                    "parallel table ({threads} threads, {mode:?}) diverged from serial"
+                );
+            }
+        }
+        // Masked builds must agree too.
+        let mut mask = vec![false; g.links.len()];
+        mask[0] = true;
+        mask[9] = true;
+        let serial = Routing::compute_serial(&g, RoutingMode::ValleyFree, Some(&mask));
+        for threads in [2, 5] {
+            let par = Routing::compute_with_mask_threads(
+                &g,
+                RoutingMode::ValleyFree,
+                Some(&mask),
+                threads,
+            );
+            assert!(serial == par, "masked parallel table diverged");
+        }
+    }
+
+    #[test]
+    fn table_matches_reference_implementation() {
+        let g = figure1();
+        for mode in [RoutingMode::ShortestPath, RoutingMode::ValleyFree] {
+            let table = Routing::compute(&g, mode);
+            let refr = ReferenceRouting::compute(&g, mode, None);
+            for a in 0..g.len() {
+                for b in 0..g.len() {
+                    let (a, b) = (AsId(a as u16), AsId(b as u16));
+                    assert_eq!(table.as_hops(a, b), refr.as_hops(a, b), "{a}->{b}");
+                    assert_eq!(table.latency_us(a, b), refr.latency_us(a, b), "{a}->{b}");
+                    assert_eq!(
+                        table.path_links(a, b).map(<[u32]>::to_vec),
+                        refr.path_links(a, b),
+                        "{a}->{b}"
+                    );
                 }
             }
         }

@@ -219,7 +219,7 @@ mod tests {
         let path = r.path_links(AsId(1), AsId(2)).unwrap();
         assert_eq!(path, vec![2]); // direct peering
         let mut t = TrafficAccounting::new(&g);
-        let cat = t.record(&g, SimTime::ZERO, AsId(1), &path, 500);
+        let cat = t.record(&g, SimTime::ZERO, AsId(1), path, 500);
         assert_eq!(cat, TrafficCategory::InterAsPeering);
         assert_eq!(t.totals(), (0, 500, 0));
         assert_eq!(t.link_bytes(2), 500);
@@ -235,7 +235,7 @@ mod tests {
         let path = r.path_links(AsId(1), AsId(2)).unwrap();
         assert_eq!(path.len(), 2);
         let mut t = TrafficAccounting::new(&g);
-        let cat = t.record(&g, SimTime::from_secs(10), AsId(1), &path, 1_000);
+        let cat = t.record(&g, SimTime::from_secs(10), AsId(1), path, 1_000);
         assert_eq!(cat, TrafficCategory::InterAsTransit);
         // Each transit link carries the bytes once.
         assert_eq!(t.totals(), (0, 0, 2_000));
@@ -254,13 +254,13 @@ mod tests {
         let path = r.path_links(AsId(1), AsId(0)).unwrap();
         // One huge burst in a single 5-minute window of a 10-hour horizon:
         // 1/120 of windows is way under the top 5 %, so p95 stays 0.
-        t.record(&g, SimTime::from_mins(2), AsId(1), &path, 1 << 30);
+        t.record(&g, SimTime::from_mins(2), AsId(1), path, 1 << 30);
         let p95 = t.transit_p95_mbps(AsId(1), SimTime::from_hours(10));
         assert_eq!(p95, 0.0);
         // But a sustained rate shows up.
         let mut t2 = TrafficAccounting::new(&g);
         for m in 0..600 {
-            t2.record(&g, SimTime::from_mins(m), AsId(1), &path, 75_000_000);
+            t2.record(&g, SimTime::from_mins(m), AsId(1), path, 75_000_000);
         }
         let p95 = t2.transit_p95_mbps(AsId(1), SimTime::from_hours(10));
         // 75 MB / 5 min/window... each window gets 5 records of 75MB = 375MB

@@ -8,10 +8,11 @@
 use crate::asgraph::AsGraph;
 use crate::geo::propagation_delay_us;
 use crate::host::{Host, HostPopulation, PopulationSpec};
-use crate::ids::HostId;
+use crate::ids::{AsId, HostId};
 use crate::routing::{Routing, RoutingMode};
 use crate::traffic::{TrafficAccounting, TrafficCategory};
-use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
+use std::cell::Cell;
+use uap_sim::{Metrics, SimRng, SimTime, TraceLevel, Tracer};
 
 /// Tunables for the latency model.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +50,73 @@ impl Default for UnderlayConfig {
     }
 }
 
+/// Deterministic AS-pair route-metric cache: the combined
+/// `path_latency + as_hops × per_as_hop_us` term of the host-latency
+/// decomposition, materialized per ordered AS pair at build time so
+/// [`Underlay::latency_us`] (and therefore `rtt_us`) does one indexed
+/// read instead of probing the routing table twice per direction.
+/// Each entry also carries the path's transit-link count in its upper
+/// bits, so [`Underlay::transfer_time`]'s congestion discount reuses the
+/// word the RTT computation already loaded instead of touching the
+/// routing table a second time. `u64::MAX` marks unreachable pairs.
+///
+/// The cache is derived purely from the routing table and
+/// `per_as_hop_us`, both fixed at build time, so it can never go stale —
+/// host migration changes which AS a host maps to, not any AS-pair
+/// metric.
+///
+/// Hit/miss counters use `Cell` so read-only latency queries (`&self`)
+/// can record them; a "miss" is an intra-AS query answered by the
+/// geographic model instead of the cache.
+#[derive(Debug)]
+struct RouteCache {
+    n: usize,
+    /// `n × n` packed entries, row-major by source AS:
+    /// `transit_links << 48 | combined_us`.
+    entries: Vec<u64>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+/// Unreachable-pair sentinel (no real entry has all transit bits set).
+const UNREACHABLE_ENTRY: u64 = u64::MAX;
+/// Low 48 bits of a packed entry: combined microseconds (2^48 µs is over
+/// eight simulated years — far beyond any path metric).
+const COMBINED_MASK: u64 = (1 << 48) - 1;
+
+impl RouteCache {
+    fn build(routing: &Routing, n: usize, per_as_hop_us: u64) -> RouteCache {
+        let mut entries = vec![UNREACHABLE_ENTRY; n * n];
+        for (s, row) in entries.chunks_mut(n.max(1)).enumerate() {
+            for (d, slot) in row.iter_mut().enumerate() {
+                if let Some(r) = routing.route(AsId(s as u16), AsId(d as u16)) {
+                    let combined = r.latency_us + r.hops as u64 * per_as_hop_us;
+                    debug_assert!(combined <= COMBINED_MASK);
+                    *slot = (r.transit_links as u64) << 48 | combined;
+                }
+            }
+        }
+        RouteCache {
+            n,
+            entries,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Reads the packed entry for an ordered AS pair, counting a hit.
+    #[inline]
+    fn lookup(&self, src: AsId, dst: AsId) -> u64 {
+        self.hits.set(self.hits.get() + 1);
+        self.entries[src.idx() * self.n + dst.idx()]
+    }
+
+    #[inline]
+    fn note_miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+    }
+}
+
 /// The assembled underlay: topology + routing + hosts.
 pub struct Underlay {
     /// The AS graph.
@@ -61,6 +129,15 @@ pub struct Underlay {
     pub config: UnderlayConfig,
     /// Traffic ledger for this run.
     pub traffic: TrafficAccounting,
+    /// AS-pair route-metric cache (see [`RouteCache`]).
+    route_cache: RouteCache,
+    /// Upper bound on any host pair's access bottleneck
+    /// (`min(max uplink, max downlink)` over all hosts, in kbit/s).
+    /// Host bandwidth is fixed at build time (migration moves a host
+    /// without resampling its access profile), so this lets
+    /// [`Underlay::transfer_time`] prove the TCP window/RTT cap cannot
+    /// bind and skip the division on the fast path.
+    bottleneck_bound_kbps: u64,
 }
 
 impl Underlay {
@@ -74,12 +151,25 @@ impl Underlay {
         let routing = Routing::compute(&graph, config.routing);
         let hosts = HostPopulation::build(&graph, pop, rng);
         let traffic = TrafficAccounting::new(&graph);
+        let route_cache = RouteCache::build(&routing, graph.len(), config.per_as_hop_us);
+        let max_up = hosts
+            .ids()
+            .map(|h| hosts.host(h).up_kbps as u64)
+            .max()
+            .unwrap_or(0);
+        let max_down = hosts
+            .ids()
+            .map(|h| hosts.host(h).down_kbps as u64)
+            .max()
+            .unwrap_or(0);
         Underlay {
             graph,
             routing,
             hosts,
             config,
             traffic,
+            route_cache,
+            bottleneck_bound_kbps: max_up.min(max_down).max(1),
         }
     }
 
@@ -99,11 +189,13 @@ impl Underlay {
     }
 
     /// Whether two hosts attach through the same ISP.
+    #[inline]
     pub fn same_as(&self, a: HostId, b: HostId) -> bool {
         self.hosts.as_of(a) == self.hosts.as_of(b)
     }
 
     /// AS-hop distance between two hosts (0 if same AS).
+    #[inline]
     pub fn as_hops(&self, a: HostId, b: HostId) -> Option<u32> {
         self.routing
             .as_hops(self.hosts.as_of(a), self.hosts.as_of(b))
@@ -111,7 +203,10 @@ impl Underlay {
 
     /// One-way latency from `a` to `b` in microseconds: both access links,
     /// the inter-AS path, per-AS-hop queueing, and intra-AS propagation
-    /// between geographic positions.
+    /// between geographic positions. The inter-AS term
+    /// (`path latency + hops × per_as_hop_us`) is served by the AS-pair
+    /// route cache in a single indexed read.
+    #[inline]
     pub fn latency_us(&self, a: HostId, b: HostId) -> Option<u64> {
         if a == b {
             return Some(0);
@@ -119,20 +214,108 @@ impl Underlay {
         let ha = self.hosts.host(a);
         let hb = self.hosts.host(b);
         let base = ha.access_latency_us + hb.access_latency_us;
-        let (path_lat, hops) = if ha.asn == hb.asn {
-            // Intra-AS: propagation across the ISP's metro network.
-            (propagation_delay_us(ha.geo.distance_km(&hb.geo)), 0)
+        if ha.asn == hb.asn {
+            // Intra-AS: propagation across the ISP's metro network — the
+            // cache does not apply.
+            self.route_cache.note_miss();
+            return Some(base + propagation_delay_us(ha.geo.distance_km(&hb.geo)));
+        }
+        match self.route_cache.lookup(ha.asn, hb.asn) {
+            UNREACHABLE_ENTRY => None,
+            entry => Some(base + (entry & COMBINED_MASK)),
+        }
+    }
+
+    /// Fused round-trip computation: one host fetch per endpoint, both
+    /// directional latencies from the already-loaded records, and the
+    /// forward packed cache entry returned alongside so `transfer_time`
+    /// can read the transit count without a second table access. Returns
+    /// `(rtt_us, forward_entry)`; the entry is [`UNREACHABLE_ENTRY`] for
+    /// same-host or intra-AS pairs (where no cache entry applies).
+    ///
+    /// Byte-for-byte equivalent to
+    /// `latency_directional_us(a, b)? + latency_directional_us(b, a)?`,
+    /// including hit/miss counter effects and their ordering.
+    #[inline]
+    fn rtt_fused(&self, a: HostId, b: HostId, ha: &Host, hb: &Host) -> Option<(u64, u64)> {
+        if a == b {
+            return Some((0, UNREACHABLE_ENTRY));
+        }
+        let base = ha.access_latency_us + hb.access_latency_us;
+        let (lat_ab, lat_ba, fwd) = if ha.asn == hb.asn {
+            self.route_cache.note_miss();
+            self.route_cache.note_miss();
+            // Geographic distance is symmetric, so both directions share
+            // the same base latency.
+            let l = base + propagation_delay_us(ha.geo.distance_km(&hb.geo));
+            (l, l, UNREACHABLE_ENTRY)
         } else {
-            let lat = self.routing.latency_us(ha.asn, hb.asn)?;
-            let hops = self.routing.as_hops(ha.asn, hb.asn)? as u64;
-            (lat, hops)
+            let fwd = self.route_cache.lookup(ha.asn, hb.asn);
+            if fwd == UNREACHABLE_ENTRY {
+                return None;
+            }
+            let rev = self.route_cache.lookup(hb.asn, ha.asn);
+            if rev == UNREACHABLE_ENTRY {
+                return None;
+            }
+            (
+                base + (fwd & COMBINED_MASK),
+                base + (rev & COMBINED_MASK),
+                fwd,
+            )
         };
-        Some(base + path_lat + hops * self.config.per_as_hop_us)
+        if (self.config.asymmetry - 1.0).abs() < f64::EPSILON {
+            return Some((lat_ab + lat_ba, fwd));
+        }
+        // Replicate latency_directional_us exactly: the larger-id →
+        // smaller-id direction is scaled.
+        let dir_ab = if a.0 > b.0 {
+            (lat_ab as f64 * self.config.asymmetry) as u64
+        } else {
+            lat_ab
+        };
+        let dir_ba = if b.0 > a.0 {
+            (lat_ba as f64 * self.config.asymmetry) as u64
+        } else {
+            lat_ba
+        };
+        Some((dir_ab + dir_ba, fwd))
+    }
+
+    /// Hit/miss counters of the AS-pair route cache: `(hits, misses)`.
+    /// A hit is an inter-AS latency query served from the cache; a miss
+    /// is an intra-AS query answered by the geographic model.
+    pub fn route_cache_stats(&self) -> (u64, u64) {
+        (self.route_cache.hits.get(), self.route_cache.misses.get())
+    }
+
+    /// Exports the route-cache counters into `metrics` as
+    /// `net.route_cache.hit` / `net.route_cache.miss` absolute values.
+    /// Opt-in (call at end of run) so existing experiment reports keep
+    /// their byte-identical metric sets unless they ask for these.
+    pub fn export_route_cache_metrics(&self, metrics: &mut Metrics) {
+        let (hits, misses) = self.route_cache_stats();
+        metrics.set_counter("net.route_cache.hit", hits);
+        metrics.set_counter("net.route_cache.miss", misses);
+    }
+
+    /// Emits one `net`/`route_cache` trace event (Debug level) with the
+    /// current hit/miss counters. Opt-in, like
+    /// [`Underlay::export_route_cache_metrics`].
+    pub fn trace_route_cache(&self, now: SimTime, tracer: &mut Tracer) {
+        if !tracer.is_enabled("net", TraceLevel::Debug) {
+            return;
+        }
+        let (hits, misses) = self.route_cache_stats();
+        tracer.emit(now, "net", TraceLevel::Debug, "route_cache", |f| {
+            f.u64("hits", hits).u64("misses", misses);
+        });
     }
 
     /// Directional latency including the asymmetry factor: the `a -> b`
     /// direction is the base latency, `b -> a` is scaled. Asymmetry is
     /// keyed on host-id order so it is consistent across calls.
+    #[inline]
     pub fn latency_directional_us(&self, from: HostId, to: HostId) -> Option<u64> {
         let base = self.latency_us(from, to)?;
         if (self.config.asymmetry - 1.0).abs() < f64::EPSILON {
@@ -147,8 +330,10 @@ impl Underlay {
     }
 
     /// Round-trip time in microseconds (sum of both directions).
+    #[inline]
     pub fn rtt_us(&self, a: HostId, b: HostId) -> Option<u64> {
-        Some(self.latency_directional_us(a, b)? + self.latency_directional_us(b, a)?)
+        let (rtt, _) = self.rtt_fused(a, b, self.hosts.host(a), self.hosts.host(b))?;
+        Some(rtt)
     }
 
     /// An RTT *measurement*: the true RTT plus multiplicative jitter. This
@@ -167,33 +352,33 @@ impl Underlay {
     /// `b`'s downlink, and the TCP window/RTT throughput cap — the cap is
     /// what makes nearby (low-RTT) sources genuinely faster, not just
     /// cheaper for the ISP.
+    #[inline]
     pub fn transfer_time(&self, a: HostId, b: HostId, bytes: u64) -> Option<SimTime> {
-        let rtt = self.rtt_us(a, b)?;
         let ha = self.hosts.host(a);
         let hb = self.hosts.host(b);
+        let (rtt, fwd_entry) = self.rtt_fused(a, b, ha, hb)?;
         let mut bottleneck_kbps = ha.up_kbps.min(hb.down_kbps).max(1) as u64;
-        // window bytes per RTT → kbit/s.
-        if let Some(tcp_cap_kbps) = self
+        // window bytes per RTT → kbit/s. When the RTT is small enough that
+        // `window / RTT` provably exceeds every host's line rate
+        // (`rtt × bound ≤ window_kbits`, floor-division-exact), the cap
+        // cannot bind and the division is skipped entirely.
+        let window_kbits = self
             .config
             .tcp_window_bytes
             .saturating_mul(8)
-            .saturating_mul(1_000)
-            .checked_div(rtt)
-        {
-            bottleneck_kbps = bottleneck_kbps.min(tcp_cap_kbps.max(1));
-        }
-        // Inter-domain congestion discount per transit link crossed.
-        if self.config.transit_congestion > 0.0 && ha.asn != hb.asn {
-            if let Some(links) = self.routing.path_links(ha.asn, hb.asn) {
-                let transit_links = links
-                    .iter()
-                    .filter(|&&li| {
-                        self.graph.links[li as usize].kind == crate::asgraph::LinkKind::Transit
-                    })
-                    .count() as f64;
-                let factor = 1.0 + self.config.transit_congestion * transit_links;
-                bottleneck_kbps = ((bottleneck_kbps as f64 / factor) as u64).max(1);
+            .saturating_mul(1_000);
+        if rtt.saturating_mul(self.bottleneck_bound_kbps) > window_kbits {
+            if let Some(tcp_cap_kbps) = window_kbits.checked_div(rtt) {
+                bottleneck_kbps = bottleneck_kbps.min(tcp_cap_kbps.max(1));
             }
+        }
+        // Inter-domain congestion discount per transit link crossed. The
+        // transit count rides in the upper bits of the cache entry the RTT
+        // computation already loaded, so no second table access happens.
+        if self.config.transit_congestion > 0.0 && fwd_entry != UNREACHABLE_ENTRY {
+            let transit_links = (fwd_entry >> 48) as f64;
+            let factor = 1.0 + self.config.transit_congestion * transit_links;
+            bottleneck_kbps = ((bottleneck_kbps as f64 / factor) as u64).max(1);
         }
         let ser_us = bytes.saturating_mul(8).saturating_mul(1_000) / bottleneck_kbps;
         Some(SimTime::from_micros(rtt + ser_us))
@@ -213,7 +398,7 @@ impl Underlay {
             return self.traffic.record(&self.graph, now, src_as, &[], bytes);
         }
         match self.routing.path_links(src_as, dst_as) {
-            Some(path) => self.traffic.record(&self.graph, now, src_as, &path, bytes),
+            Some(path) => self.traffic.record(&self.graph, now, src_as, path, bytes),
             // Unroutable pair (disconnected graph, or valley-free policy
             // with no compliant path): the transfer cannot happen, so no
             // link carries the bytes — but it must NOT be mistaken for
@@ -225,8 +410,9 @@ impl Underlay {
     /// Like [`Underlay::account_transfer`], but also emits a `net`/`transfer`
     /// trace event (Debug level) recording the routing decision: endpoint
     /// hosts and ASes, byte count, traffic category, and the number of
-    /// links / transit links the valley-free path crossed. The extra path
-    /// inspection only runs when the `net` component is enabled.
+    /// links / transit links the valley-free path crossed. The route is
+    /// resolved once — the trace fields come from the same precomputed
+    /// summary the accounting used, not a second path walk.
     pub fn account_transfer_traced(
         &mut self,
         now: SimTime,
@@ -242,17 +428,8 @@ impl Underlay {
             let (links, transit) = if src_as == dst_as {
                 (0, 0)
             } else {
-                match self.routing.path_links(src_as, dst_as) {
-                    Some(path) => {
-                        let transit = path
-                            .iter()
-                            .filter(|&&li| {
-                                self.graph.links[li as usize].kind
-                                    == crate::asgraph::LinkKind::Transit
-                            })
-                            .count();
-                        (path.len(), transit)
-                    }
+                match self.routing.route(src_as, dst_as) {
+                    Some(r) => (r.hops, r.transit_links),
                     None => (0, 0),
                 }
             };

@@ -1,7 +1,10 @@
 //! Property-based tests for routing, traffic and cost invariants.
 
 use proptest::prelude::*;
-use uap_net::{AsId, LinkKind, Relationship, Routing, RoutingMode, TopologyKind, TopologySpec};
+use uap_net::{
+    AsId, LinkKind, ReferenceRouting, Relationship, Routing, RoutingMode, TopologyKind,
+    TopologySpec,
+};
 use uap_sim::SimRng;
 
 fn random_hierarchy(seed: u64, t1: usize, t2: usize, t3: usize) -> uap_net::AsGraph {
@@ -94,7 +97,7 @@ proptest! {
                 let (a, b) = (AsId(a as u16), AsId(b as u16));
                 if let Some(links) = r.path_links(a, b) {
                     let mut cur = a;
-                    for li in links {
+                    for &li in links {
                         let link = &g.links[li as usize];
                         let next = link.other(cur);
                         prop_assert!(next.is_some(), "link {li} not incident to {cur}");
@@ -103,6 +106,73 @@ proptest! {
                     prop_assert_eq!(cur, b);
                 }
             }
+        }
+    }
+
+    /// The parallel table build is byte-identical to the serial reference
+    /// build on random hierarchies, for every thread count and both
+    /// routing modes — scheduling cannot leak into the table.
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial(seed in any::<u64>(), t1 in 1usize..3, t2 in 1usize..4, t3 in 1usize..4) {
+        let g = random_hierarchy(seed, t1, t2, t3);
+        for mode in [RoutingMode::ShortestPath, RoutingMode::ValleyFree] {
+            let serial = Routing::compute_serial(&g, mode, None);
+            for threads in [1usize, 2, 3, 8] {
+                let par = Routing::compute_with_mask_threads(&g, mode, None, threads);
+                prop_assert!(serial == par, "{mode:?} with {threads} threads diverged from serial");
+            }
+        }
+    }
+
+    /// The parallel build stays byte-identical to serial under failure
+    /// masks (the compute path failure experiments exercise).
+    #[test]
+    fn masked_parallel_build_matches_serial(seed in any::<u64>(), kill in any::<u64>()) {
+        let g = random_hierarchy(seed, 2, 2, 2);
+        let mut mask = vec![false; g.links.len()];
+        if !mask.is_empty() {
+            let k = (kill as usize) % mask.len();
+            mask[k] = true;
+        }
+        let serial = Routing::compute_serial(&g, RoutingMode::ValleyFree, Some(&mask));
+        for threads in [2usize, 5] {
+            let par = Routing::compute_with_mask_threads(&g, RoutingMode::ValleyFree, Some(&mask), threads);
+            prop_assert!(serial == par, "masked build with {threads} threads diverged");
+        }
+    }
+
+    /// The precomputed route table answers every query — hops, latency,
+    /// path and reachability — identically to the retained per-query
+    /// reference implementation (raw Dijkstra-table probing).
+    #[test]
+    fn table_answers_match_reference(seed in any::<u64>(), t1 in 1usize..3, t2 in 1usize..4, t3 in 1usize..4) {
+        let g = random_hierarchy(seed, t1, t2, t3);
+        for mode in [RoutingMode::ShortestPath, RoutingMode::ValleyFree] {
+            let table = Routing::compute(&g, mode);
+            let refr = ReferenceRouting::compute(&g, mode, None);
+            let mut ref_reachable = 0usize;
+            for a in 0..g.len() {
+                for b in 0..g.len() {
+                    let (a, b) = (AsId(a as u16), AsId(b as u16));
+                    prop_assert_eq!(table.as_hops(a, b), refr.as_hops(a, b), "hops {}->{}", a, b);
+                    prop_assert_eq!(table.latency_us(a, b), refr.latency_us(a, b), "latency {}->{}", a, b);
+                    prop_assert_eq!(
+                        table.path_links(a, b).map(<[u32]>::to_vec),
+                        refr.path_links(a, b),
+                        "path {}->{}", a, b
+                    );
+                    if a != b && refr.as_hops(a, b).is_some() {
+                        ref_reachable += 1;
+                    }
+                }
+            }
+            let n = g.len();
+            let expected = if n <= 1 {
+                1.0
+            } else {
+                ref_reachable as f64 / (n * (n - 1)) as f64
+            };
+            prop_assert_eq!(table.reachable_fraction(), expected, "reachable fraction");
         }
     }
 

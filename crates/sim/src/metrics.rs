@@ -203,6 +203,13 @@ impl Metrics {
         }
     }
 
+    /// Sets the named counter to an absolute value, overwriting any
+    /// previous value. Used to export externally-accumulated counters
+    /// (e.g. the underlay route-cache hit/miss cells) at end of run.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_owned(), v);
+    }
+
     /// Current value of a counter (zero if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)

@@ -2,7 +2,7 @@
 //! workspace `.rs` file.
 //!
 //! The simulator's contract is that a run is a pure function of its
-//! configuration and seed (see `docs/DETERMINISM.md`). Four classes of
+//! configuration and seed (see `docs/DETERMINISM.md`). Five classes of
 //! code break that contract silently, so they are banned mechanically:
 //!
 //! | rule        | bans                                                        |
@@ -18,13 +18,20 @@
 //! |             | `.values()…sum()` chains, or `.iter()…sum()` in files that  |
 //! |             | also mention `HashMap`/`HashSet` (float addition is not     |
 //! |             | associative, so the random order changes the total)         |
+//! | `threads`   | `thread::scope` / `thread::spawn` (scheduling order is      |
+//! |             | nondeterministic; fork-join parallelism is only audited in  |
+//! |             | the routing-build and sweep boundaries, where results are   |
+//! |             | joined in input order)                                      |
 //!
 //! Escape hatch: a `// lint:allow(<rule>)` comment on the same line or
 //! the line directly above suppresses that rule there. Exception: a
 //! `wallclock` allow is honored only inside the documented trace-sink
-//! boundary ([`WALLCLOCK_BOUNDARY`], the `uap_sim::WallTimer` home);
-//! anywhere else the allow comment is itself reported, so wall-clock
-//! readings cannot quietly spread past the one audited site. The scanner is
+//! boundary ([`WALLCLOCK_BOUNDARY`], the `uap_sim::WallTimer` home), and
+//! a `threads` allow only inside [`THREADS_BOUNDARY`] (the parallel
+//! routing-table build and the experiment sweep runner — the two audited
+//! deterministic fork-join sites); anywhere else the allow comment is
+//! itself reported, so wall-clock readings and ad-hoc threading cannot
+//! quietly spread past the audited sites. The scanner is
 //! deliberately token-level (`syn` is unavailable offline): comments,
 //! strings and char literals are stripped first so the rules only ever
 //! match real code tokens, and `#[cfg(test)]` module bodies are excluded
@@ -35,7 +42,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The rule identifiers accepted by `lint:allow(...)`.
-const RULES: [&str; 4] = ["hashmap", "wallclock", "unwrap", "floatsum"];
+const RULES: [&str; 5] = ["hashmap", "wallclock", "unwrap", "floatsum", "threads"];
 
 /// The only files where a `wallclock` allow comment is honored: the
 /// trace sink's `WallTimer` boundary (see `docs/OBSERVABILITY.md`).
@@ -43,10 +50,28 @@ const RULES: [&str; 4] = ["hashmap", "wallclock", "unwrap", "floatsum"];
 /// readings must stay out of simulation state and traced output.
 const WALLCLOCK_BOUNDARY: [&str; 1] = ["crates/sim/src/trace.rs"];
 
+/// The only files where a `threads` allow comment is honored: the
+/// parallel routing-table build (joins per-source chunks in source
+/// order, byte-identical to the serial build) and the parameter-sweep
+/// runner (order-preserving parallel map over independent runs). See
+/// `docs/PERFORMANCE.md` for the determinism argument. Anywhere else
+/// the allow comment is itself a violation — each simulation run stays
+/// single-threaded.
+const THREADS_BOUNDARY: [&str; 2] = [
+    "crates/net/src/routing.rs",
+    "crates/core/src/experiments/sweep.rs",
+];
+
 /// True when `label` is one of the [`WALLCLOCK_BOUNDARY`] files.
 fn in_wallclock_boundary(label: &str) -> bool {
     let norm = label.replace('\\', "/");
     WALLCLOCK_BOUNDARY.iter().any(|b| norm.ends_with(b))
+}
+
+/// True when `label` is one of the [`THREADS_BOUNDARY`] files.
+fn in_threads_boundary(label: &str) -> bool {
+    let norm = label.replace('\\', "/");
+    THREADS_BOUNDARY.iter().any(|b| norm.ends_with(b))
 }
 
 /// One diagnostic, rendered as `path:line: rule(<name>): message`.
@@ -191,6 +216,7 @@ pub fn scan_source(label: &str, source: &str, kind: FileKind) -> Vec<Violation> 
     });
 
     let wallclock_boundary = in_wallclock_boundary(label);
+    let threads_boundary = in_threads_boundary(label);
 
     for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
@@ -226,6 +252,37 @@ pub fn scan_source(label: &str, source: &str, kind: FileKind) -> Vec<Violation> 
                             } else {
                                 "DetSet"
                             },
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !threads_boundary && line.allows.contains("threads") {
+            out.push(Violation {
+                path: label.to_string(),
+                line: lineno,
+                rule: "threads",
+                msg: format!(
+                    "`lint:allow(threads)` is only valid inside the audited fork-join \
+                     boundaries ({}); keep simulation runs single-threaded",
+                    THREADS_BOUNDARY.join(", ")
+                ),
+            });
+        }
+
+        if !(threads_boundary && allowed(&lines, i, "threads")) {
+            for pat in ["thread::scope", "thread::spawn"] {
+                if find_path_token(code, pat).is_some() {
+                    out.push(Violation {
+                        path: label.to_string(),
+                        line: lineno,
+                        rule: "threads",
+                        msg: format!(
+                            "`{pat}` outside the audited fork-join boundaries; thread \
+                             scheduling is nondeterministic — keep simulation runs \
+                             single-threaded, or extend THREADS_BOUNDARY with an \
+                             order-preserving join argument"
                         ),
                     });
                 }
@@ -672,6 +729,35 @@ mod tests {
         let vs = scan_source("crates/net/src/x.rs", src, LIB);
         assert_eq!(rules_of(&vs), vec!["wallclock", "wallclock"]);
         assert!(vs[0].msg.contains("boundary"));
+    }
+
+    #[test]
+    fn threads_allow_only_honored_in_boundary_files() {
+        let src = "pub fn par() {\n    std::thread::scope(|s| { let _ = s; }) // lint:allow(threads)\n}\n";
+        // Inside either documented boundary the allow works.
+        assert!(scan_source("crates/net/src/routing.rs", src, LIB).is_empty());
+        assert!(scan_source("crates/core/src/experiments/sweep.rs", src, LIB).is_empty());
+        // Outside them, both the token and the misplaced allow are reported.
+        let vs = scan_source("crates/gnutella/src/sim.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["threads", "threads"]);
+        assert!(vs[0].msg.contains("boundaries"));
+    }
+
+    #[test]
+    fn thread_spawn_flagged_without_allow_even_in_boundary() {
+        // The boundary only honors explicit allows; an unannotated spawn
+        // is still reported there.
+        let src = "pub fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/net/src/routing.rs", src, LIB)),
+            vec!["threads"]
+        );
+        // Qualified crossbeam paths match the same suffix token.
+        let src = "pub fn g() { crossbeam::thread::scope(|s| { let _ = s; }); }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/core/src/lib.rs", src, LIB)),
+            vec!["threads"]
+        );
     }
 
     #[test]
