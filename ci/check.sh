@@ -14,6 +14,9 @@
 #                                 byte-identical under `xtask trace diff`
 #   8. ci/perf_smoke.sh         — routing hot-path qps within 5x of the
 #                                 committed floors (docs/PERFORMANCE.md)
+#   9. xtask analyze            — call-graph purity/panic/registry proofs
+#                                 (docs/STATIC_ANALYSIS.md) against
+#                                 ci/analyze_panic_baseline.txt
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,5 +45,8 @@ step "trace determinism gate (ci/trace_gate.sh)"
 
 step "routing perf smoke (ci/perf_smoke.sh)"
 ./ci/perf_smoke.sh
+
+step "sim-purity analyzer (cargo run -p xtask -- analyze)"
+cargo run -q -p xtask -- analyze
 
 printf '\nAll checks passed.\n'

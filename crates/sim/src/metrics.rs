@@ -195,6 +195,8 @@ impl Metrics {
 
     /// Adds `n` to the named counter.
     pub fn incr(&mut self, name: &str, n: u64) {
+        #[cfg(debug_assertions)]
+        crate::trace::registry::debug_check_metric_key(name);
         match self.counters.get_mut(name) {
             Some(c) => *c += n,
             None => {
@@ -207,6 +209,8 @@ impl Metrics {
     /// previous value. Used to export externally-accumulated counters
     /// (e.g. the underlay route-cache hit/miss cells) at end of run.
     pub fn set_counter(&mut self, name: &str, v: u64) {
+        #[cfg(debug_assertions)]
+        crate::trace::registry::debug_check_metric_key(name);
         self.counters.insert(name.to_owned(), v);
     }
 
@@ -222,6 +226,8 @@ impl Metrics {
 
     /// Records a sample into the named histogram.
     pub fn record(&mut self, name: &str, v: f64) {
+        #[cfg(debug_assertions)]
+        crate::trace::registry::debug_check_metric_key(name);
         match self.histograms.get_mut(name) {
             Some(h) => h.record(v),
             None => {
@@ -250,6 +256,8 @@ impl Metrics {
 
     /// Appends a point to the named time series.
     pub fn trace(&mut self, name: &str, t: SimTime, v: f64) {
+        #[cfg(debug_assertions)]
+        crate::trace::registry::debug_check_metric_key(name);
         match self.series.get_mut(name) {
             Some(s) => s.push(t, v),
             None => {

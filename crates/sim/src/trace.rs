@@ -30,6 +30,8 @@
 //!   `TraceEvent`); the determinism lint rejects `lint:allow(wallclock)`
 //!   escapes anywhere outside this file.
 
+pub mod registry;
+
 use crate::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -337,6 +339,22 @@ impl Tracer {
     ) {
         if !self.is_enabled(component, level) {
             return;
+        }
+        // Debug-build schema guard: events from registered components must
+        // use a kind declared in the central registry (the static mirror
+        // of this check is the `xtask analyze` registry pass). Scratch
+        // components used by tests stay exempt. Sits after the enabled
+        // gate so the disabled path keeps its one-branch cost.
+        #[cfg(debug_assertions)]
+        if registry::is_registered_component(component)
+            && !registry::trace_kind_declared(component, kind)
+        {
+            // lint:allow(panic) — debug-only schema guard
+            panic!(
+                "trace kind {component:?}/{kind:?} is not declared in \
+                 uap_sim::trace::registry::TRACE_KINDS; add a TraceKindSpec entry and a \
+                 docs/OBSERVABILITY.md row (see docs/STATIC_ANALYSIS.md)"
+            );
         }
         let mut fields = Fields::default();
         build(&mut fields);

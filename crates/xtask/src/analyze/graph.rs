@@ -1,0 +1,409 @@
+//! Workspace call graph: name resolution, entry points, and shortest
+//! witness chains.
+//!
+//! Resolution is approximate by design — it over-approximates the
+//! possible callees of each call site so that reachability proofs stay
+//! sound (a sink the analyzer misses would be a false negative; an
+//! extra edge only costs a spurious-but-explainable witness chain):
+//!
+//! - `.m(...)` method calls resolve to *every* impl method named `m`
+//!   in the workspace.
+//! - `Qual::f(...)` resolves to methods of the impl type `Qual`
+//!   (with `Self` mapped to the caller's own impl type); when `Qual`
+//!   names no known type, to free functions defined in a file whose
+//!   stem is `Qual` (module-style call), falling back to all free
+//!   functions named `f`.
+//! - `f(...)` free calls prefer free functions in the caller's own
+//!   file, falling back to all free functions named `f`.
+//!
+//! Test functions are excluded from the graph entirely: they neither
+//! resolve as callees nor act as callers.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::analyze::parser::{Callee, FnItem};
+
+/// The resolved workspace call graph over non-test functions.
+pub struct Graph {
+    /// All parsed functions (test fns included, but unresolved).
+    pub fns: Vec<FnItem>,
+    /// `edges[i]` = outgoing `(callee index, call line)` pairs of fn `i`.
+    pub edges: Vec<Vec<(usize, usize)>>,
+    /// Indices of the simulation entry points.
+    pub entries: Vec<usize>,
+    /// Total resolved call edges (for the PERF line).
+    pub edge_count: usize,
+}
+
+/// One hop of a witness chain: function index plus the line of the call
+/// that led into it (`None` for the chain head).
+#[derive(Clone, Debug)]
+pub struct Hop {
+    /// Index into `Graph::fns`.
+    pub fn_idx: usize,
+    /// Line of the call site in the *previous* hop's body.
+    pub call_line: Option<usize>,
+}
+
+impl Graph {
+    /// Builds the graph: resolves every call site of every non-test
+    /// function and computes the entry-point set.
+    pub fn build(fns: Vec<FnItem>) -> Graph {
+        let mut by_method: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_free: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+        let mut known_types: HashMap<&str, ()> = HashMap::new();
+
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            match &f.impl_type {
+                Some(ty) => {
+                    by_method.entry(&f.name).or_default().push(i);
+                    by_qual.entry((ty, &f.name)).or_default().push(i);
+                    known_types.insert(ty, ());
+                }
+                None => by_free.entry(&f.name).or_default().push(i),
+            }
+        }
+
+        let file_stem = |file: &str| -> String {
+            file.rsplit('/')
+                .next()
+                .unwrap_or(file)
+                .trim_end_matches(".rs")
+                .to_string()
+        };
+
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); fns.len()];
+        let mut edge_count = 0usize;
+        for (i, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            for call in &f.calls {
+                let targets: Vec<usize> = match &call.callee {
+                    Callee::Method(name) => {
+                        by_method.get(name.as_str()).cloned().unwrap_or_default()
+                    }
+                    Callee::Qualified(qual, name) => {
+                        let ty = if qual == "Self" {
+                            f.impl_type.as_deref().unwrap_or("Self")
+                        } else {
+                            qual.as_str()
+                        };
+                        if let Some(v) = by_qual.get(&(ty, name.as_str())) {
+                            v.clone()
+                        } else if known_types.contains_key(ty) {
+                            // A known impl type without that method:
+                            // std-ish or derived — no workspace target.
+                            Vec::new()
+                        } else {
+                            // Module-style qualifier: prefer free fns in
+                            // the file named after the module.
+                            let all = by_free.get(name.as_str()).cloned().unwrap_or_default();
+                            let in_module: Vec<usize> = all
+                                .iter()
+                                .copied()
+                                .filter(|&t| file_stem(&fns[t].file) == *qual)
+                                .collect();
+                            if in_module.is_empty() {
+                                all
+                            } else {
+                                in_module
+                            }
+                        }
+                    }
+                    Callee::Free(name) => {
+                        let all = by_free.get(name.as_str()).cloned().unwrap_or_default();
+                        let local: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&t| fns[t].file == f.file)
+                            .collect();
+                        if local.is_empty() {
+                            all
+                        } else {
+                            local
+                        }
+                    }
+                };
+                for t in targets {
+                    edges[i].push((t, call.line));
+                    edge_count += 1;
+                }
+            }
+        }
+
+        let entries = find_entries(&fns);
+        Graph {
+            fns,
+            edges,
+            entries,
+            edge_count,
+        }
+    }
+
+    /// BFS from the entry set. Returns `(dist, parent)` where
+    /// `parent[i] = (predecessor fn index, call line)` on a shortest
+    /// path; unreachable functions have `dist == usize::MAX`.
+    pub fn reach(&self) -> (Vec<usize>, Vec<Option<(usize, usize)>>) {
+        let n = self.fns.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut q = VecDeque::new();
+        for &e in &self.entries {
+            if dist[e] == usize::MAX {
+                dist[e] = 0;
+                q.push_back(e);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for &(v, line) in &self.edges[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    parent[v] = Some((u, line));
+                    q.push_back(v);
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// Reconstructs the shortest witness chain from an entry point down
+    /// to `target`, using the parent pointers from [`Graph::reach`].
+    pub fn witness(&self, parent: &[Option<(usize, usize)>], target: usize) -> Vec<Hop> {
+        let mut chain = vec![Hop {
+            fn_idx: target,
+            call_line: None,
+        }];
+        let mut cur = target;
+        while let Some((p, line)) = parent[cur] {
+            chain.last_mut().expect("chain is never empty").call_line = Some(line); // lint:allow(expect)
+            chain.push(Hop {
+                fn_idx: p,
+                call_line: None,
+            });
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Renders a witness chain as one indented block, `file:line` per hop.
+    pub fn render_witness(&self, chain: &[Hop], sink_desc: &str, sink_line: usize) -> String {
+        let mut out = String::new();
+        for (i, hop) in chain.iter().enumerate() {
+            let f = &self.fns[hop.fn_idx];
+            let arrow = if i == 0 { "  witness: " } else { "    -> " };
+            let via = match chain.get(i.wrapping_sub(1)).filter(|_| i > 0) {
+                Some(prev) => {
+                    let pf = &self.fns[prev.fn_idx];
+                    match prev.call_line {
+                        Some(l) => format!("  [call at {}:{l}]", pf.file),
+                        None => String::new(),
+                    }
+                }
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{arrow}{} ({}:{}){via}\n",
+                f.qualname(),
+                f.file,
+                f.line
+            ));
+        }
+        let last = chain.last().map(|h| &self.fns[h.fn_idx]);
+        if let Some(f) = last {
+            out.push_str(&format!("    -> {sink_desc} @ {}:{sink_line}\n", f.file));
+        }
+        out
+    }
+}
+
+/// Computes the simulation entry-point set:
+///
+/// - `Simulator::run` / `Simulator::run_until` (the engine step loop),
+/// - every `handle` method of a `World` trait impl (overlay event
+///   handlers),
+/// - every `Ctx` method (the API surface handlers call back into),
+/// - free `run` / `run_traced` functions under
+///   `crates/core/src/experiments/` (experiment drivers).
+fn find_entries(fns: &[FnItem]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, f) in fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let is_entry = match (&f.impl_type, &f.trait_name) {
+            (Some(ty), _) if ty == "Simulator" && (f.name == "run" || f.name == "run_until") => {
+                true
+            }
+            (Some(_), Some(tr)) if tr == "World" && f.name == "handle" => true,
+            (Some(ty), _) if ty == "Ctx" => true,
+            _ => {
+                f.impl_type.is_none()
+                    && (f.name == "run" || f.name == "run_traced")
+                    && f.file.contains("crates/core/src/experiments/")
+            }
+        };
+        if is_entry {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Aggregated panic-site inventory: `(file, qualname, kind, class)` →
+/// count, where class is `"documented"` or `"bare"`.
+pub type PanicInventory = BTreeMap<(String, String, String, String), usize>;
+
+/// Builds the panic inventory over non-test, non-bin functions reachable
+/// from the entry set.
+pub fn panic_inventory(graph: &Graph, dist: &[usize]) -> PanicInventory {
+    let mut inv = PanicInventory::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || f.is_bin || dist[i] == usize::MAX {
+            continue;
+        }
+        for p in &f.panics {
+            let class = if p.documented { "documented" } else { "bare" };
+            *inv.entry((
+                f.file.clone(),
+                f.qualname(),
+                p.kind.name().to_string(),
+                class.to_string(),
+            ))
+            .or_insert(0) += 1;
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::lexer::lex;
+    use crate::analyze::parser::parse_file;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let mut fns = Vec::new();
+        for (label, src) in files {
+            fns.extend(parse_file(label, &lex(src), false, false));
+        }
+        Graph::build(fns)
+    }
+
+    #[test]
+    fn indirect_sink_reached_through_two_hops_with_witness() {
+        let g = graph_of(&[
+            (
+                "crates/sim/src/engine.rs",
+                "impl Simulator { fn run(&mut self) { helper(); } }\nfn helper() { leak(); }\n",
+            ),
+            (
+                "crates/net/src/bad.rs",
+                "fn leak() { let t = std::time::Instant::now(); }\n",
+            ),
+        ]);
+        let (dist, parent) = g.reach();
+        let leak = g
+            .fns
+            .iter()
+            .position(|f| f.name == "leak")
+            .expect("leak fn parsed"); // lint:allow(expect)
+        assert_ne!(dist[leak], usize::MAX, "leak must be reachable");
+        let chain = g.witness(&parent, leak);
+        let names: Vec<String> = chain.iter().map(|h| g.fns[h.fn_idx].qualname()).collect();
+        assert_eq!(names, vec!["Simulator::run", "helper", "leak"]);
+        let rendered = g.render_witness(&chain, "Instant::now", g.fns[leak].sinks[0].line);
+        assert!(rendered.contains("Simulator::run (crates/sim/src/engine.rs:1)"));
+        assert!(rendered.contains("leak (crates/net/src/bad.rs:1)"));
+        assert!(rendered.contains("Instant::now @ crates/net/src/bad.rs:1"));
+    }
+
+    #[test]
+    fn world_handle_and_ctx_methods_are_entries() {
+        let g = graph_of(&[(
+            "crates/gnutella/src/sim.rs",
+            "impl World<Ev> for G { fn handle(&mut self) {} }\nimpl Ctx<'_, E> { fn send(&mut self) {} }\nfn not_entry() {}\n",
+        )]);
+        let names: Vec<String> = g.entries.iter().map(|&i| g.fns[i].qualname()).collect();
+        assert_eq!(names, vec!["G::handle", "Ctx::send"]);
+    }
+
+    #[test]
+    fn test_fns_neither_call_nor_get_called() {
+        let src = "impl Simulator { fn run(&mut self) {} }\n#[cfg(test)]\nmod tests {\n    fn t() { dangerous(); }\n}\nfn dangerous() {}\n";
+        let g = graph_of(&[("crates/sim/src/engine.rs", src)]);
+        let (dist, _) = g.reach();
+        let d = g
+            .fns
+            .iter()
+            .position(|f| f.name == "dangerous")
+            .expect("parsed"); // lint:allow(expect)
+        assert_eq!(dist[d], usize::MAX, "only a test fn calls dangerous");
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_targets() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/experiments/e01.rs",
+                "pub fn run() { step(); }\nfn step() {}\n",
+            ),
+            (
+                "crates/core/src/experiments/e02.rs",
+                "fn step() { loop_forever(); }\nfn loop_forever() {}\n",
+            ),
+        ]);
+        let (dist, _) = g.reach();
+        let e02_step = g
+            .fns
+            .iter()
+            .position(|f| f.name == "step" && f.file.contains("e02"))
+            .expect("parsed"); // lint:allow(expect)
+        assert_eq!(
+            dist[e02_step],
+            usize::MAX,
+            "e01::run must bind to its own file's step, not e02's"
+        );
+    }
+
+    #[test]
+    fn module_qualified_call_binds_to_file_stem() {
+        let g = graph_of(&[
+            ("crates/xtask/src/main.rs", "fn main() { lint::run(); }\n"),
+            ("crates/xtask/src/lint.rs", "pub fn run() {}\n"),
+            ("crates/core/src/experiments/e03.rs", "pub fn run() {}\n"),
+        ]);
+        let main = g.fns.iter().position(|f| f.name == "main").expect("parsed"); // lint:allow(expect)
+        let targets: Vec<&str> = g.edges[main]
+            .iter()
+            .map(|&(t, _)| g.fns[t].file.as_str())
+            .collect();
+        assert_eq!(targets, vec!["crates/xtask/src/lint.rs"]);
+    }
+
+    #[test]
+    fn panic_inventory_aggregates_reachable_sites_only() {
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { fn run(&mut self, o: Option<u8>) {\n    o.unwrap();\n    o.expect(\"invariant\"); // lint:allow(expect)\n} }\nfn unreachable_helper(o: Option<u8>) { o.unwrap(); }\n",
+        )]);
+        let (dist, _) = g.reach();
+        let inv = panic_inventory(&g, &dist);
+        let keys: Vec<String> = inv
+            .keys()
+            .map(|(f, q, k, c)| format!("{f}::{q} {k} {c}"))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                "crates/sim/src/engine.rs::Simulator::run expect documented",
+                "crates/sim/src/engine.rs::Simulator::run unwrap bare",
+            ]
+        );
+    }
+}

@@ -1,0 +1,519 @@
+//! `xtask analyze` — syntax-aware sim-purity analyzer.
+//!
+//! Where `xtask lint` checks tokens line-by-line, this module parses the
+//! whole workspace into a call graph and proves *reachability* facts:
+//!
+//! - **Purity**: no call path from a simulation entry point (the engine
+//!   step loop, overlay `World::handle` impls, `Ctx` methods, experiment
+//!   drivers) reaches a wallclock / entropy / thread-spawn sink, except
+//!   through the audited boundaries in [`crate::boundaries`]. Each
+//!   violation carries the shortest witness call chain, `file:line` per
+//!   hop.
+//! - **Panic reachability**: every unwrap / expect / panic! / indexing
+//!   site reachable from the entry points is inventoried against the
+//!   checked-in baseline `ci/analyze_panic_baseline.txt`; new sites fail,
+//!   removed sites are reported as burn-down progress.
+//! - **Registry drift**: emitted trace kinds and metrics keys must agree
+//!   with `uap_sim::trace::registry` and with the tables in
+//!   `docs/OBSERVABILITY.md` (see [`registry_check`]).
+//!
+//! Everything is hand-rolled on the workspace's own lexer — no `syn`,
+//! no network, deterministic output. See `docs/STATIC_ANALYSIS.md`.
+
+pub mod graph;
+pub mod lexer;
+pub mod parser;
+pub mod registry_check;
+
+use std::path::{Path, PathBuf};
+
+use graph::Graph;
+
+/// Relative path of the panic-site baseline file.
+pub const BASELINE_PATH: &str = "ci/analyze_panic_baseline.txt";
+
+/// What to do with the panic baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// Compare against the checked-in baseline; new sites are violations.
+    Check,
+    /// Regenerate the baseline from the current inventory.
+    Update,
+}
+
+/// Corpus and graph sizes, for the PERF line.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    pub files: usize,
+    pub fns: usize,
+    pub entries: usize,
+    pub edges: usize,
+}
+
+/// The result of one analyzer run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard failures: each one line (or block, for witness chains).
+    pub violations: Vec<String>,
+    /// Informational output (burn-down progress, baseline updates).
+    pub notes: Vec<String>,
+    /// Corpus sizes.
+    pub stats: Stats,
+}
+
+/// Runs the analyzer over the workspace rooted at `root`.
+pub fn run(root: &Path, mode: BaselineMode) -> Report {
+    let mut report = Report::default();
+    let files = collect_workspace(root);
+    report.stats.files = files.len();
+
+    let mut fns = Vec::new();
+    for f in &files {
+        let Ok(source) = std::fs::read_to_string(&f.path) else {
+            continue;
+        };
+        let lexed = lexer::lex(&source);
+        fns.extend(parser::parse_file(&f.label, &lexed, f.is_test, f.is_bin));
+    }
+    report.stats.fns = fns.len();
+
+    let g = Graph::build(fns);
+    report.stats.entries = g.entries.len();
+    report.stats.edges = g.edge_count;
+    if g.entries.is_empty() {
+        report.violations.push(
+            "analyze: found no simulation entry points — the parser or the entry heuristics \
+             regressed; refusing to vacuously pass"
+                .to_string(),
+        );
+        return report;
+    }
+    let (dist, parent) = g.reach();
+
+    report.violations.extend(purity_pass(&g, &dist, &parent));
+    panic_pass(root, &g, &dist, mode, &mut report);
+    report.violations.extend(registry_check::run(root, &g.fns));
+    report
+}
+
+/// Purity pass: unaudited sinks in functions reachable from the entry
+/// set, each with its shortest witness chain.
+fn purity_pass(g: &Graph, dist: &[usize], parent: &[Option<(usize, usize)>]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, f) in g.fns.iter().enumerate() {
+        if f.is_test || dist[i] == usize::MAX {
+            continue;
+        }
+        for s in &f.sinks {
+            if s.audited {
+                continue;
+            }
+            let chain = g.witness(parent, i);
+            let kind = match s.kind {
+                parser::SinkKind::Wallclock => "wallclock",
+                parser::SinkKind::Entropy => "entropy",
+                parser::SinkKind::Thread => "thread-spawn",
+            };
+            out.push(format!(
+                "purity: {}:{}: `{}` in `{}` is reachable from the sim entry points \
+                 ({kind} sink outside the audited boundaries)\n{}",
+                f.file,
+                s.line,
+                s.what,
+                f.qualname(),
+                g.render_witness(&chain, &s.what, s.line)
+            ));
+        }
+    }
+    out
+}
+
+/// Panic pass: inventory vs baseline (or baseline regeneration).
+fn panic_pass(root: &Path, g: &Graph, dist: &[usize], mode: BaselineMode, report: &mut Report) {
+    let inv = graph::panic_inventory(g, dist);
+    let path = root.join(BASELINE_PATH);
+    match mode {
+        BaselineMode::Update => {
+            let body = render_baseline(&inv);
+            match std::fs::write(&path, body) {
+                Ok(()) => report.notes.push(format!(
+                    "analyze: wrote {} entries to {BASELINE_PATH}",
+                    inv.len()
+                )),
+                Err(e) => report
+                    .violations
+                    .push(format!("analyze: cannot write {BASELINE_PATH}: {e}")),
+            }
+        }
+        BaselineMode::Check => {
+            let Ok(body) = std::fs::read_to_string(&path) else {
+                report.violations.push(format!(
+                    "analyze: missing {BASELINE_PATH} — run `cargo run -p xtask -- analyze \
+                     --update-baseline` and commit the result"
+                ));
+                return;
+            };
+            let baseline = parse_baseline(&body);
+            for (key, &count) in &inv {
+                let (file, qual, kind, class) = key;
+                match baseline.get(key) {
+                    None => {
+                        let lines = site_lines(g, file, qual, kind, class);
+                        report.violations.push(format!(
+                            "panics: {file}:{lines}: new {class} {kind} site(s) in `{qual}` \
+                             reachable from the engine step loop; document the invariant with \
+                             `lint:allow({kind})` or handle the None/Err case \
+                             (baseline: {BASELINE_PATH})"
+                        ));
+                    }
+                    Some(&b) if count > b => report.violations.push(format!(
+                        "panics: {file}: `{qual}` grew from {b} to {count} {class} {kind} \
+                         site(s) reachable from the engine step loop (baseline: {BASELINE_PATH})"
+                    )),
+                    Some(_) => {}
+                }
+            }
+            let mut gone = 0usize;
+            for (key, &b) in &baseline {
+                let now = inv.get(key).copied().unwrap_or(0);
+                if now < b {
+                    gone += b - now;
+                }
+            }
+            if gone > 0 {
+                report.notes.push(format!(
+                    "analyze: {gone} baselined panic site(s) no longer reachable — run \
+                     `--update-baseline` to ratchet {BASELINE_PATH} down"
+                ));
+            }
+        }
+    }
+}
+
+/// Comma-joined source lines of the panic sites behind one inventory
+/// key, so a baseline miss points at the exact expressions.
+fn site_lines(g: &Graph, file: &str, qual: &str, kind: &str, class: &str) -> String {
+    let mut lines: Vec<usize> = g
+        .fns
+        .iter()
+        .filter(|f| f.file == file && f.qualname() == qual)
+        .flat_map(|f| &f.panics)
+        .filter(|p| p.kind.name() == kind && (p.documented == (class == "documented")))
+        .map(|p| p.line)
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders the inventory as the checked-in baseline text.
+fn render_baseline(inv: &graph::PanicInventory) -> String {
+    let mut out = String::from(
+        "# Panic-reachability baseline — generated by `cargo run -p xtask -- analyze \
+         --update-baseline`.\n\
+         # Each line: <count>\\t<file>::<fn>\\t<kind>\\t<documented|bare>, sorted.\n\
+         # New reachable panic sites fail CI; burn this list down, never up.\n",
+    );
+    for ((file, qual, kind, class), count) in inv {
+        out.push_str(&format!("{count}\t{file}::{qual}\t{kind}\t{class}\n"));
+    }
+    out
+}
+
+/// Parses the baseline text back into an inventory.
+fn parse_baseline(body: &str) -> graph::PanicInventory {
+    let mut inv = graph::PanicInventory::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        let [count, site, kind, class] = parts.as_slice() else {
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            continue;
+        };
+        // `<file>::<fn>` — the file part ends at the first `::` after
+        // the final `/`, i.e. split on the first `::` past the dir part.
+        let Some(split) = site.find(".rs::") else {
+            continue;
+        };
+        let (file, qual) = site.split_at(split + 3);
+        inv.insert(
+            (
+                file.to_string(),
+                qual.trim_start_matches("::").to_string(),
+                kind.to_string(),
+                class.to_string(),
+            ),
+            count,
+        );
+    }
+    inv
+}
+
+/// One workspace source file to analyze.
+struct SourceFile {
+    path: PathBuf,
+    label: String,
+    is_test: bool,
+    is_bin: bool,
+}
+
+/// Collects the same file set as `xtask lint`: `crates/*/src`,
+/// `crates/*/tests`, and the root `src/` + `tests/`. `compat/` (vendored
+/// stubs) lives outside these roots and is skipped by construction.
+fn collect_workspace(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    let mut push_tree = |dir: PathBuf, is_test: bool| {
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&d) else {
+                continue;
+            };
+            let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+            paths.sort();
+            for p in paths {
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let label = p
+                        .strip_prefix(root)
+                        .unwrap_or(&p)
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    // The xtask crate is build tooling end to end: like
+                    // `main.rs` / `src/bin/` code it may abort freely,
+                    // so it stays out of the panic inventory.
+                    let is_bin = p.file_name().is_some_and(|n| n == "main.rs")
+                        || p.components().any(|c| c.as_os_str() == "bin")
+                        || label.starts_with("crates/xtask/");
+                    out.push(SourceFile {
+                        path: p,
+                        label,
+                        is_test,
+                        is_bin,
+                    });
+                }
+            }
+        }
+    };
+
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut crates: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            push_tree(krate.join("src"), false);
+            push_tree(krate.join("tests"), true);
+        }
+    }
+    push_tree(root.join("src"), false);
+    push_tree(root.join("tests"), true);
+
+    out.sort_by(|a, b| a.label.cmp(&b.label));
+    out
+}
+
+/// Renders the report for the CLI. Returns `true` when clean.
+pub fn print_report(report: &Report) -> bool {
+    for n in &report.notes {
+        println!("{n}");
+    }
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.violations.is_empty() {
+        println!(
+            "analyze: ok ({} files, {} fns, {} entry points, {} call edges)",
+            report.stats.files, report.stats.fns, report.stats.entries, report.stats.edges
+        );
+        true
+    } else {
+        println!("analyze: {} violation(s)", report.violations.len());
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::Graph;
+    use lexer::lex;
+    use parser::parse_file;
+
+    fn workspace_root() -> PathBuf {
+        // crates/xtask -> crates -> workspace root
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("xtask lives two levels under the workspace root") // lint:allow(expect)
+            .to_path_buf()
+    }
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let mut fns = Vec::new();
+        for (label, src) in files {
+            fns.extend(parse_file(label, &lex(src), false, false));
+        }
+        Graph::build(fns)
+    }
+
+    #[test]
+    fn synthetic_indirect_leak_is_caught_with_witness_chain() {
+        // Entry -> helper -> leak() which calls Instant::now: the purity
+        // pass must flag it and the witness must name every hop with
+        // file:line.
+        let g = graph_of(&[
+            (
+                "crates/sim/src/engine.rs",
+                "impl Simulator {\n    pub fn run(&mut self) {\n        helper();\n    }\n}\npub fn helper() {\n    leak();\n}\n",
+            ),
+            (
+                "crates/net/src/bad.rs",
+                "pub fn leak() {\n    let _t = std::time::Instant::now();\n}\n",
+            ),
+        ]);
+        let (dist, parent) = g.reach();
+        let v = purity_pass(&g, &dist, &parent);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let msg = &v[0];
+        assert!(msg.contains("crates/net/src/bad.rs:2"), "{msg}");
+        assert!(msg.contains("Instant::now"), "{msg}");
+        assert!(
+            msg.contains("Simulator::run (crates/sim/src/engine.rs:2)"),
+            "{msg}"
+        );
+        assert!(msg.contains("helper (crates/sim/src/engine.rs:6)"), "{msg}");
+        assert!(msg.contains("leak (crates/net/src/bad.rs:1)"), "{msg}");
+        assert!(
+            msg.contains("[call at crates/sim/src/engine.rs:3]"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn audited_boundary_sinks_are_exempt() {
+        // The WallTimer quarantine in crates/sim/src/trace.rs and the
+        // fork-join boundaries may touch their sinks when the site
+        // carries the lint:allow — no purity violation.
+        let g = graph_of(&[
+            (
+                "crates/sim/src/engine.rs",
+                "impl Simulator { pub fn run(&mut self) { WallTimer::start(); par(); } }\n",
+            ),
+            (
+                "crates/sim/src/trace.rs",
+                "impl WallTimer { pub fn start() { let _ = std::time::Instant::now(); // lint:allow(wallclock)\n } }\n",
+            ),
+            (
+                "crates/net/src/routing.rs",
+                "pub fn par() { std::thread::scope(|s| {}); // lint:allow(threads)\n }\n",
+            ),
+        ]);
+        let (dist, parent) = g.reach();
+        let v = purity_pass(&g, &dist, &parent);
+        assert!(v.is_empty(), "{v:?}");
+        // The same thread sink outside the boundary file is flagged even
+        // with an allow comment.
+        let g = graph_of(&[
+            (
+                "crates/sim/src/engine.rs",
+                "impl Simulator { pub fn run(&mut self) { par(); } }\n",
+            ),
+            (
+                "crates/net/src/host.rs",
+                "pub fn par() { std::thread::scope(|s| {}); // lint:allow(threads)\n }\n",
+            ),
+        ]);
+        let (dist, parent) = g.reach();
+        let v = purity_pass(&g, &dist, &parent);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("thread-spawn sink"));
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_new_site_detection() {
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { pub fn run(&mut self, o: Option<u8>) { o.unwrap(); } }\n",
+        )]);
+        let (dist, _) = g.reach();
+        let inv = graph::panic_inventory(&g, &dist);
+        let text = render_baseline(&inv);
+        let parsed = parse_baseline(&text);
+        assert_eq!(parsed, inv, "baseline must round-trip through text");
+
+        // A newly introduced reachable unwrap (not in the baseline) fails.
+        let g2 = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { pub fn run(&mut self, o: Option<u8>) { o.unwrap(); } }\npub fn helper(o: Option<u8>) { o.unwrap(); }\nimpl Ctx { pub fn now(&self, o: Option<u8>) { helper(o); } }\n",
+        )]);
+        let (dist2, _) = g2.reach();
+        let inv2 = graph::panic_inventory(&g2, &dist2);
+        let new_keys: Vec<_> = inv2.keys().filter(|k| !inv.contains_key(*k)).collect();
+        assert_eq!(new_keys.len(), 1);
+        assert_eq!(new_keys[0].1, "helper");
+    }
+
+    #[test]
+    fn workspace_analyze_is_clean() {
+        // The real workspace must pass all three passes against the
+        // checked-in baseline and the committed OBSERVABILITY.md tables.
+        let report = run(&workspace_root(), BaselineMode::Check);
+        assert!(
+            report.violations.is_empty(),
+            "analyze must be clean on the workspace:\n{}",
+            report.violations.join("\n")
+        );
+        assert!(report.stats.entries > 0, "entry points must be found");
+        assert!(report.stats.edges > 0, "call edges must be resolved");
+    }
+
+    #[test]
+    fn workspace_graph_reaches_the_overlays() {
+        // Sanity: the entry heuristics must pull the overlay handlers in,
+        // and the graph must reach beyond the engine crate.
+        let files = collect_workspace(&workspace_root());
+        assert!(files.len() > 50, "workspace walk found {}", files.len());
+        let mut fns = Vec::new();
+        for f in &files {
+            let Ok(src) = std::fs::read_to_string(&f.path) else {
+                continue;
+            };
+            fns.extend(parse_file(&f.label, &lex(&src), f.is_test, f.is_bin));
+        }
+        let g = Graph::build(fns);
+        let names: Vec<String> = g.entries.iter().map(|&i| g.fns[i].qualname()).collect();
+        assert!(
+            names.iter().any(|n| n == "Simulator::run"),
+            "engine loop missing from entries: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n == "GnutellaSim::handle"),
+            "overlay handler missing from entries: {names:?}"
+        );
+        let (dist, _) = g.reach();
+        let reached_files: std::collections::BTreeSet<&str> = g
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dist[*i] != usize::MAX)
+            .map(|(_, f)| f.file.as_str())
+            .collect();
+        assert!(
+            reached_files.iter().any(|f| f.contains("crates/net/")),
+            "reachability must cross into the underlay crate"
+        );
+    }
+}

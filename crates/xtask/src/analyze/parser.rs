@@ -1,0 +1,903 @@
+//! Item extraction: `fn` items, impl blocks, and per-body sites.
+//!
+//! Consumes the token stream from [`crate::analyze::lexer`] and produces
+//! one [`FnItem`] per function definition, carrying everything the
+//! analysis passes need: outgoing call sites (for the call graph),
+//! determinism sink tokens (purity pass), panic sites (panic-reachability
+//! pass), and trace/metrics emission sites with their literal arguments
+//! (registry drift pass).
+//!
+//! The parser is deliberately approximate where Rust's grammar is
+//! irrelevant to the analyses — bodies of nested `fn` items are
+//! attributed to the enclosing function, turbofish-qualified calls are
+//! ignored, and `#[cfg(test)]` regions are tracked by brace matching.
+//! Every approximation widens (never narrows) what the passes see.
+
+use crate::analyze::lexer::{Lexed, Tok, TokKind};
+use crate::boundaries::{in_threads_boundary, in_wallclock_boundary};
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Callee {
+    /// `foo(...)` — a free function call.
+    Free(String),
+    /// `.foo(...)` — a method call on some receiver.
+    Method(String),
+    /// `Qual::foo(...)` — a path-qualified call; `.0` is the segment
+    /// directly before the name (type, module, or `Self`).
+    Qualified(String, String),
+}
+
+/// One outgoing call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// The callee reference.
+    pub callee: Callee,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Classes of determinism sink the purity pass proves unreachable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkKind {
+    /// Wall-clock reads: `Instant::now`, `SystemTime`.
+    Wallclock,
+    /// Ambient entropy: `thread_rng`, `rand::random`.
+    Entropy,
+    /// Thread spawning: `thread::spawn`, `thread::scope`.
+    Thread,
+}
+
+impl SinkKind {
+    /// The lint rule name whose `lint:allow` escape covers this sink.
+    pub fn rule(self) -> &'static str {
+        match self {
+            SinkKind::Wallclock | SinkKind::Entropy => "wallclock",
+            SinkKind::Thread => "threads",
+        }
+    }
+}
+
+/// One determinism sink token inside a function body.
+#[derive(Clone, Debug)]
+pub struct SinkSite {
+    /// Which sink class the token belongs to.
+    pub kind: SinkKind,
+    /// The matched token text (`"Instant::now"`, `"thread::scope"`, …).
+    pub what: String,
+    /// 1-based line of the token.
+    pub line: usize,
+    /// True when the site is covered by a `lint:allow` honored inside
+    /// the audited boundary file it sits in (see [`crate::boundaries`]).
+    pub audited: bool,
+}
+
+/// Classes of panic site the panic-reachability pass inventories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PanicKind {
+    /// `.unwrap()` / `.unwrap_err()`.
+    Unwrap,
+    /// `.expect(` / `.expect_err(`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// `x[i]` indexing / slicing expressions.
+    Index,
+}
+
+impl PanicKind {
+    /// Stable name used in the baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "unwrap",
+            PanicKind::Expect => "expect",
+            PanicKind::PanicMacro => "panic",
+            PanicKind::Index => "index",
+        }
+    }
+
+    /// The `lint:allow` name that marks a site of this kind documented.
+    fn allow_name(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "unwrap",
+            PanicKind::Expect => "expect",
+            PanicKind::PanicMacro => "panic",
+            PanicKind::Index => "index",
+        }
+    }
+}
+
+/// One potential-panic site inside a function body.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// Which panic class the site belongs to.
+    pub kind: PanicKind,
+    /// 1-based line of the site.
+    pub line: usize,
+    /// True when a `lint:allow(<kind>)` comment documents the invariant
+    /// on the site's line or the line directly above.
+    pub documented: bool,
+}
+
+/// One trace event emission site (`Tracer::emit` / `Ctx::trace` shapes).
+#[derive(Clone, Debug)]
+pub struct TraceEmit {
+    /// Component literal, `None` when passed as a variable (forwarders).
+    pub component: Option<String>,
+    /// Kind literal, `None` when dynamic.
+    pub kind: Option<String>,
+    /// Level name (`"info"`, …) when written as `TraceLevel::X`.
+    pub level: Option<String>,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// Which `Metrics` API a key was written through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricApi {
+    /// `incr` / `set_counter`.
+    Counter,
+    /// `record`.
+    Histogram,
+    /// `trace` (time series).
+    Series,
+}
+
+impl MetricApi {
+    /// Stable name matching `registry::MetricKind::name`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricApi::Counter => "counter",
+            MetricApi::Histogram => "histogram",
+            MetricApi::Series => "series",
+        }
+    }
+}
+
+/// One metrics key emission site. Keys built with `format!` carry a
+/// trailing-`*` pattern (each `{…}` segment replaced by `*`).
+#[derive(Clone, Debug)]
+pub struct MetricEmit {
+    /// The literal key or `*`-pattern.
+    pub key: String,
+    /// Which API wrote it.
+    pub api: MetricApi,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// One parsed function definition with everything the passes need.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Simple name (`"handle"`).
+    pub name: String,
+    /// Enclosing impl type (`Some("GnutellaSim")`) or `None` for free fns.
+    pub impl_type: Option<String>,
+    /// Trait being implemented, when the impl is a trait impl.
+    pub trait_name: Option<String>,
+    /// Workspace-relative file label.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True when defined under `#[cfg(test)]` or in a `tests/` file.
+    pub is_test: bool,
+    /// True when defined in binary (`main.rs` / `src/bin/`) code.
+    pub is_bin: bool,
+    /// Outgoing call sites.
+    pub calls: Vec<Call>,
+    /// Determinism sink tokens in the body.
+    pub sinks: Vec<SinkSite>,
+    /// Potential-panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Trace event emissions in the body.
+    pub trace_emits: Vec<TraceEmit>,
+    /// Metrics key emissions in the body.
+    pub metric_emits: Vec<MetricEmit>,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn qualname(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "let", "else", "unsafe",
+];
+
+/// Parses one lexed file into its function items.
+///
+/// `file` is the workspace-relative label (used for boundary membership
+/// and diagnostics); `file_is_test` marks whole-file test code
+/// (`tests/` integration dirs); `file_is_bin` marks binary crate code.
+pub fn parse_file(file: &str, lexed: &Lexed, file_is_test: bool, file_is_bin: bool) -> Vec<FnItem> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+
+    // Impl context stack: (type name, trait name, brace depth of body).
+    let mut impls: Vec<(Option<String>, Option<String>, usize)> = Vec::new();
+    // Brace depths at which #[cfg(test)] regions opened.
+    let mut test_regions: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_cfg_test = false;
+    let mut pending_impl: Option<(Option<String>, Option<String>)> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "{" => {
+                depth += 1;
+                if pending_cfg_test {
+                    test_regions.push(depth);
+                    pending_cfg_test = false;
+                }
+                if let Some((ty, tr)) = pending_impl.take() {
+                    impls.push((ty, tr, depth));
+                }
+                i += 1;
+            }
+            TokKind::Punct if t.text == "}" => {
+                if test_regions.last() == Some(&depth) {
+                    test_regions.pop();
+                }
+                if impls.last().is_some_and(|(_, _, d)| *d == depth) {
+                    impls.pop();
+                }
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            TokKind::Punct if t.text == ";" => {
+                // `#[cfg(test)] use …;` — the attribute never reached a
+                // brace, so it scoped a single braceless item.
+                pending_cfg_test = false;
+                i += 1;
+            }
+            TokKind::Punct if t.text == "#" => {
+                // Attribute: `#[ ... ]`. Detect cfg(test) anywhere inside.
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                    let mut j = i + 2;
+                    let mut bd = 1usize;
+                    let mut saw_cfg = false;
+                    let mut saw_test = false;
+                    while j < toks.len() && bd > 0 {
+                        let tj = &toks[j];
+                        if tj.is_punct('[') {
+                            bd += 1;
+                        } else if tj.is_punct(']') {
+                            bd -= 1;
+                        } else if tj.is_ident("cfg") {
+                            saw_cfg = true;
+                        } else if tj.is_ident("test") {
+                            saw_test = true;
+                        }
+                        j += 1;
+                    }
+                    if saw_cfg && saw_test {
+                        pending_cfg_test = true;
+                    }
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident if t.text == "impl" => {
+                let (ctx, next) = parse_impl_header(toks, i + 1);
+                pending_impl = Some(ctx);
+                i = next; // positioned at the body '{' (or wherever parsing stopped)
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    break;
+                };
+                if name_tok.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let decl_line = t.line;
+                // Scan the signature for the body '{' or a ';' (no body).
+                let mut j = i + 2;
+                let mut pd = 0usize; // () and [] nesting
+                let mut body_start = None;
+                while j < toks.len() {
+                    let tj = &toks[j];
+                    if tj.is_punct('(') || tj.is_punct('[') {
+                        pd += 1;
+                    } else if tj.is_punct(')') || tj.is_punct(']') {
+                        pd = pd.saturating_sub(1);
+                    } else if pd == 0 && tj.is_punct('{') {
+                        body_start = Some(j);
+                        break;
+                    } else if pd == 0 && tj.is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                let Some(open) = body_start else {
+                    i = j + 1;
+                    continue;
+                };
+                // Find the matching close brace.
+                let mut bd = 1usize;
+                let mut k = open + 1;
+                while k < toks.len() && bd > 0 {
+                    if toks[k].is_punct('{') {
+                        bd += 1;
+                    } else if toks[k].is_punct('}') {
+                        bd -= 1;
+                    }
+                    k += 1;
+                }
+                let body_end = k - 1; // index of the closing '}'
+                let in_test = file_is_test || !test_regions.is_empty();
+                let (impl_type, trait_name) = match impls.last() {
+                    Some((ty, tr, _)) => (ty.clone(), tr.clone()),
+                    None => (None, None),
+                };
+                let mut item = FnItem {
+                    name: name_tok.text.clone(),
+                    impl_type,
+                    trait_name,
+                    file: file.to_string(),
+                    line: decl_line,
+                    is_test: in_test,
+                    is_bin: file_is_bin,
+                    calls: Vec::new(),
+                    sinks: Vec::new(),
+                    panics: Vec::new(),
+                    trace_emits: Vec::new(),
+                    metric_emits: Vec::new(),
+                };
+                scan_body(file, lexed, open + 1, body_end, &mut item);
+                out.push(item);
+                i = body_end + 1;
+                // The body braces were consumed without going through the
+                // depth tracker, so `depth` is unchanged — correct, since
+                // we resumed after the matching close.
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses an impl header starting right after the `impl` keyword.
+/// Returns `((type, trait), index_of_body_brace)`.
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> ((Option<String>, Option<String>), usize) {
+    // Skip a leading generics list `impl<...>`.
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = skip_angles(toks, i);
+    }
+    let mut pre_for: Vec<String> = Vec::new(); // path idents at angle depth 0
+    let mut post_for: Vec<String> = Vec::new();
+    let mut after_for = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            break;
+        }
+        if t.is_punct('<') {
+            i = skip_angles(toks, i);
+            continue;
+        }
+        if t.is_ident("for") {
+            after_for = true;
+        } else if t.is_ident("where") {
+            // Anything after `where` is bounds, not the subject path.
+            while i < toks.len() && !toks[i].is_punct('{') {
+                i += 1;
+            }
+            break;
+        } else if t.kind == TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut") {
+            if after_for {
+                post_for.push(t.text.clone());
+            } else {
+                pre_for.push(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    let ctx = if after_for {
+        (post_for.last().cloned(), pre_for.last().cloned())
+    } else {
+        (pre_for.last().cloned(), None)
+    };
+    (ctx, i)
+}
+
+/// Skips a balanced `<...>` group starting at the `<` at `i`; returns the
+/// index just past the matching `>`. A `>` preceded by `-` (the `->`
+/// arrow) does not close the group.
+fn skip_angles(toks: &[Tok], mut i: usize) -> usize {
+    let mut ad = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            ad += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            ad = ad.saturating_sub(1);
+            if ad == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scans a function body (token range `[start, end)`) for call sites,
+/// sinks, panic sites, and emission sites.
+fn scan_body(file: &str, lexed: &Lexed, start: usize, end: usize, item: &mut FnItem) {
+    let toks = &lexed.toks;
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+
+        // Indexing / slicing: `[` directly after an ident, `)` or `]`.
+        if t.is_punct('[') && j > start {
+            let prev = &toks[j - 1];
+            if prev.kind == TokKind::Ident && !NON_CALL_KEYWORDS.contains(&prev.text.as_str())
+                || prev.is_punct(')')
+                || prev.is_punct(']')
+            {
+                item.panics.push(PanicSite {
+                    kind: PanicKind::Index,
+                    line: t.line,
+                    documented: lexed.allowed(t.line, PanicKind::Index.allow_name()),
+                });
+            }
+            j += 1;
+            continue;
+        }
+
+        if t.kind != TokKind::Ident {
+            j += 1;
+            continue;
+        }
+
+        // Determinism sinks.
+        if let Some(sink) = sink_at(toks, j) {
+            let audited = lexed.allowed(t.line, sink.0.rule())
+                && match sink.0 {
+                    SinkKind::Wallclock | SinkKind::Entropy => in_wallclock_boundary(file),
+                    SinkKind::Thread => in_threads_boundary(file),
+                };
+            item.sinks.push(SinkSite {
+                kind: sink.0,
+                what: sink.1,
+                line: t.line,
+                audited,
+            });
+        }
+
+        // Macros: panic family.
+        if toks.get(j + 1).is_some_and(|n| n.is_punct('!'))
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            item.panics.push(PanicSite {
+                kind: PanicKind::PanicMacro,
+                line: t.line,
+                documented: lexed.allowed(t.line, PanicKind::PanicMacro.allow_name()),
+            });
+            j += 2;
+            continue;
+        }
+
+        // Calls: `ident (`.
+        if toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            let callee = classify_callee(toks, j);
+
+            // Panic-method sites ride on method calls.
+            if matches!(callee, Callee::Method(_)) {
+                let pk = match t.text.as_str() {
+                    "unwrap" | "unwrap_err" => Some(PanicKind::Unwrap),
+                    "expect" | "expect_err" => Some(PanicKind::Expect),
+                    _ => None,
+                };
+                if let Some(pk) = pk {
+                    item.panics.push(PanicSite {
+                        kind: pk,
+                        line: t.line,
+                        documented: lexed.allowed(t.line, pk.allow_name()),
+                    });
+                }
+            }
+
+            // Emission sites (trace events and metrics keys).
+            if matches!(callee, Callee::Method(_) | Callee::Qualified(..)) {
+                scan_emission(lexed, j, t.line, &t.text, item);
+            }
+
+            item.calls.push(Call {
+                callee,
+                line: t.line,
+            });
+        }
+        j += 1;
+    }
+}
+
+/// Recognizes a determinism sink token sequence starting at `j`.
+fn sink_at(toks: &[Tok], j: usize) -> Option<(SinkKind, String)> {
+    let t = &toks[j];
+    let path_next = |k: usize, name: &str| {
+        toks.get(k).is_some_and(|a| a.is_punct(':'))
+            && toks.get(k + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|a| a.is_ident(name))
+    };
+    match t.text.as_str() {
+        "Instant" if path_next(j + 1, "now") => Some((SinkKind::Wallclock, "Instant::now".into())),
+        "SystemTime" => Some((SinkKind::Wallclock, "SystemTime".into())),
+        "thread_rng" => Some((SinkKind::Entropy, "thread_rng".into())),
+        "random"
+            if j >= 3
+                && toks[j - 1].is_punct(':')
+                && toks[j - 2].is_punct(':')
+                && toks[j - 3].is_ident("rand") =>
+        {
+            Some((SinkKind::Entropy, "rand::random".into()))
+        }
+        "thread" => {
+            for target in ["spawn", "scope"] {
+                if path_next(j + 1, target) {
+                    return Some((SinkKind::Thread, format!("thread::{target}")));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Classifies the callee of the `ident (` call at `j`.
+fn classify_callee(toks: &[Tok], j: usize) -> Callee {
+    let name = toks[j].text.clone();
+    if j > 0 && toks[j - 1].is_punct('.') {
+        return Callee::Method(name);
+    }
+    if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+        if let Some(q) = toks.get(j.wrapping_sub(3)) {
+            if q.kind == TokKind::Ident {
+                return Callee::Qualified(q.text.clone(), name);
+            }
+        }
+        return Callee::Free(name);
+    }
+    Callee::Free(name)
+}
+
+/// Parses the argument list of an emission-API call and records trace /
+/// metric emissions. `j` is the index of the method-name ident; the next
+/// token is the opening `(`.
+fn scan_emission(lexed: &Lexed, j: usize, line: usize, method: &str, item: &mut FnItem) {
+    if !matches!(method, "emit" | "trace" | "incr" | "record" | "set_counter") {
+        return;
+    }
+    let toks = &lexed.toks;
+    let args = split_args(toks, j + 1);
+
+    let single_str = |arg: &[usize]| -> Option<String> {
+        // Exactly one Str token, allowing a leading `&`.
+        let strs: Vec<&Tok> = arg.iter().map(|&k| &toks[k]).collect();
+        let non_amp: Vec<&&Tok> = strs.iter().filter(|t| !t.is_punct('&')).collect();
+        match non_amp.as_slice() {
+            [t] if t.kind == TokKind::Str => Some(t.text.clone()),
+            _ => None,
+        }
+    };
+    let trace_level = |arg: &[usize]| -> Option<String> {
+        // `TraceLevel :: Name` anywhere in the arg.
+        arg.iter().enumerate().find_map(|(p, &k)| {
+            if toks[k].is_ident("TraceLevel") {
+                arg.get(p + 3).map(|&k3| toks[k3].text.to_ascii_lowercase())
+            } else {
+                None
+            }
+        })
+    };
+    let format_key = |arg: &[usize]| -> Option<String> {
+        // `& format ! ( "literal with {holes}" … )` → `*`-pattern.
+        let has_format = arg
+            .windows(2)
+            .any(|w| toks[w[0]].is_ident("format") && toks[w[1]].is_punct('!'));
+        if !has_format {
+            return None;
+        }
+        let lit = arg.iter().find(|&&k| toks[k].kind == TokKind::Str)?;
+        Some(pattern_of(&toks[*lit].text))
+    };
+
+    match method {
+        "emit" => {
+            // Tracer::emit(t, component, level, kind, build)
+            let level = if args.len() >= 5 {
+                trace_level(&args[2])
+            } else {
+                None
+            };
+            if let Some(level) = level {
+                item.trace_emits.push(TraceEmit {
+                    component: single_str(&args[1]),
+                    kind: single_str(&args[3]),
+                    level: Some(level),
+                    line,
+                });
+            }
+        }
+        "trace" => {
+            if args.len() >= 4 {
+                // Ctx::trace(component, level, kind, build)
+                if let Some(level) = trace_level(&args[1]) {
+                    item.trace_emits.push(TraceEmit {
+                        component: single_str(&args[0]),
+                        kind: single_str(&args[2]),
+                        level: Some(level),
+                        line,
+                    });
+                }
+            } else if args.len() == 3 {
+                // Metrics::trace(key, t, v)
+                if let Some(key) = single_str(&args[0]) {
+                    item.metric_emits.push(MetricEmit {
+                        key,
+                        api: MetricApi::Series,
+                        line,
+                    });
+                }
+            }
+        }
+        "incr" | "set_counter" | "record" => {
+            let api = if method == "record" {
+                MetricApi::Histogram
+            } else {
+                MetricApi::Counter
+            };
+            if let Some(key) = args
+                .first()
+                .and_then(|a| single_str(a).or_else(|| format_key(a)))
+            {
+                item.metric_emits.push(MetricEmit { key, api, line });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Splits the argument list of the call whose `(` is at `open` into
+/// top-level argument token-index slices.
+fn split_args(toks: &[Tok], open: usize) -> Vec<Vec<usize>> {
+    let mut args: Vec<Vec<usize>> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    while k < toks.len() && depth > 0 {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 && t.is_punct(',') {
+            args.push(std::mem::take(&mut cur));
+            k += 1;
+            continue;
+        }
+        cur.push(k);
+        k += 1;
+    }
+    if !cur.is_empty() {
+        args.push(cur);
+    }
+    args
+}
+
+/// Replaces every `{…}` hole in a format literal with `*`.
+fn pattern_of(lit: &str) -> String {
+    let mut out = String::new();
+    let mut in_hole = false;
+    for c in lit.chars() {
+        match c {
+            '{' if !in_hole => {
+                in_hole = true;
+                out.push('*');
+            }
+            '}' if in_hole => in_hole = false,
+            _ if in_hole => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_file("crates/x/src/lib.rs", &lex(src), false, false)
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls() {
+        let items = parse("fn a() { b(); x.c(); Foo::d(); mod1::e(); }\nfn b() {}\n");
+        assert_eq!(items.len(), 2);
+        let calls: Vec<&Callee> = items[0].calls.iter().map(|c| &c.callee).collect();
+        assert_eq!(
+            calls,
+            vec![
+                &Callee::Free("b".into()),
+                &Callee::Method("c".into()),
+                &Callee::Qualified("Foo".into(), "d".into()),
+                &Callee::Qualified("mod1".into(), "e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_blocks_qualify_methods_and_record_traits() {
+        let src = "impl Foo { fn m(&self) {} }\nimpl World<Ev> for Bar { fn handle(&mut self) {} }\nimpl<'a, E> Ctx<'a, E> { fn now(&self) {} }\nimpl fmt::Display for Baz { fn fmt(&self) {} }\n";
+        let items = parse(src);
+        let sigs: Vec<(String, Option<&str>)> = items
+            .iter()
+            .map(|f| (f.qualname(), f.trait_name.as_deref()))
+            .collect();
+        assert_eq!(
+            sigs,
+            vec![
+                ("Foo::m".to_string(), None),
+                ("Bar::handle".to_string(), Some("World")),
+                ("Ctx::now".to_string(), None),
+                ("Baz::fmt".to_string(), Some("Display")),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_regions_mark_fns_and_close_properly() {
+        let src = "fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let items = parse(src);
+        let flags: Vec<(&str, bool)> = items.iter().map(|f| (f.name.as_str(), f.is_test)).collect();
+        assert_eq!(
+            flags,
+            vec![("lib_fn", false), ("t", true), ("after", false)]
+        );
+    }
+
+    #[test]
+    fn sinks_are_detected_with_boundary_audit() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let items = parse(src);
+        assert_eq!(items[0].sinks.len(), 1);
+        assert_eq!(items[0].sinks[0].kind, SinkKind::Wallclock);
+        assert!(!items[0].sinks[0].audited);
+        // Inside the wallclock boundary file with an allow, it's audited.
+        let src = "fn f() { let t = std::time::Instant::now(); // lint:allow(wallclock)\n }\n";
+        let items = parse_file("crates/sim/src/trace.rs", &lex(src), false, false);
+        assert!(items[0].sinks[0].audited);
+        // Same allow outside the boundary file: not audited.
+        let items = parse_file("crates/net/src/host.rs", &lex(src), false, false);
+        assert!(!items[0].sinks[0].audited);
+        // Threads sink.
+        let src = "fn g() { std::thread::scope(|s| {}); }\n";
+        let items = parse(src);
+        assert_eq!(items[0].sinks[0].kind, SinkKind::Thread);
+        assert_eq!(items[0].sinks[0].what, "thread::scope");
+    }
+
+    #[test]
+    fn panic_sites_with_documentation_flags() {
+        let src = "fn f(o: Option<u8>, v: &[u8]) -> u8 {\n    let a = o.unwrap();\n    let b = o.expect(\"set in new()\"); // lint:allow(expect)\n    if a > 9 { panic!(\"no\"); }\n    v[0] + b\n}\n";
+        let items = parse(src);
+        let sites: Vec<(PanicKind, bool)> = items[0]
+            .panics
+            .iter()
+            .map(|p| (p.kind, p.documented))
+            .collect();
+        assert_eq!(
+            sites,
+            vec![
+                (PanicKind::Unwrap, false),
+                (PanicKind::Expect, true),
+                (PanicKind::PanicMacro, false),
+                (PanicKind::Index, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn vec_macro_and_attributes_are_not_index_sites() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> Vec<u8> { let x: [u8; 2] = [1, 2]; vec![x[0]] }\n";
+        let items = parse(src);
+        // Only x[0] counts: the array literal, the type, the attribute
+        // and the vec! bracket do not.
+        assert_eq!(items[0].panics.len(), 1);
+        assert_eq!(items[0].panics[0].kind, PanicKind::Index);
+    }
+
+    #[test]
+    fn trace_and_metric_emissions_are_extracted() {
+        let src = r#"fn f(ctx: &mut C) {
+            ctx.trace("gnutella", TraceLevel::Debug, "join", |f| { f.u64("host", 1); });
+            ctx.tracer.emit(now, "net", TraceLevel::Info, "transfer", |f| {});
+            ctx.metrics.incr("gnutella.joins", 1);
+            ctx.metrics.record("x.h", 1.0);
+            ctx.metrics.trace("engine.queue_depth", now, 1.0);
+            metrics.incr(&format!("engine.events.{kind}"), n);
+        }"#;
+        let items = parse(src);
+        let te: Vec<(Option<&str>, Option<&str>, Option<&str>)> = items[0]
+            .trace_emits
+            .iter()
+            .map(|e| {
+                (
+                    e.component.as_deref(),
+                    e.kind.as_deref(),
+                    e.level.as_deref(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            te,
+            vec![
+                (Some("gnutella"), Some("join"), Some("debug")),
+                (Some("net"), Some("transfer"), Some("info")),
+            ]
+        );
+        let me: Vec<(&str, MetricApi)> = items[0]
+            .metric_emits
+            .iter()
+            .map(|e| (e.key.as_str(), e.api))
+            .collect();
+        assert_eq!(
+            me,
+            vec![
+                ("gnutella.joins", MetricApi::Counter),
+                ("x.h", MetricApi::Histogram),
+                ("engine.queue_depth", MetricApi::Series),
+                ("engine.events.*", MetricApi::Counter),
+            ]
+        );
+    }
+
+    #[test]
+    fn forwarders_with_variable_args_are_not_emissions() {
+        // Ctx::trace forwarding to Tracer::emit passes variables: the
+        // level arg carries no TraceLevel token, so nothing is recorded.
+        let src = "fn trace(&mut self, c: &str, l: TL, k: &str) { self.tracer.emit(self.now, c, l, k, b); }\n";
+        let items = parse(src);
+        assert!(items[0].trace_emits.is_empty());
+    }
+
+    #[test]
+    fn fn_without_body_is_skipped() {
+        let src =
+            "trait T { fn decl(&self); fn with_default(&self) { helper(); } }\nfn helper() {}\n";
+        let items = parse(src);
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_default", "helper"]);
+    }
+
+    #[test]
+    fn where_clause_and_return_generics_do_not_derail_body_detection() {
+        let src = "fn f<T>(x: T) -> Result<Vec<T>, String> where T: Clone { g(); Ok(vec![]) }\nfn g() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert!(items[0]
+            .calls
+            .iter()
+            .any(|c| c.callee == Callee::Free("g".into())));
+    }
+}

@@ -1,0 +1,555 @@
+//! Registry drift pass: emitted trace kinds / metric keys vs the
+//! central declarations in `uap_sim::trace::registry` vs the tables in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! Three-way agreement is enforced:
+//!
+//! 1. every emission site in non-test code uses a declared
+//!    `(component, kind)` at the declared level, and a declared metric
+//!    key through the API matching its declared kind;
+//! 2. every declared kind / key is actually emitted somewhere (dead
+//!    declarations are drift too);
+//! 3. the marker-delimited tables in `docs/OBSERVABILITY.md` match the
+//!    declarations cell-for-cell.
+//!
+//! The declared side is read from the registry *source* (same lexer as
+//! the rest of the analyzer), so the checker needs no runtime link to
+//! `uap-sim` and stays honest about what is actually written down.
+
+use std::path::Path;
+
+use crate::analyze::lexer::{lex, Lexed, TokKind};
+use crate::analyze::parser::FnItem;
+
+/// One declared trace kind, as parsed from the registry source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceDecl {
+    pub component: String,
+    pub kind: String,
+    pub level: String,
+    pub doc: String,
+}
+
+/// One declared metric key, as parsed from the registry source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricDecl {
+    pub key: String,
+    /// Lower-case `MetricKind` variant name (`"counter"`, …).
+    pub kind: String,
+    pub doc: String,
+}
+
+/// The declared side of the registry.
+#[derive(Clone, Debug, Default)]
+pub struct Decls {
+    pub components: Vec<String>,
+    pub trace_kinds: Vec<TraceDecl>,
+    pub metrics: Vec<MetricDecl>,
+}
+
+/// Runs the full pass against the workspace at `root`.
+pub fn run(root: &Path, fns: &[FnItem]) -> Vec<String> {
+    let mut out = Vec::new();
+    let reg_path = root.join("crates/sim/src/trace/registry.rs");
+    let Ok(reg_src) = std::fs::read_to_string(&reg_path) else {
+        return vec![format!(
+            "registry: cannot read {} — the trace/metrics registry is missing",
+            reg_path.display()
+        )];
+    };
+    let decls = parse_registry_source(&reg_src);
+    if decls.trace_kinds.is_empty() || decls.metrics.is_empty() {
+        out.push(
+            "registry: parsed zero declarations from trace/registry.rs \
+             (TRACE_KINDS / METRICS const shape changed?)"
+                .to_string(),
+        );
+        return out;
+    }
+
+    out.extend(check_emissions(&decls, fns));
+
+    let docs_path = root.join("docs/OBSERVABILITY.md");
+    match std::fs::read_to_string(&docs_path) {
+        Ok(md) => out.extend(check_docs(&decls, &md)),
+        Err(_) => out.push(format!(
+            "registry: cannot read {} for the docs drift check",
+            docs_path.display()
+        )),
+    }
+    out
+}
+
+/// Parses `COMPONENTS`, `TRACE_KINDS` and `METRICS` out of the registry
+/// source text.
+pub fn parse_registry_source(src: &str) -> Decls {
+    let lexed = lex(src);
+    let mut decls = Decls {
+        components: const_strs(&lexed, "COMPONENTS"),
+        ..Decls::default()
+    };
+    for fields in const_struct_literals(&lexed, "TRACE_KINDS") {
+        decls.trace_kinds.push(TraceDecl {
+            component: fields.get_str("component"),
+            kind: fields.get_str("kind"),
+            level: fields.get_str("level"),
+            doc: fields.get_str("doc"),
+        });
+    }
+    for fields in const_struct_literals(&lexed, "METRICS") {
+        decls.metrics.push(MetricDecl {
+            key: fields.get_str("key"),
+            kind: fields.get_str("kind"),
+            doc: fields.get_str("doc"),
+        });
+    }
+    decls
+}
+
+/// Field-name → value map for one struct literal.
+struct Fields(Vec<(String, String)>);
+
+impl Fields {
+    fn get_str(&self, name: &str) -> String {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Collects the string literals inside `const NAME: … = &[ … ];`.
+fn const_strs(lexed: &Lexed, name: &str) -> Vec<String> {
+    let Some(range) = const_body(lexed, name) else {
+        return Vec::new();
+    };
+    lexed.toks[range.0..range.1]
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Collects the struct literals inside `const NAME: &[T] = &[ T { … }, … ];`.
+fn const_struct_literals(lexed: &Lexed, name: &str) -> Vec<Fields> {
+    let Some(range) = const_body(lexed, name) else {
+        return Vec::new();
+    };
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let mut i = range.0;
+    while i < range.1 {
+        if !toks[i].is_punct('{') {
+            i += 1;
+            continue;
+        }
+        // One struct literal: field `ident : value ,` pairs until the
+        // matching close brace (values here are flat literals/paths).
+        let mut fields = Vec::new();
+        let mut j = i + 1;
+        while j < range.1 && !toks[j].is_punct('}') {
+            if toks[j].kind == TokKind::Ident && toks.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+                let fname = toks[j].text.clone();
+                // Value: scan to the next top-level ',' or '}'.
+                let mut k = j + 2;
+                let mut value = String::new();
+                while k < range.1 && !toks[k].is_punct(',') && !toks[k].is_punct('}') {
+                    let t = &toks[k];
+                    if t.kind == TokKind::Str {
+                        value = t.text.clone();
+                    } else if t.kind == TokKind::Ident {
+                        // Path value (`MetricKind::Counter`): keep the
+                        // last segment, lower-cased to match
+                        // `MetricKind::name()`.
+                        value = t.text.to_ascii_lowercase();
+                    }
+                    k += 1;
+                }
+                fields.push((fname, value));
+                j = k;
+            } else {
+                j += 1;
+            }
+        }
+        out.push(Fields(fields));
+        i = j + 1;
+    }
+    out
+}
+
+/// Token range `(start, end)` of the initializer of `const NAME … = … ;`.
+fn const_body(lexed: &Lexed, name: &str) -> Option<(usize, usize)> {
+    let toks = &lexed.toks;
+    let at = toks
+        .iter()
+        .position(|t| t.is_ident(name) && t.kind == TokKind::Ident)?;
+    let eq = (at..toks.len()).find(|&i| toks[i].is_punct('='))?;
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(eq + 1) {
+        if t.is_punct('[') || t.is_punct('{') || t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(']') || t.is_punct('}') || t.is_punct(')') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_punct(';') {
+            return Some((eq + 1, i));
+        }
+    }
+    None
+}
+
+/// True when `key` matches `decl_key` under the registry's pattern
+/// semantics: exact match, identical pattern, or a concrete key under a
+/// trailing-`*` pattern with a non-empty dynamic segment.
+fn key_matches(decl_key: &str, key: &str) -> bool {
+    if decl_key == key {
+        return true;
+    }
+    if let Some(prefix) = decl_key.strip_suffix('*') {
+        return key.len() > prefix.len() && key.starts_with(prefix);
+    }
+    false
+}
+
+/// Checks every emission site in non-test code against the declarations,
+/// and every declaration against the emission sites.
+pub fn check_emissions(decls: &Decls, fns: &[FnItem]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut kind_emitted = vec![0usize; decls.trace_kinds.len()];
+    let mut metric_emitted = vec![0usize; decls.metrics.len()];
+
+    for f in fns.iter().filter(|f| !f.is_test) {
+        for e in &f.trace_emits {
+            let site = format!("{}:{}", f.file, e.line);
+            let Some(component) = &e.component else {
+                continue; // forwarder with variable args — not a schema site
+            };
+            if !decls.components.iter().any(|c| c == component) {
+                out.push(format!(
+                    "registry: {site}: trace component \"{component}\" is not in \
+                     registry::COMPONENTS"
+                ));
+                continue;
+            }
+            let Some(kind) = &e.kind else {
+                out.push(format!(
+                    "registry: {site}: dynamic trace kind for component \"{component}\" — \
+                     kinds must be string literals so the schema stays checkable"
+                ));
+                continue;
+            };
+            match decls
+                .trace_kinds
+                .iter()
+                .position(|d| &d.component == component && &d.kind == kind)
+            {
+                Some(di) => {
+                    kind_emitted[di] += 1;
+                    if let Some(level) = &e.level {
+                        let declared = &decls.trace_kinds[di].level;
+                        if level != declared {
+                            out.push(format!(
+                                "registry: {site}: trace {component}/{kind} emitted at level \
+                                 \"{level}\" but declared \"{declared}\""
+                            ));
+                        }
+                    }
+                }
+                None => out.push(format!(
+                    "registry: {site}: trace kind {component}/{kind} is not declared in \
+                     registry::TRACE_KINDS"
+                )),
+            }
+        }
+
+        for e in &f.metric_emits {
+            let site = format!("{}:{}", f.file, e.line);
+            match decls
+                .metrics
+                .iter()
+                .position(|d| key_matches(&d.key, &e.key))
+            {
+                Some(di) => {
+                    metric_emitted[di] += 1;
+                    let declared = &decls.metrics[di].kind;
+                    if declared != e.api.name() {
+                        out.push(format!(
+                            "registry: {site}: metric key \"{}\" written through the {} API \
+                             but declared as a {declared}",
+                            e.key,
+                            e.api.name()
+                        ));
+                    }
+                }
+                None => out.push(format!(
+                    "registry: {site}: metric key \"{}\" is not declared in \
+                     registry::METRICS",
+                    e.key
+                )),
+            }
+        }
+    }
+
+    for (di, d) in decls.trace_kinds.iter().enumerate() {
+        if kind_emitted[di] == 0 {
+            out.push(format!(
+                "registry: trace kind {}/{} is declared but never emitted from non-test code",
+                d.component, d.kind
+            ));
+        }
+    }
+    for (di, d) in decls.metrics.iter().enumerate() {
+        if metric_emitted[di] == 0 {
+            out.push(format!(
+                "registry: metric key \"{}\" is declared but never emitted from non-test code",
+                d.key
+            ));
+        }
+    }
+    out
+}
+
+/// Checks the marker-delimited tables in `docs/OBSERVABILITY.md` against
+/// the declarations, cell-for-cell in both directions.
+pub fn check_docs(decls: &Decls, md: &str) -> Vec<String> {
+    let mut out = Vec::new();
+
+    let trace_rows = table_rows(md, "registry:trace-kinds");
+    let metric_rows = table_rows(md, "registry:metrics");
+    match trace_rows {
+        None => out.push(
+            "registry: docs/OBSERVABILITY.md is missing the \
+             <!-- registry:trace-kinds:begin/end --> table"
+                .to_string(),
+        ),
+        Some(rows) => {
+            let want: Vec<Vec<String>> = decls
+                .trace_kinds
+                .iter()
+                .map(|d| {
+                    vec![
+                        d.component.clone(),
+                        format!("`{}`", d.kind),
+                        d.level.clone(),
+                        d.doc.clone(),
+                    ]
+                })
+                .collect();
+            diff_rows(&mut out, "trace-kinds", &want, &rows);
+        }
+    }
+    match metric_rows {
+        None => out.push(
+            "registry: docs/OBSERVABILITY.md is missing the \
+             <!-- registry:metrics:begin/end --> table"
+                .to_string(),
+        ),
+        Some(rows) => {
+            let want: Vec<Vec<String>> = decls
+                .metrics
+                .iter()
+                .map(|d| vec![format!("`{}`", d.key), d.kind.clone(), d.doc.clone()])
+                .collect();
+            diff_rows(&mut out, "metrics", &want, &rows);
+        }
+    }
+    out
+}
+
+/// Extracts the body rows of the markdown table between
+/// `<!-- <marker>:begin -->` and `<!-- <marker>:end -->`. Returns `None`
+/// when the markers are absent.
+fn table_rows(md: &str, marker: &str) -> Option<Vec<Vec<String>>> {
+    let begin = format!("<!-- {marker}:begin -->");
+    let end = format!("<!-- {marker}:end -->");
+    let start = md.find(&begin)? + begin.len();
+    let stop = md[start..].find(&end)? + start;
+    let mut rows = Vec::new();
+    for line in md[start..stop].lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<String> = line
+            .trim_matches('|')
+            .split('|')
+            .map(|c| c.trim().to_string())
+            .collect();
+        // Skip the header and the |---| separator rows.
+        let is_sep = cells
+            .iter()
+            .all(|c| !c.is_empty() && c.chars().all(|ch| ch == '-' || ch == ':'));
+        let is_header = cells
+            .first()
+            .is_some_and(|c| c == "component" || c == "key");
+        if !is_sep && !is_header {
+            rows.push(cells);
+        }
+    }
+    Some(rows)
+}
+
+/// Reports rows present on one side but not the other.
+fn diff_rows(out: &mut Vec<String>, what: &str, want: &[Vec<String>], got: &[Vec<String>]) {
+    for row in want {
+        if !got.contains(row) {
+            out.push(format!(
+                "registry: docs/OBSERVABILITY.md {what} table is missing the row for {}",
+                row.join(" | ")
+            ));
+        }
+    }
+    for row in got {
+        if !want.contains(row) {
+            out.push(format!(
+                "registry: docs/OBSERVABILITY.md {what} table has a stale row: {}",
+                row.join(" | ")
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::lexer::lex;
+    use crate::analyze::parser::parse_file;
+
+    fn decls() -> Decls {
+        Decls {
+            components: vec!["engine".into(), "net".into()],
+            trace_kinds: vec![TraceDecl {
+                component: "net".into(),
+                kind: "transfer".into(),
+                level: "debug".into(),
+                doc: "a transfer".into(),
+            }],
+            metrics: vec![
+                MetricDecl {
+                    key: "net.bytes".into(),
+                    kind: "counter".into(),
+                    doc: "bytes".into(),
+                },
+                MetricDecl {
+                    key: "engine.events.*".into(),
+                    kind: "counter".into(),
+                    doc: "per-kind".into(),
+                },
+            ],
+        }
+    }
+
+    fn fns_of(src: &str) -> Vec<FnItem> {
+        parse_file("crates/net/src/x.rs", &lex(src), false, false)
+    }
+
+    #[test]
+    fn registry_source_parses_to_decls() {
+        let src = r#"
+pub const COMPONENTS: &[&str] = &["engine", "net"];
+pub const TRACE_KINDS: &[TraceKindSpec] = &[
+    TraceKindSpec { component: "net", kind: "transfer", level: "debug", doc: "a transfer" },
+];
+pub const METRICS: &[MetricSpec] = &[
+    MetricSpec { key: "net.bytes", kind: MetricKind::Counter, doc: "bytes" },
+];
+"#;
+        let d = parse_registry_source(src);
+        assert_eq!(d.components, vec!["engine", "net"]);
+        assert_eq!(
+            d.trace_kinds,
+            vec![TraceDecl {
+                component: "net".into(),
+                kind: "transfer".into(),
+                level: "debug".into(),
+                doc: "a transfer".into(),
+            }]
+        );
+        assert_eq!(d.metrics[0].kind, "counter");
+    }
+
+    #[test]
+    fn unregistered_trace_kind_is_flagged() {
+        let fns = fns_of(
+            "fn f(ctx: &mut C) { ctx.trace(\"net\", TraceLevel::Debug, \"not_declared\", |f| {}); }\n",
+        );
+        let v = check_emissions(&decls(), &fns);
+        // (Plus never-emitted violations for the declared entries, which
+        // this synthetic corpus legitimately doesn't emit.)
+        let undeclared: Vec<&String> = v.iter().filter(|m| m.contains("is not declared")).collect();
+        assert_eq!(undeclared.len(), 1, "{v:?}");
+        assert!(
+            undeclared[0].contains("net/not_declared"),
+            "{}",
+            undeclared[0]
+        );
+        assert!(
+            undeclared[0].contains("crates/net/src/x.rs:1"),
+            "{}",
+            undeclared[0]
+        );
+    }
+
+    #[test]
+    fn declared_but_never_emitted_key_is_flagged() {
+        // Emit the trace kind and one metric; the other declared metric
+        // (net.bytes) never appears → exactly one violation.
+        let fns = fns_of(
+            "fn f(ctx: &mut C) {\n    ctx.trace(\"net\", TraceLevel::Debug, \"transfer\", |f| {});\n    ctx.metrics.incr(&format!(\"engine.events.{k}\"), 1);\n}\n",
+        );
+        let v = check_emissions(&decls(), &fns);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("\"net.bytes\" is declared but never emitted"));
+    }
+
+    #[test]
+    fn level_and_api_kind_mismatches_are_flagged() {
+        let fns = fns_of(
+            "fn f(ctx: &mut C) {\n    ctx.trace(\"net\", TraceLevel::Info, \"transfer\", |f| {});\n    ctx.metrics.record(\"net.bytes\", 1.0);\n    ctx.metrics.incr(\"engine.events.timer\", 1);\n}\n",
+        );
+        let v = check_emissions(&decls(), &fns);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("emitted at level \"info\" but declared \"debug\""));
+        assert!(v[1].contains("written through the histogram API but declared as a counter"));
+    }
+
+    #[test]
+    fn test_code_emissions_are_ignored() {
+        let fns = parse_file(
+            "crates/net/src/x.rs",
+            &lex("#[cfg(test)]\nmod tests {\n    fn t(ctx: &mut C) { ctx.trace(\"net\", TraceLevel::Debug, \"scratch\", |f| {}); }\n}\n"),
+            false,
+            false,
+        );
+        let v = check_emissions(&decls(), &fns);
+        // Only the never-emitted violations fire; the test emission of an
+        // undeclared kind does not.
+        assert!(v.iter().all(|m| m.contains("never emitted")), "{v:?}");
+    }
+
+    #[test]
+    fn docs_tables_in_sync_and_drifting() {
+        let good = "\n<!-- registry:trace-kinds:begin -->\n\
+| component | kind | level | description |\n\
+|-----------|------|-------|-------------|\n\
+| net | `transfer` | debug | a transfer |\n\
+<!-- registry:trace-kinds:end -->\n\
+<!-- registry:metrics:begin -->\n\
+| key | kind | description |\n\
+|-----|------|-------------|\n\
+| `net.bytes` | counter | bytes |\n\
+| `engine.events.*` | counter | per-kind |\n\
+<!-- registry:metrics:end -->\n";
+        assert!(check_docs(&decls(), good).is_empty());
+
+        let stale = good.replace("| net | `transfer` | debug |", "| net | `xfer` | debug |");
+        let v = check_docs(&decls(), &stale);
+        assert_eq!(v.len(), 2, "{v:?}"); // missing row + stale row
+        assert!(v[0].contains("missing the row"));
+        assert!(v[1].contains("stale row"));
+
+        let v = check_docs(&decls(), "no markers at all");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].contains("missing the <!-- registry:trace-kinds:begin/end --> table"));
+    }
+}

@@ -1,0 +1,66 @@
+//! The audited determinism boundaries, declared exactly once.
+//!
+//! Two tools consume these lists: the line-level determinism lint
+//! ([`crate::lint`]) and the call-graph analyzer ([`crate::analyze`]).
+//! Both enforce the same contract — a `wallclock` allow escape comment
+//! is honored only inside [`WALLCLOCK_BOUNDARY`] and a `threads` one
+//! only inside [`THREADS_BOUNDARY`] — so extending an audited
+//! boundary is a single edit here, reviewed once, and picked up by every
+//! static-analysis pass at the same time.
+
+/// The only files where a `wallclock` allow comment is honored: the
+/// trace sink's `WallTimer` boundary (see `docs/OBSERVABILITY.md`).
+/// Anywhere else the allow comment is itself a violation — wall-clock
+/// readings must stay out of simulation state and traced output.
+pub const WALLCLOCK_BOUNDARY: [&str; 1] = ["crates/sim/src/trace.rs"];
+
+/// The only files where a `threads` allow comment is honored: the
+/// parallel routing-table build (joins per-source chunks in source
+/// order, byte-identical to the serial build) and the parameter-sweep
+/// runner (order-preserving parallel map over independent runs). See
+/// `docs/PERFORMANCE.md` for the determinism argument. Anywhere else
+/// the allow comment is itself a violation — each simulation run stays
+/// single-threaded.
+pub const THREADS_BOUNDARY: [&str; 2] = [
+    "crates/net/src/routing.rs",
+    "crates/core/src/experiments/sweep.rs",
+];
+
+/// True when `label` is one of the [`WALLCLOCK_BOUNDARY`] files.
+pub fn in_wallclock_boundary(label: &str) -> bool {
+    let norm = label.replace('\\', "/");
+    WALLCLOCK_BOUNDARY.iter().any(|b| norm.ends_with(b))
+}
+
+/// True when `label` is one of the [`THREADS_BOUNDARY`] files.
+pub fn in_threads_boundary(label: &str) -> bool {
+    let norm = label.replace('\\', "/");
+    THREADS_BOUNDARY.iter().any(|b| norm.ends_with(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_membership_is_suffix_based_and_separator_agnostic() {
+        assert!(in_wallclock_boundary("/abs/path/crates/sim/src/trace.rs"));
+        assert!(in_wallclock_boundary("crates\\sim\\src\\trace.rs"));
+        assert!(!in_wallclock_boundary("crates/sim/src/engine.rs"));
+        assert!(in_threads_boundary("crates/net/src/routing.rs"));
+        assert!(in_threads_boundary("crates/core/src/experiments/sweep.rs"));
+        assert!(!in_threads_boundary("crates/gnutella/src/sim.rs"));
+    }
+
+    #[test]
+    fn boundaries_are_disjoint() {
+        // A file audited for wall-clock reads is not thereby audited for
+        // threading, and vice versa.
+        for w in WALLCLOCK_BOUNDARY {
+            assert!(!in_threads_boundary(w));
+        }
+        for t in THREADS_BOUNDARY {
+            assert!(!in_wallclock_boundary(t));
+        }
+    }
+}

@@ -24,12 +24,19 @@
 //! |             | joined in input order)                                      |
 //!
 //! Escape hatch: a `// lint:allow(<rule>)` comment on the same line or
-//! the line directly above suppresses that rule there. Exception: a
-//! `wallclock` allow is honored only inside the documented trace-sink
-//! boundary ([`WALLCLOCK_BOUNDARY`], the `uap_sim::WallTimer` home), and
-//! a `threads` allow only inside [`THREADS_BOUNDARY`] (the parallel
+//! the line directly above suppresses that rule there. On a multi-line
+//! chained expression this means the allow binds to the line of the
+//! `.unwrap()` / `.expect(` itself (or the line directly above it), not
+//! to the line the statement starts on — the justification must sit next
+//! to the site it blesses. Exception: a `wallclock` allow is honored
+//! only inside the documented trace-sink boundary
+//! ([`WALLCLOCK_BOUNDARY`], the `uap_sim::WallTimer` home), and a
+//! `threads` allow only inside [`THREADS_BOUNDARY`] (the parallel
 //! routing-table build and the experiment sweep runner — the two audited
-//! deterministic fork-join sites); anywhere else the allow comment is
+//! deterministic fork-join sites); both lists live in
+//! [`crate::boundaries`], shared with the call-graph analyzer
+//! ([`crate::analyze`]) so each audited boundary is declared exactly
+//! once. Anywhere else the allow comment is
 //! itself reported, so wall-clock readings and ad-hoc threading cannot
 //! quietly spread past the audited sites. The scanner is
 //! deliberately token-level (`syn` is unavailable offline): comments,
@@ -37,42 +44,15 @@
 //! match real code tokens, and `#[cfg(test)]` module bodies are excluded
 //! by brace matching.
 
+use crate::boundaries::{
+    in_threads_boundary, in_wallclock_boundary, THREADS_BOUNDARY, WALLCLOCK_BOUNDARY,
+};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The rule identifiers accepted by `lint:allow(...)`.
 const RULES: [&str; 5] = ["hashmap", "wallclock", "unwrap", "floatsum", "threads"];
-
-/// The only files where a `wallclock` allow comment is honored: the
-/// trace sink's `WallTimer` boundary (see `docs/OBSERVABILITY.md`).
-/// Anywhere else the allow comment is itself a violation — wall-clock
-/// readings must stay out of simulation state and traced output.
-const WALLCLOCK_BOUNDARY: [&str; 1] = ["crates/sim/src/trace.rs"];
-
-/// The only files where a `threads` allow comment is honored: the
-/// parallel routing-table build (joins per-source chunks in source
-/// order, byte-identical to the serial build) and the parameter-sweep
-/// runner (order-preserving parallel map over independent runs). See
-/// `docs/PERFORMANCE.md` for the determinism argument. Anywhere else
-/// the allow comment is itself a violation — each simulation run stays
-/// single-threaded.
-const THREADS_BOUNDARY: [&str; 2] = [
-    "crates/net/src/routing.rs",
-    "crates/core/src/experiments/sweep.rs",
-];
-
-/// True when `label` is one of the [`WALLCLOCK_BOUNDARY`] files.
-fn in_wallclock_boundary(label: &str) -> bool {
-    let norm = label.replace('\\', "/");
-    WALLCLOCK_BOUNDARY.iter().any(|b| norm.ends_with(b))
-}
-
-/// True when `label` is one of the [`THREADS_BOUNDARY`] files.
-fn in_threads_boundary(label: &str) -> bool {
-    let norm = label.replace('\\', "/");
-    THREADS_BOUNDARY.iter().any(|b| norm.ends_with(b))
-}
 
 /// One diagnostic, rendered as `path:line: rule(<name>): message`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -474,7 +454,15 @@ fn lex(source: &str) -> Vec<Line> {
                 i += 1;
                 while i < bytes.len() {
                     match bytes[i] {
-                        '\\' => i += 2,
+                        '\\' => {
+                            // An escaped newline (line continuation) still
+                            // advances the line counter, or every diagnostic
+                            // after the string points one line too high.
+                            if bytes.get(i + 1) == Some(&'\n') {
+                                line += 1;
+                            }
+                            i += 2;
+                        }
                         '"' => {
                             i += 1;
                             break;
@@ -764,6 +752,89 @@ mod tests {
     fn tokens_in_strings_and_comments_do_not_count() {
         let src = "// HashMap is banned here\nfn f() -> &'static str { \"HashMap thread_rng Instant::now .unwrap()\" }\nconst R: &str = r#\"SystemTime panic!\"#;\n";
         assert!(scan_source("crates/sim/src/x.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn raw_string_contents_are_inert_but_code_after_them_is_not() {
+        // A HashMap mention inside a raw string must not be flagged …
+        let src = "const R: &str = r#\"use HashMap here \"quoted\" fine\"#;\n";
+        assert!(scan_source("crates/sim/src/x.rs", src, LIB).is_empty());
+        // … and a violation *after* a raw string on a later line must
+        // still be reported at the correct line number.
+        let src = "const R: &str = r#\"HashMap\"#;\ntype T = HashMap<u8, u8>;\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["hashmap"]);
+        assert_eq!(vs[0].line, 2);
+        // Hash-depth ≥ 2 and an embedded "# that must not close early.
+        let src = "const R: &str = r##\"has \"# inside HashMap\"##;\nfn g(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(vs[0].line, 2);
+    }
+
+    #[test]
+    fn multi_line_raw_string_keeps_line_numbers_straight() {
+        let src = "const R: &str = r#\"line one HashMap\nline two SystemTime\nline three\"#;\nfn g(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(
+            vs[0].line, 4,
+            "raw-string newlines must advance the line counter"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_are_stripped_completely() {
+        // Rust block comments nest; the outer comment only closes after
+        // the inner one does. Everything inside is inert.
+        let src = "/* outer /* inner HashMap */ still comment SystemTime */\nfn g(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(vs[0].line, 2);
+        // A lint:allow inside a nested block comment still lands on the
+        // comment's *starting* line (and the line after it).
+        let src = "/* nested /* deep */ lint:allow(hashmap) */\ntype T = HashMap<u8, u8>;\n";
+        assert!(scan_source("crates/sim/src/x.rs", src, LIB).is_empty());
+    }
+
+    #[test]
+    fn multi_line_string_literals_keep_line_numbers_straight() {
+        // Plain multi-line string: the contents (including a HashMap
+        // mention) are blanked, and lines after it stay aligned.
+        let src = "const S: &str = \"first HashMap\nsecond\";\nfn g(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(vs[0].line, 3);
+        // Regression: a backslash line-continuation inside a string used
+        // to swallow the newline, shifting every later diagnostic up one
+        // line (and dragging allow-comment matching with it).
+        let src = "const S: &str = \"continued \\\n tail HashMap\";\nfn g(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let vs = scan_source("crates/sim/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(
+            vs[0].line, 3,
+            "escaped newline in a string must still advance the line counter"
+        );
+    }
+
+    #[test]
+    fn allow_on_multi_line_chain_binds_to_the_unwrap_line() {
+        // The documented contract: `lint:allow` suppresses on the line it
+        // is written on and the line directly below — i.e. it must sit on
+        // (or directly above) the line of the `.unwrap()` itself, not the
+        // line the statement starts on.
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o\n        .map(|x| x + 1)\n        .unwrap() // lint:allow(unwrap)\n}\n";
+        assert!(scan_source("crates/net/src/x.rs", src, LIB).is_empty());
+        // Allow on the line directly above the .unwrap() line also works.
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o\n        // lint:allow(unwrap) — chain tail below\n        .unwrap()\n}\n";
+        assert!(scan_source("crates/net/src/x.rs", src, LIB).is_empty());
+        // An allow on the statement's *first* line does NOT bless an
+        // unwrap two lines further down: the escape hatch is deliberately
+        // line-scoped so a justification sits next to the site it blesses.
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o // lint:allow(unwrap)\n        .map(|x| x + 1)\n        .unwrap()\n}\n";
+        let vs = scan_source("crates/net/src/x.rs", src, LIB);
+        assert_eq!(rules_of(&vs), vec!["unwrap"]);
+        assert_eq!(vs[0].line, 4);
     }
 
     #[test]

@@ -2,18 +2,24 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint
+//! cargo run -p xtask -- analyze [--update-baseline]
 //! cargo run -p xtask -- trace summary <trace.jsonl>
 //! cargo run -p xtask -- trace diff <a> <b>
 //! ```
 //!
 //! `lint` scans every workspace `.rs` file for repo-specific determinism
 //! hazards (see [`lint`] and `docs/DETERMINISM.md`) and exits non-zero
-//! with `file:line` diagnostics when any are found. `trace` summarizes
+//! with `file:line` diagnostics when any are found. `analyze` goes a
+//! layer deeper: it parses the workspace into a call graph and proves
+//! purity / panic reachability / trace-registry agreement (see
+//! [`analyze`] and `docs/STATIC_ANALYSIS.md`). `trace` summarizes
 //! and compares the JSONL traces / RunReport JSON the experiment
 //! binaries emit (see [`trace_cmd`] and `docs/OBSERVABILITY.md`); `diff`
 //! exits 1 on the first divergence, which makes it the CI determinism
 //! gate.
 
+mod analyze;
+mod boundaries;
 mod lint;
 mod trace_cmd;
 
@@ -40,9 +46,41 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("analyze") => analyze_main(&args[1..]),
         Some("trace") => trace_main(&args[1..]),
         _ => usage(),
     }
+}
+
+/// Wall-clock budget for a full analyzer run. Generous: the analyzer is
+/// sub-second today; blowing this means it regressed by two orders of
+/// magnitude.
+const ANALYZE_WALL_BUDGET_SECS: f64 = 120.0;
+
+fn analyze_main(args: &[String]) -> ! {
+    let mode = match args.first().map(String::as_str) {
+        Some("--update-baseline") => analyze::BaselineMode::Update,
+        None => analyze::BaselineMode::Check,
+        Some(other) => {
+            eprintln!("xtask analyze: unknown flag `{other}`");
+            usage()
+        }
+    };
+    let timer = uap_sim::WallTimer::start();
+    let report = analyze::run(&workspace_root(), mode);
+    let wall = timer.elapsed_secs();
+    let clean = analyze::print_report(&report);
+    println!(
+        "PERF analyze files={} fns={} entries={} edges={} wall_secs={wall:.3} (budget {ANALYZE_WALL_BUDGET_SECS:.0}s)",
+        report.stats.files, report.stats.fns, report.stats.entries, report.stats.edges
+    );
+    if wall > ANALYZE_WALL_BUDGET_SECS {
+        eprintln!(
+            "xtask analyze: wall time {wall:.1}s exceeded the {ANALYZE_WALL_BUDGET_SECS:.0}s budget"
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(if clean { 0 } else { 1 });
 }
 
 fn trace_main(args: &[String]) -> ! {
@@ -89,6 +127,7 @@ fn read_or_die(path: &str) -> String {
 fn usage() -> ! {
     eprintln!(
         "usage: cargo run -p xtask -- lint\n       \
+         cargo run -p xtask -- analyze [--update-baseline]\n       \
          cargo run -p xtask -- trace summary <trace.jsonl>\n       \
          cargo run -p xtask -- trace diff <a> <b>"
     );
