@@ -11,7 +11,10 @@
 #   5. cargo test               — tier-1: root-package tests
 #   6. cargo test --workspace   — every crate's unit + integration tests
 #   7. ci/trace_gate.sh         — trace determinism: two same-seed runs
-#                                 byte-identical under `xtask trace diff`
+#                                 byte-identical under `xtask trace diff`,
+#                                 for exp04 and for exp16's fault campaign
+#   7b. exp16 smoke             — one quick exp16_resilience run must
+#                                 exit 0 and write all four CSVs
 #   8. ci/perf_smoke.sh         — routing hot-path qps within 5x of the
 #                                 committed floors (docs/PERFORMANCE.md)
 #   9. xtask analyze            — call-graph purity/panic/registry proofs
@@ -42,6 +45,15 @@ cargo test --workspace -q
 
 step "trace determinism gate (ci/trace_gate.sh)"
 ./ci/trace_gate.sh
+
+step "exp16 resilience smoke"
+E16_OUT="$(mktemp -d)"
+trap 'rm -rf "$E16_OUT"' EXIT
+cargo run --release -q -p uap-bench --bin exp16_resilience -- \
+  --quick --seed 42 --out "$E16_OUT" > "$E16_OUT/stdout.txt"
+for csv in exp16_reachability exp16_gnutella exp16_kademlia exp16_bittorrent; do
+  [ -s "$E16_OUT/$csv.csv" ] || { echo "missing $csv.csv" >&2; exit 1; }
+done
 
 step "routing perf smoke (ci/perf_smoke.sh)"
 ./ci/perf_smoke.sh

@@ -6,7 +6,10 @@
 #   ./ci/trace_gate.sh [seed]
 #
 # Uses exp04 (Gnutella message counts) because it exercises the engine,
-# the overlay, the oracle and the underlay accounting in one run.
+# the overlay, the oracle and the underlay accounting in one run, and
+# exp16 (resilience) because its non-empty FaultPlan drives routing
+# rebuilds, route-cache invalidation and every overlay's recovery path —
+# the layers most likely to smuggle nondeterminism in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,28 +17,40 @@ SEED="${1:-42}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
-run() { # run <dir>
-  mkdir -p "$1"
-  cargo run --release -q -p uap-bench --bin exp04_message_counts -- \
-    --quick --seed "$SEED" --out "$1" --trace "$1/exp04.trace.jsonl" \
-    > "$1/stdout.txt"
+run() { # run <bin> <name> <dir>
+  mkdir -p "$3"
+  cargo run --release -q -p uap-bench --bin "$1" -- \
+    --quick --seed "$SEED" --out "$3" --trace "$3/$2.trace.jsonl" \
+    > "$3/stdout.txt"
 }
 
-echo "run A (seed $SEED)"
-run "$WORK/a"
-echo "run B (seed $SEED)"
-run "$WORK/b"
+gate() { # gate <bin> <name>
+  echo "run A ($1, seed $SEED)"
+  run "$1" "$2" "$WORK/$2/a"
+  echo "run B ($1, seed $SEED)"
+  run "$1" "$2" "$WORK/$2/b"
 
-echo "trace diff (JSONL)"
-cargo run --release -q -p xtask -- trace diff \
-  "$WORK/a/exp04.trace.jsonl" "$WORK/b/exp04.trace.jsonl"
+  echo "trace diff (JSONL)"
+  cargo run --release -q -p xtask -- trace diff \
+    "$WORK/$2/a/$2.trace.jsonl" "$WORK/$2/b/$2.trace.jsonl"
 
-echo "trace diff (RunReport JSON)"
-cargo run --release -q -p xtask -- trace diff \
-  "$WORK/a/exp04_message_counts.report.json" \
-  "$WORK/b/exp04_message_counts.report.json"
+  echo "trace diff (RunReport JSON)"
+  cargo run --release -q -p xtask -- trace diff \
+    "$WORK/$2/a/$1.report.json" \
+    "$WORK/$2/b/$1.report.json"
 
-echo "trace summary"
-cargo run --release -q -p xtask -- trace summary "$WORK/a/exp04.trace.jsonl"
+  echo "trace summary"
+  cargo run --release -q -p xtask -- trace summary "$WORK/$2/a/$2.trace.jsonl"
+}
+
+gate exp04_message_counts exp04
+
+gate exp16_resilience exp16
+
+# The fault campaign must actually fire in the gated run.
+if ! grep -q '"k":"fault.epoch"' "$WORK/exp16/a/exp16.trace.jsonl"; then
+  echo "exp16 trace contains no fault.epoch events — FaultPlan not applied" >&2
+  exit 1
+fi
 
 echo "trace gate passed."

@@ -1,0 +1,25 @@
+//! E16 — fault-campaign resilience: degradation and recovery curves.
+use uap_bench::{emit, Cli, Run};
+use uap_core::experiments::e16_resilience::{run_traced, Params};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp16_resilience");
+    let p = if cli.quick {
+        Params::quick(cli.seed)
+    } else {
+        Params::full(cli.seed)
+    };
+    let out = run_traced(&p, &mut tel.tracer);
+    for (name, table) in [
+        ("exp16_reachability", &out.reachability),
+        ("exp16_gnutella", &out.gnutella),
+        ("exp16_kademlia", &out.kademlia),
+        ("exp16_bittorrent", &out.bittorrent),
+    ] {
+        emit(&cli, name, table);
+        tel.table(table);
+    }
+    let rpcs: u64 = out.kad_phases.iter().map(|p| p.rpcs).sum();
+    tel.finish(rpcs);
+}

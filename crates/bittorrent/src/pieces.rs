@@ -47,16 +47,24 @@ impl PieceSet {
         self.count == self.n
     }
 
-    /// Whether piece `i` is held.
+    /// Whether piece `i` is held (out-of-range reads as absent).
     pub fn contains(&self, i: usize) -> bool {
         debug_assert!(i < self.n);
-        self.bits[i / 64] >> (i % 64) & 1 == 1
+        self.bits
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
     }
 
     /// Adds piece `i`; returns true if it was new.
+    ///
+    /// # Panics
+    /// If `i` is outside the torrent's piece range.
     pub fn insert(&mut self, i: usize) -> bool {
         debug_assert!(i < self.n);
-        let w = &mut self.bits[i / 64];
+        let w = self
+            .bits
+            .get_mut(i / 64)
+            .expect("piece index within bitfield capacity"); // lint:allow(expect)
         let mask = 1u64 << (i % 64);
         if *w & mask == 0 {
             *w |= mask;

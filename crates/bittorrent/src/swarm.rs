@@ -39,6 +39,10 @@ pub struct SwarmConfig {
     /// received over inter-AS paths, so same-AS reciprocators win ties
     /// (Yamazaki et al. \[32\]).
     pub cost_aware_choking: bool,
+    /// Time-scheduled underlay fault campaign (`None` = fault-free run).
+    /// Crashed swarm members pause (no flows, no announces, pieces kept);
+    /// partitioned pairs stall their flows until routing recovers.
+    pub faults: Option<uap_net::FaultPlan>,
 }
 
 impl Default for SwarmConfig {
@@ -55,6 +59,7 @@ impl Default for SwarmConfig {
             max_rounds: 2_000,
             tracker: TrackerPolicy::Random,
             cost_aware_choking: false,
+            faults: None,
         }
     }
 }
@@ -76,6 +81,12 @@ pub struct SwarmReport {
     pub payload_bytes: u64,
     /// Tracker announces served.
     pub announces: u64,
+    /// Cumulative finished-leecher count after each round — the progress
+    /// curve the resilience experiment plots across fault epochs.
+    pub completed_by_round: Vec<usize>,
+    /// Re-announces triggered by dead-neighbor loss or crash recovery
+    /// (0 in fault-free runs; periodic refreshes are not counted).
+    pub reannounces: u64,
 }
 
 impl SwarmReport {
@@ -175,24 +186,97 @@ pub fn run_swarm_with(
         }
     }
 
+    // Fault campaign: compile once, then apply each epoch boundary as the
+    // round clock crosses it. Crashed members pause; everyone else drops
+    // them and re-announces for replacements.
+    let compiled = cfg.faults.as_ref().map(|p| p.compile(&underlay.graph));
+    let boundaries: Vec<SimTime> = compiled
+        .as_ref()
+        .map(|c| c.boundaries().to_vec())
+        .unwrap_or_default();
+    let mut next_boundary = 0usize;
+    let mut down = vec![false; peers.len()];
+    let mut reannounces = 0u64;
+    let mut completed_by_round: Vec<usize> = Vec::new();
+
     let mut rounds = 0u32;
     let mut payload_bytes = 0u64;
     while rounds < cfg.max_rounds {
         rounds += 1;
         let now = cfg.round.mul(rounds as u64);
+        while next_boundary < boundaries.len() && boundaries[next_boundary] <= now {
+            let t = boundaries[next_boundary];
+            next_boundary += 1;
+            let state = compiled
+                .as_ref()
+                .expect("boundaries only exist for a compiled plan") // lint:allow(expect)
+                .state_at(t);
+            underlay.apply_fault_state(&state);
+            tracer.emit(now, "net", TraceLevel::Info, "fault.epoch", |f| {
+                f.u64("boundary_us", t.as_micros())
+                    .u64("links_down", state.links_down() as u64)
+                    .f64("latency_factor", state.latency_factor)
+                    .u64("crashed", state.crashed.len() as u64);
+            });
+            // Diff the crash set; the tracker's live pool is the members
+            // that still announce under the new state.
+            let was_down = down.clone();
+            let mut live: Vec<HostId> = Vec::new();
+            for (i, &h) in members.iter().enumerate() {
+                down[i] = state.crashed.binary_search(&h).is_ok();
+                if !down[i] {
+                    live.push(h);
+                }
+            }
+            // Restored members re-announce (their pre-crash neighborhoods
+            // moved on without them); survivors shed dead neighbors and
+            // refill from the tracker.
+            for i in 0..peers.len() {
+                if down[i] || peers[i].done_at.is_some() || peers[i].is_seed {
+                    continue;
+                }
+                let restored = was_down[i];
+                let before = peers[i].neighbors.len();
+                let d = &down;
+                peers[i]
+                    .neighbors
+                    .retain(|h| index.get(h).map(|&j| !d[j]).unwrap_or(true));
+                if restored || peers[i].neighbors.len() < before {
+                    let who = peers[i].host;
+                    let got = tracker.announce(&underlay, who, &live, cfg.max_peers, &mut rng);
+                    reannounces += 1;
+                    tracer.emit(now, "bittorrent", TraceLevel::Debug, "reannounce", |f| {
+                        f.u64("peer", who.0 as u64)
+                            .u64("received", got.len() as u64);
+                    });
+                    peers[i].neighbors = got;
+                }
+            }
+        }
         let all_done = peers.iter().all(|p| p.is_seed || p.done_at.is_some());
         if all_done {
+            completed_by_round.push(
+                peers
+                    .iter()
+                    .filter(|p| !p.is_seed && p.done_at.is_some())
+                    .count(),
+            );
             break;
         }
         // Phase 1: each peer picks its unchoke set.
         let mut unchokes: Vec<Vec<usize>> = Vec::with_capacity(peers.len());
         for i in 0..peers.len() {
+            if down[i] {
+                unchokes.push(Vec::new());
+                continue;
+            }
             let me = &peers[i];
             // Interested neighbors: they lack something I have.
             let mut interested: Vec<usize> = me
                 .neighbors
                 .iter()
                 .filter_map(|h| index.get(h).copied())
+                .filter(|&j| !down[j])
                 .filter(|&j| peers[j].done_at.is_none() && !peers[j].is_seed)
                 .filter(|&j| peers[j].pieces.is_interested_in(&me.pieces))
                 .collect();
@@ -254,6 +338,11 @@ pub fn run_swarm_with(
                     / 2.0) as u64;
                 let flow = share_bytes.min(down_cap).max(1);
                 let (src, dst) = (peers[i].host, peers[j].host);
+                // A fault partition can leave a cross-AS pair unroutable;
+                // the flow stalls until routing recovers.
+                if !underlay.same_as(src, dst) && underlay.as_hops(src, dst).is_none() {
+                    continue;
+                }
                 underlay.account_transfer(now, src, dst, flow);
                 payload_bytes += flow;
                 round_bytes += flow;
@@ -313,11 +402,17 @@ pub fn run_swarm_with(
         for (j, recv) in received_this.into_iter().enumerate() {
             peers[j].received_last = recv;
         }
+        completed_by_round.push(
+            peers
+                .iter()
+                .filter(|p| !p.is_seed && p.done_at.is_some())
+                .count(),
+        );
         // Peers with shrunken useful neighborhoods re-announce every 20
         // rounds.
         if rounds.is_multiple_of(20) {
             for i in 0..peers.len() {
-                if peers[i].done_at.is_none() && !peers[i].is_seed {
+                if !down[i] && peers[i].done_at.is_none() && !peers[i].is_seed {
                     let who = peers[i].host;
                     let got = tracker.announce(&underlay, who, &members, cfg.max_peers, &mut rng);
                     peers[i].neighbors = got;
@@ -340,6 +435,8 @@ pub fn run_swarm_with(
         intra_as_fraction: underlay.traffic.locality_fraction(),
         payload_bytes,
         announces: tracker.announces(),
+        completed_by_round,
+        reannounces,
     };
     let end = cfg.round.mul(rounds as u64);
     underlay.trace_link_totals(end, tracer);
@@ -497,6 +594,114 @@ mod tests {
         assert!(probed, "hierarchy population must span multiple ASes");
         let (hits, _) = u.route_cache_stats();
         assert!(hits > 0);
+    }
+
+    #[test]
+    fn fault_free_runs_report_monotone_progress_and_no_reannounces() {
+        let (report, _) = run_swarm(underlay(80, 1), small_cfg(TrackerPolicy::Random), 11);
+        assert_eq!(report.reannounces, 0);
+        assert_eq!(report.completed_by_round.len(), report.rounds as usize);
+        assert!(report.completed_by_round.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*report.completed_by_round.last().unwrap(), report.completed);
+    }
+
+    #[test]
+    fn crash_epoch_stalls_then_recovery_completes_the_swarm() {
+        let mut cfg = small_cfg(TrackerPolicy::Random);
+        // Crash a third of the leechers (and nobody else) for rounds ~5-30.
+        let crashed: Vec<HostId> = (4..24).map(HostId).collect();
+        cfg.faults = Some(uap_net::FaultPlan::new().epoch(
+            SimTime::from_secs(50),
+            SimTime::from_secs(300),
+            uap_net::FaultKind::HostCrash {
+                hosts: crashed.clone(),
+            },
+        ));
+        let (faulted, _) = run_swarm(underlay(80, 1), cfg, 11);
+        // Dead-neighbor loss and crash recovery both force re-announces.
+        assert!(
+            faulted.reannounces > 0,
+            "crash epochs must trigger re-announces"
+        );
+        // Everyone still finishes once the epoch clears: the crashed
+        // leechers resume where they paused and re-announce for neighbors.
+        assert_eq!(faulted.completed, faulted.leechers, "swarm must recover");
+        let (clean, _) = run_swarm(underlay(80, 1), small_cfg(TrackerPolicy::Random), 11);
+        assert!(
+            faulted.rounds >= clean.rounds,
+            "a crash epoch cannot speed the swarm up ({} < {})",
+            faulted.rounds,
+            clean.rounds
+        );
+    }
+
+    #[test]
+    fn partition_epoch_stalls_cross_as_flows_then_recovers() {
+        let mut cfg = small_cfg(TrackerPolicy::Random);
+        cfg.max_rounds = 20; // entirely inside the partition window
+        let base = cfg.clone();
+        // Kill 90% of transit links for rounds 3..30.
+        cfg.faults = Some(uap_net::FaultPlan::new().epoch(
+            SimTime::from_secs(30),
+            SimTime::from_secs(300),
+            uap_net::FaultKind::TransitDown { p: 0.9, salt: 5 },
+        ));
+        let (faulted, _) = run_swarm(underlay(80, 1), cfg.clone(), 11);
+        let (clean, _) = run_swarm(underlay(80, 1), base, 11);
+        // Stalled cross-AS flows move strictly fewer payload bytes while
+        // the partition holds.
+        assert!(
+            faulted.payload_bytes < clean.payload_bytes,
+            "faulted {} !< clean {}",
+            faulted.payload_bytes,
+            clean.payload_bytes
+        );
+        // Once the window clears, the same campaign completes the swarm.
+        cfg.max_rounds = 2_000;
+        let (recovered, _) = run_swarm(underlay(80, 1), cfg, 11);
+        assert_eq!(
+            recovered.completed, recovered.leechers,
+            "swarm must recover"
+        );
+    }
+
+    #[test]
+    fn faulted_swarm_runs_are_deterministic_and_traced() {
+        let run = || {
+            let mut cfg = small_cfg(TrackerPolicy::Random);
+            cfg.max_rounds = 60;
+            cfg.faults = Some(
+                uap_net::FaultPlan::new()
+                    .epoch(
+                        SimTime::from_secs(40),
+                        SimTime::from_secs(120),
+                        uap_net::FaultKind::HostCrash {
+                            hosts: (0..12).map(HostId).collect(),
+                        },
+                    )
+                    .epoch(
+                        SimTime::from_secs(80),
+                        SimTime::from_secs(160),
+                        uap_net::FaultKind::RandomLinkDown { p: 0.4, salt: 3 },
+                    ),
+            );
+            let mut t = Tracer::buffered(TraceLevel::Debug);
+            let (report, u) = run_swarm_with(underlay(80, 9), cfg, 37, &mut t);
+            (
+                report.completed_by_round.clone(),
+                report.reannounces,
+                u.route_cache_invalidations(),
+                t.to_jsonl(),
+            )
+        };
+        let (curve, reann, invalidations, trace) = run();
+        assert!(trace.contains("\"k\":\"fault.epoch\""));
+        assert!(trace.contains("\"k\":\"reannounce\""));
+        // Three boundaries: two starts, overlapping ends dedup to 120/160.
+        assert_eq!(invalidations, 4);
+        let (curve2, reann2, inv2, trace2) = run();
+        assert_eq!((curve, reann, invalidations), (curve2, reann2, inv2));
+        assert_eq!(trace, trace2, "faulted runs must be byte-identical");
     }
 
     #[test]

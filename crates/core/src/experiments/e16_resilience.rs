@@ -1,0 +1,609 @@
+//! E16 — resilience under deterministic fault campaigns (extension).
+//!
+//! One shared [`FaultPlan`] (a transit-link partition, latency inflation
+//! and a host-crash window over the same epoch) is driven through all
+//! three overlays plus a raw underlay probe, producing degradation and
+//! recovery curves:
+//!
+//! - **underlay**: AS-pair reachability and component count at every
+//!   epoch boundary;
+//! - **Gnutella**: query and download success before / during / after
+//!   the fault window, underlay-aware vs unaware, with download
+//!   re-sourcing doing the recovery work;
+//! - **Kademlia**: retrieval success and RPC retransmit cost across a
+//!   pre-fault / faulted / recovered phase sequence;
+//! - **BitTorrent**: swarm completion progress through a crash epoch,
+//!   with tracker re-announces replacing dead neighbors.
+//!
+//! The paper's claim under test: underlay awareness does not make the
+//! overlays brittle — after the last epoch clears, every recovery curve
+//! regains its pre-fault level.
+
+use crate::experiments::NetParams;
+use crate::report::{f, pct, Table};
+use uap_bittorrent::{run_swarm_with, SwarmConfig, TrackerPolicy};
+use uap_gnutella::{run_experiment_with, GnutellaConfig, NeighborSelection};
+use uap_kademlia::{DhtConfig, DhtNetwork, Key};
+use uap_net::{FaultKind, FaultPlan, FaultState, HostId, Routing, RoutingMode};
+use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Underlay shape.
+    pub net: NetParams,
+    /// Simulated Gnutella duration (the fault window sits inside it).
+    pub duration: SimTime,
+    /// Fault window start (all three fault kinds share it).
+    pub fault_start: SimTime,
+    /// Fault window end.
+    pub fault_end: SimTime,
+    /// Fraction of transit links cut during the window.
+    pub transit_down_p: f64,
+    /// Latency inflation factor during the window.
+    pub latency_factor: f64,
+    /// Number of hosts (`0..crash_hosts`) crashed during the window.
+    pub crash_hosts: usize,
+    /// Keys stored and retrieved in the Kademlia phases.
+    pub n_keys: usize,
+    /// Swarm leechers (the swarm gets its own, round-aligned window).
+    pub swarm_leechers: usize,
+    /// Swarm seeds.
+    pub swarm_seeds: usize,
+    /// Swarm fault window start.
+    pub swarm_fault_start: SimTime,
+    /// Swarm fault window end.
+    pub swarm_fault_end: SimTime,
+}
+
+impl Params {
+    /// Small instance (seconds).
+    pub fn quick(seed: u64) -> Params {
+        Params {
+            net: NetParams::quick(150, seed),
+            duration: SimTime::from_mins(24),
+            fault_start: SimTime::from_mins(8),
+            fault_end: SimTime::from_mins(16),
+            transit_down_p: 0.7,
+            latency_factor: 2.0,
+            crash_hosts: 20,
+            n_keys: 20,
+            swarm_leechers: 60,
+            swarm_seeds: 4,
+            swarm_fault_start: SimTime::from_secs(60),
+            swarm_fault_end: SimTime::from_secs(360),
+        }
+    }
+
+    /// Paper-scale instance.
+    pub fn full(seed: u64) -> Params {
+        Params {
+            net: NetParams::full(seed),
+            duration: SimTime::from_mins(40),
+            fault_start: SimTime::from_mins(12),
+            fault_end: SimTime::from_mins(28),
+            transit_down_p: 0.7,
+            latency_factor: 2.0,
+            crash_hosts: 60,
+            n_keys: 40,
+            swarm_leechers: 200,
+            swarm_seeds: 10,
+            swarm_fault_start: SimTime::from_secs(100),
+            swarm_fault_end: SimTime::from_secs(600),
+        }
+    }
+
+    /// The shared campaign: partition + latency inflation + crashes over
+    /// one window. Masks are salt-derived, so every consumer of the plan
+    /// sees the identical cut set.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new()
+            .epoch(
+                self.fault_start,
+                self.fault_end,
+                FaultKind::TransitDown {
+                    p: self.transit_down_p,
+                    salt: 0xE16,
+                },
+            )
+            .epoch(
+                self.fault_start,
+                self.fault_end,
+                FaultKind::LatencyInflation {
+                    factor: self.latency_factor,
+                },
+            )
+            .epoch(
+                self.fault_start,
+                self.fault_end,
+                FaultKind::HostCrash {
+                    hosts: (0..self.crash_hosts as u32).map(HostId).collect(),
+                },
+            )
+    }
+
+    fn swarm_plan(&self) -> FaultPlan {
+        // Crash leechers only (seeds occupy the first host slots) and cut
+        // the same transit fraction, over the round-aligned window.
+        let first = self.swarm_seeds as u32;
+        FaultPlan::new()
+            .epoch(
+                self.swarm_fault_start,
+                self.swarm_fault_end,
+                FaultKind::TransitDown {
+                    p: self.transit_down_p,
+                    salt: 0xE16,
+                },
+            )
+            .epoch(
+                self.swarm_fault_start,
+                self.swarm_fault_end,
+                FaultKind::HostCrash {
+                    hosts: (first..first + self.crash_hosts as u32)
+                        .map(HostId)
+                        .collect(),
+                },
+            )
+    }
+}
+
+/// Query/download success fractions for one Gnutella configuration, over
+/// the pre-fault / during-fault / post-recovery windows.
+#[derive(Clone, Debug)]
+pub struct GnutellaCurve {
+    /// Configuration label.
+    pub label: String,
+    /// Query success fraction per window.
+    pub query: [f64; 3],
+    /// Download completion fraction per window.
+    pub download: [f64; 3],
+}
+
+/// One Kademlia phase (pre-fault, faulted, recovered).
+#[derive(Clone, Debug)]
+pub struct KadPhase {
+    /// Phase label.
+    pub label: String,
+    /// Retrievals that returned the stored value.
+    pub successes: usize,
+    /// Retrievals attempted.
+    pub attempts: usize,
+    /// RPCs issued across the phase.
+    pub rpcs: u64,
+    /// Retransmit attempts across the phase.
+    pub retransmits: u64,
+    /// Mean lookup latency (ms).
+    pub mean_latency_ms: f64,
+}
+
+/// One swarm policy's trip through the crash epoch.
+#[derive(Clone, Debug)]
+pub struct SwarmResult {
+    /// Tracker policy label.
+    pub label: String,
+    /// Leechers finished by the end of the run.
+    pub completed: usize,
+    /// Leechers total.
+    pub leechers: usize,
+    /// Rounds simulated.
+    pub rounds: u32,
+    /// Fault-driven tracker re-announces.
+    pub reannounces: u64,
+    /// Finished leechers when the fault window closed.
+    pub done_at_fault_end: usize,
+}
+
+/// Experiment output: the four tables plus the raw curves for tests.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Reachability at every epoch boundary.
+    pub reachability: Table,
+    /// Gnutella success curves.
+    pub gnutella: Table,
+    /// Kademlia phase results.
+    pub kademlia: Table,
+    /// Swarm progress results.
+    pub bittorrent: Table,
+    /// Raw Gnutella curves.
+    pub curves: Vec<GnutellaCurve>,
+    /// Raw Kademlia phases.
+    pub kad_phases: Vec<KadPhase>,
+    /// Raw swarm results.
+    pub swarms: Vec<SwarmResult>,
+}
+
+/// Runs the full campaign untraced.
+pub fn run(p: &Params) -> Outcome {
+    run_traced(p, &mut Tracer::disabled())
+}
+
+/// Like [`run`], but threads `tracer` through the overlay runs, with one
+/// `experiment`/`phase` marker per configuration segment.
+pub fn run_traced(p: &Params, tracer: &mut Tracer) -> Outcome {
+    let reachability = probe_reachability(p);
+    let (gnutella, curves) = run_gnutella(p, tracer);
+    let (kademlia, kad_phases) = run_kademlia(p);
+    let (bittorrent, swarms) = run_swarms(p, tracer);
+    Outcome {
+        reachability,
+        gnutella,
+        kademlia,
+        bittorrent,
+        curves,
+        kad_phases,
+        swarms,
+    }
+}
+
+/// Samples the compiled plan at `t = 0` and every epoch boundary and
+/// measures valley-free reachability under each mask.
+fn probe_reachability(p: &Params) -> Table {
+    let underlay = p.net.build();
+    let compiled = p.plan().compile(&underlay.graph);
+    let mut table = Table::new(
+        "E16a — AS reachability across fault epochs",
+        &[
+            "t (s)",
+            "links down",
+            "crashed hosts",
+            "reachable pairs",
+            "components",
+        ],
+    );
+    let mut sample = |t: SimTime| {
+        let state = compiled.state_at(t);
+        let routing = Routing::compute_with_mask(
+            &underlay.graph,
+            RoutingMode::ValleyFree,
+            state.mask.as_deref(),
+        );
+        table.row(&[
+            (t.as_micros() / 1_000_000).to_string(),
+            state.links_down().to_string(),
+            state.crashed.len().to_string(),
+            pct(routing.reachable_fraction()),
+            underlay
+                .graph
+                .component_count(state.mask.as_deref())
+                .to_string(),
+        ]);
+    };
+    sample(SimTime::ZERO);
+    for &b in compiled.boundaries() {
+        sample(b);
+    }
+    table
+}
+
+fn frac(hits: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Buckets a `(time, success)` log into pre/during/post window fractions.
+fn windowed(log: &[(SimTime, bool)], start: SimTime, end: SimTime) -> [f64; 3] {
+    let mut hits = [0usize; 3];
+    let mut totals = [0usize; 3];
+    for &(t, ok) in log {
+        let w = if t < start {
+            0
+        } else if t < end {
+            1
+        } else {
+            2
+        };
+        totals[w] += 1;
+        if ok {
+            hits[w] += 1;
+        }
+    }
+    [
+        frac(hits[0], totals[0]),
+        frac(hits[1], totals[1]),
+        frac(hits[2], totals[2]),
+    ]
+}
+
+fn run_gnutella(p: &Params, tracer: &mut Tracer) -> (Table, Vec<GnutellaCurve>) {
+    let configs: Vec<(&str, NeighborSelection, bool)> = vec![
+        ("unaware", NeighborSelection::Random, false),
+        (
+            "oracle-aware",
+            NeighborSelection::OracleBiased { list_size: 10 },
+            true,
+        ),
+    ];
+    let mut table = Table::new(
+        "E16b — Gnutella success around the fault window (pre / fault / post)",
+        &[
+            "config",
+            "query pre",
+            "query fault",
+            "query post",
+            "dl pre",
+            "dl fault",
+            "dl post",
+        ],
+    );
+    let mut curves = Vec::new();
+    for (label, selection, oracle_dl) in configs {
+        tracer.emit(
+            SimTime::ZERO,
+            "experiment",
+            TraceLevel::Info,
+            "phase",
+            |f| {
+                f.str("name", format!("gnutella/{label}"));
+            },
+        );
+        let cfg = GnutellaConfig {
+            selection,
+            oracle_at_file_exchange: oracle_dl,
+            duration: p.duration,
+            download_retries: 3,
+            faults: Some(p.plan()),
+            ..Default::default()
+        };
+        let (_, world) = run_experiment_with(p.net.build(), cfg, p.net.seed ^ 0xE16, tracer);
+        let query = windowed(world.query_log(), p.fault_start, p.fault_end);
+        let download = windowed(world.download_log(), p.fault_start, p.fault_end);
+        table.row(&[
+            label.to_string(),
+            pct(query[0]),
+            pct(query[1]),
+            pct(query[2]),
+            pct(download[0]),
+            pct(download[1]),
+            pct(download[2]),
+        ]);
+        curves.push(GnutellaCurve {
+            label: label.to_string(),
+            query,
+            download,
+        });
+    }
+    (table, curves)
+}
+
+fn run_kademlia(p: &Params) -> (Table, Vec<KadPhase>) {
+    let mut rng = SimRng::new(p.net.seed ^ 0x16AD);
+    let cfg = DhtConfig {
+        rpc_retries: 2,
+        ..Default::default()
+    };
+    let mut net = DhtNetwork::build(p.net.build(), cfg, &mut rng);
+    let n = net.len();
+    let compiled = p.plan().compile(&net.underlay.graph);
+    let mid = SimTime::from_micros((p.fault_start.as_micros() + p.fault_end.as_micros()) / 2);
+    // Store everything before the campaign; replicas land on live nodes.
+    let keys: Vec<Key> = (0..p.n_keys)
+        .map(|i| Key::hash_of(format!("e16-key-{i}").as_bytes()))
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        let from = HostId(((i * 11) % n) as u32);
+        net.store(from, k, i as u64, &mut rng);
+    }
+    // Query hosts sit outside the crash set so every phase issues the
+    // same retrieval workload.
+    let querier = |i: usize| HostId((p.crash_hosts + (i * 7) % (n - p.crash_hosts)) as u32);
+    let mut phases = Vec::new();
+    let mut run_phase = |label: &str, net: &mut DhtNetwork, rng: &mut SimRng| {
+        let mut ph = KadPhase {
+            label: label.to_string(),
+            successes: 0,
+            attempts: keys.len(),
+            rpcs: 0,
+            retransmits: 0,
+            mean_latency_ms: 0.0,
+        };
+        let mut latency_us = 0u64;
+        for (i, k) in keys.iter().enumerate() {
+            let (out, got) = net.retrieve(querier(i), k, rng);
+            if got == Some(i as u64) {
+                ph.successes += 1;
+            }
+            ph.rpcs += out.rpcs;
+            ph.retransmits += out.retransmits;
+            latency_us += out.latency_us;
+        }
+        ph.mean_latency_ms = latency_us as f64 / keys.len() as f64 / 1_000.0;
+        phases.push(ph);
+    };
+    run_phase("pre-fault", &mut net, &mut rng);
+    let state = compiled.state_at(mid);
+    net.underlay.apply_fault_state(&state);
+    for &h in &state.crashed {
+        net.set_online(h, false);
+    }
+    run_phase("faulted", &mut net, &mut rng);
+    net.underlay.apply_fault_state(&FaultState::clear());
+    for &h in &state.crashed {
+        net.set_online(h, true);
+    }
+    run_phase("recovered", &mut net, &mut rng);
+    let mut table = Table::new(
+        "E16c — Kademlia retrieval with RPC retransmit (retries = 2)",
+        &[
+            "phase",
+            "retrieved",
+            "rpcs",
+            "retransmits",
+            "mean latency (ms)",
+        ],
+    );
+    for ph in &phases {
+        table.row(&[
+            ph.label.clone(),
+            format!("{}/{}", ph.successes, ph.attempts),
+            ph.rpcs.to_string(),
+            ph.retransmits.to_string(),
+            f(ph.mean_latency_ms),
+        ]);
+    }
+    (table, phases)
+}
+
+fn run_swarms(p: &Params, tracer: &mut Tracer) -> (Table, Vec<SwarmResult>) {
+    let configs: Vec<(&str, TrackerPolicy)> = vec![
+        ("random tracker", TrackerPolicy::Random),
+        (
+            "BNS tracker",
+            TrackerPolicy::Bns {
+                internal: 16,
+                external: 4,
+            },
+        ),
+    ];
+    let mut table = Table::new(
+        "E16d — swarm completion through a crash epoch",
+        &[
+            "policy",
+            "completed",
+            "rounds",
+            "re-announces",
+            "done@window-close",
+        ],
+    );
+    let mut results = Vec::new();
+    for (label, tracker) in configs {
+        tracer.emit(
+            SimTime::ZERO,
+            "experiment",
+            TraceLevel::Info,
+            "phase",
+            |f| {
+                f.str("name", format!("bittorrent/{label}"));
+            },
+        );
+        let cfg = SwarmConfig {
+            n_leechers: p.swarm_leechers,
+            n_seeds: p.swarm_seeds,
+            tracker,
+            faults: Some(p.swarm_plan()),
+            ..Default::default()
+        };
+        let round = cfg.round;
+        let (report, _) = run_swarm_with(p.net.build(), cfg, p.net.seed ^ 0x5316, tracer);
+        let close_round = (p.swarm_fault_end.as_micros() / round.as_micros()) as usize;
+        let done_at_fault_end = report
+            .completed_by_round
+            .get(close_round.saturating_sub(1))
+            .copied()
+            .unwrap_or(report.completed);
+        table.row(&[
+            label.to_string(),
+            format!("{}/{}", report.completed, report.leechers),
+            report.rounds.to_string(),
+            report.reannounces.to_string(),
+            done_at_fault_end.to_string(),
+        ]);
+        results.push(SwarmResult {
+            label: label.to_string(),
+            completed: report.completed,
+            leechers: report.leechers,
+            rounds: report.rounds,
+            reannounces: report.reannounces,
+            done_at_fault_end,
+        });
+    }
+    (table, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_dips_during_the_window_and_recovers() {
+        let p = Params::quick(61);
+        let out = run(&p);
+        let t = &out.reachability;
+        assert_eq!(t.len(), 3); // t=0 plus two boundaries
+        assert_eq!(
+            t.cell(0, 3),
+            t.cell(2, 3),
+            "post-window must equal pre-fault"
+        );
+        assert_ne!(
+            t.cell(0, 3),
+            t.cell(1, 3),
+            "partition must cut reachability"
+        );
+        assert_eq!(t.cell(0, 1), "0");
+        assert_ne!(t.cell(1, 1), "0");
+    }
+
+    #[test]
+    fn overlays_regain_pre_fault_levels() {
+        let out = run(&Params::quick(61));
+        for c in &out.curves {
+            // Query success is a sampled fraction (~600 queries per
+            // window, ±1-2% sampling noise), so "regained pre-fault
+            // level" means: strictly above the fault-window level and
+            // within sampling tolerance of the pre-fault window.
+            assert!(
+                c.query[2] > c.query[1],
+                "{}: query success must climb back above the fault level ({:?})",
+                c.label,
+                c.query
+            );
+            assert!(
+                c.query[2] >= c.query[0] - 0.03,
+                "{}: query success must recover ({:?})",
+                c.label,
+                c.query
+            );
+            assert!(
+                c.download[2] >= c.download[0],
+                "{}: download success must recover ({:?})",
+                c.label,
+                c.download
+            );
+            assert!(
+                c.download[1] < 1.0,
+                "{}: the fault window must actually hurt downloads ({:?})",
+                c.label,
+                c.download
+            );
+        }
+        let pre = &out.kad_phases[0];
+        let faulted = &out.kad_phases[1];
+        let recovered = &out.kad_phases[2];
+        assert_eq!(pre.retransmits, 0, "fault-free retrievals never retransmit");
+        assert!(
+            faulted.retransmits > 0,
+            "crashed replicas must cost retransmits"
+        );
+        assert!(faulted.mean_latency_ms > pre.mean_latency_ms);
+        assert!(
+            recovered.successes >= pre.successes,
+            "retrieval must recover"
+        );
+        for s in &out.swarms {
+            assert_eq!(s.completed, s.leechers, "{}: swarm must recover", s.label);
+            assert!(
+                s.reannounces > 0,
+                "{}: crashes must force re-announces",
+                s.label
+            );
+            assert!(
+                s.done_at_fault_end < s.completed,
+                "{}: some completions must land after the window",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(&Params::quick(62));
+        let b = run(&Params::quick(62));
+        assert_eq!(a.reachability.to_csv(), b.reachability.to_csv());
+        assert_eq!(a.gnutella.to_csv(), b.gnutella.to_csv());
+        assert_eq!(a.kademlia.to_csv(), b.kademlia.to_csv());
+        assert_eq!(a.bittorrent.to_csv(), b.bittorrent.to_csv());
+    }
+}

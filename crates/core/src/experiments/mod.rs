@@ -15,6 +15,7 @@
 //! | [`e12_overhead`] | §5.4 | awareness overhead and churn robustness |
 //! | [`e13_variance`] | (extension) | seed sensitivity of the headline effects |
 //! | [`e14_gsh`] | §4 / Table 1 "Leopard" | geographically scoped hashing |
+//! | [`e16_resilience`] | (extension) | fault-campaign degradation and recovery curves |
 //!
 //! (E8, the Table 2 impact matrix, lives in [`crate::impact`] because it
 //! composes several of these.)
@@ -38,6 +39,7 @@ pub mod e12_overhead;
 pub mod e13_variance;
 pub mod e14_gsh;
 pub mod e15_collection;
+pub mod e16_resilience;
 pub mod sweep;
 
 use uap_net::{PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig};

@@ -98,6 +98,12 @@ pub struct GnutellaConfig {
     /// Whether to charge overlay signalling bytes to the traffic ledger
     /// (needed by the overhead experiment, off by default for speed).
     pub account_overhead_traffic: bool,
+    /// Download re-sourcing cap: how many *alternate* QueryHit providers a
+    /// downloader tries after a transfer failure before abandoning the
+    /// download (0 = give up on the first failure).
+    pub download_retries: usize,
+    /// Time-scheduled underlay fault campaign (`None` = fault-free run).
+    pub faults: Option<uap_net::FaultPlan>,
 }
 
 impl Default for GnutellaConfig {
@@ -122,6 +128,8 @@ impl Default for GnutellaConfig {
             duration: SimTime::from_mins(30),
             content: ContentParams::default(),
             account_overhead_traffic: false,
+            download_retries: 2,
+            faults: None,
         }
     }
 }

@@ -200,7 +200,9 @@ impl Overlay {
                     continue;
                 }
                 seen[w.idx()] = true;
-                let wl = lat + self.latency_cache[v.idx()][i];
+                // Saturating: edges to fault-unreachable peers carry the
+                // u64::MAX/4 sentinel, which plain addition could overflow.
+                let wl = lat.saturating_add(self.latency_cache[v.idx()][i]);
                 result.reached.push(Reached {
                     host: w,
                     hops: hops + 1,

@@ -13,7 +13,7 @@ use crate::overlay::{Overlay, Role};
 use crate::report::GnutellaReport;
 use crate::selection::Selector;
 use uap_info::Oracle;
-use uap_net::{HostId, TrafficCategory, Underlay};
+use uap_net::{CompiledFaultPlan, HostId, TrafficCategory, Underlay};
 use uap_sim::{ChurnModel, Ctx, SimTime, Simulator, TraceLevel, Tracer, World};
 
 /// Simulation events.
@@ -28,6 +28,10 @@ pub enum Ev {
     QueryCycle(HostId, u32),
     /// Neighbor-set repair after losing connections.
     Repair(HostId),
+    /// Fault-plan epoch boundary (index into the compiled plan's sorted
+    /// boundary list): rebuild routing, invalidate the route cache, and
+    /// crash/restart the affected hosts.
+    Fault(u32),
 }
 
 /// The simulation world.
@@ -48,6 +52,17 @@ pub struct GnutellaSim {
     download_secs_sum: f64,
     download_bytes_intra: u64,
     download_bytes_total: u64,
+    /// Compiled fault campaign (None = fault-free run).
+    faults: Option<CompiledFaultPlan>,
+    /// Hosts currently down because of a `HostCrash` fault epoch — a
+    /// crashed host stays off the overlay regardless of its churn state.
+    crashed: Vec<bool>,
+    /// Per-query outcome log `(time, found a provider)` — the raw series
+    /// the resilience experiment buckets into recovery curves.
+    query_log: Vec<(SimTime, bool)>,
+    /// Per-download outcome log `(time, completed)`, including re-sourced
+    /// and abandoned downloads.
+    download_log: Vec<(SimTime, bool)>,
 }
 
 impl GnutellaSim {
@@ -135,6 +150,7 @@ impl GnutellaSim {
                     .u64("leaves", (n - ultrapeers) as u64);
             });
 
+        let faults = cfg.faults.as_ref().map(|p| p.compile(&underlay.graph));
         let mut world = GnutellaSim {
             underlay,
             overlay,
@@ -150,6 +166,10 @@ impl GnutellaSim {
             download_secs_sum: 0.0,
             download_bytes_intra: 0,
             download_bytes_total: 0,
+            faults,
+            crashed: vec![false; n],
+            query_log: Vec::new(),
+            download_log: Vec::new(),
         };
         world.bootstrap(sim);
         world
@@ -166,13 +186,70 @@ impl GnutellaSim {
                 let t = SimTime::from_micros(sim.rng().below(60_000_000));
                 sim.schedule_at(t, Ev::Churn(h));
             } else {
-                sim.schedule_at(self.churn[i].next_transition(), Ev::Churn(h));
+                let t = self.churn[i].next_transition();
+                if t != SimTime::MAX {
+                    sim.schedule_at(t, Ev::Churn(h));
+                }
+            }
+        }
+        if let Some(plan) = &self.faults {
+            for (i, &t) in plan.boundaries().iter().enumerate() {
+                sim.schedule_at(t, Ev::Fault(i as u32));
+            }
+        }
+    }
+
+    /// Applies the composed fault state at one epoch boundary: routing
+    /// rebuild + route-cache invalidation on the underlay, then a diff of
+    /// the crash set against the previous one (newly crashed hosts drop
+    /// off the overlay, restored hosts rejoin if their churn state allows).
+    fn fault_boundary(&mut self, idx: usize, ctx: &mut Ctx<'_, Ev>) {
+        let (t, state) = match &self.faults {
+            None => return,
+            Some(plan) => {
+                let t = *plan
+                    .boundaries()
+                    .get(idx)
+                    .expect("Ev::Fault only carries scheduled boundary indices"); // lint:allow(expect)
+                (t, plan.state_at(t))
+            }
+        };
+        debug_assert_eq!(t, ctx.now());
+        self.underlay.apply_fault_state(&state);
+        ctx.metrics.incr("net.fault.epochs", 1);
+        let links_down = state.links_down();
+        ctx.trace("net", TraceLevel::Info, "fault.epoch", |f| {
+            f.u64("boundary", idx as u64)
+                .u64("links_down", links_down as u64)
+                .f64("latency_factor", state.latency_factor)
+                .u64("crashed", state.crashed.len() as u64);
+        });
+        let mut now_crashed = vec![false; self.crashed.len()];
+        for h in &state.crashed {
+            if h.idx() < now_crashed.len() {
+                now_crashed[h.idx()] = true;
+            }
+        }
+        for (i, &now_down) in now_crashed.iter().enumerate() {
+            let h = HostId(i as u32);
+            match (self.crashed[i], now_down) {
+                (false, true) => {
+                    self.crashed[i] = true;
+                    self.leave(h, ctx);
+                }
+                (true, false) => {
+                    self.crashed[i] = false;
+                    if self.churn[i].is_online() {
+                        self.join(h, ctx);
+                    }
+                }
+                _ => {}
             }
         }
     }
 
     fn join(&mut self, h: HostId, ctx: &mut Ctx<'_, Ev>) {
-        if self.overlay.is_online(h) {
+        if self.overlay.is_online(h) || self.crashed[h.idx()] {
             return;
         }
         self.overlay.set_online(h, true);
@@ -316,12 +393,19 @@ impl GnutellaSim {
         if self.cfg.account_overhead_traffic {
             self.account_overhead(h, &flood, wire::QUERY, 0, ctx.now());
         }
+        self.query_log.push((ctx.now(), !hits.is_empty()));
         if hits.is_empty() {
             return;
         }
         ctx.metrics.incr("gnutella.queries.success", 1);
         // Time to first hit: query out + hit back over the same tree path.
-        let first_hit_us = hits.iter().map(|r| 2 * r.latency_us).min().unwrap_or(0);
+        // Saturating: edges created across faulted (unroutable) paths carry
+        // the overlay's u64::MAX/4 latency sentinel.
+        let first_hit_us = hits
+            .iter()
+            .map(|r| r.latency_us.saturating_mul(2))
+            .min()
+            .unwrap_or(0);
         self.query_delay_sum_ms += first_hit_us as f64 / 1_000.0;
         // File-exchange stage: choose the provider.
         let providers: Vec<HostId> = hits.iter().map(|r| r.host).collect();
@@ -337,38 +421,99 @@ impl GnutellaSim {
         } else {
             *ctx.rng.pick(&providers)
         };
-        self.download(h, provider, ctx);
+        self.download(h, provider, &providers, ctx);
     }
 
-    fn download(&mut self, downloader: HostId, provider: HostId, ctx: &mut Ctx<'_, Ev>) {
+    /// File exchange with re-sourcing: tries the policy-chosen provider
+    /// first and, on transfer failure (source unreachable under the active
+    /// fault mask), falls back to the remaining QueryHit sources in
+    /// underlay-aware order (fewest AS hops first), up to
+    /// `cfg.download_retries` alternates before abandoning the download.
+    fn download(
+        &mut self,
+        downloader: HostId,
+        provider: HostId,
+        providers: &[HostId],
+        ctx: &mut Ctx<'_, Ev>,
+    ) {
         let bytes = self.cfg.file_size_bytes;
-        let cat = self.underlay.account_transfer_traced(
-            ctx.now(),
-            provider,
-            downloader,
-            bytes,
-            ctx.tracer,
-        );
-        ctx.metrics.incr("gnutella.downloads", 1);
-        self.download_bytes_total += bytes;
-        if cat == TrafficCategory::IntraAs {
-            ctx.metrics.incr("gnutella.downloads.intra_as", 1);
-            self.download_bytes_intra += bytes;
+        let mut tried = vec![provider];
+        let mut current = provider;
+        loop {
+            let secs = self
+                .underlay
+                .transfer_time(current, downloader, bytes)
+                .map(|t| t.as_secs_f64());
+            if let Some(s) = secs {
+                let cat = self.underlay.account_transfer_traced(
+                    ctx.now(),
+                    current,
+                    downloader,
+                    bytes,
+                    ctx.tracer,
+                );
+                ctx.metrics.incr("gnutella.downloads", 1);
+                self.download_bytes_total += bytes;
+                if cat == TrafficCategory::IntraAs {
+                    ctx.metrics.incr("gnutella.downloads.intra_as", 1);
+                    self.download_bytes_intra += bytes;
+                }
+                self.download_secs_sum += s;
+                ctx.trace("gnutella", TraceLevel::Debug, "download", |f| {
+                    f.u64("downloader", downloader.0 as u64)
+                        .u64("provider", current.0 as u64)
+                        .u64("bytes", bytes)
+                        .str("cat", cat.name())
+                        .f64("secs", s);
+                });
+                self.download_log.push((ctx.now(), true));
+                return;
+            }
+            // Transfer failure. Pick the closest untried QueryHit source
+            // (AS hops, then host id — deterministic, no extra RNG draws).
+            let next = if tried.len() > self.cfg.download_retries {
+                None
+            } else {
+                providers
+                    .iter()
+                    .copied()
+                    .filter(|p| !tried.contains(p))
+                    .min_by_key(|&p| {
+                        (
+                            self.underlay.as_hops(downloader, p).unwrap_or(u32::MAX),
+                            p.0,
+                        )
+                    })
+            };
+            match next {
+                None => {
+                    ctx.metrics.incr("gnutella.downloads.failed", 1);
+                    self.download_log.push((ctx.now(), false));
+                    return;
+                }
+                Some(p) => {
+                    ctx.metrics.incr("gnutella.downloads.retried", 1);
+                    ctx.trace("gnutella", TraceLevel::Debug, "download.retry", |f| {
+                        f.u64("downloader", downloader.0 as u64)
+                            .u64("failed", current.0 as u64)
+                            .u64("alternate", p.0 as u64)
+                            .u64("attempt", tried.len() as u64);
+                    });
+                    tried.push(p);
+                    current = p;
+                }
+            }
         }
-        let secs = self
-            .underlay
-            .transfer_time(provider, downloader, bytes)
-            .map(|t| t.as_secs_f64());
-        if let Some(s) = secs {
-            self.download_secs_sum += s;
-        }
-        ctx.trace("gnutella", TraceLevel::Debug, "download", |f| {
-            f.u64("downloader", downloader.0 as u64)
-                .u64("provider", provider.0 as u64)
-                .u64("bytes", bytes)
-                .str("cat", cat.name())
-                .f64("secs", secs.unwrap_or(-1.0));
-        });
+    }
+
+    /// The raw per-query outcome series `(time, found a provider)`.
+    pub fn query_log(&self) -> &[(SimTime, bool)] {
+        &self.query_log
+    }
+
+    /// The raw per-download outcome series `(time, completed)`.
+    pub fn download_log(&self) -> &[(SimTime, bool)] {
+        &self.download_log
     }
 
     /// Charges flood signalling bytes to the underlay ledger: each
@@ -465,6 +610,7 @@ impl World<Ev> for GnutellaSim {
                     self.connect(h, ctx);
                 }
             }
+            Ev::Fault(idx) => self.fault_boundary(idx as usize, ctx),
         }
     }
 
@@ -474,6 +620,7 @@ impl World<Ev> for GnutellaSim {
             Ev::PingCycle(..) => "ping_cycle",
             Ev::QueryCycle(..) => "query_cycle",
             Ev::Repair(_) => "repair",
+            Ev::Fault(_) => "fault",
         }
     }
 }
@@ -655,6 +802,107 @@ mod tests {
         assert_eq!(leaves, 60);
         assert!(report.queries_issued > 0);
         assert!(report.success_ratio() > 0.2);
+    }
+
+    #[test]
+    fn fault_campaign_degrades_and_recovers() {
+        use uap_net::{FaultKind, FaultPlan};
+        let mut cfg = quick_cfg(NeighborSelection::Random);
+        cfg.duration = SimTime::from_mins(24);
+        cfg.download_retries = 3;
+        cfg.faults = Some(
+            FaultPlan::new()
+                .epoch(
+                    SimTime::from_mins(8),
+                    SimTime::from_mins(16),
+                    FaultKind::TransitDown { p: 0.8, salt: 99 },
+                )
+                .epoch(
+                    SimTime::from_mins(8),
+                    SimTime::from_mins(16),
+                    FaultKind::LatencyInflation { factor: 2.0 },
+                ),
+        );
+        let (report, world) = run_experiment(underlay(150, 9), cfg, 31);
+        // Both epoch boundaries applied (entry + exit share the two times).
+        assert_eq!(world.underlay.route_cache_invalidations(), 2);
+        // The partition must have made some chosen source unreachable.
+        let failed_during = world
+            .download_log()
+            .iter()
+            .filter(|&&(t, ok)| !ok && t >= SimTime::from_mins(8) && t < SimTime::from_mins(16))
+            .count();
+        assert!(
+            failed_during > 0,
+            "an 80% transit outage should defeat some downloads"
+        );
+        // After the last epoch clears, downloads complete again.
+        let after: Vec<bool> = world
+            .download_log()
+            .iter()
+            .filter(|&&(t, _)| t >= SimTime::from_mins(16))
+            .map(|&(_, ok)| ok)
+            .collect();
+        assert!(!after.is_empty());
+        assert!(
+            after.iter().all(|&ok| ok),
+            "post-fault downloads must all complete"
+        );
+        assert!(report.downloads > 0);
+    }
+
+    #[test]
+    fn host_crash_epochs_drop_and_restore_peers() {
+        use uap_net::{FaultKind, FaultPlan};
+        let mut cfg = quick_cfg(NeighborSelection::Random);
+        cfg.duration = SimTime::from_mins(15);
+        let crashed: Vec<HostId> = (0..30u32).map(HostId).collect();
+        cfg.faults = Some(FaultPlan::new().epoch(
+            SimTime::from_mins(5),
+            SimTime::from_mins(10),
+            FaultKind::HostCrash {
+                hosts: crashed.clone(),
+            },
+        ));
+        let (report, world) = run_experiment(underlay(120, 10), cfg, 33);
+        // Static churn: every crashed host restarts when the epoch ends.
+        for h in crashed {
+            assert!(
+                world.overlay.is_online(h),
+                "host {h:?} should be back after the crash window"
+            );
+        }
+        // 120 initial joins + 30 restarts.
+        assert!(report.joins >= 150, "joins {}", report.joins);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use uap_net::{FaultKind, FaultPlan};
+        let mut cfg = quick_cfg(NeighborSelection::Random);
+        cfg.duration = SimTime::from_mins(20);
+        cfg.faults = Some(
+            FaultPlan::new()
+                .epoch(
+                    SimTime::from_mins(5),
+                    SimTime::from_mins(12),
+                    FaultKind::RandomLinkDown { p: 0.5, salt: 7 },
+                )
+                .epoch(
+                    SimTime::from_mins(6),
+                    SimTime::from_mins(10),
+                    FaultKind::HostCrash {
+                        hosts: (0..20u32).map(HostId).collect(),
+                    },
+                ),
+        );
+        let (a, wa) = run_experiment(underlay(100, 8), cfg.clone(), 21);
+        let (b, wb) = run_experiment(underlay(100, 8), cfg, 21);
+        assert_eq!(a.total_msgs(), b.total_msgs());
+        assert_eq!(a.queries_issued, b.queries_issued);
+        assert_eq!(a.downloads, b.downloads);
+        assert_eq!(wa.query_log(), wb.query_log());
+        assert_eq!(wa.download_log(), wb.download_log());
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub struct DhtConfig {
     pub proximity: ProximityMode,
     /// Average bytes of one RPC message (request or response).
     pub rpc_bytes: u64,
+    /// Retransmit attempts after an RPC timeout before the contact is
+    /// declared dead (0 = classic immediate prune, the pre-recovery
+    /// behavior and the default).
+    pub rpc_retries: u32,
+    /// Base RPC timeout in microseconds; retransmit attempt `i` waits
+    /// `rpc_timeout_us << i` (deterministic exponential backoff).
+    pub rpc_timeout_us: u64,
 }
 
 impl Default for DhtConfig {
@@ -43,6 +50,8 @@ impl Default for DhtConfig {
             alpha: 3,
             proximity: ProximityMode::None,
             rpc_bytes: 100,
+            rpc_retries: 0,
+            rpc_timeout_us: 500_000,
         }
     }
 }
@@ -62,6 +71,11 @@ pub struct LookupOutcome {
     pub rounds: u32,
     /// Total time: the per-round maximum RTT, summed.
     pub latency_us: u64,
+    /// Retransmit attempts issued after timeouts (0 unless
+    /// `rpc_retries > 0` and some contact failed to answer).
+    pub retransmits: u64,
+    /// Total backoff time spent waiting on timed-out RPCs, in µs.
+    pub timeout_wait_us: u64,
 }
 
 struct NodeState {
@@ -157,17 +171,29 @@ impl DhtNetwork {
 
     /// The node's DHT key.
     pub fn key_of(&self, h: HostId) -> Key {
-        self.nodes[h.idx()].key
+        self.node(h).key
     }
 
     /// Whether a node is online.
     pub fn is_online(&self, h: HostId) -> bool {
-        self.nodes[h.idx()].online
+        self.node(h).online
     }
 
     /// Takes a node offline (churn).
     pub fn set_online(&mut self, h: HostId, online: bool) {
-        self.nodes[h.idx()].online = online;
+        self.node_mut(h).online = online;
+    }
+
+    fn node(&self, h: HostId) -> &NodeState {
+        self.nodes
+            .get(h.idx())
+            .expect("DHT has one node per underlay host") // lint:allow(expect)
+    }
+
+    fn node_mut(&mut self, h: HostId) -> &mut NodeState {
+        self.nodes
+            .get_mut(h.idx())
+            .expect("DHT has one node per underlay host") // lint:allow(expect)
     }
 
     /// Mean AS-hop distance of all routing-table contacts — the table-
@@ -183,14 +209,19 @@ impl DhtNetwork {
 
     fn contact_of(&self, h: HostId, relative_to: HostId) -> Contact {
         Contact {
-            key: self.nodes[h.idx()].key,
+            key: self.node(h).key,
             host: h,
             as_hops: self.underlay.as_hops(relative_to, h).unwrap_or(u32::MAX),
         }
     }
 
     /// One RPC round trip from `from` to `to`; returns the RTT and charges
-    /// the ledger. `None` if the target is offline (timeout).
+    /// the ledger. `None` means timeout: the target is offline, or the
+    /// underlay has no route between the pair (a fault-epoch partition).
+    /// With `rpc_retries > 0`, a timeout first runs a deterministic
+    /// exponential-backoff retransmit loop — each attempt re-sends the
+    /// request (charged to the ledger) and doubles the wait — before the
+    /// caller's prune path sees the `None`.
     fn rpc(&mut self, from: HostId, to: HostId, out: &mut LookupOutcome) -> Option<u64> {
         out.rpcs += 1;
         let cat = self
@@ -200,15 +231,40 @@ impl DhtNetwork {
             out.inter_as_rpcs += 1;
         }
         out.as_hops_sum += self.underlay.as_hops(from, to).unwrap_or(0) as u64;
-        if !self.nodes[to.idx()].online {
-            return None; // request lost; timeout
+        let rtt = if self.node(to).online {
+            self.underlay
+                .account_transfer(self.clock, to, from, self.cfg.rpc_bytes);
+            // The responder learns the caller (standard Kademlia liveness).
+            let caller = self.contact_of(from, to);
+            self.node_mut(to).table.observe(caller);
+            self.underlay.rtt_us(from, to)
+        } else {
+            None // request lost; timeout
+        };
+        if rtt.is_none() && self.cfg.rpc_retries > 0 {
+            let mut wait = self.cfg.rpc_timeout_us;
+            for attempt in 1..=self.cfg.rpc_retries {
+                out.retransmits += 1;
+                out.timeout_wait_us = out.timeout_wait_us.saturating_add(wait);
+                self.tracer
+                    .emit(self.clock, "kademlia", TraceLevel::Debug, "rpc.retry", {
+                        move |f| {
+                            f.u64("from", from.0 as u64)
+                                .u64("to", to.0 as u64)
+                                .u64("attempt", attempt as u64)
+                                .u64("wait_us", wait);
+                        }
+                    });
+                // Retransmitting costs another request on the wire (the
+                // target never answers, so no response bytes).
+                self.underlay
+                    .account_transfer(self.clock, from, to, self.cfg.rpc_bytes);
+                wait = wait.saturating_mul(2);
+            }
+            // The last retransmit's own timeout elapses before giving up.
+            out.timeout_wait_us = out.timeout_wait_us.saturating_add(wait);
         }
-        self.underlay
-            .account_transfer(self.clock, to, from, self.cfg.rpc_bytes);
-        // The responder learns the caller (standard Kademlia liveness).
-        let caller = self.contact_of(from, to);
-        self.nodes[to.idx()].table.observe(caller);
-        self.underlay.rtt_us(from, to)
+        rtt
     }
 
     /// First 8 bytes of a key as an integer — a stable, compact label for
@@ -258,6 +314,7 @@ impl DhtNetwork {
             let mut learned: Vec<Contact> = Vec::new();
             for c in candidates {
                 queried.insert(c.key);
+                let wait_before = out.timeout_wait_us;
                 match self.rpc(from, c.host, &mut out) {
                     Some(rtt) => {
                         round_rtt = round_rtt.max(rtt);
@@ -274,7 +331,10 @@ impl DhtNetwork {
                     }
                     None => {
                         // Timeout: drop the dead contact and remember it so
-                        // other nodes' stale tables can't re-suggest it.
+                        // other nodes' stale tables can't re-suggest it. Any
+                        // backoff the retransmit loop spent waiting bounds
+                        // this round's duration like a slow RTT would.
+                        round_rtt = round_rtt.max(out.timeout_wait_us - wait_before);
                         dead.insert(c.key);
                         self.nodes[from.idx()].table.remove(&c.key);
                         shortlist.retain(|e| e.key != c.key);
@@ -545,6 +605,76 @@ mod tests {
             let out = net.lookup(HostId(0), &t, &mut rng);
             assert!(!out.closest.iter().any(|c| c.host == HostId(3)));
         }
+    }
+
+    #[test]
+    fn default_config_never_retransmits() {
+        let (mut net, mut rng) = network(32, ProximityMode::None, 7);
+        net.set_online(HostId(3), false);
+        for _ in 0..10 {
+            let t = Key::random(&mut rng);
+            let out = net.lookup(HostId(0), &t, &mut rng);
+            assert_eq!(out.retransmits, 0);
+            assert_eq!(out.timeout_wait_us, 0);
+        }
+    }
+
+    #[test]
+    fn retransmits_back_off_then_prune_the_dead_contact() {
+        let build = || {
+            let mut rng = SimRng::new(7);
+            let cfg = DhtConfig {
+                rpc_retries: 2,
+                rpc_timeout_us: 250_000,
+                ..Default::default()
+            };
+            let net = DhtNetwork::build(underlay(32, 7), cfg, &mut rng);
+            (net, rng)
+        };
+        let run = |(mut net, mut rng): (DhtNetwork, SimRng)| {
+            net.tracer = Tracer::buffered(TraceLevel::Debug);
+            net.set_online(HostId(3), false);
+            let mut total_retransmits = 0u64;
+            let mut total_wait = 0u64;
+            let mut outs = Vec::new();
+            for _ in 0..10 {
+                let t = Key::random(&mut rng);
+                let out = net.lookup(HostId(0), &t, &mut rng);
+                // Retransmits never resurrect a dead contact — the prune
+                // path still runs after the backoff loop gives up.
+                assert!(!out.closest.iter().any(|c| c.host == HostId(3)));
+                total_retransmits += out.retransmits;
+                total_wait += out.timeout_wait_us;
+                outs.push((
+                    out.rpcs,
+                    out.retransmits,
+                    out.timeout_wait_us,
+                    out.latency_us,
+                ));
+            }
+            (total_retransmits, total_wait, outs, net.tracer.to_jsonl())
+        };
+        let (retransmits, wait, outs, trace) = run(build());
+        assert!(
+            retransmits > 0,
+            "lookups near an offline node must retransmit before pruning"
+        );
+        // Each timed-out RPC waits 250ms + 500ms (two retransmits) plus the
+        // final 1s timeout = 1.75s of backoff per dead contact hit.
+        assert_eq!(wait, (retransmits / 2) * 1_750_000);
+        assert!(trace.contains("\"k\":\"rpc.retry\""));
+        assert!(trace.contains("\"wait_us\":250000"));
+        assert!(trace.contains("\"wait_us\":500000"));
+        // Backoff waits bound the round like a slow RTT: every lookup that
+        // retransmitted must report at least the full backoff as latency.
+        for (_, r, w, lat) in &outs {
+            if *r > 0 {
+                assert!(lat >= w, "latency {lat} must cover backoff wait {w}");
+            }
+        }
+        let (retransmits2, wait2, outs2, trace2) = run(build());
+        assert_eq!((retransmits, wait, outs), (retransmits2, wait2, outs2));
+        assert_eq!(trace, trace2, "retransmit runs must be byte-identical");
     }
 
     #[test]

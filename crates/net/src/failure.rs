@@ -77,6 +77,11 @@ pub fn probe_connectivity(
 
 /// Sweeps failure probability and returns `(p, mean reachable fraction)`
 /// over `trials` deterministic trials per point.
+///
+/// # Panics
+///
+/// Panics when `trials == 0` — averaging zero trials would emit NaN rows
+/// that flow silently into results CSVs.
 pub fn reachability_sweep(
     graph: &AsGraph,
     mode: RoutingMode,
@@ -84,6 +89,10 @@ pub fn reachability_sweep(
     trials: usize,
     rng: &mut SimRng,
 ) -> Vec<(f64, f64)> {
+    assert!(
+        trials > 0,
+        "reachability_sweep requires at least one trial per point"
+    );
     ps.iter()
         .map(|&p| {
             let mut acc = 0.0;
@@ -142,6 +151,16 @@ mod tests {
         assert_eq!(sweep[0].1, 1.0);
         assert!(sweep[0].1 >= sweep[1].1);
         assert!(sweep[1].1 >= sweep[2].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn reachability_sweep_rejects_zero_trials() {
+        // Regression: `trials == 0` divided by zero and produced NaN rows
+        // that flowed silently into results CSVs.
+        let g = graph();
+        let mut rng = SimRng::new(5);
+        let _ = reachability_sweep(&g, RoutingMode::ShortestPath, &[0.1], 0, &mut rng);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   paper's Figure 2: transit billed per Mbps at the 95th percentile,
 //!   peering at a flat fee;
 //! * [`failure`] — link/AS failure injection for resilience experiments;
+//! * [`fault`] — time-scheduled fault campaigns ([`FaultPlan`]): epoch-based
+//!   link-down windows, latency inflation and host crash/restart, applied
+//!   through the event engine with route-cache invalidation;
 //! * [`invariants`] — runtime checkers (valley-free routes, traffic
 //!   conservation, cost non-negativity) wired in under `debug_assertions`.
 
@@ -29,6 +32,7 @@
 pub mod asgraph;
 pub mod cost;
 pub mod failure;
+pub mod fault;
 pub mod gen;
 pub mod geo;
 pub mod host;
@@ -40,6 +44,7 @@ pub mod underlay;
 
 pub use asgraph::{AsGraph, AsLink, AsNode, LinkKind, Relationship, Tier};
 pub use cost::{CostParams, IspBill};
+pub use fault::{CompiledFaultPlan, FaultEpoch, FaultKind, FaultPlan, FaultState};
 pub use gen::{TopologyKind, TopologySpec};
 pub use geo::GeoPoint;
 pub use host::{AccessProfile, Host, HostPopulation, PopulationSpec};

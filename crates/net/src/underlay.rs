@@ -60,10 +60,15 @@ impl Default for UnderlayConfig {
 /// word the RTT computation already loaded instead of touching the
 /// routing table a second time. `u64::MAX` marks unreachable pairs.
 ///
-/// The cache is derived purely from the routing table and
-/// `per_as_hop_us`, both fixed at build time, so it can never go stale —
-/// host migration changes which AS a host maps to, not any AS-pair
-/// metric.
+/// The cache is derived from the routing table, `per_as_hop_us` and the
+/// active latency-inflation factor. Host migration cannot stale it
+/// (migration changes which AS a host maps to, not any AS-pair metric),
+/// but **swapping the routing table can**: whoever rebuilds `routing`
+/// (fault epochs, manual masked rebuilds through the `pub` field) must go
+/// through [`Underlay::rebuild_routing_with_mask`] /
+/// [`Underlay::invalidate_route_cache`] so the cache is rebuilt in the
+/// same step. [`Underlay::assert_route_cache_coherent`] verifies the
+/// invariant in debug builds after every invalidation.
 ///
 /// Hit/miss counters use `Cell` so read-only latency queries (`&self`)
 /// can record them; a "miss" is an intra-AS query answered by the
@@ -85,15 +90,17 @@ const UNREACHABLE_ENTRY: u64 = u64::MAX;
 const COMBINED_MASK: u64 = (1 << 48) - 1;
 
 impl RouteCache {
-    fn build(routing: &Routing, n: usize, per_as_hop_us: u64) -> RouteCache {
+    fn build(routing: &Routing, n: usize, per_as_hop_us: u64, latency_factor: f64) -> RouteCache {
         let mut entries = vec![UNREACHABLE_ENTRY; n * n];
         for (s, row) in entries.chunks_mut(n.max(1)).enumerate() {
             for (d, slot) in row.iter_mut().enumerate() {
-                if let Some(r) = routing.route(AsId(s as u16), AsId(d as u16)) {
-                    let combined = r.latency_us + r.hops as u64 * per_as_hop_us;
-                    debug_assert!(combined <= COMBINED_MASK);
-                    *slot = (r.transit_links as u64) << 48 | combined;
-                }
+                *slot = Self::packed_entry(
+                    routing,
+                    AsId(s as u16),
+                    AsId(d as u16),
+                    per_as_hop_us,
+                    latency_factor,
+                );
             }
         }
         RouteCache {
@@ -104,11 +111,37 @@ impl RouteCache {
         }
     }
 
+    /// The packed entry for one ordered AS pair, straight from the routing
+    /// table — the ground truth the cache materializes and the coherence
+    /// assertion recomputes.
+    fn packed_entry(
+        routing: &Routing,
+        src: AsId,
+        dst: AsId,
+        per_as_hop_us: u64,
+        latency_factor: f64,
+    ) -> u64 {
+        match routing.route(src, dst) {
+            None => UNREACHABLE_ENTRY,
+            Some(r) => {
+                let mut combined = r.latency_us + r.hops as u64 * per_as_hop_us;
+                if (latency_factor - 1.0).abs() > f64::EPSILON {
+                    combined = (combined as f64 * latency_factor) as u64;
+                }
+                debug_assert!(combined <= COMBINED_MASK);
+                (r.transit_links as u64) << 48 | combined
+            }
+        }
+    }
+
     /// Reads the packed entry for an ordered AS pair, counting a hit.
     #[inline]
     fn lookup(&self, src: AsId, dst: AsId) -> u64 {
         self.hits.set(self.hits.get() + 1);
-        self.entries[src.idx() * self.n + dst.idx()]
+        *self
+            .entries
+            .get(src.idx() * self.n + dst.idx())
+            .expect("route cache covers every ordered AS pair of its graph") // lint:allow(expect)
     }
 
     #[inline]
@@ -131,6 +164,12 @@ pub struct Underlay {
     pub traffic: TrafficAccounting,
     /// AS-pair route-metric cache (see [`RouteCache`]).
     route_cache: RouteCache,
+    /// Latency-inflation factor from the active fault state (1.0 = none),
+    /// folded into the cache entries at (re)build time.
+    latency_factor: f64,
+    /// How many times the route cache has been rebuilt after a routing
+    /// swap (fault epochs, manual invalidation).
+    invalidations: u64,
     /// Upper bound on any host pair's access bottleneck
     /// (`min(max uplink, max downlink)` over all hosts, in kbit/s).
     /// Host bandwidth is fixed at build time (migration moves a host
@@ -151,7 +190,7 @@ impl Underlay {
         let routing = Routing::compute(&graph, config.routing);
         let hosts = HostPopulation::build(&graph, pop, rng);
         let traffic = TrafficAccounting::new(&graph);
-        let route_cache = RouteCache::build(&routing, graph.len(), config.per_as_hop_us);
+        let route_cache = RouteCache::build(&routing, graph.len(), config.per_as_hop_us, 1.0);
         let max_up = hosts
             .ids()
             .map(|h| hosts.host(h).up_kbps as u64)
@@ -169,8 +208,90 @@ impl Underlay {
             config,
             traffic,
             route_cache,
+            latency_factor: 1.0,
+            invalidations: 0,
             bottleneck_bound_kbps: max_up.min(max_down).max(1),
         }
+    }
+
+    /// Rebuilds routing with a link-failure `mask` (`None` = all links up)
+    /// and **invalidates the packed AS-pair route cache** in the same
+    /// step. This is the one sanctioned way to swap the routing table:
+    /// writing `self.routing` directly leaves stale cached
+    /// `latency_us`/`rtt_us`/`transfer_time` answers behind (see the
+    /// `masked_rebuild_changes_cached_answers` golden test).
+    pub fn rebuild_routing_with_mask(&mut self, mask: Option<&[bool]>) {
+        self.routing = Routing::compute_with_mask(&self.graph, self.config.routing, mask);
+        self.invalidate_route_cache();
+    }
+
+    /// Applies one composed fault state: the link mask drives a routing
+    /// rebuild, the latency-inflation factor is folded into the rebuilt
+    /// cache entries. Host crashes are overlay-level (the worlds take
+    /// peers offline); the underlay only carries the path effects.
+    pub fn apply_fault_state(&mut self, state: &crate::fault::FaultState) {
+        self.latency_factor = state.latency_factor;
+        self.rebuild_routing_with_mask(state.mask.as_deref());
+    }
+
+    /// Rebuilds the route cache from the *current* routing table,
+    /// preserving the hit/miss counters across the swap and bumping the
+    /// invalidation counter. Call after any direct `routing` write; in
+    /// debug builds the rebuilt cache is immediately checked for
+    /// coherence.
+    pub fn invalidate_route_cache(&mut self) {
+        let (hits, misses) = self.route_cache_stats();
+        self.route_cache = RouteCache::build(
+            &self.routing,
+            self.graph.len(),
+            self.config.per_as_hop_us,
+            self.latency_factor,
+        );
+        self.route_cache.hits.set(hits);
+        self.route_cache.misses.set(misses);
+        self.invalidations += 1;
+        #[cfg(debug_assertions)]
+        self.assert_route_cache_coherent();
+    }
+
+    /// Verifies every packed cache entry against a fresh routing-table
+    /// computation — the debug-mode coherence assertion guarding fault
+    /// epoch switches. O(n²) route loads; debug builds only (called from
+    /// [`Underlay::invalidate_route_cache`]) plus tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any cached entry disagrees with the routing table.
+    pub fn assert_route_cache_coherent(&self) {
+        let n = self.graph.len();
+        for s in 0..n {
+            for d in 0..n {
+                let (src, dst) = (AsId(s as u16), AsId(d as u16));
+                let want = RouteCache::packed_entry(
+                    &self.routing,
+                    src,
+                    dst,
+                    self.config.per_as_hop_us,
+                    self.latency_factor,
+                );
+                let got = *self
+                    .route_cache
+                    .entries
+                    .get(s * self.route_cache.n + d)
+                    .expect("route cache covers every ordered AS pair of its graph"); // lint:allow(expect)
+                assert_eq!(
+                    got, want,
+                    "route cache stale for AS pair ({s}, {d}): \
+                     cached {got:#x}, routing table says {want:#x} — \
+                     was `routing` swapped without invalidate_route_cache()?"
+                );
+            }
+        }
+    }
+
+    /// Number of route-cache invalidations (routing rebuilds) so far.
+    pub fn route_cache_invalidations(&self) -> u64 {
+        self.invalidations
     }
 
     /// Number of hosts.
@@ -290,13 +411,15 @@ impl Underlay {
     }
 
     /// Exports the route-cache counters into `metrics` as
-    /// `net.route_cache.hit` / `net.route_cache.miss` absolute values.
+    /// `net.route_cache.hit` / `net.route_cache.miss` /
+    /// `net.route_cache.invalidations` absolute values.
     /// Opt-in (call at end of run) so existing experiment reports keep
     /// their byte-identical metric sets unless they ask for these.
     pub fn export_route_cache_metrics(&self, metrics: &mut Metrics) {
         let (hits, misses) = self.route_cache_stats();
         metrics.set_counter("net.route_cache.hit", hits);
         metrics.set_counter("net.route_cache.miss", misses);
+        metrics.set_counter("net.route_cache.invalidations", self.invalidations);
     }
 
     /// Emits one `net`/`route_cache` trace event (Debug level) with the
@@ -454,11 +577,11 @@ impl Underlay {
         if !tracer.is_enabled("net", TraceLevel::Debug) {
             return;
         }
-        for (li, &bytes) in self.traffic.per_link_bytes().iter().enumerate() {
+        let per_link = self.traffic.per_link_bytes();
+        for (li, (link, &bytes)) in self.graph.links.iter().zip(per_link).enumerate() {
             if bytes == 0 {
                 continue;
             }
-            let link = &self.graph.links[li];
             tracer.emit(now, "net", TraceLevel::Debug, "link.total", |f| {
                 f.u64("link", li as u64)
                     .str(
@@ -645,6 +768,80 @@ mod tests {
         let mut off = uap_sim::Tracer::disabled();
         u.account_transfer_traced(SimTime::ZERO, a, b, 5_000, &mut off);
         assert_eq!(off.len(), 0);
+    }
+
+    /// First inter-AS host pair of the fixture (the route cache applies
+    /// only to inter-AS queries).
+    fn inter_as_pair(u: &Underlay) -> (HostId, HostId) {
+        (0..200u32)
+            .flat_map(|a| ((a + 1)..200u32).map(move |b| (HostId(a), HostId(b))))
+            .find(|&(a, b)| !u.same_as(a, b))
+            .expect("hierarchical fixture has inter-AS pairs")
+    }
+
+    #[test]
+    fn masked_rebuild_changes_cached_answers() {
+        // Golden test for the cache-staleness bug: swapping the routing
+        // table without invalidation keeps serving pre-swap answers; the
+        // sanctioned rebuild path must change them.
+        let mut u = underlay(1.0);
+        let (a, b) = inter_as_pair(&u);
+        let lat0 = u.latency_us(a, b);
+        assert!(lat0.is_some());
+        let all_down = vec![true; u.graph.links.len()];
+
+        // The buggy pattern: write `routing` directly. Every inter-AS pair
+        // is now unroutable, but the stale cache still answers.
+        u.routing = Routing::compute_with_mask(&u.graph, u.config.routing, Some(&all_down));
+        assert_eq!(
+            u.latency_us(a, b),
+            lat0,
+            "direct routing swap left the cache serving stale answers \
+             (this is the bug the invalidation hook exists for)"
+        );
+
+        // Invalidation brings the cache back in line with the table.
+        u.invalidate_route_cache();
+        assert_eq!(
+            u.latency_us(a, b),
+            None,
+            "masked rebuild must change cached answers"
+        );
+        assert_eq!(u.rtt_us(a, b), None);
+        assert_eq!(u.transfer_time(a, b, 100_000), None);
+
+        // The one-step sanctioned path restores the original answers.
+        u.rebuild_routing_with_mask(None);
+        assert_eq!(u.latency_us(a, b), lat0);
+        assert_eq!(u.route_cache_invalidations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "route cache stale")]
+    fn coherence_assertion_catches_direct_routing_swap() {
+        let mut u = underlay(1.0);
+        let all_down = vec![true; u.graph.links.len()];
+        u.routing = Routing::compute_with_mask(&u.graph, u.config.routing, Some(&all_down));
+        u.assert_route_cache_coherent();
+    }
+
+    #[test]
+    fn fault_state_latency_inflation_scales_inter_as_paths() {
+        let mut u = underlay(1.0);
+        let (a, b) = inter_as_pair(&u);
+        let lat0 = u.latency_us(a, b).unwrap();
+        let mut state = crate::fault::FaultState::clear();
+        state.latency_factor = 3.0;
+        u.apply_fault_state(&state);
+        let lat1 = u.latency_us(a, b).unwrap();
+        assert!(
+            lat1 > lat0,
+            "inflation must slow inter-AS paths ({lat1} vs {lat0})"
+        );
+        // Clearing the fault restores the exact pre-fault metric.
+        u.apply_fault_state(&crate::fault::FaultState::clear());
+        assert_eq!(u.latency_us(a, b), Some(lat0));
+        assert_eq!(u.route_cache_invalidations(), 2);
     }
 
     #[test]

@@ -120,7 +120,11 @@ pub enum ChurnModel {
 }
 
 impl ChurnModel {
-    /// Initializes a peer's churn state at time zero.
+    /// Initializes a peer's churn state at time zero. Both branches go
+    /// through the static check: a static configuration with
+    /// `initial_online < 1.0` keeps its initially-offline peers offline
+    /// forever instead of scheduling a finite rejoin (which would make a
+    /// "static" population churn).
     pub fn start(cfg: &ChurnConfig, rng: &mut SimRng) -> ChurnModel {
         if rng.chance(cfg.initial_online) {
             ChurnModel::Online {
@@ -128,7 +132,7 @@ impl ChurnModel {
             }
         } else {
             ChurnModel::Offline {
-                until: cfg.offline.sample(rng),
+                until: Self::offline_end(cfg, SimTime::ZERO, rng),
             }
         }
     }
@@ -138,6 +142,14 @@ impl ChurnModel {
             SimTime::MAX
         } else {
             now.saturating_add(cfg.session.sample(rng))
+        }
+    }
+
+    fn offline_end(cfg: &ChurnConfig, now: SimTime, rng: &mut SimRng) -> SimTime {
+        if cfg.is_static() {
+            SimTime::MAX
+        } else {
+            now.saturating_add(cfg.offline.sample(rng))
         }
     }
 
@@ -177,6 +189,29 @@ mod tests {
         let m = ChurnModel::start(&cfg, &mut rng);
         assert!(m.is_online());
         assert_eq!(m.next_transition(), SimTime::MAX);
+    }
+
+    #[test]
+    fn static_config_initially_offline_never_rejoins() {
+        // Regression: a static session config combined with a finite
+        // offline distribution and `initial_online < 1.0` used to schedule
+        // a finite rejoin for the initially-offline peers, so a "static"
+        // population churned once. Both branches must honor `is_static`.
+        let cfg = ChurnConfig {
+            session: SessionDist::Fixed(f64::INFINITY),
+            offline: SessionDist::Fixed(5.0),
+            initial_online: 0.0,
+        };
+        let mut rng = SimRng::new(11);
+        for _ in 0..100 {
+            let m = ChurnModel::start(&cfg, &mut rng);
+            assert!(!m.is_online());
+            assert_eq!(
+                m.next_transition(),
+                SimTime::MAX,
+                "static initially-offline peer must never schedule a rejoin"
+            );
+        }
     }
 
     #[test]

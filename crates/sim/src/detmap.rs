@@ -52,7 +52,10 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
     /// was present; its insertion position is kept in that case.
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         match self.index.get(&key) {
-            Some(&i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Some(&i) => {
+                let slot = self.entries.get_mut(i).expect("index maps to a live entry"); // lint:allow(expect)
+                Some(std::mem::replace(&mut slot.1, value))
+            }
             None => {
                 self.index.insert(key.clone(), self.entries.len());
                 self.entries.push((key, value));
@@ -67,7 +70,10 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        self.index.get(key).map(|&i| &self.entries[i].1)
+        self.index
+            .get(key)
+            // lint:allow(expect)
+            .map(|&i| &self.entries.get(i).expect("index maps to a live entry").1)
     }
 
     /// Mutable borrowed-key lookup.
@@ -77,7 +83,10 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
         Q: Eq + Hash + ?Sized,
     {
         match self.index.get(key) {
-            Some(&i) => Some(&mut self.entries[i].1),
+            Some(&i) => {
+                let slot = self.entries.get_mut(i).expect("index maps to a live entry"); // lint:allow(expect)
+                Some(&mut slot.1)
+            }
             None => None,
         }
     }
@@ -100,7 +109,7 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
     {
         let i = self.index.remove(key)?;
         let (_, value) = self.entries.remove(i);
-        for (k, _) in &self.entries[i..] {
+        for (k, _) in self.entries.iter().skip(i) {
             if let Some(slot) = self.index.get_mut::<K>(k) {
                 *slot -= 1;
             }

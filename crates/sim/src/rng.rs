@@ -83,8 +83,12 @@ impl SimRng {
     }
 
     /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    /// If `items` is empty.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        &items[self.index(items.len())]
+        let i = self.index(items.len());
+        items.get(i).expect("pick requires a non-empty slice") // lint:allow(expect)
     }
 
     /// Fisher–Yates shuffle.

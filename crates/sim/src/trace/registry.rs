@@ -119,6 +119,12 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         doc: "end-of-run per-link traffic total (link, bytes)",
     },
     TraceKindSpec {
+        component: "net",
+        kind: "fault.epoch",
+        level: "info",
+        doc: "fault epoch boundary applied (links down, latency factor, crashed hosts)",
+    },
+    TraceKindSpec {
         component: "gnutella",
         kind: "roles",
         level: "info",
@@ -167,6 +173,12 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         doc: "download source selected (peer, source, intra-AS flag)",
     },
     TraceKindSpec {
+        component: "gnutella",
+        kind: "download.retry",
+        level: "debug",
+        doc: "download re-sourced to an alternate provider after a transfer failure",
+    },
+    TraceKindSpec {
         component: "kademlia",
         kind: "lookup.start",
         level: "debug",
@@ -183,6 +195,12 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         kind: "lookup.done",
         level: "debug",
         doc: "lookup finished (hops, rpcs, found)",
+    },
+    TraceKindSpec {
+        component: "kademlia",
+        kind: "rpc.retry",
+        level: "debug",
+        doc: "RPC retransmitted after a timeout with exponential backoff (attempt, wait)",
     },
     TraceKindSpec {
         component: "bittorrent",
@@ -213,6 +231,12 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         kind: "piece",
         level: "trace",
         doc: "one piece transferred (from, to, piece, intra-AS flag)",
+    },
+    TraceKindSpec {
+        component: "bittorrent",
+        kind: "reannounce",
+        level: "debug",
+        doc: "tracker re-announce after dead-neighbor loss (peer, received)",
     },
     TraceKindSpec {
         component: "info",
@@ -268,6 +292,16 @@ pub const METRICS: &[MetricSpec] = &[
         doc: "AS-pair route cache misses (exported at end of run)",
     },
     MetricSpec {
+        key: "net.route_cache.invalidations",
+        kind: MetricKind::Counter,
+        doc: "route-cache rebuilds after routing swaps (exported at end of run)",
+    },
+    MetricSpec {
+        key: "net.fault.epochs",
+        kind: MetricKind::Counter,
+        doc: "fault epoch boundaries applied to the underlay",
+    },
+    MetricSpec {
         key: "gnutella.joins",
         kind: MetricKind::Counter,
         doc: "hosts that joined the overlay",
@@ -316,6 +350,16 @@ pub const METRICS: &[MetricSpec] = &[
         key: "gnutella.downloads.intra_as",
         kind: MetricKind::Counter,
         doc: "downloads served from the same AS as the requester",
+    },
+    MetricSpec {
+        key: "gnutella.downloads.retried",
+        kind: MetricKind::Counter,
+        doc: "downloads re-sourced to an alternate provider after a failure",
+    },
+    MetricSpec {
+        key: "gnutella.downloads.failed",
+        kind: MetricKind::Counter,
+        doc: "downloads abandoned after exhausting every known provider",
     },
 ];
 
