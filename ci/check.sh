@@ -16,10 +16,17 @@
 #   7b. exp16 smoke             — one quick exp16_resilience run must
 #                                 exit 0 and write all four CSVs
 #   8. ci/perf_smoke.sh         — routing hot-path qps within 5x of the
-#                                 committed floors (docs/PERFORMANCE.md)
+#                                 committed floors, plus the exp16 event
+#                                 rate covering the burned-down gnutella/
+#                                 kademlia/bittorrent paths
+#                                 (docs/PERFORMANCE.md)
 #   9. xtask analyze            — call-graph purity/panic/registry proofs
 #                                 (docs/STATIC_ANALYSIS.md) against
 #                                 ci/analyze_panic_baseline.txt
+#   10. xtask analyze --pass=alloc — hot-path allocation discipline against
+#                                 ci/analyze_alloc_baseline.txt; its PERF
+#                                 line shares the analyzer's 120s wall
+#                                 budget (WallTimer-enforced in xtask)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,5 +67,8 @@ step "routing perf smoke (ci/perf_smoke.sh)"
 
 step "sim-purity analyzer (cargo run -p xtask -- analyze)"
 cargo run -q -p xtask -- analyze
+
+step "hot-path allocation pass (cargo run -p xtask -- analyze --pass=alloc)"
+cargo run -q -p xtask -- analyze --pass=alloc
 
 printf '\nAll checks passed.\n'

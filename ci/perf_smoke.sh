@@ -11,14 +11,21 @@
 # catching a reintroduced per-query allocation or table walk, which
 # costs an order of magnitude.
 #
-# Floors are in queries/sec. Update them (with a note in
-# docs/PERFORMANCE.md) only when a deliberate trade-off changes the
-# hot-path cost model.
+# Also runs exp16_resilience in quick mode and gates its event rate:
+# exp16 drives the gnutella flood, kademlia lookup and bittorrent swarm
+# paths end-to-end, so it covers the scratch-buffer burn-down the alloc
+# pass ratchets (~7.3k events/sec after the burn-down; see
+# docs/PERFORMANCE.md "Allocation discipline" evidence).
+#
+# Floors are in queries/sec (routing) and events/sec (exp16). Update
+# them (with a note in docs/PERFORMANCE.md) only when a deliberate
+# trade-off changes the hot-path cost model.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATH_QPS_FLOOR=440000000
 TRANSFER_QPS_FLOOR=90000000
+EXP16_EPS_FLOOR=7000
 SLACK=5
 
 WORK="$(mktemp -d)"
@@ -48,5 +55,17 @@ check() { # check <label> <measured> <floor>
 
 check path_qps "$path_qps" "$PATH_QPS_FLOOR"
 check transfer_qps "$transfer_qps" "$TRANSFER_QPS_FLOOR"
+
+echo "exp16 resilience event-rate smoke (quick)"
+cargo run --release -q -p uap-bench --bin exp16_resilience -- \
+  --quick --seed 42 --out "$WORK/e16" | tee "$WORK/e16_stdout.txt"
+
+e16_line="$(grep '^PERF exp16_resilience ' "$WORK/e16_stdout.txt")"
+e16_eps="$(sed -n 's/.* events_per_sec=\([0-9]*\).*/\1/p' <<<"$e16_line")"
+if [[ -z "$e16_eps" ]]; then
+  echo "FAIL: could not parse PERF line: $e16_line" >&2
+  exit 1
+fi
+check exp16_events_per_sec "$e16_eps" "$EXP16_EPS_FLOOR"
 
 echo "perf smoke passed."

@@ -200,6 +200,17 @@ impl Run {
             Ok(()) => println!("{}", artifact_line("bench", &bench_path)),
             Err(e) => eprintln!("warning: could not write {}: {e}", bench_path.display()),
         }
+        // One grep-able throughput line per run, mirroring bench_routing's
+        // `PERF size=…` lines — ci/perf_smoke.sh parses exp16's.
+        let eps = if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        };
+        println!(
+            "PERF {} events={events} wall_secs={wall:.3} events_per_sec={eps:.0}",
+            self.name
+        );
         if let Some(tp) = &self.trace_path {
             if let Some(dir) = tp.parent() {
                 let _ = std::fs::create_dir_all(dir);

@@ -173,8 +173,14 @@ pub fn run_swarm_with(
     // Initial announces.
     for i in 0..peers.len() {
         let who = peers[i].host;
-        let got = tracker.announce(&underlay, who, &members, cfg.max_peers, &mut rng);
-        peers[i].neighbors = got;
+        tracker.announce_into(
+            &underlay,
+            who,
+            &members,
+            cfg.max_peers,
+            &mut rng,
+            &mut peers[i].neighbors,
+        );
     }
     // Piece availability for rarest-first.
     let mut availability: Vec<u32> = vec![0; cfg.n_pieces];
@@ -199,6 +205,17 @@ pub fn run_swarm_with(
     let mut reannounces = 0u64;
     let mut completed_by_round: Vec<usize> = Vec::new();
 
+    // Round-loop scratch, allocated once and reused every round so the
+    // per-round body itself stays allocation-free (the alloc pass in
+    // `xtask analyze` ratchets this; see docs/STATIC_ANALYSIS.md).
+    let mut was_down = vec![false; peers.len()];
+    let mut live: Vec<HostId> = Vec::with_capacity(peers.len());
+    let mut unchokes: Vec<Vec<usize>> = vec![Vec::new(); peers.len()];
+    let mut interested: Vec<usize> = Vec::new();
+    let mut leftovers: Vec<usize> = Vec::new();
+    let mut received_this: Vec<BTreeMap<HostId, u64>> = vec![BTreeMap::new(); peers.len()];
+    let mut completions: Vec<(usize, usize)> = Vec::new(); // (peer, piece)
+
     let mut rounds = 0u32;
     let mut payload_bytes = 0u64;
     while rounds < cfg.max_rounds {
@@ -220,8 +237,8 @@ pub fn run_swarm_with(
             });
             // Diff the crash set; the tracker's live pool is the members
             // that still announce under the new state.
-            let was_down = down.clone();
-            let mut live: Vec<HostId> = Vec::new();
+            was_down.copy_from_slice(&down);
+            live.clear();
             for (i, &h) in members.iter().enumerate() {
                 down[i] = state.crashed.binary_search(&h).is_ok();
                 if !down[i] {
@@ -243,13 +260,19 @@ pub fn run_swarm_with(
                     .retain(|h| index.get(h).map(|&j| !d[j]).unwrap_or(true));
                 if restored || peers[i].neighbors.len() < before {
                     let who = peers[i].host;
-                    let got = tracker.announce(&underlay, who, &live, cfg.max_peers, &mut rng);
+                    tracker.announce_into(
+                        &underlay,
+                        who,
+                        &live,
+                        cfg.max_peers,
+                        &mut rng,
+                        &mut peers[i].neighbors,
+                    );
                     reannounces += 1;
+                    let received = peers[i].neighbors.len();
                     tracer.emit(now, "bittorrent", TraceLevel::Debug, "reannounce", |f| {
-                        f.u64("peer", who.0 as u64)
-                            .u64("received", got.len() as u64);
+                        f.u64("peer", who.0 as u64).u64("received", received as u64);
                     });
-                    peers[i].neighbors = got;
                 }
             }
         }
@@ -263,25 +286,25 @@ pub fn run_swarm_with(
             );
             break;
         }
-        // Phase 1: each peer picks its unchoke set.
-        let mut unchokes: Vec<Vec<usize>> = Vec::with_capacity(peers.len());
+        // Phase 1: each peer picks its unchoke set (built in place into
+        // the reused `unchokes[i]` buffer).
         for i in 0..peers.len() {
+            unchokes[i].clear();
             if down[i] {
-                unchokes.push(Vec::new());
                 continue;
             }
             let me = &peers[i];
             // Interested neighbors: they lack something I have.
-            let mut interested: Vec<usize> = me
-                .neighbors
-                .iter()
-                .filter_map(|h| index.get(h).copied())
-                .filter(|&j| !down[j])
-                .filter(|&j| peers[j].done_at.is_none() && !peers[j].is_seed)
-                .filter(|&j| peers[j].pieces.is_interested_in(&me.pieces))
-                .collect();
+            interested.clear();
+            interested.extend(
+                me.neighbors
+                    .iter()
+                    .filter_map(|h| index.get(h).copied())
+                    .filter(|&j| !down[j])
+                    .filter(|&j| peers[j].done_at.is_none() && !peers[j].is_seed)
+                    .filter(|&j| peers[j].pieces.is_interested_in(&me.pieces)),
+            );
             if interested.is_empty() {
-                unchokes.push(Vec::new());
                 continue;
             }
             // Tit-for-tat ranking; CAT discounts external reciprocators.
@@ -295,34 +318,34 @@ pub fn run_swarm_with(
                 };
                 (std::cmp::Reverse(scaled), peers[j].host)
             });
-            let mut set: Vec<usize> = interested.iter().copied().take(cfg.unchoke_slots).collect();
+            unchokes[i].extend(interested.iter().copied().take(cfg.unchoke_slots));
             // Optimistic slots: random interested peers outside the set.
-            let leftovers: Vec<usize> = interested
-                .iter()
-                .copied()
-                .filter(|j| !set.contains(j))
-                .collect();
+            leftovers.clear();
+            leftovers.extend(
+                interested
+                    .iter()
+                    .copied()
+                    .filter(|j| !unchokes[i].contains(j)),
+            );
             for _ in 0..cfg.optimistic_slots {
                 if leftovers.is_empty() {
                     break;
                 }
                 let pick = leftovers[rng.index(leftovers.len())];
-                if !set.contains(&pick) {
-                    set.push(pick);
+                if !unchokes[i].contains(&pick) {
+                    unchokes[i].push(pick);
                 }
             }
             tracer.emit(now, "bittorrent", TraceLevel::Trace, "unchoke", |f| {
                 f.u64("peer", peers[i].host.0 as u64)
-                    .u64("slots", set.len() as u64)
+                    .u64("slots", unchokes[i].len() as u64)
                     .bool("cost_aware", cfg.cost_aware_choking);
             });
-            unchokes.push(set);
         }
         // Phase 2: move bytes along each unchoked flow.
         let round_secs = cfg.round.as_secs_f64();
         let mut round_bytes = 0u64;
-        let mut received_this: Vec<BTreeMap<HostId, u64>> = vec![BTreeMap::new(); peers.len()];
-        let mut completions: Vec<(usize, usize)> = Vec::new(); // (peer, piece)
+        completions.clear();
         for i in 0..peers.len() {
             if unchokes[i].is_empty() {
                 continue;
@@ -379,7 +402,7 @@ pub fn run_swarm_with(
         }
         // Phase 3: commit completions, completion times, re-announces.
         let n_completions = completions.len();
-        for (j, p) in completions {
+        for &(j, p) in &completions {
             if peers[j].pieces.insert(p) {
                 availability[p] += 1;
                 tracer.emit(now, "bittorrent", TraceLevel::Trace, "piece", |f| {
@@ -399,8 +422,9 @@ pub fn run_swarm_with(
                 .u64("pieces", n_completions as u64)
                 .u64("bytes", round_bytes);
         });
-        for (j, recv) in received_this.into_iter().enumerate() {
-            peers[j].received_last = recv;
+        for (j, recv) in received_this.iter_mut().enumerate() {
+            std::mem::swap(&mut peers[j].received_last, recv);
+            recv.clear();
         }
         completed_by_round.push(
             peers
@@ -414,8 +438,14 @@ pub fn run_swarm_with(
             for i in 0..peers.len() {
                 if !down[i] && peers[i].done_at.is_none() && !peers[i].is_seed {
                     let who = peers[i].host;
-                    let got = tracker.announce(&underlay, who, &members, cfg.max_peers, &mut rng);
-                    peers[i].neighbors = got;
+                    tracker.announce_into(
+                        &underlay,
+                        who,
+                        &members,
+                        cfg.max_peers,
+                        &mut rng,
+                        &mut peers[i].neighbors,
+                    );
                 }
             }
         }

@@ -29,10 +29,14 @@ pub enum TrackerPolicy {
     CostAware,
 }
 
-/// The tracker state: the swarm membership.
+/// The tracker state: the swarm membership, plus reusable candidate
+/// scratch so the per-announce path stays allocation-free (announces
+/// fire from the swarm's per-round re-announce loops).
 pub struct Tracker {
     policy: TrackerPolicy,
     announces: u64,
+    pool: Vec<HostId>,
+    scored: Vec<(u32, HostId)>,
 }
 
 impl Tracker {
@@ -41,6 +45,8 @@ impl Tracker {
         Tracker {
             policy,
             announces: 0,
+            pool: Vec::new(),
+            scored: Vec::new(),
         }
     }
 
@@ -59,52 +65,71 @@ impl Tracker {
         want: usize,
         rng: &mut SimRng,
     ) -> Vec<HostId> {
+        let mut out = Vec::new();
+        self.announce_into(underlay, who, swarm, want, rng, &mut out);
+        out
+    }
+
+    /// Like [`Tracker::announce`], but clears and fills `out` instead of
+    /// allocating a response — the swarm reuses each peer's neighbor
+    /// buffer across re-announces.
+    pub fn announce_into(
+        &mut self,
+        underlay: &Underlay,
+        who: HostId,
+        swarm: &[HostId],
+        want: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<HostId>,
+    ) {
         self.announces += 1;
-        let mut pool: Vec<HostId> = swarm.iter().copied().filter(|&p| p != who).collect();
+        out.clear();
+        let pool = &mut self.pool;
+        pool.clear();
+        pool.extend(swarm.iter().copied().filter(|&p| p != who));
         match self.policy {
             TrackerPolicy::Random => {
-                rng.shuffle(&mut pool);
-                pool.truncate(want);
-                pool
+                rng.shuffle(pool);
+                out.extend(pool.iter().copied().take(want));
             }
             TrackerPolicy::Bns { internal, external } => {
-                rng.shuffle(&mut pool);
-                let mut inside: Vec<HostId> = pool
-                    .iter()
-                    .copied()
-                    .filter(|&p| underlay.same_as(who, p))
-                    .take(internal.min(want))
-                    .collect();
-                let room = want.saturating_sub(inside.len());
-                let outside: Vec<HostId> = pool
-                    .iter()
-                    .copied()
-                    .filter(|&p| !underlay.same_as(who, p))
-                    .take(external.min(room))
-                    .collect();
-                inside.extend(outside);
+                rng.shuffle(pool);
+                out.extend(
+                    pool.iter()
+                        .copied()
+                        .filter(|&p| underlay.same_as(who, p))
+                        .take(internal.min(want)),
+                );
+                let room = want.saturating_sub(out.len());
+                out.extend(
+                    pool.iter()
+                        .copied()
+                        .filter(|&p| !underlay.same_as(who, p))
+                        .take(external.min(room)),
+                );
                 // Backfill with whatever remains if the response is short.
-                if inside.len() < want {
-                    for &p in &pool {
-                        if inside.len() >= want {
+                if out.len() < want {
+                    for &p in pool.iter() {
+                        if out.len() >= want {
                             break;
                         }
-                        if !inside.contains(&p) {
-                            inside.push(p);
+                        if !out.contains(&p) {
+                            out.push(p);
                         }
                     }
                 }
-                inside
             }
             TrackerPolicy::CostAware => {
-                rng.shuffle(&mut pool);
-                let mut scored: Vec<(u32, HostId)> = pool
-                    .iter()
-                    .map(|&p| (underlay.as_hops(who, p).unwrap_or(u32::MAX), p))
-                    .collect();
+                rng.shuffle(pool);
+                let scored = &mut self.scored;
+                scored.clear();
+                scored.extend(
+                    pool.iter()
+                        .map(|&p| (underlay.as_hops(who, p).unwrap_or(u32::MAX), p)),
+                );
                 scored.sort_by_key(|&(h, _)| h);
                 let cheap = want.saturating_sub(2);
-                let mut out: Vec<HostId> = scored.iter().take(cheap).map(|&(_, p)| p).collect();
+                out.extend(scored.iter().take(cheap).map(|&(_, p)| p));
                 // Two random entries for piece diversity.
                 for &(_, p) in scored.iter().skip(cheap) {
                     if out.len() >= want {
@@ -122,7 +147,6 @@ impl Tracker {
                         out.push(p);
                     }
                 }
-                out
             }
         }
     }

@@ -47,6 +47,15 @@ pub struct Overlay {
     roles: Vec<Role>,
     online: Vec<bool>,
     edge_count: usize,
+    /// Flood scratch: generation-stamped visited marks + the BFS queue,
+    /// reused across floods so the per-ping/per-query path allocates
+    /// nothing (a slot is "seen" when its stamp equals the current
+    /// generation; bumping the generation resets all marks in O(1)).
+    seen_gen: Vec<u64>,
+    generation: u64,
+    queue: std::collections::VecDeque<(HostId, u32, u64)>,
+    /// Reused peer snapshot for `set_online`'s edge-drop loop.
+    scratch_peers: Vec<HostId>,
 }
 
 impl Overlay {
@@ -59,6 +68,10 @@ impl Overlay {
             roles: vec![Role::Ultrapeer; n],
             online: vec![false; n],
             edge_count: 0,
+            seen_gen: vec![0; n],
+            generation: 0,
+            queue: std::collections::VecDeque::new(),
+            scratch_peers: Vec::new(),
         }
     }
 
@@ -86,10 +99,15 @@ impl Overlay {
     pub fn set_online(&mut self, h: HostId, online: bool) {
         self.online[h.idx()] = online;
         if !online {
-            let peers: Vec<HostId> = self.neighbors[h.idx()].clone();
-            for p in peers {
+            // Snapshot into the reused scratch (remove_edge mutates the
+            // neighbor list we are iterating), preserving drop order.
+            let mut peers = std::mem::take(&mut self.scratch_peers);
+            peers.clear();
+            peers.extend_from_slice(&self.neighbors[h.idx()]);
+            for &p in &peers {
                 self.remove_edge(h, p);
             }
+            self.scratch_peers = peers;
         }
     }
 
@@ -179,41 +197,51 @@ impl Overlay {
     /// Ultrapeers forward; leaves receive but never forward. Leaves
     /// attached to a reached ultrapeer are delivered to (and counted) as
     /// hop `h + 1` even when `h + 1 == ttl`, like real leaf delivery.
-    pub fn flood(&self, origin: HostId, ttl: u32) -> FloodResult {
+    pub fn flood(&mut self, origin: HostId, ttl: u32) -> FloodResult {
         let mut result = FloodResult::default();
+        self.flood_into(origin, ttl, &mut result);
+        result
+    }
+
+    /// Like [`Overlay::flood`], but clears and fills `out` instead of
+    /// allocating a result — the sim reuses one `FloodResult` across all
+    /// ping/query floods. Needs `&mut self` for the generation-stamped
+    /// visited scratch (the overlay topology is not modified).
+    pub fn flood_into(&mut self, origin: HostId, ttl: u32, out: &mut FloodResult) {
+        out.reached.clear();
+        out.messages = 0;
         if ttl == 0 || !self.is_online(origin) {
-            return result;
+            return;
         }
-        let n = self.len();
-        let mut seen = vec![false; n];
-        seen[origin.idx()] = true;
+        self.generation += 1;
+        let gen = self.generation;
+        self.seen_gen[origin.idx()] = gen;
         // Queue of (host, hops, latency) of *forwarding* nodes.
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back((origin, 0u32, 0u64));
-        while let Some((v, hops, lat)) = queue.pop_front() {
+        self.queue.clear();
+        self.queue.push_back((origin, 0u32, 0u64));
+        while let Some((v, hops, lat)) = self.queue.pop_front() {
             if hops >= ttl {
                 continue;
             }
             for (i, &w) in self.neighbors[v.idx()].iter().enumerate() {
-                result.messages += 1;
-                if seen[w.idx()] {
+                out.messages += 1;
+                if self.seen_gen[w.idx()] == gen {
                     continue;
                 }
-                seen[w.idx()] = true;
+                self.seen_gen[w.idx()] = gen;
                 // Saturating: edges to fault-unreachable peers carry the
                 // u64::MAX/4 sentinel, which plain addition could overflow.
                 let wl = lat.saturating_add(self.latency_cache[v.idx()][i]);
-                result.reached.push(Reached {
+                out.reached.push(Reached {
                     host: w,
                     hops: hops + 1,
                     latency_us: wl,
                 });
                 if self.roles[w.idx()] == Role::Ultrapeer {
-                    queue.push_back((w, hops + 1, wl));
+                    self.queue.push_back((w, hops + 1, wl));
                 }
             }
         }
-        result
     }
 }
 
@@ -284,7 +312,7 @@ mod tests {
     #[test]
     fn flood_on_line_respects_ttl() {
         let u = underlay(10);
-        let o = line_overlay(&u, 10);
+        let mut o = line_overlay(&u, 10);
         let r = o.flood(HostId(0), 3);
         // Reaches nodes 1, 2, 3.
         assert_eq!(r.reached.len(), 3);
@@ -316,7 +344,7 @@ mod tests {
     #[test]
     fn latency_accumulates_along_tree() {
         let u = underlay(10);
-        let o = line_overlay(&u, 4);
+        let mut o = line_overlay(&u, 4);
         let r = o.flood(HostId(0), 3);
         let lat: Vec<u64> = r.reached.iter().map(|x| x.latency_us).collect();
         assert!(lat[0] < lat[1] && lat[1] < lat[2]);
@@ -342,7 +370,7 @@ mod tests {
     #[test]
     fn zero_ttl_or_offline_origin_is_empty() {
         let u = underlay(10);
-        let o = line_overlay(&u, 5);
+        let mut o = line_overlay(&u, 5);
         assert_eq!(o.flood(HostId(0), 0).reached.len(), 0);
         let mut o2 = line_overlay(&u, 5);
         o2.set_online(HostId(0), false);

@@ -38,12 +38,16 @@ pub enum NeighborSelection {
     CapacityBiased,
 }
 
-/// Mutable selection state (oracle counters, probe counters).
+/// Mutable selection state (oracle counters, probe counters), plus
+/// reusable scoring scratch so the per-join ranking path allocates
+/// nothing (the alloc pass in `xtask analyze` ratchets this).
 pub struct Selector {
     /// The policy in force.
     pub policy: NeighborSelection,
     oracle: Oracle,
     probe_messages: u64,
+    scored: Vec<(u64, HostId)>,
+    scored_cap: Vec<(HostId, f64)>,
 }
 
 impl Selector {
@@ -57,6 +61,8 @@ impl Selector {
             policy,
             oracle: Oracle::new(list),
             probe_messages: 0,
+            scored: Vec::new(),
+            scored_cap: Vec::new(),
         }
     }
 
@@ -78,52 +84,68 @@ impl Selector {
         candidates: &[HostId],
         rng: &mut SimRng,
     ) -> Vec<HostId> {
+        let mut out = Vec::new();
+        self.rank_into(underlay, joiner, candidates, rng, &mut out);
+        out
+    }
+
+    /// Like [`Selector::rank`], but clears and fills `out` instead of
+    /// allocating the ranked list — join/repair hands in a reused buffer.
+    pub fn rank_into(
+        &mut self,
+        underlay: &Underlay,
+        joiner: HostId,
+        candidates: &[HostId],
+        rng: &mut SimRng,
+        out: &mut Vec<HostId>,
+    ) {
+        out.clear();
         match self.policy {
             NeighborSelection::Random => {
-                let mut c = candidates.to_vec();
-                rng.shuffle(&mut c);
-                c
+                out.extend_from_slice(candidates);
+                rng.shuffle(out);
             }
             NeighborSelection::OracleBiased { .. } => {
                 // The study shuffles the hostcache before the oracle call;
                 // the oracle then sorts its prefix.
-                let mut c = candidates.to_vec();
-                rng.shuffle(&mut c);
-                self.oracle.rank(underlay, joiner, &c)
+                out.extend_from_slice(candidates);
+                rng.shuffle(out);
+                self.oracle.rank_in_place(underlay, joiner, out);
             }
             NeighborSelection::LatencyBiased => {
-                let mut scored: Vec<(u64, HostId)> = candidates
-                    .iter()
-                    .map(|&c| {
-                        self.probe_messages += 2;
-                        (
-                            underlay.measured_rtt_us(joiner, c, rng).unwrap_or(u64::MAX),
-                            c,
-                        )
-                    })
-                    .collect();
+                let scored = &mut self.scored;
+                scored.clear();
+                scored.extend(candidates.iter().map(|&c| {
+                    self.probe_messages += 2;
+                    (
+                        underlay.measured_rtt_us(joiner, c, rng).unwrap_or(u64::MAX),
+                        c,
+                    )
+                }));
                 scored.sort_by_key(|&(rtt, h)| (rtt, h));
-                scored.into_iter().map(|(_, h)| h).collect()
+                out.extend(scored.iter().map(|&(_, h)| h));
             }
             NeighborSelection::GeoBiased => {
-                let mut scored: Vec<(u64, HostId)> = candidates
-                    .iter()
-                    .map(|&c| {
-                        // Quantize to metres for a stable integer sort key.
-                        let km = underlay.geo_distance_km(joiner, c);
-                        ((km * 1000.0) as u64, c)
-                    })
-                    .collect();
+                let scored = &mut self.scored;
+                scored.clear();
+                scored.extend(candidates.iter().map(|&c| {
+                    // Quantize to metres for a stable integer sort key.
+                    let km = underlay.geo_distance_km(joiner, c);
+                    ((km * 1000.0) as u64, c)
+                }));
                 scored.sort_by_key(|&(d, h)| (d, h));
-                scored.into_iter().map(|(_, h)| h).collect()
+                out.extend(scored.iter().map(|&(_, h)| h));
             }
             NeighborSelection::CapacityBiased => {
-                let mut scored: Vec<(HostId, f64)> = candidates
-                    .iter()
-                    .map(|&c| (c, underlay.host(c).capacity_score()))
-                    .collect();
+                let scored = &mut self.scored_cap;
+                scored.clear();
+                scored.extend(
+                    candidates
+                        .iter()
+                        .map(|&c| (c, underlay.host(c).capacity_score())),
+                );
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                scored.into_iter().map(|(h, _)| h).collect()
+                out.extend(scored.iter().map(|&(h, _)| h));
             }
         }
     }
@@ -140,6 +162,20 @@ impl Selector {
         let mut ranked = self.rank(underlay, joiner, candidates, rng);
         ranked.truncate(want);
         ranked
+    }
+
+    /// Like [`Selector::select`], but fills a reused buffer.
+    pub fn select_into(
+        &mut self,
+        underlay: &Underlay,
+        joiner: HostId,
+        candidates: &[HostId],
+        want: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<HostId>,
+    ) {
+        self.rank_into(underlay, joiner, candidates, rng, out);
+        out.truncate(want);
     }
 }
 

@@ -63,6 +63,18 @@ pub struct GnutellaSim {
     /// Per-download outcome log `(time, completed)`, including re-sourced
     /// and abandoned downloads.
     download_log: Vec<(SimTime, bool)>,
+    /// Hot-path scratch buffers, reused across events (taken with
+    /// `std::mem::take` around calls that need `&mut self`) so the
+    /// per-event bodies stay allocation-free — the alloc pass in
+    /// `xtask analyze` ratchets this.
+    scratch_flood: crate::overlay::FloodResult,
+    scratch_hits: Vec<crate::overlay::Reached>,
+    scratch_providers: Vec<HostId>,
+    scratch_candidates: Vec<HostId>,
+    scratch_picked: Vec<HostId>,
+    scratch_neighbors: Vec<HostId>,
+    scratch_tried: Vec<HostId>,
+    scratch_crash: Vec<bool>,
 }
 
 impl GnutellaSim {
@@ -170,6 +182,14 @@ impl GnutellaSim {
             crashed: vec![false; n],
             query_log: Vec::new(),
             download_log: Vec::new(),
+            scratch_flood: crate::overlay::FloodResult::default(),
+            scratch_hits: Vec::new(),
+            scratch_providers: Vec::new(),
+            scratch_candidates: Vec::new(),
+            scratch_picked: Vec::new(),
+            scratch_neighbors: Vec::new(),
+            scratch_tried: Vec::new(),
+            scratch_crash: Vec::new(),
         };
         world.bootstrap(sim);
         world
@@ -224,7 +244,9 @@ impl GnutellaSim {
                 .f64("latency_factor", state.latency_factor)
                 .u64("crashed", state.crashed.len() as u64);
         });
-        let mut now_crashed = vec![false; self.crashed.len()];
+        let mut now_crashed = std::mem::take(&mut self.scratch_crash);
+        now_crashed.clear();
+        now_crashed.resize(self.crashed.len(), false);
         for h in &state.crashed {
             if h.idx() < now_crashed.len() {
                 now_crashed[h.idx()] = true;
@@ -246,6 +268,7 @@ impl GnutellaSim {
                 _ => {}
             }
         }
+        self.scratch_crash = now_crashed;
     }
 
     fn join(&mut self, h: HostId, ctx: &mut Ctx<'_, Ev>) {
@@ -281,36 +304,45 @@ impl GnutellaSim {
         }
         // Candidates: online ultrapeers from the hostcache (both roles
         // attach to ultrapeers only), not already neighbors.
-        let candidates: Vec<HostId> = self.hostcache[h.idx()]
-            .iter()
-            .copied()
-            .filter(|&c| {
-                c != h
-                    && self.overlay.is_online(c)
-                    && self.overlay.role(c) == Role::Ultrapeer
-                    && !self.overlay.has_edge(h, c)
-            })
-            .collect();
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(self.hostcache[h.idx()].iter().copied().filter(|&c| {
+            c != h
+                && self.overlay.is_online(c)
+                && self.overlay.role(c) == Role::Ultrapeer
+                && !self.overlay.has_edge(h, c)
+        }));
         if candidates.is_empty() {
+            self.scratch_candidates = candidates;
             return;
         }
-        let picked = self
-            .selector
-            .select(&self.underlay, h, &candidates, target - have, ctx.rng);
+        let mut picked = std::mem::take(&mut self.scratch_picked);
+        self.selector.select_into(
+            &self.underlay,
+            h,
+            &candidates,
+            target - have,
+            ctx.rng,
+            &mut picked,
+        );
         let added = picked.len();
-        for p in picked {
+        for &p in &picked {
             self.overlay.add_edge(&self.underlay, h, p);
         }
         ctx.trace("gnutella", TraceLevel::Trace, "connect", |f| {
             f.u64("host", h.0 as u64).u64("added", added as u64);
         });
+        self.scratch_candidates = candidates;
+        self.scratch_picked = picked;
     }
 
     fn leave(&mut self, h: HostId, ctx: &mut Ctx<'_, Ev>) {
         if !self.overlay.is_online(h) {
             return;
         }
-        let neighbors: Vec<HostId> = self.overlay.neighbors(h).to_vec();
+        let mut neighbors = std::mem::take(&mut self.scratch_neighbors);
+        neighbors.clear();
+        neighbors.extend_from_slice(self.overlay.neighbors(h));
         self.overlay.set_online(h, false);
         ctx.metrics.incr("gnutella.leaves", 1);
         ctx.trace("gnutella", TraceLevel::Debug, "leave", |f| {
@@ -319,16 +351,18 @@ impl GnutellaSim {
         });
         // Neighbors notice the dead connection after a detection delay and
         // repair their degree.
-        for nb in neighbors {
+        for &nb in &neighbors {
             ctx.schedule_in(SimTime::from_secs(5), Ev::Repair(nb));
         }
+        self.scratch_neighbors = neighbors;
     }
 
     fn ping_cycle(&mut self, h: HostId, ep: u32, ctx: &mut Ctx<'_, Ev>) {
         if !self.overlay.is_online(h) || self.epoch[h.idx()] != ep {
             return;
         }
-        let flood = self.overlay.flood(h, self.cfg.ping_ttl);
+        let mut flood = std::mem::take(&mut self.scratch_flood);
+        self.overlay.flood_into(h, self.cfg.ping_ttl, &mut flood);
         ctx.metrics.incr("gnutella.msg.ping", flood.messages);
         let mut pongs = 0u64;
         for r in &flood.reached {
@@ -356,6 +390,7 @@ impl GnutellaSim {
                 cache.push(r.host);
             }
         }
+        self.scratch_flood = flood;
         ctx.schedule_in(self.cfg.ping_interval, Ev::PingCycle(h, ep));
     }
 
@@ -370,11 +405,13 @@ impl GnutellaSim {
         let asn = self.underlay.hosts.as_of(h);
         let file = self.content.sample_interest(asn, ctx.rng);
         ctx.metrics.incr("gnutella.queries", 1);
-        let flood = self.overlay.flood(h, self.cfg.query_ttl);
+        let mut flood = std::mem::take(&mut self.scratch_flood);
+        self.overlay.flood_into(h, self.cfg.query_ttl, &mut flood);
         ctx.metrics.incr("gnutella.msg.query", flood.messages);
         // Hits: reached nodes sharing the file reply with a QueryHit routed
         // back over their hop distance.
-        let mut hits = Vec::new();
+        let mut hits = std::mem::take(&mut self.scratch_hits);
+        hits.clear();
         let mut hit_msgs = 0u64;
         for r in &flood.reached {
             if self.shared[r.host.idx()].binary_search(&file).is_ok() {
@@ -393,8 +430,10 @@ impl GnutellaSim {
         if self.cfg.account_overhead_traffic {
             self.account_overhead(h, &flood, wire::QUERY, 0, ctx.now());
         }
+        self.scratch_flood = flood;
         self.query_log.push((ctx.now(), !hits.is_empty()));
         if hits.is_empty() {
+            self.scratch_hits = hits;
             return;
         }
         ctx.metrics.incr("gnutella.queries.success", 1);
@@ -408,7 +447,10 @@ impl GnutellaSim {
             .unwrap_or(0);
         self.query_delay_sum_ms += first_hit_us as f64 / 1_000.0;
         // File-exchange stage: choose the provider.
-        let providers: Vec<HostId> = hits.iter().map(|r| r.host).collect();
+        let mut providers = std::mem::take(&mut self.scratch_providers);
+        providers.clear();
+        providers.extend(hits.iter().map(|r| r.host));
+        self.scratch_hits = hits;
         let provider = if self.cfg.oracle_at_file_exchange {
             self.exchange_oracle
                 .best(&self.underlay, h, &providers)
@@ -422,6 +464,7 @@ impl GnutellaSim {
             *ctx.rng.pick(&providers)
         };
         self.download(h, provider, &providers, ctx);
+        self.scratch_providers = providers;
     }
 
     /// File exchange with re-sourcing: tries the policy-chosen provider
@@ -437,7 +480,9 @@ impl GnutellaSim {
         ctx: &mut Ctx<'_, Ev>,
     ) {
         let bytes = self.cfg.file_size_bytes;
-        let mut tried = vec![provider];
+        let mut tried = std::mem::take(&mut self.scratch_tried);
+        tried.clear();
+        tried.push(provider);
         let mut current = provider;
         loop {
             let secs = self
@@ -467,7 +512,7 @@ impl GnutellaSim {
                         .f64("secs", s);
                 });
                 self.download_log.push((ctx.now(), true));
-                return;
+                break;
             }
             // Transfer failure. Pick the closest untried QueryHit source
             // (AS hops, then host id — deterministic, no extra RNG draws).
@@ -489,7 +534,7 @@ impl GnutellaSim {
                 None => {
                     ctx.metrics.incr("gnutella.downloads.failed", 1);
                     self.download_log.push((ctx.now(), false));
-                    return;
+                    break;
                 }
                 Some(p) => {
                     ctx.metrics.incr("gnutella.downloads.retried", 1);
@@ -504,6 +549,7 @@ impl GnutellaSim {
                 }
             }
         }
+        self.scratch_tried = tried;
     }
 
     /// The raw per-query outcome series `(time, found a provider)`.

@@ -57,7 +57,7 @@ proptest! {
     fn flood_invariants(seed in any::<u64>(), n in 4u32..60, ttl in 1u32..6) {
         let u = underlay(n as usize, seed);
         let mut rng = SimRng::new(seed ^ 1);
-        let o = random_overlay(&u, n, (n as usize * 3) / 2, 4, &mut rng);
+        let mut o = random_overlay(&u, n, (n as usize * 3) / 2, 4, &mut rng);
         let origin = HostId(rng.below(n as u64) as u32);
         let r = o.flood(origin, ttl);
         let mut seen = std::collections::HashSet::new();
@@ -90,7 +90,7 @@ proptest! {
     fn flood_monotone_in_ttl(seed in any::<u64>(), n in 4u32..50) {
         let u = underlay(n as usize, seed);
         let mut rng = SimRng::new(seed ^ 2);
-        let o = random_overlay(&u, n, n as usize * 2, 0, &mut rng);
+        let mut o = random_overlay(&u, n, n as usize * 2, 0, &mut rng);
         let origin = HostId(0);
         let mut prev = 0usize;
         for ttl in 1..6 {

@@ -21,6 +21,8 @@ pub struct Oracle {
     /// Maximum candidate-list length the oracle accepts per query; the
     /// reprinted study evaluates "list size 100" and "list size 1000".
     pub max_list: usize,
+    /// Reusable scoring scratch so per-query ranking allocates nothing.
+    scored: Vec<(u32, usize, HostId)>,
 }
 
 impl Oracle {
@@ -30,6 +32,7 @@ impl Oracle {
             queries: 0,
             ranked_entries: 0,
             max_list,
+            scored: Vec::new(),
         }
     }
 
@@ -43,19 +46,28 @@ impl Oracle {
         querier: HostId,
         candidates: &[HostId],
     ) -> Vec<HostId> {
+        let mut out = candidates.to_vec();
+        self.rank_in_place(underlay, querier, &mut out);
+        out
+    }
+
+    /// Like [`Oracle::rank`], but reorders (and truncates) `list` in
+    /// place — the per-join selection path hands the oracle its reused
+    /// candidate buffer instead of allocating a response.
+    pub fn rank_in_place(&mut self, underlay: &Underlay, querier: HostId, list: &mut Vec<HostId>) {
         self.queries += 1;
-        let take = candidates.len().min(self.max_list);
+        let take = list.len().min(self.max_list);
         self.ranked_entries += take as u64;
-        let mut scored: Vec<(u32, usize, HostId)> = candidates[..take]
-            .iter()
-            .enumerate()
-            .map(|(pos, &c)| {
-                let hops = underlay.as_hops(querier, c).unwrap_or(u32::MAX);
-                (hops, pos, c)
-            })
-            .collect();
+        list.truncate(take);
+        let scored = &mut self.scored;
+        scored.clear();
+        scored.extend(list.iter().enumerate().map(|(pos, &c)| {
+            let hops = underlay.as_hops(querier, c).unwrap_or(u32::MAX);
+            (hops, pos, c)
+        }));
         scored.sort_by_key(|&(hops, pos, _)| (hops, pos));
-        scored.into_iter().map(|(_, _, c)| c).collect()
+        list.clear();
+        list.extend(scored.iter().map(|&(_, _, c)| c));
     }
 
     /// Like [`Oracle::rank`], but emits one `info`/`oracle.rank` trace
@@ -85,14 +97,24 @@ impl Oracle {
         ranked
     }
 
-    /// The single best candidate, if any.
+    /// The single best candidate, if any. Equivalent to the head of
+    /// [`Oracle::rank`] (same counters, same tie-break) without building
+    /// the ranked list — the query hot path only wants the winner.
     pub fn best(
         &mut self,
         underlay: &Underlay,
         querier: HostId,
         candidates: &[HostId],
     ) -> Option<HostId> {
-        self.rank(underlay, querier, candidates).into_iter().next()
+        self.queries += 1;
+        let take = candidates.len().min(self.max_list);
+        self.ranked_entries += take as u64;
+        candidates[..take]
+            .iter()
+            .enumerate()
+            .map(|(pos, &c)| (underlay.as_hops(querier, c).unwrap_or(u32::MAX), pos, c))
+            .min_by_key(|&(hops, pos, _)| (hops, pos))
+            .map(|(_, _, c)| c)
     }
 
     /// Number of oracle queries served.

@@ -128,6 +128,7 @@ impl RoutingTable {
     /// dictates, no key appears twice anywhere, and the owner's own key is
     /// never stored. Called under `debug_assertions` from [`Self::observe`]
     /// and [`Self::remove`]; also usable directly from tests.
+    // lint:allow(alloc) — diagnostic checker; allocates only error messages
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, bucket) in self.buckets.iter().enumerate() {
             if bucket.len() > self.k {
@@ -164,10 +165,18 @@ impl RoutingTable {
     /// The `count` contacts closest to `target` in XOR distance,
     /// closest-first.
     pub fn closest(&self, target: &Key, count: usize) -> Vec<Contact> {
-        let mut all: Vec<Contact> = self.buckets.iter().flatten().copied().collect();
-        all.sort_by(|a, b| target.cmp_distance(&a.key, &b.key));
-        all.truncate(count);
+        let mut all = Vec::new();
+        self.closest_into(target, count, &mut all);
         all
+    }
+
+    /// Like [`RoutingTable::closest`], but clears and fills `out` — the
+    /// lookup loop reuses one response buffer across every RPC it makes.
+    pub fn closest_into(&self, target: &Key, count: usize, out: &mut Vec<Contact>) {
+        out.clear();
+        out.extend(self.buckets.iter().flatten().copied());
+        out.sort_by(|a, b| target.cmp_distance(&a.key, &b.key));
+        out.truncate(count);
     }
 
     /// Bucket fill counts (for diagnostics/tests).

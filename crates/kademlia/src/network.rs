@@ -97,6 +97,14 @@ pub struct DhtNetwork {
     nodes: Vec<NodeState>,
     by_key: BTreeMap<Key, HostId>,
     clock: SimTime,
+    /// Lookup scratch (taken with `std::mem::take` for the duration of a
+    /// lookup) so the iterative FIND_NODE loop allocates nothing per
+    /// round — the alloc pass in `xtask analyze` ratchets this.
+    lk_candidates: Vec<Contact>,
+    lk_learned: Vec<Contact>,
+    lk_resp: Vec<Contact>,
+    lk_queried: BTreeSet<Key>,
+    lk_dead: BTreeSet<Key>,
 }
 
 impl DhtNetwork {
@@ -144,6 +152,11 @@ impl DhtNetwork {
             nodes,
             by_key,
             clock: SimTime::ZERO,
+            lk_candidates: Vec::new(),
+            lk_learned: Vec::new(),
+            lk_resp: Vec::new(),
+            lk_queried: BTreeSet::new(),
+            lk_dead: BTreeSet::new(),
         };
         // Joins: node i learns node 0 (or a random earlier node) and
         // self-looks-up to populate its table; earlier nodes learn the
@@ -287,17 +300,26 @@ impl DhtNetwork {
             });
         let me = self.nodes[from.idx()].key;
         let mut shortlist: Vec<Contact> = self.nodes[from.idx()].table.closest(target, self.cfg.k);
-        let mut queried: BTreeSet<Key> = BTreeSet::new();
-        let mut dead: BTreeSet<Key> = BTreeSet::new();
+        // Per-lookup scratch, reused across lookups (taken so the RPC loop
+        // below can still borrow `self` mutably).
+        let mut queried = std::mem::take(&mut self.lk_queried);
+        let mut dead = std::mem::take(&mut self.lk_dead);
+        let mut candidates = std::mem::take(&mut self.lk_candidates);
+        let mut learned = std::mem::take(&mut self.lk_learned);
+        let mut resp = std::mem::take(&mut self.lk_resp);
+        queried.clear();
+        dead.clear();
         queried.insert(me);
         loop {
             out.rounds += 1;
             // Candidates this round: unqueried entries of the shortlist.
-            let mut candidates: Vec<Contact> = shortlist
-                .iter()
-                .filter(|c| !queried.contains(&c.key))
-                .copied()
-                .collect();
+            candidates.clear();
+            candidates.extend(
+                shortlist
+                    .iter()
+                    .filter(|c| !queried.contains(&c.key))
+                    .copied(),
+            );
             if candidates.is_empty() {
                 break;
             }
@@ -311,16 +333,18 @@ impl DhtNetwork {
             candidates.truncate(self.cfg.alpha);
             let asked = candidates.len();
             let mut round_rtt = 0u64;
-            let mut learned: Vec<Contact> = Vec::new();
-            for c in candidates {
+            learned.clear();
+            for &c in &candidates {
                 queried.insert(c.key);
                 let wait_before = out.timeout_wait_us;
                 match self.rpc(from, c.host, &mut out) {
                     Some(rtt) => {
                         round_rtt = round_rtt.max(rtt);
                         // The responder returns its k closest to target.
-                        let resp = self.nodes[c.host.idx()].table.closest(target, self.cfg.k);
-                        for mut r in resp {
+                        self.nodes[c.host.idx()]
+                            .table
+                            .closest_into(target, self.cfg.k, &mut resp);
+                        for &(mut r) in &resp {
                             if r.key == me {
                                 continue;
                             }
@@ -355,7 +379,7 @@ impl DhtNetwork {
                     }
                 });
             let before_best = shortlist.first().map(|c| c.key);
-            for l in learned {
+            for &l in &learned {
                 if dead.contains(&l.key) {
                     continue;
                 }
@@ -376,6 +400,11 @@ impl DhtNetwork {
                 break;
             }
         }
+        self.lk_queried = queried;
+        self.lk_dead = dead;
+        self.lk_candidates = candidates;
+        self.lk_learned = learned;
+        self.lk_resp = resp;
         self.tracer
             .emit(self.clock, "kademlia", TraceLevel::Debug, "lookup.done", {
                 let best = shortlist

@@ -107,6 +107,7 @@ impl FaultPlan {
     ///
     /// Panics on malformed epochs: `end <= start`, a link index out of
     /// range, or a latency-inflation factor below 1.0.
+    // lint:allow(alloc) — campaign compilation; runs once before the sim starts
     pub fn compile(&self, graph: &AsGraph) -> CompiledFaultPlan {
         let n_links = graph.links.len();
         let epochs: Vec<CompiledEpoch> = self
@@ -215,6 +216,7 @@ pub struct FaultState {
 
 impl FaultState {
     /// The fault-free state.
+    // lint:allow(alloc) — constructs the returned state; per fault epoch, not per event
     pub fn clear() -> FaultState {
         FaultState {
             mask: None,
@@ -247,6 +249,7 @@ impl CompiledFaultPlan {
     /// The composed fault state at time `t`: epochs are active over the
     /// half-open window `[start, end)`; link masks OR together, latency
     /// factors multiply, crash sets union.
+    // lint:allow(alloc) — composes the returned state; per fault epoch, not per event
     pub fn state_at(&self, t: SimTime) -> FaultState {
         let mut state = FaultState::clear();
         for e in &self.epochs {

@@ -66,6 +66,7 @@ pub fn check_valley_free(graph: &AsGraph, path: &[AsId]) -> Result<(), String> {
 /// Validates byte conservation in `traffic` against `graph`: the sum of
 /// per-link bytes over peering links must equal the peering total, and
 /// likewise for transit links. (Intra-AS bytes never touch a link.)
+// lint:allow(alloc) — invariant checker; allocates only error messages
 pub fn check_traffic_conservation(
     graph: &AsGraph,
     traffic: &TrafficAccounting,

@@ -123,6 +123,7 @@ impl Routing {
     /// Like [`Routing::compute_with_mask`] with an explicit worker count
     /// (the differential tests sweep this to prove scheduling cannot leak
     /// into the table).
+    // lint:allow(alloc) — table construction; runs once per routing (re)build
     pub fn compute_with_mask_threads(
         graph: &AsGraph,
         mode: RoutingMode,
@@ -175,6 +176,7 @@ impl Routing {
     }
 
     /// Builds the rows for sources `lo..hi` with chunk-local arena offsets.
+    // lint:allow(alloc) — table construction; runs once per routing (re)build
     fn build_chunk(
         graph: &AsGraph,
         mode: RoutingMode,
@@ -227,6 +229,7 @@ impl Routing {
 
     /// Concatenates per-range chunks (in source order) into the flat table,
     /// shifting chunk-local arena offsets to global ones.
+    // lint:allow(alloc) — table construction; runs once per routing (re)build
     fn assemble(graph: &AsGraph, mode: RoutingMode, chunks: Vec<Chunk>) -> Routing {
         let n = graph.len();
         let mut summaries = Vec::with_capacity(n * n);
@@ -255,6 +258,7 @@ impl Routing {
         self.mode
     }
 
+    // lint:allow(alloc) — per-source table construction; build-time only
     fn dijkstra(graph: &AsGraph, mode: RoutingMode, src: AsId, mask: Option<&[bool]>) -> SrcTable {
         // State encoding: as_idx * 2 + phase. Phase 0: the valley-free
         // prefix (may still climb); phase 1: committed to descending.
@@ -437,6 +441,7 @@ impl ReferenceRouting {
     }
 
     /// The link indices along the chosen path (allocating, per query).
+    // lint:allow(alloc) — reference oracle for differential tests; CSR path_links is the hot path
     pub fn path_links(&self, src: AsId, dst: AsId) -> Option<Vec<u32>> {
         let mut s = self.best_state(src, dst)?;
         let t = &self.tables[src.idx()];

@@ -90,6 +90,7 @@ const UNREACHABLE_ENTRY: u64 = u64::MAX;
 const COMBINED_MASK: u64 = (1 << 48) - 1;
 
 impl RouteCache {
+    // lint:allow(alloc) — cache construction; runs once per routing rebuild
     fn build(routing: &Routing, n: usize, per_as_hop_us: u64, latency_factor: f64) -> RouteCache {
         let mut entries = vec![UNREACHABLE_ENTRY; n * n];
         for (s, row) in entries.chunks_mut(n.max(1)).enumerate() {

@@ -63,6 +63,7 @@ impl Histogram {
     /// report different bits — breaking the byte-identical run-report
     /// contract. Sorting first (by `total_cmp`) fixes the evaluation
     /// order as a function of the sample multiset alone.
+    // lint:allow(alloc) — report-time stable sum needs a sorted copy (&self)
     pub fn sum(&self) -> f64 {
         let mut acc = 0.0;
         if self.sorted {

@@ -329,6 +329,7 @@ impl Tracer {
     /// Emits one event. `build` is only invoked (and fields are only
     /// allocated) when the component/level combination is enabled.
     #[inline]
+    // lint:allow(alloc) — the retained TraceEvent record is the product; the disabled path returns first
     pub fn emit(
         &mut self,
         t: SimTime,

@@ -128,6 +128,10 @@ impl Graph {
                             local
                         }
                     }
+                    // Macros have no workspace `fn` body to resolve into;
+                    // their argument tokens were scanned in place, so the
+                    // call site exists purely for the sink passes.
+                    Callee::Macro(_) => Vec::new(),
                 };
                 for t in targets {
                     edges[i].push((t, call.line));
@@ -145,15 +149,20 @@ impl Graph {
         }
     }
 
-    /// BFS from the entry set. Returns `(dist, parent)` where
+    /// BFS from the simulation entry set. See [`Graph::reach_from`].
+    pub fn reach(&self) -> (Vec<usize>, Vec<Option<(usize, usize)>>) {
+        self.reach_from(&self.entries)
+    }
+
+    /// BFS from an arbitrary start set. Returns `(dist, parent)` where
     /// `parent[i] = (predecessor fn index, call line)` on a shortest
     /// path; unreachable functions have `dist == usize::MAX`.
-    pub fn reach(&self) -> (Vec<usize>, Vec<Option<(usize, usize)>>) {
+    pub fn reach_from(&self, starts: &[usize]) -> (Vec<usize>, Vec<Option<(usize, usize)>>) {
         let n = self.fns.len();
         let mut dist = vec![usize::MAX; n];
         let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
         let mut q = VecDeque::new();
-        for &e in &self.entries {
+        for &e in starts {
             if dist[e] == usize::MAX {
                 dist[e] = 0;
                 q.push_back(e);
@@ -253,6 +262,74 @@ fn find_entries(fns: &[FnItem]) -> Vec<usize> {
         }
     }
     out
+}
+
+/// Computes the *hot-path* entry set of the allocation-discipline pass —
+/// deliberately narrower than [`find_entries`]: only code that runs per
+/// simulated event / per routing query, not one-shot experiment drivers
+/// or build paths:
+///
+/// - `Simulator::run` / `Simulator::run_until` (event dispatch),
+/// - every `handle` method of a `World` trait impl,
+/// - `Routing::route` / `Routing::path_links` (per-query table reads),
+/// - `Underlay::latency_us` / `rtt_us` / `transfer_time` (the queries
+///   every overlay decision bottoms out in),
+/// - the kademlia per-message handlers `DhtNetwork::rpc` /
+///   `DhtNetwork::lookup`,
+/// - the bittorrent swarm round loop (`run_swarm_with`).
+pub fn find_hot_entries(fns: &[FnItem]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, f) in fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let is_hot = match (&f.impl_type, &f.trait_name) {
+            (Some(ty), _) if ty == "Simulator" && (f.name == "run" || f.name == "run_until") => {
+                true
+            }
+            (Some(_), Some(tr)) if tr == "World" && f.name == "handle" => true,
+            (Some(ty), _) if ty == "Routing" && (f.name == "route" || f.name == "path_links") => {
+                true
+            }
+            (Some(ty), _)
+                if ty == "Underlay"
+                    && matches!(f.name.as_str(), "latency_us" | "rtt_us" | "transfer_time") =>
+            {
+                true
+            }
+            (Some(ty), _) if ty == "DhtNetwork" && (f.name == "rpc" || f.name == "lookup") => true,
+            _ => {
+                f.impl_type.is_none()
+                    && f.name == "run_swarm_with"
+                    && f.file.contains("crates/bittorrent/")
+            }
+        };
+        if is_hot {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Aggregated allocation-site inventory over hot-path-reachable code:
+/// `(file, qualname, kind)` → count.
+pub type AllocInventory = BTreeMap<(String, String, String), usize>;
+
+/// Builds the allocation inventory over non-test, non-bin,
+/// non-`alloc_exempt` functions reachable from the hot-path entry set
+/// (`dist` from [`Graph::reach_from`] over [`find_hot_entries`]).
+pub fn alloc_inventory(graph: &Graph, dist: &[usize]) -> AllocInventory {
+    let mut inv = AllocInventory::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || f.is_bin || f.alloc_exempt || dist[i] == usize::MAX {
+            continue;
+        }
+        for a in &f.allocs {
+            *inv.entry((f.file.clone(), f.qualname(), a.kind.name().to_string()))
+                .or_insert(0) += 1;
+        }
+    }
+    inv
 }
 
 /// Aggregated panic-site inventory: `(file, qualname, kind, class)` →
@@ -384,6 +461,111 @@ mod tests {
             .map(|&(t, _)| g.fns[t].file.as_str())
             .collect();
         assert_eq!(targets, vec!["crates/xtask/src/lint.rs"]);
+    }
+
+    #[test]
+    fn trait_object_method_calls_resolve_to_every_impl() {
+        // A call through `dyn Underlay` cannot be narrowed statically;
+        // the over-approximation pins it to *every* impl method named
+        // `latency_us`, keeping reachability sound for both impls.
+        let g = graph_of(&[(
+            "crates/net/src/underlay.rs",
+            "impl Simulator { fn run(&mut self, u: &dyn Underlay) { u.latency_us(); } }\nimpl FlatUnderlay { fn latency_us(&self) -> u64 { 1 } }\nimpl GeoUnderlay { fn latency_us(&self) -> u64 { 2 } }\n",
+        )]);
+        let run = g.fns.iter().position(|f| f.name == "run").expect("parsed"); // lint:allow(expect)
+        let targets: Vec<String> = g.edges[run]
+            .iter()
+            .map(|&(t, _)| g.fns[t].qualname())
+            .collect();
+        assert_eq!(
+            targets,
+            vec!["FlatUnderlay::latency_us", "GeoUnderlay::latency_us"]
+        );
+    }
+
+    #[test]
+    fn generic_bound_method_calls_resolve_to_every_impl() {
+        // `fn drive<W: World>(w: &mut W)` — the bound erases the concrete
+        // type, so `w.step()` pins to all impl methods named `step`, and
+        // reachability flows into each.
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { fn run(&mut self) { drive(&mut self.w); } }\nfn drive<W: World>(w: &mut W) { w.step(); }\nimpl GnutellaWorld { fn step(&mut self) { let v = vec![1]; drop(v); } }\nimpl KadWorld { fn step(&mut self) {} }\n",
+        )]);
+        let (dist, _) = g.reach();
+        for name in ["GnutellaWorld", "KadWorld"] {
+            let i = g
+                .fns
+                .iter()
+                .position(|f| f.impl_type.as_deref() == Some(name))
+                .expect("parsed"); // lint:allow(expect)
+            assert_ne!(dist[i], usize::MAX, "{name}::step must be reachable");
+        }
+    }
+
+    #[test]
+    fn hot_entry_set_is_the_per_event_surface() {
+        let g = graph_of(&[
+            (
+                "crates/sim/src/engine.rs",
+                "impl Simulator { fn run(&mut self) {} fn new() -> Self { Simulator }\n}\n",
+            ),
+            (
+                "crates/net/src/routing.rs",
+                "impl Routing { fn route(&self) {} fn path_links(&self) {} fn build(&mut self) {} }\n",
+            ),
+            (
+                "crates/net/src/underlay.rs",
+                "impl Underlay { fn latency_us(&self) {} fn rtt_us(&self) {} fn transfer_time(&self) {} fn from_topology() {} }\n",
+            ),
+            (
+                "crates/kademlia/src/network.rs",
+                "impl DhtNetwork { fn rpc(&mut self) {} fn lookup(&mut self) {} fn bootstrap(&mut self) {} }\n",
+            ),
+            (
+                "crates/bittorrent/src/swarm.rs",
+                "pub fn run_swarm_with() {}\nfn helper() {}\n",
+            ),
+            (
+                "crates/gnutella/src/sim.rs",
+                "impl World<Ev> for GnutellaSim { fn handle(&mut self) {} }\n",
+            ),
+        ]);
+        let hot = find_hot_entries(&g.fns);
+        let names: Vec<String> = hot.iter().map(|&i| g.fns[i].qualname()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Simulator::run",
+                "Routing::route",
+                "Routing::path_links",
+                "Underlay::latency_us",
+                "Underlay::rtt_us",
+                "Underlay::transfer_time",
+                "DhtNetwork::rpc",
+                "DhtNetwork::lookup",
+                "run_swarm_with",
+                "GnutellaSim::handle",
+            ]
+        );
+    }
+
+    #[test]
+    fn alloc_inventory_skips_exempt_and_unreachable_fns() {
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { fn run(&mut self) { hot_helper(); setup(); } }\nfn hot_helper() { let v = vec![1]; drop(v); }\n// lint:allow(alloc) — one-shot flush\nfn setup() { let s = format!(\"x\"); drop(s); }\nfn cold() { let b = Box::new(1u8); drop(b); }\n",
+        )]);
+        let hot = find_hot_entries(&g.fns);
+        let (dist, _) = g.reach_from(&hot);
+        let inv = alloc_inventory(&g, &dist);
+        let keys: Vec<String> = inv
+            .keys()
+            .map(|(f, q, k)| format!("{f}::{q} {k}"))
+            .collect();
+        // `setup` is reachable but exempt; `cold` allocates but is
+        // unreachable from the hot entry set; only `hot_helper` counts.
+        assert_eq!(keys, vec!["crates/sim/src/engine.rs::hot_helper vec"]);
     }
 
     #[test]

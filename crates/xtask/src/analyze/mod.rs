@@ -32,13 +32,48 @@ use graph::Graph;
 /// Relative path of the panic-site baseline file.
 pub const BASELINE_PATH: &str = "ci/analyze_panic_baseline.txt";
 
-/// What to do with the panic baseline.
+/// Relative path of the allocation-site baseline file.
+pub const ALLOC_BASELINE_PATH: &str = "ci/analyze_alloc_baseline.txt";
+
+/// Which ratcheted baseline(s) an `--update-baseline` run regenerates.
+/// Pass-scoped so refreshing one baseline can never silently rewrite
+/// the other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateScope {
+    /// Only `ci/analyze_panic_baseline.txt`.
+    Panic,
+    /// Only `ci/analyze_alloc_baseline.txt`.
+    Alloc,
+    /// Both files (the explicit `--update-baseline` with no scope).
+    Both,
+}
+
+impl UpdateScope {
+    fn updates_panic(self) -> bool {
+        matches!(self, UpdateScope::Panic | UpdateScope::Both)
+    }
+    fn updates_alloc(self) -> bool {
+        matches!(self, UpdateScope::Alloc | UpdateScope::Both)
+    }
+}
+
+/// What to do with the ratcheted baselines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BaselineMode {
-    /// Compare against the checked-in baseline; new sites are violations.
+    /// Compare against the checked-in baselines; new sites are violations.
     Check,
-    /// Regenerate the baseline from the current inventory.
-    Update,
+    /// Regenerate the scoped baseline(s) from the current inventory.
+    Update(UpdateScope),
+}
+
+/// Which passes to run. `Alloc` scopes a run to the allocation pass so
+/// CI can surface it as its own named step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassFilter {
+    /// Purity + panic + allocation + registry (the default).
+    All,
+    /// Only the allocation-discipline pass.
+    Alloc,
 }
 
 /// Corpus and graph sizes, for the PERF line.
@@ -48,6 +83,10 @@ pub struct Stats {
     pub fns: usize,
     pub entries: usize,
     pub edges: usize,
+    /// Hot-path entry points of the allocation pass.
+    pub hot_entries: usize,
+    /// Allocation sites in the current hot-path inventory.
+    pub alloc_sites: usize,
 }
 
 /// The result of one analyzer run.
@@ -61,8 +100,8 @@ pub struct Report {
     pub stats: Stats,
 }
 
-/// Runs the analyzer over the workspace rooted at `root`.
-pub fn run(root: &Path, mode: BaselineMode) -> Report {
+/// Runs the selected passes over the workspace rooted at `root`.
+pub fn run_passes(root: &Path, mode: BaselineMode, passes: PassFilter) -> Report {
     let mut report = Report::default();
     let files = collect_workspace(root);
     report.stats.files = files.len();
@@ -88,11 +127,26 @@ pub fn run(root: &Path, mode: BaselineMode) -> Report {
         );
         return report;
     }
-    let (dist, parent) = g.reach();
 
-    report.violations.extend(purity_pass(&g, &dist, &parent));
-    panic_pass(root, &g, &dist, mode, &mut report);
-    report.violations.extend(registry_check::run(root, &g.fns));
+    let hot = graph::find_hot_entries(&g.fns);
+    report.stats.hot_entries = hot.len();
+    if hot.is_empty() {
+        report.violations.push(
+            "analyze: found no hot-path entry points — the parser or the hot-entry heuristics \
+             regressed; refusing to vacuously pass the allocation pass"
+                .to_string(),
+        );
+        return report;
+    }
+    let (hot_dist, hot_parent) = g.reach_from(&hot);
+    alloc_pass(root, &g, &hot_dist, &hot_parent, mode, &mut report);
+
+    if passes == PassFilter::All {
+        let (dist, parent) = g.reach();
+        report.violations.extend(purity_pass(&g, &dist, &parent));
+        panic_pass(root, &g, &dist, mode, &mut report);
+        report.violations.extend(registry_check::run(root, &g.fns));
+    }
     report
 }
 
@@ -128,12 +182,168 @@ fn purity_pass(g: &Graph, dist: &[usize], parent: &[Option<(usize, usize)>]) -> 
     out
 }
 
+/// Allocation-discipline pass: hot-path allocation inventory vs the
+/// ratcheted `ci/analyze_alloc_baseline.txt` (or its regeneration).
+/// New / grown keys fail with the shortest witness chain from a hot
+/// entry point; shrunk keys are reported as burn-down progress.
+fn alloc_pass(
+    root: &Path,
+    g: &Graph,
+    dist: &[usize],
+    parent: &[Option<(usize, usize)>],
+    mode: BaselineMode,
+    report: &mut Report,
+) {
+    let inv = graph::alloc_inventory(g, dist);
+    report.stats.alloc_sites = inv.values().sum();
+    let path = root.join(ALLOC_BASELINE_PATH);
+    if let BaselineMode::Update(scope) = mode {
+        if scope.updates_alloc() {
+            let body = render_alloc_baseline(&inv);
+            match std::fs::write(&path, body) {
+                Ok(()) => report.notes.push(format!(
+                    "analyze: wrote {} entries ({} sites) to {ALLOC_BASELINE_PATH}",
+                    inv.len(),
+                    report.stats.alloc_sites
+                )),
+                Err(e) => report
+                    .violations
+                    .push(format!("analyze: cannot write {ALLOC_BASELINE_PATH}: {e}")),
+            }
+            return;
+        }
+    }
+    let Ok(body) = std::fs::read_to_string(&path) else {
+        report.violations.push(format!(
+            "analyze: missing {ALLOC_BASELINE_PATH} — run `cargo run -p xtask -- analyze \
+             --update-baseline=alloc` and commit the result"
+        ));
+        return;
+    };
+    let baseline = parse_alloc_baseline(&body);
+    for (key, &count) in &inv {
+        let (file, qual, kind) = key;
+        match baseline.get(key) {
+            None => {
+                let (lines, witness) = alloc_site_evidence(g, file, qual, kind, parent);
+                report.violations.push(format!(
+                    "alloc: {file}:{lines}: new `{kind}` allocation site(s) in `{qual}` \
+                     reachable from the hot-path entry set; reuse a scratch buffer, hoist the \
+                     allocation out of the per-event path, or document a one-shot path with \
+                     `lint:allow(alloc)` on the fn (baseline: {ALLOC_BASELINE_PATH})\n{witness}"
+                ));
+            }
+            Some(&b) if count > b => report.violations.push(format!(
+                "alloc: {file}: `{qual}` grew from {b} to {count} `{kind}` allocation site(s) \
+                 reachable from the hot-path entry set (baseline: {ALLOC_BASELINE_PATH})"
+            )),
+            Some(_) => {}
+        }
+    }
+    let mut gone = 0usize;
+    for (key, &b) in &baseline {
+        let now = inv.get(key).copied().unwrap_or(0);
+        if now < b {
+            gone += b - now;
+        }
+    }
+    if gone > 0 {
+        report.notes.push(format!(
+            "analyze: {gone} baselined allocation site(s) no longer on the hot path — run \
+             `--update-baseline=alloc` to ratchet {ALLOC_BASELINE_PATH} down"
+        ));
+    }
+}
+
+/// Comma-joined lines of the alloc sites behind one inventory key, plus
+/// the rendered shortest witness chain from a hot entry point into the
+/// offending function.
+fn alloc_site_evidence(
+    g: &Graph,
+    file: &str,
+    qual: &str,
+    kind: &str,
+    parent: &[Option<(usize, usize)>],
+) -> (String, String) {
+    let mut lines: Vec<usize> = Vec::new();
+    let mut witness = String::new();
+    for (i, f) in g.fns.iter().enumerate() {
+        if f.file != file || f.qualname() != qual {
+            continue;
+        }
+        let sites: Vec<&parser::AllocSite> =
+            f.allocs.iter().filter(|a| a.kind.name() == kind).collect();
+        if sites.is_empty() {
+            continue;
+        }
+        lines.extend(sites.iter().map(|a| a.line));
+        if witness.is_empty() {
+            let chain = g.witness(parent, i);
+            let first = sites[0];
+            witness = g.render_witness(&chain, &first.what, first.line);
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    let lines = lines
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    (lines, witness)
+}
+
+/// Renders the alloc inventory as the checked-in baseline text.
+fn render_alloc_baseline(inv: &graph::AllocInventory) -> String {
+    let mut out = String::from(
+        "# Hot-path allocation baseline — generated by `cargo run -p xtask -- analyze \
+         --update-baseline=alloc`.\n\
+         # Each line: <count>\\t<file>::<fn>\\t<kind>, sorted.\n\
+         # New hot-path allocation sites fail CI; burn this list down, never up.\n",
+    );
+    for ((file, qual, kind), count) in inv {
+        out.push_str(&format!("{count}\t{file}::{qual}\t{kind}\n"));
+    }
+    out
+}
+
+/// Parses the alloc baseline text back into an inventory.
+fn parse_alloc_baseline(body: &str) -> graph::AllocInventory {
+    let mut inv = graph::AllocInventory::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        let [count, site, kind] = parts.as_slice() else {
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            continue;
+        };
+        let Some(split) = site.find(".rs::") else {
+            continue;
+        };
+        let (file, qual) = site.split_at(split + 3);
+        inv.insert(
+            (
+                file.to_string(),
+                qual.trim_start_matches("::").to_string(),
+                kind.to_string(),
+            ),
+            count,
+        );
+    }
+    inv
+}
+
 /// Panic pass: inventory vs baseline (or baseline regeneration).
 fn panic_pass(root: &Path, g: &Graph, dist: &[usize], mode: BaselineMode, report: &mut Report) {
     let inv = graph::panic_inventory(g, dist);
     let path = root.join(BASELINE_PATH);
     match mode {
-        BaselineMode::Update => {
+        BaselineMode::Update(scope) if scope.updates_panic() => {
             let body = render_baseline(&inv);
             match std::fs::write(&path, body) {
                 Ok(()) => report.notes.push(format!(
@@ -145,11 +355,11 @@ fn panic_pass(root: &Path, g: &Graph, dist: &[usize], mode: BaselineMode, report
                     .push(format!("analyze: cannot write {BASELINE_PATH}: {e}")),
             }
         }
-        BaselineMode::Check => {
+        _ => {
             let Ok(body) = std::fs::read_to_string(&path) else {
                 report.violations.push(format!(
                     "analyze: missing {BASELINE_PATH} — run `cargo run -p xtask -- analyze \
-                     --update-baseline` and commit the result"
+                     --update-baseline=panic` and commit the result"
                 ));
                 return;
             };
@@ -214,7 +424,7 @@ fn site_lines(g: &Graph, file: &str, qual: &str, kind: &str, class: &str) -> Str
 fn render_baseline(inv: &graph::PanicInventory) -> String {
     let mut out = String::from(
         "# Panic-reachability baseline — generated by `cargo run -p xtask -- analyze \
-         --update-baseline`.\n\
+         --update-baseline=panic`.\n\
          # Each line: <count>\\t<file>::<fn>\\t<kind>\\t<documented|bare>, sorted.\n\
          # New reachable panic sites fail CI; burn this list down, never up.\n",
     );
@@ -466,11 +676,122 @@ mod tests {
         assert_eq!(new_keys[0].1, "helper");
     }
 
+    /// Builds a minimal on-disk workspace under `target/` (deterministic
+    /// path, outside the real analyzer roots) with one hot entry that
+    /// allocates per event and one bare unwrap, so both baselines have
+    /// content to write.
+    fn synthetic_root(name: &str) -> PathBuf {
+        let root = workspace_root()
+            .join("target")
+            .join("analyze-test")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        let src_dir = root.join("crates/sim/src");
+        std::fs::create_dir_all(&src_dir).expect("create synthetic src"); // lint:allow(expect)
+        std::fs::create_dir_all(root.join("ci")).expect("create synthetic ci"); // lint:allow(expect)
+        std::fs::write(
+            src_dir.join("engine.rs"),
+            "impl Simulator { pub fn run(&mut self, o: Option<u8>) {\n    let v = vec![o.unwrap()];\n    drop(v);\n} }\n",
+        )
+        .expect("write synthetic engine"); // lint:allow(expect)
+        root
+    }
+
+    /// Violations minus the registry pass's (a synthetic root has no
+    /// trace registry or OBSERVABILITY.md — that pass is not under test).
+    fn non_registry(report: &Report) -> Vec<String> {
+        report
+            .violations
+            .iter()
+            .filter(|v| !v.starts_with("registry:"))
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn update_scope_panic_does_not_touch_the_alloc_baseline() {
+        let root = synthetic_root("scope-panic");
+        let report = run_passes(
+            &root,
+            BaselineMode::Update(UpdateScope::Panic),
+            PassFilter::All,
+        );
+        // The alloc pass ran in Check mode against a missing baseline —
+        // that is its only violation; the panic baseline was written.
+        assert!(root.join(BASELINE_PATH).exists());
+        assert!(!root.join(ALLOC_BASELINE_PATH).exists());
+        let v = non_registry(&report);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains(ALLOC_BASELINE_PATH));
+    }
+
+    #[test]
+    fn update_scope_alloc_does_not_touch_the_panic_baseline() {
+        let root = synthetic_root("scope-alloc");
+        let report = run_passes(
+            &root,
+            BaselineMode::Update(UpdateScope::Alloc),
+            PassFilter::All,
+        );
+        assert!(root.join(ALLOC_BASELINE_PATH).exists());
+        assert!(!root.join(BASELINE_PATH).exists());
+        let v = non_registry(&report);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains(BASELINE_PATH));
+
+        // After scoping the panic update too, Check mode is clean and the
+        // alloc baseline carries the vec site (in-loop class not armed
+        // here: the vec! sits at fn top, so kind is plain `vec`).
+        let report = run_passes(
+            &root,
+            BaselineMode::Update(UpdateScope::Panic),
+            PassFilter::All,
+        );
+        assert!(non_registry(&report).is_empty(), "{:?}", report.violations);
+        let report = run_passes(&root, BaselineMode::Check, PassFilter::All);
+        assert!(non_registry(&report).is_empty(), "{:?}", report.violations);
+        let body =
+            std::fs::read_to_string(root.join(ALLOC_BASELINE_PATH)).expect("baseline readable"); // lint:allow(expect)
+        assert!(body.contains("crates/sim/src/engine.rs::Simulator::run\tvec"));
+    }
+
+    #[test]
+    fn pass_filter_alloc_skips_the_panic_and_registry_passes() {
+        // With no baselines at all, a `--pass=alloc` run must complain
+        // about the alloc baseline only — the panic pass never ran.
+        let root = synthetic_root("pass-alloc");
+        let report = run_passes(&root, BaselineMode::Check, PassFilter::Alloc);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains(ALLOC_BASELINE_PATH));
+        assert!(!report.violations[0].contains(BASELINE_PATH));
+    }
+
+    #[test]
+    fn new_hot_path_alloc_site_fails_with_witness_chain() {
+        let root = synthetic_root("alloc-new-site");
+        // Baseline an empty inventory, then the vec! in Simulator::run is
+        // a *new* site and must fail with a witness chain naming the
+        // entry point and the sink.
+        std::fs::write(root.join(ALLOC_BASELINE_PATH), "# empty\n").expect("write baseline"); // lint:allow(expect)
+        let report = run_passes(&root, BaselineMode::Check, PassFilter::Alloc);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        let v = &report.violations[0];
+        assert!(
+            v.contains("new `vec` allocation site(s) in `Simulator::run`"),
+            "{v}"
+        );
+        assert!(
+            v.contains("witness: Simulator::run (crates/sim/src/engine.rs:1)"),
+            "{v}"
+        );
+        assert!(v.contains("vec! @ crates/sim/src/engine.rs:2"), "{v}");
+    }
+
     #[test]
     fn workspace_analyze_is_clean() {
-        // The real workspace must pass all three passes against the
-        // checked-in baseline and the committed OBSERVABILITY.md tables.
-        let report = run(&workspace_root(), BaselineMode::Check);
+        // The real workspace must pass all four passes against the
+        // checked-in baselines and the committed OBSERVABILITY.md tables.
+        let report = run_passes(&workspace_root(), BaselineMode::Check, PassFilter::All);
         assert!(
             report.violations.is_empty(),
             "analyze must be clean on the workspace:\n{}",

@@ -26,6 +26,18 @@ pub const THREADS_BOUNDARY: [&str; 2] = [
     "crates/core/src/experiments/sweep.rs",
 ];
 
+/// Rule name of the allocation-discipline escape, consumed by the
+/// analyzer's alloc pass (`docs/STATIC_ANALYSIS.md`). Unlike the
+/// wallclock / threads escapes, the alloc escape is **per function, not
+/// per file**: a `// lint:allow(alloc) — <why this path is one-shot>`
+/// comment on (or directly above) a `fn` declaration exempts that whole
+/// body from the hot-path allocation inventory. It is reserved for
+/// audited setup / one-shot paths — code that is *reachable* from the
+/// per-event entry set but provably runs O(1) times per run segment
+/// (fault-epoch rebuilds, end-of-run flushes), where a fresh allocation
+/// is not a per-event cost.
+pub const ALLOC_RULE: &str = "alloc";
+
 /// True when `label` is one of the [`WALLCLOCK_BOUNDARY`] files.
 pub fn in_wallclock_boundary(label: &str) -> bool {
     let norm = label.replace('\\', "/");

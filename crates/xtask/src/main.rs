@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint
-//! cargo run -p xtask -- analyze [--update-baseline]
+//! cargo run -p xtask -- analyze [--update-baseline[=panic|alloc]] [--pass=alloc|all]
 //! cargo run -p xtask -- trace summary <trace.jsonl>
 //! cargo run -p xtask -- trace diff <a> <b>
 //! ```
@@ -58,21 +58,42 @@ fn main() {
 const ANALYZE_WALL_BUDGET_SECS: f64 = 120.0;
 
 fn analyze_main(args: &[String]) -> ! {
-    let mode = match args.first().map(String::as_str) {
-        Some("--update-baseline") => analyze::BaselineMode::Update,
-        None => analyze::BaselineMode::Check,
-        Some(other) => {
-            eprintln!("xtask analyze: unknown flag `{other}`");
-            usage()
+    let mut mode = analyze::BaselineMode::Check;
+    let mut passes = analyze::PassFilter::All;
+    for arg in args {
+        match arg.as_str() {
+            "--update-baseline" => mode = analyze::BaselineMode::Update(analyze::UpdateScope::Both),
+            "--update-baseline=panic" => {
+                mode = analyze::BaselineMode::Update(analyze::UpdateScope::Panic)
+            }
+            "--update-baseline=alloc" => {
+                mode = analyze::BaselineMode::Update(analyze::UpdateScope::Alloc)
+            }
+            "--pass=alloc" => passes = analyze::PassFilter::Alloc,
+            "--pass=all" => passes = analyze::PassFilter::All,
+            other => {
+                eprintln!("xtask analyze: unknown flag `{other}`");
+                usage()
+            }
         }
-    };
+    }
     let timer = uap_sim::WallTimer::start();
-    let report = analyze::run(&workspace_root(), mode);
+    let report = analyze::run_passes(&workspace_root(), mode, passes);
     let wall = timer.elapsed_secs();
     let clean = analyze::print_report(&report);
+    let label = match passes {
+        analyze::PassFilter::All => "analyze",
+        analyze::PassFilter::Alloc => "analyze_alloc",
+    };
     println!(
-        "PERF analyze files={} fns={} entries={} edges={} wall_secs={wall:.3} (budget {ANALYZE_WALL_BUDGET_SECS:.0}s)",
-        report.stats.files, report.stats.fns, report.stats.entries, report.stats.edges
+        "PERF {label} files={} fns={} entries={} hot_entries={} edges={} alloc_sites={} \
+         wall_secs={wall:.3} (budget {ANALYZE_WALL_BUDGET_SECS:.0}s)",
+        report.stats.files,
+        report.stats.fns,
+        report.stats.entries,
+        report.stats.hot_entries,
+        report.stats.edges,
+        report.stats.alloc_sites
     );
     if wall > ANALYZE_WALL_BUDGET_SECS {
         eprintln!(
@@ -127,7 +148,7 @@ fn read_or_die(path: &str) -> String {
 fn usage() -> ! {
     eprintln!(
         "usage: cargo run -p xtask -- lint\n       \
-         cargo run -p xtask -- analyze [--update-baseline]\n       \
+         cargo run -p xtask -- analyze [--update-baseline[=panic|alloc]] [--pass=alloc|all]\n       \
          cargo run -p xtask -- trace summary <trace.jsonl>\n       \
          cargo run -p xtask -- trace diff <a> <b>"
     );
