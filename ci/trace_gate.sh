@@ -41,6 +41,10 @@ gate() { # gate <bin> <name>
 
   echo "trace summary"
   cargo run --release -q -p xtask -- trace summary "$WORK/$2/a/$2.trace.jsonl"
+
+  echo "trace check (causal integrity)"
+  cargo run --release -q -p xtask -- trace check "$WORK/$2/a/$2.trace.jsonl"
+  cargo run --release -q -p xtask -- trace check "$WORK/$2/b/$2.trace.jsonl"
 }
 
 gate exp04_message_counts exp04
@@ -50,6 +54,36 @@ gate exp16_resilience exp16
 # The fault campaign must actually fire in the gated run.
 if ! grep -q '"k":"fault.epoch"' "$WORK/exp16/a/exp16.trace.jsonl"; then
   echo "exp16 trace contains no fault.epoch events — FaultPlan not applied" >&2
+  exit 1
+fi
+
+# The streaming sink must produce byte-identical output to the buffered
+# sink (same binary, same seed, write-through instead of in-memory).
+echo "streaming sink byte identity (exp16)"
+mkdir -p "$WORK/exp16/s"
+cargo run --release -q -p uap-bench --bin exp16_resilience -- \
+  --quick --seed "$SEED" --out "$WORK/exp16/s" \
+  --trace "$WORK/exp16/s/exp16.trace.jsonl" --trace-stream \
+  > "$WORK/exp16/s/stdout.txt"
+cmp "$WORK/exp16/a/exp16.trace.jsonl" "$WORK/exp16/s/exp16.trace.jsonl"
+
+echo "trace spans (exp16)"
+cargo run --release -q -p xtask -- trace spans "$WORK/exp16/a/exp16.trace.jsonl"
+
+# Provenance smoke: a download.retry must explain back to a fault.epoch
+# root — the causal chain the fault campaign exists to exercise.
+echo "trace explain (exp16 download.retry provenance)"
+RETRY_SEQ="$(grep -m1 '"k":"download.retry"' "$WORK/exp16/a/exp16.trace.jsonl" \
+  | sed -E 's/^\{"seq":([0-9]+).*/\1/')"
+if [ -z "$RETRY_SEQ" ]; then
+  echo "exp16 trace contains no download.retry events — recovery path not exercised" >&2
+  exit 1
+fi
+EXPLAIN="$(cargo run --release -q -p xtask -- trace explain \
+  "$WORK/exp16/a/exp16.trace.jsonl" "$RETRY_SEQ")"
+echo "$EXPLAIN"
+if ! echo "$EXPLAIN" | grep -q 'fault.epoch'; then
+  echo "download.retry seq $RETRY_SEQ does not trace back to a fault.epoch root" >&2
   exit 1
 fi
 

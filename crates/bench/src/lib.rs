@@ -10,7 +10,10 @@
 //! * `--seed <u64>` — experiment seed (default 42);
 //! * `--out <dir>` — output directory (default `results`);
 //! * `--trace <path>` — also write the run's structured trace as JSONL
-//!   to `<path>` (see `docs/OBSERVABILITY.md` for the event schema).
+//!   to `<path>` (see `docs/OBSERVABILITY.md` for the event schema);
+//! * `--trace-stream` — with `--trace`, write the JSONL through the
+//!   streaming sink (buffered write-through, O(1) memory) instead of
+//!   accumulating the run in RAM. Byte-identical output either way.
 //!
 //! ## Telemetry files
 //!
@@ -67,6 +70,9 @@ pub struct Cli {
     pub out: PathBuf,
     /// Optional JSONL trace output path.
     pub trace: Option<PathBuf>,
+    /// Stream the trace through the write-through sink instead of
+    /// buffering the whole run in memory.
+    pub trace_stream: bool,
 }
 
 impl Cli {
@@ -82,6 +88,7 @@ impl Cli {
             seed: 42,
             out: PathBuf::from("results"),
             trace: None,
+            trace_stream: false,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -99,6 +106,7 @@ impl Cli {
                     let v = it.next().unwrap_or_else(|| usage("--trace needs a value"));
                     cli.trace = Some(PathBuf::from(v));
                 }
+                "--trace-stream" => cli.trace_stream = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -111,7 +119,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--quick] [--seed <u64>] [--out <dir>] [--trace <path>]");
+    eprintln!(
+        "usage: <experiment> [--quick] [--seed <u64>] [--out <dir>] [--trace <path>] \
+         [--trace-stream]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -134,6 +145,9 @@ pub struct Run {
     name: String,
     out: PathBuf,
     trace_path: Option<PathBuf>,
+    /// The tracer already writes through to `trace_path`; `finish` only
+    /// flushes instead of serializing the buffered events.
+    streaming: bool,
     /// The structured report being accumulated.
     pub report: RunReport,
     /// Tracer to thread through traced experiment harnesses. Disabled
@@ -148,15 +162,34 @@ impl Run {
     pub fn start(cli: &Cli, name: &str) -> Run {
         let mut report = RunReport::new(name, cli.seed);
         report.config("quick", cli.quick);
-        let tracer = if cli.trace.is_some() {
-            Tracer::buffered(TraceLevel::Debug)
-        } else {
-            Tracer::disabled()
+        let mut streaming = false;
+        let tracer = match &cli.trace {
+            Some(tp) if cli.trace_stream => {
+                if let Some(dir) = tp.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                match Tracer::streaming(tp, TraceLevel::Debug) {
+                    Ok(t) => {
+                        streaming = true;
+                        t
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: could not open {} for streaming, buffering instead: {e}",
+                            tp.display()
+                        );
+                        Tracer::buffered(TraceLevel::Debug)
+                    }
+                }
+            }
+            Some(_) => Tracer::buffered(TraceLevel::Debug),
+            None => Tracer::disabled(),
         };
         Run {
             name: name.to_owned(),
             out: cli.out.clone(),
             trace_path: cli.trace.clone(),
+            streaming,
             report,
             tracer,
             wall: WallTimer::start(),
@@ -212,16 +245,23 @@ impl Run {
             self.name
         );
         if let Some(tp) = &self.trace_path {
-            if let Some(dir) = tp.parent() {
-                let _ = std::fs::create_dir_all(dir);
-            }
-            let mut buf = Vec::new();
-            match self.tracer.write_jsonl(&mut buf) {
-                Ok(()) => match std::fs::write(tp, &buf) {
+            if self.streaming {
+                match self.tracer.flush() {
                     Ok(()) => println!("{}", artifact_line("trace", tp)),
-                    Err(e) => eprintln!("warning: could not write {}: {e}", tp.display()),
-                },
-                Err(e) => eprintln!("warning: could not serialize trace: {e}"),
+                    Err(e) => eprintln!("warning: could not flush {}: {e}", tp.display()),
+                }
+            } else {
+                if let Some(dir) = tp.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                let mut buf = Vec::new();
+                match self.tracer.write_jsonl(&mut buf) {
+                    Ok(()) => match std::fs::write(tp, &buf) {
+                        Ok(()) => println!("{}", artifact_line("trace", tp)),
+                        Err(e) => eprintln!("warning: could not write {}: {e}", tp.display()),
+                    },
+                    Err(e) => eprintln!("warning: could not serialize trace: {e}"),
+                }
             }
         }
     }
@@ -265,6 +305,7 @@ mod tests {
                 "/tmp/x",
                 "--trace",
                 "/tmp/t.jsonl",
+                "--trace-stream",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -273,6 +314,22 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.out, PathBuf::from("/tmp/x"));
         assert_eq!(c.trace, Some(PathBuf::from("/tmp/t.jsonl")));
+        assert!(c.trace_stream);
+    }
+
+    #[test]
+    fn trace_stream_flag_opens_a_streaming_run() {
+        let path = std::env::temp_dir().join("uap_bench_stream_run.jsonl");
+        let cli = Cli::parse_from(
+            ["--trace", path.to_str().unwrap(), "--trace-stream"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let run = Run::start(&cli, "exp_test");
+        assert!(run.tracer.is_active());
+        assert!(run.streaming);
+        assert!(path.exists(), "streaming sink creates the file up front");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

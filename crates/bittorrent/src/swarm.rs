@@ -170,9 +170,28 @@ pub fn run_swarm_with(
         .collect();
     let index: BTreeMap<HostId, usize> = members.iter().enumerate().map(|(i, &h)| (h, i)).collect();
     let mut tracker = Tracker::new(cfg.tracker);
-    // Initial announces.
+    // Initial announces. Every leecher opens a causal span here that
+    // covers its whole life in the swarm — announce, piece exchange,
+    // completion — and closes at `peer.done` (or unfinished at the end of
+    // a truncated run). Span ids are allocated in peer order so traces
+    // stay byte-identical per seed.
+    let mut peer_spans: Vec<Option<u64>> = vec![None; peers.len()];
     for i in 0..peers.len() {
         let who = peers[i].host;
+        if !peers[i].is_seed {
+            let span = tracer.alloc_span();
+            peer_spans[i] = Some(span);
+            tracer.set_span(Some(span));
+            tracer.emit(
+                SimTime::ZERO,
+                "bittorrent",
+                TraceLevel::Debug,
+                "span.open",
+                |f| {
+                    f.str("span_kind", "peer").u64("peer", who.0 as u64);
+                },
+            );
+        }
         tracker.announce_into(
             &underlay,
             who,
@@ -182,6 +201,7 @@ pub fn run_swarm_with(
             &mut peers[i].neighbors,
         );
     }
+    tracer.clear_provenance();
     // Piece availability for rarest-first.
     let mut availability: Vec<u32> = vec![0; cfg.n_pieces];
     for p in &peers {
@@ -203,6 +223,9 @@ pub fn run_swarm_with(
     let mut next_boundary = 0usize;
     let mut down = vec![false; peers.len()];
     let mut reannounces = 0u64;
+    // `seq` of the most recent `fault.epoch` event — the cause anchor for
+    // the recovery re-announces it forces.
+    let mut last_fault_seq: Option<u64> = None;
     let mut completed_by_round: Vec<usize> = Vec::new();
 
     // Round-loop scratch, allocated once and reused every round so the
@@ -229,12 +252,11 @@ pub fn run_swarm_with(
                 .expect("boundaries only exist for a compiled plan") // lint:allow(expect)
                 .state_at(t);
             underlay.apply_fault_state(&state);
-            tracer.emit(now, "net", TraceLevel::Info, "fault.epoch", |f| {
-                f.u64("boundary_us", t.as_micros())
-                    .u64("links_down", state.links_down() as u64)
-                    .f64("latency_factor", state.latency_factor)
-                    .u64("crashed", state.crashed.len() as u64);
+            let fault_seq = tracer.emit(now, "net", TraceLevel::Info, "fault.epoch", |f| {
+                f.u64("boundary_us", t.as_micros());
+                state.trace_fields(f);
             });
+            last_fault_seq = fault_seq.or(last_fault_seq);
             // Diff the crash set; the tracker's live pool is the members
             // that still announce under the new state.
             was_down.copy_from_slice(&down);
@@ -270,11 +292,14 @@ pub fn run_swarm_with(
                     );
                     reannounces += 1;
                     let received = peers[i].neighbors.len();
+                    tracer.set_span(peer_spans[i]);
+                    tracer.set_cause(last_fault_seq);
                     tracer.emit(now, "bittorrent", TraceLevel::Debug, "reannounce", |f| {
                         f.u64("peer", who.0 as u64).u64("received", received as u64);
                     });
                 }
             }
+            tracer.clear_provenance();
         }
         let all_done = peers.iter().all(|p| p.is_seed || p.done_at.is_some());
         if all_done {
@@ -336,12 +361,14 @@ pub fn run_swarm_with(
                     unchokes[i].push(pick);
                 }
             }
+            tracer.set_span(peer_spans[i]);
             tracer.emit(now, "bittorrent", TraceLevel::Trace, "unchoke", |f| {
                 f.u64("peer", peers[i].host.0 as u64)
                     .u64("slots", unchokes[i].len() as u64)
                     .bool("cost_aware", cfg.cost_aware_choking);
             });
         }
+        tracer.clear_provenance();
         // Phase 2: move bytes along each unchoked flow.
         let round_secs = cfg.round.as_secs_f64();
         let mut round_bytes = 0u64;
@@ -403,6 +430,7 @@ pub fn run_swarm_with(
         // Phase 3: commit completions, completion times, re-announces.
         let n_completions = completions.len();
         for &(j, p) in &completions {
+            tracer.set_span(peer_spans[j]);
             if peers[j].pieces.insert(p) {
                 availability[p] += 1;
                 tracer.emit(now, "bittorrent", TraceLevel::Trace, "piece", |f| {
@@ -411,12 +439,20 @@ pub fn run_swarm_with(
             }
             if peers[j].pieces.is_complete() && peers[j].done_at.is_none() {
                 peers[j].done_at = Some(rounds);
-                tracer.emit(now, "bittorrent", TraceLevel::Debug, "peer.done", |f| {
-                    f.u64("peer", peers[j].host.0 as u64)
-                        .u64("round", rounds as u64);
+                let done_seq =
+                    tracer.emit(now, "bittorrent", TraceLevel::Debug, "peer.done", |f| {
+                        f.u64("peer", peers[j].host.0 as u64)
+                            .u64("round", rounds as u64);
+                    });
+                // The close is caused by the completion event itself.
+                tracer.set_cause(done_seq);
+                tracer.emit(now, "bittorrent", TraceLevel::Debug, "span.close", |f| {
+                    f.str("span_kind", "peer").bool("done", true);
                 });
+                tracer.set_cause(None);
             }
         }
+        tracer.clear_provenance();
         tracer.emit(now, "bittorrent", TraceLevel::Debug, "round", |f| {
             f.u64("round", rounds as u64)
                 .u64("pieces", n_completions as u64)
@@ -451,6 +487,20 @@ pub fn run_swarm_with(
         }
     }
 
+    let end = cfg.round.mul(rounds as u64);
+    // Leechers still incomplete when the run stops close their spans
+    // unfinished, so span open/close stays balanced even in truncated runs.
+    for i in 0..peers.len() {
+        if peers[i].done_at.is_none() {
+            if let Some(span) = peer_spans[i] {
+                tracer.set_span(Some(span));
+                tracer.emit(end, "bittorrent", TraceLevel::Debug, "span.close", |f| {
+                    f.str("span_kind", "peer").bool("done", false);
+                });
+            }
+        }
+    }
+    tracer.clear_provenance();
     let completion_secs: Vec<f64> = peers
         .iter()
         .filter(|p| !p.is_seed)
@@ -468,7 +518,6 @@ pub fn run_swarm_with(
         completed_by_round,
         reannounces,
     };
-    let end = cfg.round.mul(rounds as u64);
     underlay.trace_link_totals(end, tracer);
     tracer.emit(end, "bittorrent", TraceLevel::Info, "swarm.done", |f| {
         f.u64("rounds", report.rounds as u64)

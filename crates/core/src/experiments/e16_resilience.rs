@@ -222,7 +222,7 @@ pub fn run(p: &Params) -> Outcome {
 pub fn run_traced(p: &Params, tracer: &mut Tracer) -> Outcome {
     let reachability = probe_reachability(p);
     let (gnutella, curves) = run_gnutella(p, tracer);
-    let (kademlia, kad_phases) = run_kademlia(p);
+    let (kademlia, kad_phases) = run_kademlia(p, tracer);
     let (bittorrent, swarms) = run_swarms(p, tracer);
     Outcome {
         reachability,
@@ -368,13 +368,26 @@ fn run_gnutella(p: &Params, tracer: &mut Tracer) -> (Table, Vec<GnutellaCurve>) 
     (table, curves)
 }
 
-fn run_kademlia(p: &Params) -> (Table, Vec<KadPhase>) {
+fn run_kademlia(p: &Params, tracer: &mut Tracer) -> (Table, Vec<KadPhase>) {
     let mut rng = SimRng::new(p.net.seed ^ 0x16AD);
     let cfg = DhtConfig {
         rpc_retries: 2,
         ..Default::default()
     };
     let mut net = DhtNetwork::build(p.net.build(), cfg, &mut rng);
+    tracer.emit(
+        SimTime::ZERO,
+        "experiment",
+        TraceLevel::Info,
+        "phase",
+        |f| {
+            f.str("name", "kademlia/retrieval");
+        },
+    );
+    // Joins stay untraced (they happen inside `build`); the phase
+    // retrievals below record their lookup spans into the experiment's
+    // tracer, then the swap is undone before the tables are built.
+    std::mem::swap(&mut net.tracer, tracer);
     let n = net.len();
     let compiled = p.plan().compile(&net.underlay.graph);
     let mid = SimTime::from_micros((p.fault_start.as_micros() + p.fault_end.as_micros()) / 2);
@@ -424,6 +437,7 @@ fn run_kademlia(p: &Params) -> (Table, Vec<KadPhase>) {
         net.set_online(h, true);
     }
     run_phase("recovered", &mut net, &mut rng);
+    std::mem::swap(&mut net.tracer, tracer);
     let mut table = Table::new(
         "E16c — Kademlia retrieval with RPC retransmit (retries = 2)",
         &[

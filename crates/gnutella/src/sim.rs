@@ -63,6 +63,10 @@ pub struct GnutellaSim {
     /// Per-download outcome log `(time, completed)`, including re-sourced
     /// and abandoned downloads.
     download_log: Vec<(SimTime, bool)>,
+    /// `seq` of the most recent `fault.epoch` trace event — the cause
+    /// anchor for recovery events (download retries point at the epoch
+    /// that made their source unreachable).
+    last_fault_seq: Option<u64>,
     /// Hot-path scratch buffers, reused across events (taken with
     /// `std::mem::take` around calls that need `&mut self`) so the
     /// per-event bodies stay allocation-free — the alloc pass in
@@ -182,6 +186,7 @@ impl GnutellaSim {
             crashed: vec![false; n],
             query_log: Vec::new(),
             download_log: Vec::new(),
+            last_fault_seq: None,
             scratch_flood: crate::overlay::FloodResult::default(),
             scratch_hits: Vec::new(),
             scratch_providers: Vec::new(),
@@ -237,13 +242,15 @@ impl GnutellaSim {
         debug_assert_eq!(t, ctx.now());
         self.underlay.apply_fault_state(&state);
         ctx.metrics.incr("net.fault.epochs", 1);
-        let links_down = state.links_down();
-        ctx.trace("net", TraceLevel::Info, "fault.epoch", |f| {
-            f.u64("boundary", idx as u64)
-                .u64("links_down", links_down as u64)
-                .f64("latency_factor", state.latency_factor)
-                .u64("crashed", state.crashed.len() as u64);
+        let fault_seq = ctx.trace("net", TraceLevel::Info, "fault.epoch", |f| {
+            f.u64("boundary", idx as u64);
+            state.trace_fields(f);
         });
+        // The epoch becomes the cause anchor: everything this boundary
+        // triggers — leaves, crash restores, the Repair events they
+        // schedule, and later download retries — points back at it.
+        self.last_fault_seq = fault_seq.or(self.last_fault_seq);
+        ctx.tracer.set_cause(fault_seq);
         let mut now_crashed = std::mem::take(&mut self.scratch_crash);
         now_crashed.clear();
         now_crashed.resize(self.crashed.len(), false);
@@ -391,7 +398,9 @@ impl GnutellaSim {
             }
         }
         self.scratch_flood = flood;
-        ctx.schedule_in(self.cfg.ping_interval, Ev::PingCycle(h, ep));
+        // Periodic self-reschedule with root provenance: each cycle is a
+        // fresh causal root, not a descendant of every cycle before it.
+        ctx.schedule_in_root(self.cfg.ping_interval, Ev::PingCycle(h, ep));
     }
 
     fn query_cycle(&mut self, h: HostId, ep: u32, ctx: &mut Ctx<'_, Ev>) {
@@ -399,12 +408,24 @@ impl GnutellaSim {
             return;
         }
         // Exactly one pending QueryCycle per online session: reschedule
-        // here, success or not.
+        // here, success or not (root provenance — see ping_cycle).
         let next = SimTime::from_secs_f64(ctx.rng.exp(self.cfg.query_interval.as_secs_f64()));
-        ctx.schedule_in(next, Ev::QueryCycle(h, ep));
+        ctx.schedule_in_root(next, Ev::QueryCycle(h, ep));
         let asn = self.underlay.hosts.as_of(h);
         let file = self.content.sample_interest(asn, ctx.rng);
         ctx.metrics.incr("gnutella.queries", 1);
+        // Open the query span: it covers the flood, QueryHit routing,
+        // source selection and the download (including retries). The id
+        // comes from the tracer's deterministic counter, so allocating it
+        // unconditionally keeps traces byte-identical per seed.
+        let span = ctx.tracer.alloc_span();
+        let prev_prov = ctx.tracer.provenance();
+        ctx.tracer.set_span(Some(span));
+        ctx.trace("gnutella", TraceLevel::Debug, "span.open", |f| {
+            f.str("span_kind", "query")
+                .u64("host", h.0 as u64)
+                .u64("file", file.0 as u64);
+        });
         let mut flood = std::mem::take(&mut self.scratch_flood);
         self.overlay.flood_into(h, self.cfg.query_ttl, &mut flood);
         ctx.metrics.incr("gnutella.msg.query", flood.messages);
@@ -434,6 +455,12 @@ impl GnutellaSim {
         self.query_log.push((ctx.now(), !hits.is_empty()));
         if hits.is_empty() {
             self.scratch_hits = hits;
+            ctx.trace("gnutella", TraceLevel::Debug, "span.close", |f| {
+                f.str("span_kind", "query")
+                    .bool("hit", false)
+                    .u64("dur_us", 0);
+            });
+            ctx.tracer.set_provenance(prev_prov);
             return;
         }
         ctx.metrics.incr("gnutella.queries.success", 1);
@@ -463,8 +490,22 @@ impl GnutellaSim {
         } else {
             *ctx.rng.pick(&providers)
         };
+        let secs_before = self.download_secs_sum;
         self.download(h, provider, &providers, ctx);
         self.scratch_providers = providers;
+        // Modeled end-to-end duration: time to the first QueryHit plus the
+        // transfer time of the (possibly re-sourced) download. Spans in
+        // this overlay are synchronous within one event, so the close
+        // carries the modeled latency explicitly rather than a sim-time
+        // delta (`xtask trace spans` prefers `dur_us` when present).
+        let dur_us =
+            first_hit_us.saturating_add(((self.download_secs_sum - secs_before) * 1e6) as u64);
+        ctx.trace("gnutella", TraceLevel::Debug, "span.close", |f| {
+            f.str("span_kind", "query")
+                .bool("hit", true)
+                .u64("dur_us", dur_us);
+        });
+        ctx.tracer.set_provenance(prev_prov);
     }
 
     /// File exchange with re-sourcing: tries the policy-chosen provider
@@ -538,12 +579,18 @@ impl GnutellaSim {
                 }
                 Some(p) => {
                     ctx.metrics.incr("gnutella.downloads.retried", 1);
-                    ctx.trace("gnutella", TraceLevel::Debug, "download.retry", |f| {
-                        f.u64("downloader", downloader.0 as u64)
-                            .u64("failed", current.0 as u64)
-                            .u64("alternate", p.0 as u64)
-                            .u64("attempt", tried.len() as u64);
-                    });
+                    // The retry is caused by the fault epoch that took the
+                    // source down; whatever follows it (the re-sourced
+                    // download, or the next retry) is caused by the retry.
+                    ctx.tracer.set_cause(self.last_fault_seq);
+                    let retry_seq =
+                        ctx.trace("gnutella", TraceLevel::Debug, "download.retry", |f| {
+                            f.u64("downloader", downloader.0 as u64)
+                                .u64("failed", current.0 as u64)
+                                .u64("alternate", p.0 as u64)
+                                .u64("attempt", tried.len() as u64);
+                        });
+                    ctx.tracer.set_cause(retry_seq.or(self.last_fault_seq));
                     tried.push(p);
                     current = p;
                 }

@@ -291,6 +291,21 @@ impl DhtNetwork {
     /// Iterative FIND_NODE lookup from `from` towards `target`.
     pub fn lookup(&mut self, from: HostId, target: &Key, _rng: &mut SimRng) -> LookupOutcome {
         let mut out = LookupOutcome::default();
+        // Every event the lookup emits — start, hops, retransmits, done —
+        // carries this span id; the driver's ambient provenance is restored
+        // when the lookup returns.
+        let span = self.tracer.alloc_span();
+        let prev_prov = self.tracer.provenance();
+        self.tracer.set_span(Some(span));
+        self.tracer
+            .emit(self.clock, "kademlia", TraceLevel::Debug, "span.open", {
+                let target_pfx = Self::key_prefix(target);
+                move |f| {
+                    f.str("span_kind", "lookup")
+                        .u64("from", from.0 as u64)
+                        .u64("target", target_pfx);
+                }
+            });
         self.tracer
             .emit(self.clock, "kademlia", TraceLevel::Debug, "lookup.start", {
                 let target_pfx = Self::key_prefix(target);
@@ -422,6 +437,18 @@ impl DhtNetwork {
                         .u64("best", best);
                 }
             });
+        // The lookup is synchronous (the ledger clock does not advance), so
+        // the close carries the modeled latency explicitly.
+        self.tracer
+            .emit(self.clock, "kademlia", TraceLevel::Debug, "span.close", {
+                let (found, dur) = (!shortlist.is_empty(), out.latency_us);
+                move |f| {
+                    f.str("span_kind", "lookup")
+                        .bool("found", found)
+                        .u64("dur_us", dur);
+                }
+            });
+        self.tracer.set_provenance(prev_prov);
         out.closest = shortlist;
         out
     }

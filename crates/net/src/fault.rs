@@ -21,7 +21,7 @@
 
 use crate::asgraph::{AsGraph, LinkKind};
 use crate::ids::HostId;
-use uap_sim::{SimRng, SimTime};
+use uap_sim::{Fields, SimRng, SimTime};
 
 /// What a fault epoch breaks while it is active.
 #[derive(Clone, Debug)]
@@ -231,6 +231,15 @@ impl FaultState {
         self.mask
             .as_ref()
             .map_or(0, |m| m.iter().filter(|&&d| d).count())
+    }
+
+    /// Writes the canonical `net/fault.epoch` anchor fields. Every overlay
+    /// that traces a fault boundary goes through this, so the cause-anchor
+    /// events recovery chains point at carry one field shape everywhere.
+    pub fn trace_fields(&self, f: &mut Fields) {
+        f.u64("links_down", self.links_down() as u64)
+            .f64("latency_factor", self.latency_factor)
+            .u64("crashed", self.crashed.len() as u64);
     }
 }
 

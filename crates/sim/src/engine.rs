@@ -9,7 +9,7 @@ use crate::event::EventQueue;
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::time::SimTime;
-use crate::trace::{Fields, TraceLevel, Tracer, WallTimer};
+use crate::trace::{Fields, Provenance, TraceLevel, Tracer, WallTimer};
 
 /// A protocol state machine driven by the engine.
 pub trait World<E> {
@@ -45,15 +45,31 @@ impl<'a, E> Ctx<'a, E> {
         self.now
     }
 
-    /// Schedules `event` after `delay`.
+    /// Schedules `event` after `delay`. The tracer's current causal
+    /// provenance (span + cause) rides along with the event and is
+    /// restored when the engine dispatches it, so causal chains span
+    /// message hops through the queue.
     pub fn schedule_in(&mut self, delay: SimTime, event: E) {
-        self.queue.push(self.now + delay, event);
+        self.queue
+            .push_with(self.now + delay, event, self.tracer.provenance());
     }
 
     /// Schedules `event` at absolute time `at`; clamped to "now" if in the
-    /// past so causality is never violated.
+    /// past so causality is never violated. Carries the current causal
+    /// provenance like [`Ctx::schedule_in`].
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        self.queue.push(at.max(self.now), event);
+        self.queue
+            .push_with(at.max(self.now), event, self.tracer.provenance());
+    }
+
+    /// Schedules `event` after `delay` with **root** (empty) provenance,
+    /// ignoring the current causal context. Periodic self-reschedules
+    /// (ping cycles, query cycles) use this so inherited chains stay
+    /// bounded: each new cycle is a fresh causal root, not a descendant
+    /// of every cycle before it.
+    pub fn schedule_in_root(&mut self, delay: SimTime, event: E) {
+        self.queue
+            .push_with(self.now + delay, event, Provenance::ROOT);
     }
 
     /// Requests the run to stop after the current event.
@@ -66,9 +82,11 @@ impl<'a, E> Ctx<'a, E> {
         self.queue.len()
     }
 
-    /// Emits a trace event stamped with the current simulated time. The
-    /// field-builder closure only runs when `component`/`level` is enabled,
-    /// so this costs one branch on the disabled path.
+    /// Emits a trace event stamped with the current simulated time and the
+    /// tracer's ambient causal provenance. The field-builder closure only
+    /// runs when `component`/`level` is enabled, so this costs one branch
+    /// on the disabled path. Returns the admitted event's `seq` (or
+    /// `None` when filtered) so the caller can use it as a cause anchor.
     #[inline]
     pub fn trace(
         &mut self,
@@ -76,8 +94,8 @@ impl<'a, E> Ctx<'a, E> {
         level: TraceLevel,
         kind: &'static str,
         build: impl FnOnce(&mut Fields),
-    ) {
-        self.tracer.emit(self.now, component, level, kind, build);
+    ) -> Option<u64> {
+        self.tracer.emit(self.now, component, level, kind, build)
     }
 }
 
@@ -313,10 +331,15 @@ impl<E> Simulator<E> {
                     self.event_limit, self.now
                 );
             }
-            let (t, ev) = self.queue.pop().expect("peeked event vanished"); // lint:allow(expect)
+            let (t, ev, prov) = self.queue.pop_full().expect("peeked event vanished"); // lint:allow(expect)
             debug_assert!(t >= self.now, "event queue delivered out of order");
             self.now = t;
             self.events_processed += 1;
+            // Restore the scheduler's causal context: events this handler
+            // emits or schedules inherit the provenance the message was
+            // sent with (fresh for every dispatch, so nothing leaks
+            // between handlers).
+            self.tracer.set_provenance(prov);
             if self.profiler.is_some() || self.tracer.is_enabled("engine", TraceLevel::Trace) {
                 let kind = world.kind_of(&ev);
                 let queue_len = self.queue.len();
@@ -347,6 +370,9 @@ impl<E> Simulator<E> {
                 break;
             }
         }
+        // End-of-run emissions (link totals, run summaries) are causal
+        // roots, not descendants of the last dispatched event.
+        self.tracer.clear_provenance();
         if let Some(p) = &mut self.profiler {
             p.flush(&mut self.metrics);
         }
@@ -510,6 +536,65 @@ mod tests {
             .any(|e| e.component == "engine" && e.kind == "dispatch"));
         // Tracer was swapped out for a disabled one.
         assert!(!sim.tracer().is_active());
+    }
+
+    #[test]
+    fn provenance_propagates_through_the_event_queue() {
+        // A root event opens a span, anchors a cause, and schedules a
+        // follow-up; the follow-up's trace events must carry the span and
+        // cause through the queue, while a root-scheduled sibling stays
+        // provenance-free.
+        enum E3 {
+            Root,
+            Child,
+            Fresh,
+        }
+        struct P;
+        impl World<E3> for P {
+            fn handle(&mut self, ev: E3, ctx: &mut Ctx<'_, E3>) {
+                match ev {
+                    E3::Root => {
+                        let span = ctx.tracer.alloc_span();
+                        ctx.tracer.set_span(Some(span));
+                        let anchor = ctx.trace("echo", TraceLevel::Debug, "open", |_| {});
+                        ctx.tracer.set_cause(anchor);
+                        ctx.schedule_in(SimTime::from_millis(1), E3::Child);
+                        ctx.schedule_in_root(SimTime::from_millis(2), E3::Fresh);
+                    }
+                    E3::Child => {
+                        ctx.trace("echo", TraceLevel::Debug, "child", |_| {});
+                    }
+                    E3::Fresh => {
+                        ctx.trace("echo", TraceLevel::Debug, "fresh", |_| {});
+                    }
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.set_tracer(Tracer::buffered(TraceLevel::Debug));
+        sim.schedule_at(SimTime::ZERO, E3::Root);
+        sim.run(&mut P);
+        let tracer = sim.take_tracer();
+        let evs = tracer.events();
+        assert_eq!(evs.len(), 3);
+        let open = evs[0];
+        assert_eq!(open.kind, "open");
+        assert_eq!(open.span, Some(0));
+        let child = evs[1];
+        assert_eq!(child.kind, "child");
+        assert_eq!(child.span, Some(0), "span rode through the queue");
+        assert_eq!(
+            child.cause,
+            Some(open.seq),
+            "cause anchors to the open event"
+        );
+        let fresh = evs[2];
+        assert_eq!(fresh.kind, "fresh");
+        assert_eq!(
+            (fresh.span, fresh.cause),
+            (None, None),
+            "root reschedule resets"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! internals.
 
 use crate::time::SimTime;
+use crate::trace::Provenance;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -14,6 +15,10 @@ struct Entry<E> {
     time: SimTime,
     seq: u64,
     event: E,
+    /// Causal provenance captured when the event was scheduled; restored
+    /// as the tracer's ambient provenance when the event is dispatched,
+    /// so spans and cause anchors ride along with messages.
+    prov: Provenance,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -58,16 +63,34 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules `event` at absolute time `time` with root (empty)
+    /// provenance.
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_with(time, event, Provenance::ROOT);
+    }
+
+    /// Schedules `event` at absolute time `time`, carrying `prov` so the
+    /// dispatching engine can restore the scheduler's causal context.
+    pub fn push_with(&mut self, time: SimTime, event: E, prov: Provenance) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            seq,
+            event,
+            prov,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Like [`EventQueue::pop`], but also returns the provenance the
+    /// event was scheduled with.
+    pub fn pop_full(&mut self) -> Option<(SimTime, E, Provenance)> {
+        self.heap.pop().map(|e| (e.time, e.event, e.prov))
     }
 
     /// The timestamp of the earliest pending event.
@@ -134,6 +157,23 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn provenance_rides_along_with_events() {
+        let mut q = EventQueue::new();
+        let p = Provenance {
+            span: Some(4),
+            cause: Some(9),
+        };
+        q.push_with(SimTime::from_micros(2), "b", p);
+        q.push(SimTime::from_micros(1), "a");
+        assert_eq!(
+            q.pop_full(),
+            Some((SimTime::from_micros(1), "a", Provenance::ROOT))
+        );
+        assert_eq!(q.pop_full(), Some((SimTime::from_micros(2), "b", p)));
+        assert_eq!(q.pop_full(), None);
     }
 
     #[test]

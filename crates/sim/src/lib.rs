@@ -61,4 +61,4 @@ pub use metrics::{Histogram, Metrics, TimeSeries};
 pub use rng::{SimRng, Zipf};
 pub use runreport::{HistogramSummary, RunReport};
 pub use time::SimTime;
-pub use trace::{Fields, TraceEvent, TraceLevel, Tracer, Value, WallTimer};
+pub use trace::{Fields, Provenance, TraceEvent, TraceLevel, Tracer, Value, WallTimer};

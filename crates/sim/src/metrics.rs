@@ -336,6 +336,58 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_pins_small_n_edge_cases() {
+        // Regression fixture for the nearest-rank method: the smallest
+        // value with at least ceil(q*n) samples at or below it. These
+        // exact answers are what `RunReport` serializes, so changing the
+        // method shows up here before it shows up as trace-diff churn.
+        let mut one = Histogram::new();
+        one.record(7.0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(7.0), "n=1, q={q}");
+        }
+
+        let mut two = Histogram::new();
+        two.record(10.0);
+        two.record(20.0);
+        assert_eq!(two.quantile(0.5), Some(10.0)); // ceil(0.5*2)=1 → 1st
+        assert_eq!(two.quantile(0.51), Some(20.0)); // ceil(1.02)=2 → 2nd
+        assert_eq!(two.quantile(0.99), Some(20.0));
+
+        let mut ten = Histogram::new();
+        for i in 1..=10 {
+            ten.record(i as f64);
+        }
+        assert_eq!(ten.quantile(0.50), Some(5.0));
+        assert_eq!(ten.quantile(0.90), Some(9.0));
+        assert_eq!(ten.quantile(0.95), Some(10.0)); // ceil(9.5)=10
+        assert_eq!(ten.quantile(0.99), Some(10.0));
+    }
+
+    #[test]
+    fn quantiles_are_insertion_order_independent() {
+        let build = |order: &[f64]| {
+            let mut h = Histogram::new();
+            for &v in order {
+                h.record(v);
+            }
+            [0.5, 0.9, 0.95, 0.99].map(|q| h.quantile(q).unwrap())
+        };
+        let asc: Vec<f64> = (1..=97).map(f64::from).collect();
+        let mut desc = asc.clone();
+        desc.reverse();
+        // Interleave from both ends for a third shuffle-free permutation.
+        let mixed: Vec<f64> = asc
+            .iter()
+            .zip(desc.iter())
+            .flat_map(|(&a, &b)| [a, b])
+            .take(asc.len())
+            .collect();
+        assert_eq!(build(&asc), build(&desc));
+        assert_eq!(build(&asc), build(&mixed));
+    }
+
+    #[test]
     fn empty_histogram_returns_none() {
         let mut h = Histogram::new();
         assert_eq!(h.mean(), None);

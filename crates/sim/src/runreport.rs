@@ -172,7 +172,7 @@ impl RunReport {
                 o.push_str(", \"");
                 o.push_str(key);
                 o.push_str("\": ");
-                Value::F64(v).write_json(&mut o);
+                Value::F64(v).write_json_value(&mut o);
             }
             o.push('}');
         }
@@ -192,7 +192,7 @@ impl RunReport {
                 o.push('[');
                 o.push_str(&t.to_string());
                 o.push_str(", ");
-                Value::F64(*v).write_json(&mut o);
+                Value::F64(*v).write_json_value(&mut o);
                 o.push(']');
             }
             o.push(']');
@@ -202,7 +202,7 @@ impl RunReport {
         }
         o.push_str("},\n  \"wall_secs\": ");
         match self.wall_secs {
-            Some(w) => Value::F64(w).write_json(&mut o),
+            Some(w) => Value::F64(w).write_json_value(&mut o),
             None => o.push_str("null"),
         }
         o.push_str("\n}\n");
@@ -281,6 +281,24 @@ mod tests {
         assert!(j.contains("\"p95\": 300.0"));
         assert!(j.contains("[1000000, 2.5]"));
         assert!(j.contains("\"wall_secs\": null"));
+    }
+
+    #[test]
+    fn histogram_summary_pins_quantile_leaves() {
+        // Regression: the exact nearest-rank p50/p90/p95/p99 leaves for a
+        // known 1..=20 dataset, as serialized. ceil(q*20) ranks: 10, 18,
+        // 19, 20.
+        let mut m = Metrics::new();
+        for i in 1..=20 {
+            m.record("latency", i as f64);
+        }
+        let mut r = RunReport::new("q", 1);
+        r.absorb_metrics(&mut m);
+        let j = r.to_json();
+        assert!(j.contains("\"p50\": 10.0"), "{j}");
+        assert!(j.contains("\"p90\": 18.0"), "{j}");
+        assert!(j.contains("\"p95\": 19.0"), "{j}");
+        assert!(j.contains("\"p99\": 20.0"), "{j}");
     }
 
     #[test]

@@ -35,7 +35,38 @@ pub mod registry;
 use crate::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::io::{self, Write};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Causal provenance carried by a trace event (and propagated with
+/// scheduled messages through the engine's event queue).
+///
+/// * `span` — the id of the span the event belongs to, allocated by
+///   [`Tracer::alloc_span`]. Span ids come from a deterministic monotone
+///   counter (never the sim RNG), so they are byte-identical per seed and
+///   allocating one never perturbs the random stream.
+/// * `cause` — the `seq` of an earlier trace event that caused this one
+///   (e.g. recovery events point at the `fault.epoch` that triggered
+///   them; a re-sourced `download` points at its `download.retry`).
+///
+/// Events serialize these as the optional JSONL keys `"s"` and `"cs"`,
+/// placed between `"t"` and `"l"` and omitted when absent, so span-free
+/// traces keep their exact pre-provenance byte layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Provenance {
+    /// Span id the event belongs to, if any.
+    pub span: Option<u64>,
+    /// `seq` of the causing event, if any.
+    pub cause: Option<u64>,
+}
+
+impl Provenance {
+    /// The empty provenance: no span, no cause.
+    pub const ROOT: Provenance = Provenance {
+        span: None,
+        cause: None,
+    };
+}
 
 /// Verbosity of a trace event, ordered from most to least important.
 ///
@@ -102,7 +133,11 @@ pub enum Value {
 }
 
 impl Value {
-    pub(crate) fn write_json(&self, out: &mut String) {
+    /// Appends the value's JSON encoding to `out` (non-finite floats
+    /// become the strings `"NaN"` / `"inf"` / `"-inf"`). Public so trace
+    /// tooling can render parsed fields exactly as they were serialized.
+    // lint:allow(alloc) — number-to-string formatting inside the serializer; bounded per value, no retained allocation
+    pub fn write_json_value(&self, out: &mut String) {
         match self {
             Value::U64(v) => out.push_str(&v.to_string()),
             Value::I64(v) => out.push_str(&v.to_string()),
@@ -128,6 +163,7 @@ impl Value {
 }
 
 /// Escapes `s` as JSON string content into `out`.
+// lint:allow(alloc) — the `\uXXXX` control-char arm formats through a temporary; control chars never appear in trace names
 pub(crate) fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
@@ -190,6 +226,10 @@ pub struct TraceEvent {
     pub seq: u64,
     /// Simulated time of the event.
     pub t: SimTime,
+    /// Span id the event belongs to (JSONL key `"s"`), if any.
+    pub span: Option<u64>,
+    /// `seq` of the event that caused this one (JSONL key `"cs"`), if any.
+    pub cause: Option<u64>,
     /// Verbosity the event was emitted at.
     pub level: TraceLevel,
     /// Emitting component (`"engine"`, `"net"`, `"gnutella"`, …).
@@ -202,30 +242,47 @@ pub struct TraceEvent {
 
 impl TraceEvent {
     /// Serializes the event as one JSONL line (no trailing newline).
+    // lint:allow(alloc) — constructs the returned line; the streaming hot path uses `write_json_into` with a reused buffer
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        self.write_json_into(&mut out);
+        out
+    }
+
+    /// Appends the event's JSONL encoding (no trailing newline) to `out`.
+    /// The streaming sink serializes through this with a reused buffer so
+    /// a per-event write allocates nothing beyond number formatting.
+    // lint:allow(alloc) — integer-to-string formatting inside the serializer; bounded per event, no retained allocation
+    pub fn write_json_into(&self, out: &mut String) {
         out.push_str("{\"seq\":");
         out.push_str(&self.seq.to_string());
         out.push_str(",\"t\":");
         out.push_str(&self.t.as_micros().to_string());
+        if let Some(s) = self.span {
+            out.push_str(",\"s\":");
+            out.push_str(&s.to_string());
+        }
+        if let Some(cs) = self.cause {
+            out.push_str(",\"cs\":");
+            out.push_str(&cs.to_string());
+        }
         out.push_str(",\"l\":\"");
         out.push_str(self.level.name());
         out.push_str("\",\"c\":\"");
-        escape_into(&self.component, &mut out);
+        escape_into(&self.component, out);
         out.push_str("\",\"k\":\"");
-        escape_into(&self.kind, &mut out);
+        escape_into(&self.kind, out);
         out.push_str("\",\"f\":{");
         for (i, (k, v)) in self.fields.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push('"');
-            escape_into(k, &mut out);
+            escape_into(k, out);
             out.push_str("\":");
-            v.write_json(&mut out);
+            v.write_json_value(out);
         }
         out.push_str("}}");
-        out
     }
 }
 
@@ -243,6 +300,10 @@ enum Sink {
         /// Oldest-first buffer.
         buf: VecDeque<TraceEvent>,
     },
+    /// Write-through JSONL stream: every admitted event is serialized and
+    /// written immediately, nothing is retained in memory (O(1) memory
+    /// for arbitrarily long runs).
+    Stream(BufWriter<std::fs::File>),
 }
 
 /// The structured trace collector. See the module docs for the contract.
@@ -253,6 +314,11 @@ pub struct Tracer {
     components: BTreeMap<String, TraceLevel>,
     seq: u64,
     dropped: u64,
+    next_span: u64,
+    prov: Provenance,
+    /// Reused serialization buffer for the streaming sink's per-event
+    /// write (kept across events so the hot path does not allocate).
+    scratch_line: String,
 }
 
 impl Default for Tracer {
@@ -262,47 +328,97 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// The no-op tracer: records nothing, costs one branch per query.
-    pub fn disabled() -> Tracer {
+    fn with_sink(sink: Sink, default_level: TraceLevel) -> Tracer {
         Tracer {
-            sink: Sink::Disabled,
-            default_level: TraceLevel::Off,
+            sink,
+            default_level,
             components: BTreeMap::new(),
             seq: 0,
             dropped: 0,
+            next_span: 0,
+            prov: Provenance::ROOT,
+            scratch_line: String::new(),
         }
+    }
+
+    /// The no-op tracer: records nothing, costs one branch per query.
+    pub fn disabled() -> Tracer {
+        Tracer::with_sink(Sink::Disabled, TraceLevel::Off)
     }
 
     /// An unbounded in-memory tracer admitting events up to
     /// `default_level` for every component.
     pub fn buffered(default_level: TraceLevel) -> Tracer {
-        Tracer {
-            sink: Sink::Buffer(Vec::new()),
-            default_level,
-            components: BTreeMap::new(),
-            seq: 0,
-            dropped: 0,
-        }
+        Tracer::with_sink(Sink::Buffer(Vec::new()), default_level)
     }
 
     /// A bounded flight recorder keeping the newest `cap` events (oldest
     /// evicted first; `cap` is clamped to ≥ 1).
     pub fn ring(default_level: TraceLevel, cap: usize) -> Tracer {
-        Tracer {
-            sink: Sink::Ring {
+        Tracer::with_sink(
+            Sink::Ring {
                 cap: cap.max(1),
                 buf: VecDeque::new(),
             },
             default_level,
-            components: BTreeMap::new(),
-            seq: 0,
-            dropped: 0,
-        }
+        )
+    }
+
+    /// A write-through streaming tracer: every admitted event is
+    /// serialized and appended to the JSONL file at `path` as it is
+    /// emitted, retaining nothing in memory. Because serialization is the
+    /// same [`TraceEvent::to_json`] the buffered sink drains through, a
+    /// streamed trace is **byte-identical** to the buffered trace of the
+    /// same seed. Call [`Tracer::flush`] (or drop the tracer) to flush
+    /// the final buffer block.
+    pub fn streaming(path: &Path, default_level: TraceLevel) -> io::Result<Tracer> {
+        let file = std::fs::File::create(path)?;
+        Ok(Tracer::with_sink(
+            Sink::Stream(BufWriter::new(file)),
+            default_level,
+        ))
     }
 
     /// Overrides the admitted level for one component.
     pub fn set_component_level(&mut self, component: &str, level: TraceLevel) {
         self.components.insert(component.to_owned(), level);
+    }
+
+    /// Allocates a fresh span id from the deterministic monotone counter.
+    ///
+    /// Ids are allocated independently of level filtering and sink state,
+    /// so call sites may allocate unconditionally: the id sequence is a
+    /// pure function of the (deterministic) call order, never of the
+    /// tracer configuration or the sim RNG stream.
+    pub fn alloc_span(&mut self) -> u64 {
+        let id = self.next_span;
+        self.next_span += 1;
+        id
+    }
+
+    /// The ambient provenance stamped onto every emitted event.
+    pub fn provenance(&self) -> Provenance {
+        self.prov
+    }
+
+    /// Replaces the ambient provenance (span and cause together).
+    pub fn set_provenance(&mut self, prov: Provenance) {
+        self.prov = prov;
+    }
+
+    /// Sets only the ambient span, keeping the current cause.
+    pub fn set_span(&mut self, span: Option<u64>) {
+        self.prov.span = span;
+    }
+
+    /// Sets only the ambient cause, keeping the current span.
+    pub fn set_cause(&mut self, cause: Option<u64>) {
+        self.prov.cause = cause;
+    }
+
+    /// Clears the ambient provenance back to [`Provenance::ROOT`].
+    pub fn clear_provenance(&mut self) {
+        self.prov = Provenance::ROOT;
     }
 
     /// Whether the tracer is recording at all.
@@ -328,6 +444,11 @@ impl Tracer {
 
     /// Emits one event. `build` is only invoked (and fields are only
     /// allocated) when the component/level combination is enabled.
+    ///
+    /// Returns the `seq` of the admitted event (`None` when filtered or
+    /// disabled) so call sites can anchor later events to it via
+    /// [`Tracer::set_cause`] — e.g. the `fault.epoch` seq becomes the
+    /// cause of every recovery event the epoch triggers.
     #[inline]
     // lint:allow(alloc) — the retained TraceEvent record is the product; the disabled path returns first
     pub fn emit(
@@ -337,9 +458,9 @@ impl Tracer {
         level: TraceLevel,
         kind: &'static str,
         build: impl FnOnce(&mut Fields),
-    ) {
+    ) -> Option<u64> {
         if !self.is_enabled(component, level) {
-            return;
+            return None;
         }
         // Debug-build schema guard: events from registered components must
         // use a kind declared in the central registry (the static mirror
@@ -362,6 +483,8 @@ impl Tracer {
         let ev = TraceEvent {
             seq: self.seq,
             t,
+            span: self.prov.span,
+            cause: self.prov.cause,
             level,
             component: component.to_owned(),
             kind: kind.to_owned(),
@@ -371,6 +494,7 @@ impl Tracer {
                 .map(|(k, v)| (k.to_owned(), v))
                 .collect(),
         };
+        let seq = self.seq;
         self.seq += 1;
         match &mut self.sink {
             Sink::Disabled => {}
@@ -382,13 +506,37 @@ impl Tracer {
                 }
                 buf.push_back(ev);
             }
+            Sink::Stream(out) => {
+                // Serialize into the tracer's reused line buffer — the
+                // write-through path allocates nothing beyond number
+                // formatting, whatever the run length.
+                self.scratch_line.clear();
+                ev.write_json_into(&mut self.scratch_line);
+                self.scratch_line.push('\n');
+                if out.write_all(self.scratch_line.as_bytes()).is_err() {
+                    // Stream write failures count as drops; the run keeps
+                    // going and `flush` surfaces the sink state.
+                    self.dropped += 1;
+                }
+            }
+        }
+        Some(seq)
+    }
+
+    /// Flushes a streaming sink's buffered block to disk; a no-op for
+    /// every other sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match &mut self.sink {
+            Sink::Stream(out) => out.flush(),
+            _ => Ok(()),
         }
     }
 
-    /// Number of events currently retained.
+    /// Number of events currently retained (always 0 for the streaming
+    /// sink, which retains nothing).
     pub fn len(&self) -> usize {
         match &self.sink {
-            Sink::Disabled => 0,
+            Sink::Disabled | Sink::Stream(_) => 0,
             Sink::Buffer(buf) => buf.len(),
             Sink::Ring { buf, .. } => buf.len(),
         }
@@ -409,10 +557,11 @@ impl Tracer {
         self.dropped
     }
 
-    /// Retained events, oldest first.
+    /// Retained events, oldest first (empty for the streaming sink — its
+    /// events are already on disk).
     pub fn events(&self) -> Vec<&TraceEvent> {
         match &self.sink {
-            Sink::Disabled => Vec::new(),
+            Sink::Disabled | Sink::Stream(_) => Vec::new(),
             Sink::Buffer(buf) => buf.iter().collect(),
             Sink::Ring { buf, .. } => buf.iter().collect(),
         }
@@ -454,6 +603,8 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
     let mut ev = TraceEvent {
         seq: 0,
         t: SimTime::ZERO,
+        span: None,
+        cause: None,
         level: TraceLevel::Off,
         component: String::new(),
         kind: String::new(),
@@ -463,6 +614,8 @@ pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
         match (k.as_str(), v) {
             ("seq", Json::Num(n)) => ev.seq = n as u64,
             ("t", Json::Num(n)) => ev.t = SimTime::from_micros(n as u64),
+            ("s", Json::Num(n)) => ev.span = Some(n as u64),
+            ("cs", Json::Num(n)) => ev.cause = Some(n as u64),
             ("l", Json::Str(s)) => {
                 ev.level = TraceLevel::parse(&s).ok_or_else(|| format!("unknown level {s:?}"))?
             }
@@ -802,6 +955,176 @@ mod tests {
         assert!(line.contains("\"inf\":\"inf\""));
         // Still parses.
         parse_jsonl_line(line.trim_end()).expect("parseable");
+    }
+
+    #[test]
+    fn emit_returns_the_admitted_seq_and_none_when_filtered() {
+        let mut t = Tracer::buffered(TraceLevel::Info);
+        assert_eq!(
+            t.emit(SimTime::ZERO, "c", TraceLevel::Info, "a", |_| {}),
+            Some(0)
+        );
+        assert_eq!(
+            t.emit(SimTime::ZERO, "c", TraceLevel::Debug, "b", |_| {}),
+            None
+        );
+        assert_eq!(
+            t.emit(SimTime::ZERO, "c", TraceLevel::Info, "c", |_| {}),
+            Some(1)
+        );
+        let mut d = Tracer::disabled();
+        assert_eq!(
+            d.emit(SimTime::ZERO, "c", TraceLevel::Info, "a", |_| {}),
+            None
+        );
+    }
+
+    #[test]
+    fn span_ids_are_a_deterministic_monotone_counter() {
+        let mut t = Tracer::buffered(TraceLevel::Info);
+        assert_eq!(t.alloc_span(), 0);
+        assert_eq!(t.alloc_span(), 1);
+        // Allocation is independent of sink state and level filtering.
+        let mut d = Tracer::disabled();
+        assert_eq!(d.alloc_span(), 0);
+        assert_eq!(d.alloc_span(), 1);
+    }
+
+    #[test]
+    fn span_and_cause_round_trip_through_jsonl() {
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        t.set_provenance(Provenance {
+            span: Some(3),
+            cause: Some(17),
+        });
+        t.emit(SimTime::from_micros(9), "c", TraceLevel::Debug, "k", |f| {
+            f.u64("x", 1);
+        });
+        t.clear_provenance();
+        t.emit(
+            SimTime::from_micros(10),
+            "c",
+            TraceLevel::Debug,
+            "k2",
+            |_| {},
+        );
+        let lines = t.to_jsonl();
+        let mut it = lines.lines();
+        let first = it.next().expect("first line");
+        assert!(
+            first.contains("\"t\":9,\"s\":3,\"cs\":17,\"l\":"),
+            "span/cause keys sit between t and l: {first}"
+        );
+        let back = parse_jsonl_line(first).expect("parse");
+        assert_eq!(back.span, Some(3));
+        assert_eq!(back.cause, Some(17));
+        assert_eq!(back.to_json(), first, "re-serialization is byte-identical");
+        // Provenance-free events omit the keys entirely.
+        let second = it.next().expect("second line");
+        assert!(!second.contains("\"s\":") && !second.contains("\"cs\":"));
+        let back2 = parse_jsonl_line(second).expect("parse");
+        assert_eq!((back2.span, back2.cause), (None, None));
+    }
+
+    #[test]
+    fn non_finite_floats_inside_span_events_still_round_trip() {
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        t.set_span(Some(5));
+        t.emit(SimTime::ZERO, "c", TraceLevel::Debug, "span.open", |f| {
+            f.str("span_kind", "x")
+                .f64("nan", f64::NAN)
+                .f64("ninf", f64::NEG_INFINITY);
+        });
+        let line = t.to_jsonl();
+        let line = line.trim_end();
+        assert!(line.contains("\"s\":5"));
+        assert!(line.contains("\"nan\":\"NaN\""));
+        assert!(line.contains("\"ninf\":\"-inf\""));
+        let back = parse_jsonl_line(line).expect("parse");
+        assert_eq!(back.span, Some(5));
+        assert_eq!(back.to_json(), line);
+    }
+
+    #[test]
+    fn ring_eviction_of_open_spans_keeps_drop_accounting() {
+        // A span.open can be evicted while later span members survive;
+        // the ring's dropped() count is how downstream tooling detects
+        // the truncation instead of reporting orphan spans.
+        let mut t = Tracer::ring(TraceLevel::Debug, 2);
+        t.set_span(Some(0));
+        t.emit(
+            SimTime::from_micros(0),
+            "c",
+            TraceLevel::Debug,
+            "span.open",
+            |f| {
+                f.str("span_kind", "x");
+            },
+        );
+        t.emit(
+            SimTime::from_micros(1),
+            "c",
+            TraceLevel::Debug,
+            "member",
+            |_| {},
+        );
+        t.emit(
+            SimTime::from_micros(2),
+            "c",
+            TraceLevel::Debug,
+            "span.close",
+            |f| {
+                f.str("span_kind", "x");
+            },
+        );
+        assert_eq!(t.dropped(), 1, "the span.open was evicted");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert!(
+            evs.iter().all(|e| e.span == Some(0)),
+            "members keep their span id"
+        );
+        assert_eq!(evs[0].kind, "member");
+        assert_eq!(evs[1].kind, "span.close");
+    }
+
+    #[test]
+    fn streaming_sink_bytes_match_the_buffered_sink() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("uap_trace_streaming_byte_identity.jsonl");
+        let emit_all = |t: &mut Tracer| {
+            let span = t.alloc_span();
+            t.set_span(Some(span));
+            let open = t.emit(SimTime::ZERO, "c", TraceLevel::Debug, "span.open", |f| {
+                f.str("span_kind", "x");
+            });
+            t.set_cause(open);
+            for i in 0..10u64 {
+                t.emit(SimTime::from_micros(i), "c", TraceLevel::Debug, "k", |f| {
+                    f.u64("i", i).f64("frac", i as f64 / 3.0);
+                });
+            }
+            t.emit(
+                SimTime::from_micros(10),
+                "c",
+                TraceLevel::Debug,
+                "span.close",
+                |f| {
+                    f.str("span_kind", "x");
+                },
+            );
+            t.clear_provenance();
+        };
+        let mut buffered = Tracer::buffered(TraceLevel::Debug);
+        emit_all(&mut buffered);
+        let mut streaming = Tracer::streaming(&path, TraceLevel::Debug).expect("create");
+        emit_all(&mut streaming);
+        streaming.flush().expect("flush");
+        assert_eq!(streaming.len(), 0, "streaming sink retains nothing");
+        assert_eq!(streaming.emitted(), buffered.emitted());
+        let streamed = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(streamed, buffered.to_jsonl(), "byte-identical output");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

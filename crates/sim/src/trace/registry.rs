@@ -179,6 +179,18 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         doc: "download re-sourced to an alternate provider after a transfer failure",
     },
     TraceKindSpec {
+        component: "gnutella",
+        kind: "span.open",
+        level: "debug",
+        doc: "causal span opened: a query span covering flood, source selection and download",
+    },
+    TraceKindSpec {
+        component: "gnutella",
+        kind: "span.close",
+        level: "debug",
+        doc: "causal span closed (span_kind, hit flag, modeled duration)",
+    },
+    TraceKindSpec {
         component: "kademlia",
         kind: "lookup.start",
         level: "debug",
@@ -201,6 +213,18 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         kind: "rpc.retry",
         level: "debug",
         doc: "RPC retransmitted after a timeout with exponential backoff (attempt, wait)",
+    },
+    TraceKindSpec {
+        component: "kademlia",
+        kind: "span.open",
+        level: "debug",
+        doc: "causal span opened: a lookup span covering every hop, retransmit and backoff",
+    },
+    TraceKindSpec {
+        component: "kademlia",
+        kind: "span.close",
+        level: "debug",
+        doc: "causal span closed (span_kind, found flag, modeled duration)",
     },
     TraceKindSpec {
         component: "bittorrent",
@@ -237,6 +261,18 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         kind: "reannounce",
         level: "debug",
         doc: "tracker re-announce after dead-neighbor loss (peer, received)",
+    },
+    TraceKindSpec {
+        component: "bittorrent",
+        kind: "span.open",
+        level: "debug",
+        doc: "causal span opened: a per-leecher span covering announce, piece exchange and completion",
+    },
+    TraceKindSpec {
+        component: "bittorrent",
+        kind: "span.close",
+        level: "debug",
+        doc: "causal span closed (span_kind, done flag)",
     },
     TraceKindSpec {
         component: "info",
@@ -481,6 +517,38 @@ mod tests {
         assert!(in_registered_namespace("gnutella.msg.ping"));
         assert!(!in_registered_namespace("gnutellaX.msg"));
         assert!(!in_registered_namespace("ping"));
+    }
+
+    #[test]
+    fn span_kinds_are_declared_in_balanced_pairs() {
+        // The causal-span convention: a component declaring `span.open`
+        // must declare `span.close` at the same level (and vice versa),
+        // so the integrity checker can require balanced opens/closes.
+        for s in TRACE_KINDS {
+            let counterpart = match s.kind {
+                "span.open" => "span.close",
+                "span.close" => "span.open",
+                _ => continue,
+            };
+            let paired = TRACE_KINDS
+                .iter()
+                .find(|o| o.component == s.component && o.kind == counterpart);
+            let p = paired.unwrap_or_else(|| {
+                // lint:allow(panic) — test assertion
+                panic!(
+                    "{}/{} has no {} counterpart",
+                    s.component, s.kind, counterpart
+                )
+            });
+            assert_eq!(
+                p.level, s.level,
+                "{}: span.open/span.close levels must match",
+                s.component
+            );
+        }
+        assert!(trace_kind_declared("gnutella", "span.open"));
+        assert!(trace_kind_declared("kademlia", "span.close"));
+        assert!(trace_kind_declared("bittorrent", "span.open"));
     }
 
     #[test]

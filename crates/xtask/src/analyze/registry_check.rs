@@ -68,6 +68,7 @@ pub fn run(root: &Path, fns: &[FnItem]) -> Vec<String> {
     }
 
     out.extend(check_emissions(&decls, fns));
+    out.extend(check_span_conventions(&decls));
 
     let docs_path = root.join("docs/OBSERVABILITY.md");
     match std::fs::read_to_string(&docs_path) {
@@ -309,6 +310,46 @@ pub fn check_emissions(decls: &Decls, fns: &[FnItem]) -> Vec<String> {
     out
 }
 
+/// Checks the span-kind conventions of the causal-provenance layer (see
+/// `docs/OBSERVABILITY.md` § Causal spans): a component that declares
+/// `span.open` must also declare `span.close` (and vice versa), and the
+/// pair must sit at the same level — an open the tooling can see whose
+/// close is filtered away (or the reverse) makes every span of that
+/// component read as unbalanced in `trace check`.
+pub fn check_span_conventions(decls: &Decls) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in &decls.components {
+        let find = |kind: &str| {
+            decls
+                .trace_kinds
+                .iter()
+                .find(|d| &d.component == c && d.kind == kind)
+        };
+        match (find("span.open"), find("span.close")) {
+            (Some(open), Some(close)) => {
+                if open.level != close.level {
+                    out.push(format!(
+                        "registry: component \"{c}\" declares span.open at level \
+                         \"{}\" but span.close at \"{}\" — a level filter would \
+                         retain one side of every span",
+                        open.level, close.level
+                    ));
+                }
+            }
+            (Some(_), None) => out.push(format!(
+                "registry: component \"{c}\" declares span.open without span.close — \
+                 spans can never be balanced"
+            )),
+            (None, Some(_)) => out.push(format!(
+                "registry: component \"{c}\" declares span.close without span.open — \
+                 every close is an orphan"
+            )),
+            (None, None) => {}
+        }
+    }
+    out
+}
+
 /// Checks the marker-delimited tables in `docs/OBSERVABILITY.md` against
 /// the declarations, cell-for-cell in both directions.
 pub fn check_docs(decls: &Decls, md: &str) -> Vec<String> {
@@ -525,6 +566,44 @@ pub const METRICS: &[MetricSpec] = &[
         // Only the never-emitted violations fire; the test emission of an
         // undeclared kind does not.
         assert!(v.iter().all(|m| m.contains("never emitted")), "{v:?}");
+    }
+
+    #[test]
+    fn span_conventions_require_balanced_same_level_pairs() {
+        let mut d = decls();
+        assert!(check_span_conventions(&d).is_empty(), "no span kinds → ok");
+
+        // A balanced pair at one level is fine.
+        d.trace_kinds.push(TraceDecl {
+            component: "net".into(),
+            kind: "span.open".into(),
+            level: "debug".into(),
+            doc: "open".into(),
+        });
+        d.trace_kinds.push(TraceDecl {
+            component: "net".into(),
+            kind: "span.close".into(),
+            level: "debug".into(),
+            doc: "close".into(),
+        });
+        assert!(check_span_conventions(&d).is_empty());
+
+        // Level mismatch between open and close is drift.
+        d.trace_kinds.last_mut().unwrap().level = "info".into();
+        let v = check_span_conventions(&d);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("span.open at level \"debug\" but span.close at \"info\""));
+
+        // An open with no close at all is drift too.
+        d.trace_kinds.pop();
+        let v = check_span_conventions(&d);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("span.open without span.close"));
+
+        // And a close with no open.
+        d.trace_kinds.last_mut().unwrap().kind = "span.close".into();
+        let v = check_span_conventions(&d);
+        assert!(v[0].contains("span.close without span.open"), "{v:?}");
     }
 
     #[test]

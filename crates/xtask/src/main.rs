@@ -5,6 +5,9 @@
 //! cargo run -p xtask -- analyze [--update-baseline[=panic|alloc]] [--pass=alloc|all]
 //! cargo run -p xtask -- trace summary <trace.jsonl>
 //! cargo run -p xtask -- trace diff <a> <b>
+//! cargo run -p xtask -- trace spans <trace.jsonl>
+//! cargo run -p xtask -- trace explain <trace.jsonl> <seq>
+//! cargo run -p xtask -- trace check <trace.jsonl>
 //! ```
 //!
 //! `lint` scans every workspace `.rs` file for repo-specific determinism
@@ -131,6 +134,49 @@ fn trace_main(args: &[String]) -> ! {
                 trace_cmd::DiffResult::Divergence { .. } => std::process::exit(1),
             }
         }
+        Some("spans") => {
+            let [path] = &args[1..] else { usage() };
+            match trace_cmd::spans(&read_or_die(path)) {
+                Ok(s) => {
+                    print!("{s}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("xtask trace spans: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("explain") => {
+            let [path, seq] = &args[1..] else { usage() };
+            let Ok(seq) = seq.parse::<u64>() else {
+                eprintln!("xtask trace explain: `{seq}` is not a seq number");
+                usage()
+            };
+            match trace_cmd::explain(&read_or_die(path), seq) {
+                Ok(s) => {
+                    print!("{s}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("xtask trace explain: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("check") => {
+            let [path] = &args[1..] else { usage() };
+            match trace_cmd::check(&read_or_die(path)) {
+                Ok(s) => {
+                    print!("{s}");
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("xtask trace check: {path}: causal-integrity violation(s):\n{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         _ => usage(),
     }
 }
@@ -150,7 +196,10 @@ fn usage() -> ! {
         "usage: cargo run -p xtask -- lint\n       \
          cargo run -p xtask -- analyze [--update-baseline[=panic|alloc]] [--pass=alloc|all]\n       \
          cargo run -p xtask -- trace summary <trace.jsonl>\n       \
-         cargo run -p xtask -- trace diff <a> <b>"
+         cargo run -p xtask -- trace diff <a> <b>\n       \
+         cargo run -p xtask -- trace spans <trace.jsonl>\n       \
+         cargo run -p xtask -- trace explain <trace.jsonl> <seq>\n       \
+         cargo run -p xtask -- trace check <trace.jsonl>"
     );
     std::process::exit(2);
 }

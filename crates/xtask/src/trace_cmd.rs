@@ -1,9 +1,11 @@
-//! `cargo run -p xtask -- trace <summary|diff>` — the trace toolbox.
+//! `cargo run -p xtask -- trace <summary|diff|spans|explain|check>` — the
+//! trace toolbox.
 //!
 //! * `trace summary <file.jsonl>` — per-component / per-kind event
 //!   counts, the simulated time span, and event rates for one JSONL
 //!   trace written by a `--trace` run (or by
-//!   `uap_sim::Tracer::write_jsonl`).
+//!   `uap_sim::Tracer::write_jsonl`). Traces truncated by a ring sink
+//!   (first retained `seq` > 0) are flagged, with the evicted count.
 //!
 //! * `trace diff <a> <b>` — line-by-line comparison of two trace or
 //!   `RunReport` JSON files that reports the **first divergence**. Lines
@@ -13,10 +15,26 @@
 //!   events, the diagnostic names each side's seq / sim-time /
 //!   component / kind, which localizes a determinism break to the exact
 //!   event where two runs' histories fork (see `docs/OBSERVABILITY.md`).
+//!
+//! * `trace spans <file.jsonl>` — per-span-kind duration statistics
+//!   (count, p50/p95/p99, max) over the causal spans in the trace, plus
+//!   a critical-path breakdown per `experiment/phase` segment: which
+//!   span kind the phase's modeled time went to.
+//!
+//! * `trace explain <file.jsonl> <seq>` — walks the `cs` cause links
+//!   from the given event back to its root and prints the whole chain
+//!   (e.g. download ← retry ← fault epoch).
+//!
+//! * `trace check <file.jsonl>` — causal-integrity gate: every cause
+//!   references an earlier seq that exists in the trace, span ids are
+//!   opened before use, and span.open/span.close are balanced. Ring
+//!   truncation downgrades the existence checks (the evicted prefix may
+//!   legitimately hold the opens), but ordering is always enforced.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use uap_sim::trace::parse_jsonl_line;
+use uap_sim::{TraceEvent, Value};
 
 /// Outcome of a [`diff`] comparison.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,14 +137,19 @@ pub fn render_diff(labels: (&str, &str), r: &DiffResult) -> String {
     out
 }
 
-/// Summarizes a JSONL trace: totals, sim-time span, and per-component /
-/// per-kind counts. Errors on the first malformed line.
+/// Summarizes a JSONL trace: totals, sim-time span, per-component /
+/// per-kind counts, and ring-sink truncation (a first retained `seq`
+/// above 0 means that many earlier events were evicted; interior seq
+/// gaps mean the file itself lost lines). Errors on the first malformed
+/// line.
 pub fn summarize(content: &str) -> Result<String, String> {
     let mut total = 0u64;
     let mut by_component: BTreeMap<String, u64> = BTreeMap::new();
     let mut by_kind: BTreeMap<(String, String), u64> = BTreeMap::new();
     let mut t_min = u64::MAX;
     let mut t_max = 0u64;
+    let mut seq_min = u64::MAX;
+    let mut seq_max = 0u64;
     for (i, line) in content.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -136,6 +159,8 @@ pub fn summarize(content: &str) -> Result<String, String> {
         let t = ev.t.as_micros();
         t_min = t_min.min(t);
         t_max = t_max.max(t);
+        seq_min = seq_min.min(ev.seq);
+        seq_max = seq_max.max(ev.seq);
         *by_component.entry(ev.component.clone()).or_insert(0) += 1;
         *by_kind.entry((ev.component, ev.kind)).or_insert(0) += 1;
     }
@@ -157,6 +182,21 @@ pub fn summarize(content: &str) -> Result<String, String> {
             total as f64 / (span_us as f64 / 1e6)
         );
     }
+    if seq_min > 0 {
+        let _ = writeln!(
+            out,
+            "TRUNCATED: first retained seq is {seq_min} — {seq_min} earlier event(s) were \
+             dropped (ring-sink eviction)"
+        );
+    }
+    let retained_range = seq_max - seq_min + 1;
+    if retained_range != total {
+        let _ = writeln!(
+            out,
+            "WARNING: {} seq gap(s) inside the trace (expected contiguous {seq_min}..{seq_max})",
+            retained_range - total
+        );
+    }
     let _ = writeln!(out, "by component:");
     for (c, n) in &by_component {
         let _ = writeln!(out, "  {c:<12} {n}");
@@ -168,6 +208,330 @@ pub fn summarize(content: &str) -> Result<String, String> {
         let _ = writeln!(out, "  {:<28} {n}", format!("{c}/{k}"));
     }
     Ok(out)
+}
+
+/// Parses every line of a JSONL trace (blank lines skipped), failing on
+/// the first malformed line.
+fn parse_trace(content: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut evs = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        evs.push(parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(evs)
+}
+
+fn field_u64(ev: &TraceEvent, key: &str) -> Option<u64> {
+    ev.fields.iter().find_map(|(k, v)| match v {
+        Value::U64(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+fn field_str<'a>(ev: &'a TraceEvent, key: &str) -> Option<&'a str> {
+    ev.fields.iter().find_map(|(k, v)| match v {
+        Value::Str(s) if k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// Nearest-rank quantile of an ascending-sorted, non-empty slice.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Per-span-kind duration statistics plus a per-phase critical-path
+/// breakdown. A span's duration is the `dur_us` field on its
+/// `span.close` when present (synchronous drivers close at the open's
+/// sim time and report modeled latency explicitly), else the sim-time
+/// delta between close and open. Spans are attributed to the
+/// `experiment/phase` segment they were **opened** in.
+pub fn spans(content: &str) -> Result<String, String> {
+    let evs = parse_trace(content)?;
+    struct Open {
+        label: String,
+        t_us: u64,
+        phase: usize,
+    }
+    let mut phases: Vec<String> = vec!["(no phase)".to_string()];
+    let mut cur_phase = 0usize;
+    let mut open: BTreeMap<u64, Open> = BTreeMap::new();
+    // label -> sorted-later durations; (phase idx, label) -> (total, count)
+    let mut durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut phase_totals: BTreeMap<(usize, String), (u64, u64)> = BTreeMap::new();
+    let mut unmatched_closes = 0u64;
+    // Spans whose modeled duration carries an unroutable-path latency
+    // sentinel (the overlays encode "no route under the current fault
+    // state" as u64::MAX/4 microseconds). One such span would dominate
+    // every sum, so they are excluded from the statistics and counted.
+    const SENTINEL_DUR_US: u64 = u64::MAX / 8;
+    let mut sentinel_spans: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in &evs {
+        if ev.component == "experiment" && ev.kind == "phase" {
+            phases.push(field_str(ev, "name").unwrap_or("?").to_string());
+            cur_phase = phases.len() - 1;
+            continue;
+        }
+        match ev.kind.as_str() {
+            "span.open" => {
+                let Some(id) = ev.span else { continue };
+                let kind = field_str(ev, "span_kind").unwrap_or("?");
+                open.insert(
+                    id,
+                    Open {
+                        label: format!("{}/{kind}", ev.component),
+                        t_us: ev.t.as_micros(),
+                        phase: cur_phase,
+                    },
+                );
+            }
+            "span.close" => {
+                let matched = ev.span.and_then(|id| open.remove(&id));
+                let Some(o) = matched else {
+                    unmatched_closes += 1;
+                    continue;
+                };
+                let dur = field_u64(ev, "dur_us")
+                    .unwrap_or_else(|| ev.t.as_micros().saturating_sub(o.t_us));
+                if dur >= SENTINEL_DUR_US {
+                    *sentinel_spans.entry(o.label.clone()).or_default() += 1;
+                    continue;
+                }
+                durations.entry(o.label.clone()).or_default().push(dur);
+                let slot = phase_totals.entry((o.phase, o.label)).or_insert((0, 0));
+                slot.0 += dur;
+                slot.1 += 1;
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    if durations.is_empty() && open.is_empty() && sentinel_spans.is_empty() {
+        let _ = writeln!(out, "no spans in trace ({} event(s))", evs.len());
+        return Ok(out);
+    }
+    let _ = writeln!(out, "span durations (modeled time, us):");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "span kind", "count", "p50", "p95", "p99", "max"
+    );
+    for (label, durs) in &mut durations {
+        durs.sort_unstable();
+        let _ = writeln!(
+            out,
+            "  {label:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
+            durs.len(),
+            quantile(durs, 0.50),
+            quantile(durs, 0.95),
+            quantile(durs, 0.99),
+            durs.last().copied().unwrap_or(0)
+        );
+    }
+    let _ = writeln!(out, "critical path by phase (total modeled span time):");
+    for (i, phase) in phases.iter().enumerate() {
+        let mut rows: Vec<(&String, u64, u64)> = phase_totals
+            .iter()
+            .filter(|((p, _), _)| *p == i)
+            .map(|((_, label), &(total, count))| (label, total, count))
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let phase_sum: u64 = rows.iter().map(|r| r.1).sum();
+        let _ = writeln!(out, "  {phase}:");
+        for (label, total, count) in rows {
+            let pct = if phase_sum > 0 {
+                total as f64 / phase_sum as f64 * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "    {label:<22} {total:>14}us  {pct:>5.1}%  ({count} span(s))"
+            );
+        }
+    }
+    for (label, n) in &sentinel_spans {
+        let _ = writeln!(
+            out,
+            "{n} {label} span(s) excluded: sentinel duration (no route under \
+             the active fault state)"
+        );
+    }
+    if !open.is_empty() {
+        let _ = writeln!(out, "{} span(s) still open at end of trace", open.len());
+    }
+    if unmatched_closes > 0 {
+        let _ = writeln!(
+            out,
+            "{unmatched_closes} span.close event(s) without a matching open \
+             (truncated trace?)"
+        );
+    }
+    Ok(out)
+}
+
+/// Walks the `cs` cause links from `seq` back to the chain's root and
+/// renders the chain root-first.
+pub fn explain(content: &str, seq: u64) -> Result<String, String> {
+    let evs = parse_trace(content)?;
+    let by_seq: BTreeMap<u64, &TraceEvent> = evs.iter().map(|e| (e.seq, e)).collect();
+    let start = by_seq
+        .get(&seq)
+        .ok_or_else(|| format!("seq {seq} not found in trace ({} event(s))", evs.len()))?;
+    let mut chain: Vec<&TraceEvent> = vec![start];
+    let mut missing_cause: Option<u64> = None;
+    let mut cur = *start;
+    while let Some(cs) = cur.cause {
+        if chain.len() > evs.len() {
+            return Err(format!(
+                "cause chain from seq {seq} does not terminate (cycle?)"
+            ));
+        }
+        match by_seq.get(&cs) {
+            Some(parent) => {
+                chain.push(parent);
+                cur = parent;
+            }
+            None => {
+                missing_cause = Some(cs);
+                break;
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "causal chain for seq {seq}: {} link(s) to root",
+        chain.len() - 1
+    );
+    if let Some(cs) = missing_cause {
+        let _ = writeln!(
+            out,
+            "  … cause seq {cs} is not in the trace (ring truncation?) — chain incomplete"
+        );
+    }
+    for (depth, ev) in chain.iter().rev().enumerate() {
+        let indent = "   ".repeat(depth);
+        let arrow = if depth == 0 { "root:" } else { "└─" };
+        let span = ev.span.map(|s| format!("  span={s}")).unwrap_or_default();
+        let fields: Vec<String> = ev
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                let mut s = format!("{k}=");
+                v.write_json_value(&mut s);
+                s
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {indent}{arrow} seq {} t={}us {}/{}{span}  {{{}}}",
+            ev.seq,
+            ev.t.as_micros(),
+            ev.component,
+            ev.kind,
+            fields.join(", ")
+        );
+    }
+    Ok(out)
+}
+
+/// Causal-integrity check: every `cs` must reference an earlier seq that
+/// exists in the trace, every span-bearing event must belong to an
+/// opened span, and span.open/span.close must balance per span id. A
+/// ring-truncated trace (first retained seq > 0) downgrades existence
+/// and orphan checks — the evicted prefix may legitimately hold the
+/// opens — but cause-precedes-effect ordering is always enforced.
+/// Returns a summary on success and the violation list on failure.
+pub fn check(content: &str) -> Result<String, String> {
+    let evs = parse_trace(content)?;
+    if evs.is_empty() {
+        return Ok("causal integrity ok: empty trace\n".to_string());
+    }
+    let seqs: BTreeSet<u64> = evs.iter().map(|e| e.seq).collect();
+    let min_seq = *seqs.first().expect("non-empty"); // lint:allow(expect)
+    let truncated = min_seq > 0;
+    let mut problems: Vec<String> = Vec::new();
+    let mut cause_links = 0u64;
+    let mut opened: BTreeMap<u64, u64> = BTreeMap::new(); // span id -> open count
+    let mut closed: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut span_events = 0u64;
+    for ev in &evs {
+        if let Some(cs) = ev.cause {
+            cause_links += 1;
+            if cs >= ev.seq {
+                problems.push(format!(
+                    "seq {}: cause {cs} does not precede the event",
+                    ev.seq
+                ));
+            } else if cs >= min_seq && !seqs.contains(&cs) {
+                problems.push(format!("seq {}: cause {cs} is not in the trace", ev.seq));
+            }
+        }
+        match ev.kind.as_str() {
+            "span.open" => match ev.span {
+                Some(id) => *opened.entry(id).or_insert(0) += 1,
+                None => problems.push(format!("seq {}: span.open without a span id", ev.seq)),
+            },
+            "span.close" => match ev.span {
+                Some(id) => *closed.entry(id).or_insert(0) += 1,
+                None => problems.push(format!("seq {}: span.close without a span id", ev.seq)),
+            },
+            _ => {
+                if let Some(id) = ev.span {
+                    span_events += 1;
+                    if !truncated && !opened.contains_key(&id) {
+                        problems.push(format!(
+                            "seq {}: event in span {id} before any span.open",
+                            ev.seq
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (id, n) in &opened {
+        if *n > 1 {
+            problems.push(format!("span {id}: opened {n} times"));
+        }
+        match closed.get(id).copied().unwrap_or(0) {
+            1 => {}
+            0 => problems.push(format!("span {id}: opened but never closed")),
+            n => problems.push(format!("span {id}: closed {n} times")),
+        }
+    }
+    if !truncated {
+        for id in closed.keys() {
+            if !opened.contains_key(id) {
+                problems.push(format!("span {id}: closed but never opened"));
+            }
+        }
+    }
+    if problems.is_empty() {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "causal integrity ok: {} event(s), {cause_links} cause link(s), {} span(s) \
+             balanced, {span_events} span-member event(s){}",
+            evs.len(),
+            opened.len(),
+            if truncated {
+                " [ring-truncated: existence checks downgraded]"
+            } else {
+                ""
+            }
+        );
+        Ok(out)
+    } else {
+        Err(problems.join("\n"))
+    }
 }
 
 #[cfg(test)]
@@ -284,5 +648,246 @@ mod tests {
     #[test]
     fn empty_trace_summarizes() {
         assert!(summarize("").expect("ok").contains("empty trace"));
+    }
+
+    /// A trace with one complete causal chain: fault.epoch (root) →
+    /// span.open → retry (caused by the fault) → download (caused by the
+    /// retry) → span.close carrying `dur_us`.
+    fn chained_trace() -> String {
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        let fault = t.emit(
+            SimTime::from_secs(1),
+            "n",
+            TraceLevel::Info,
+            "fault.epoch",
+            |f| {
+                f.u64("links_down", 3);
+            },
+        );
+        let span = t.alloc_span();
+        t.set_span(Some(span));
+        t.emit(
+            SimTime::from_secs(2),
+            "g",
+            TraceLevel::Debug,
+            "span.open",
+            |f| {
+                f.str("span_kind", "query");
+            },
+        );
+        t.set_cause(fault);
+        let retry = t.emit(
+            SimTime::from_secs(2),
+            "g",
+            TraceLevel::Debug,
+            "download.retry",
+            |f| {
+                f.u64("attempt", 1);
+            },
+        );
+        t.set_cause(retry);
+        t.emit(
+            SimTime::from_secs(2),
+            "g",
+            TraceLevel::Debug,
+            "download",
+            |f| {
+                f.u64("bytes", 9);
+            },
+        );
+        t.emit(
+            SimTime::from_secs(2),
+            "g",
+            TraceLevel::Debug,
+            "span.close",
+            |f| {
+                f.str("span_kind", "query").u64("dur_us", 1500);
+            },
+        );
+        t.clear_provenance();
+        t.to_jsonl()
+    }
+
+    #[test]
+    fn spans_reports_durations_and_phase_breakdown() {
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        t.emit(
+            SimTime::ZERO,
+            "experiment",
+            TraceLevel::Info,
+            "phase",
+            |f| {
+                f.str("name", "alpha");
+            },
+        );
+        for (i, dur) in [100u64, 200, 300].iter().enumerate() {
+            let span = t.alloc_span();
+            t.set_span(Some(span));
+            t.emit(
+                SimTime::from_secs(i as u64),
+                "g",
+                TraceLevel::Debug,
+                "span.open",
+                |f| {
+                    f.str("span_kind", "query");
+                },
+            );
+            let d = *dur;
+            t.emit(
+                SimTime::from_secs(i as u64),
+                "g",
+                TraceLevel::Debug,
+                "span.close",
+                move |f| {
+                    f.str("span_kind", "query").u64("dur_us", d);
+                },
+            );
+            t.clear_provenance();
+        }
+        // One sim-time-delta span with no dur_us field.
+        let span = t.alloc_span();
+        t.set_span(Some(span));
+        t.emit(
+            SimTime::from_secs(10),
+            "b",
+            TraceLevel::Debug,
+            "span.open",
+            |f| {
+                f.str("span_kind", "peer");
+            },
+        );
+        t.emit(
+            SimTime::from_secs(14),
+            "b",
+            TraceLevel::Debug,
+            "span.close",
+            |f| {
+                f.str("span_kind", "peer").bool("done", true);
+            },
+        );
+        t.clear_provenance();
+        let s = spans(&t.to_jsonl()).expect("valid trace");
+        assert!(s.contains("g/query"), "{s}");
+        assert!(s.contains("b/peer"), "{s}");
+        // p50 of [100, 200, 300] (nearest rank) = 200; max = 300.
+        assert!(s.contains("200"), "{s}");
+        assert!(s.contains("300"), "{s}");
+        // The peer span's duration is the close-open sim-time delta (4s).
+        assert!(s.contains("4000000"), "{s}");
+        assert!(s.contains("alpha:"), "{s}");
+    }
+
+    #[test]
+    fn spans_excludes_sentinel_durations_from_the_stats() {
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        for dur in [1000u64, u64::MAX / 2] {
+            let span = t.alloc_span();
+            t.set_span(Some(span));
+            t.emit(SimTime::ZERO, "g", TraceLevel::Debug, "span.open", |f| {
+                f.str("span_kind", "query");
+            });
+            t.emit(
+                SimTime::ZERO,
+                "g",
+                TraceLevel::Debug,
+                "span.close",
+                move |f| {
+                    f.str("span_kind", "query").u64("dur_us", dur);
+                },
+            );
+            t.clear_provenance();
+        }
+        let s = spans(&t.to_jsonl()).expect("valid trace");
+        // The finite span is reported; the sentinel one is counted, not
+        // folded into quantiles/max where it would dominate everything.
+        assert!(s.contains("g/query"), "{s}");
+        assert!(!s.contains(&(u64::MAX / 2).to_string()), "{s}");
+        assert!(
+            s.contains("1 g/query span(s) excluded: sentinel duration"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn spans_handles_spanless_traces() {
+        let s = spans(&sample_trace()).expect("ok");
+        assert!(s.contains("no spans in trace"));
+    }
+
+    #[test]
+    fn explain_walks_the_chain_to_its_root() {
+        let trace = chained_trace();
+        // The `download` event is seq 3 (0-based emission order).
+        let s = explain(&trace, 3).expect("chain resolves");
+        assert!(
+            s.contains("causal chain for seq 3: 2 link(s) to root"),
+            "{s}"
+        );
+        let root_pos = s.find("n/fault.epoch").expect("root in output");
+        let retry_pos = s.find("g/download.retry").expect("retry in output");
+        let dl_pos = s.find("g/download ").expect("download in output");
+        assert!(
+            root_pos < retry_pos && retry_pos < dl_pos,
+            "root-first order:\n{s}"
+        );
+        assert!(s.contains("span=0"), "{s}");
+    }
+
+    #[test]
+    fn explain_rejects_unknown_seq() {
+        let err = explain(&chained_trace(), 999).expect_err("must fail");
+        assert!(err.contains("seq 999 not found"));
+    }
+
+    #[test]
+    fn check_passes_a_complete_chain_and_catches_violations() {
+        let trace = chained_trace();
+        let ok = check(&trace).expect("chain is sound");
+        assert!(ok.contains("causal integrity ok"), "{ok}");
+        assert!(ok.contains("3 cause link(s)"), "{ok}");
+        assert!(ok.contains("1 span(s) balanced"), "{ok}");
+        // A forward cause reference must fail.
+        let bad = trace.replacen("\"cs\":0", "\"cs\":99", 1);
+        let err = check(&bad).expect_err("forward cause");
+        assert!(err.contains("does not precede"), "{err}");
+        // Removing the span.close line must fail the balance check.
+        let unbalanced: String = trace
+            .lines()
+            .filter(|l| !l.contains("span.close"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = check(&unbalanced).expect_err("unclosed span");
+        assert!(err.contains("opened but never closed"), "{err}");
+    }
+
+    #[test]
+    fn check_downgrades_existence_checks_on_ring_truncation() {
+        // Drop the first two lines (fault.epoch root and span.open) and
+        // keep seqs intact — exactly what a ring sink eviction produces.
+        let truncated: String = chained_trace()
+            .lines()
+            .skip(2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let ok = check(&truncated).expect("truncation is not a violation");
+        assert!(ok.contains("ring-truncated"), "{ok}");
+    }
+
+    #[test]
+    fn summary_flags_ring_truncation_and_seq_gaps() {
+        let full = chained_trace();
+        assert!(!summarize(&full).expect("ok").contains("TRUNCATED"));
+        let truncated: String = full.lines().skip(2).map(|l| format!("{l}\n")).collect();
+        let s = summarize(&truncated).expect("ok");
+        assert!(s.contains("TRUNCATED: first retained seq is 2"), "{s}");
+        // An interior gap (a lost line) is a different warning.
+        let gappy: String = full
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let s = summarize(&gappy).expect("ok");
+        assert!(s.contains("WARNING: 1 seq gap(s)"), "{s}");
     }
 }
