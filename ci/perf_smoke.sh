@@ -17,15 +17,22 @@
 # pass ratchets (~7.3k events/sec after the burn-down; see
 # docs/PERFORMANCE.md "Allocation discipline" evidence).
 #
-# Floors are in queries/sec (routing) and events/sec (exp16). Update
-# them (with a note in docs/PERFORMANCE.md) only when a deliberate
-# trade-off changes the hot-path cost model.
+# Also runs exp17_fault_scale in quick mode and gates the medium-size
+# incremental repair rate (fault epochs repaired per second): ~8.3k
+# epochs/sec measured on the reference dev box, floor 6000. A regression
+# here means fault epochs silently went back to paying full all-pairs
+# rebuild cost (see docs/PERFORMANCE.md "Incremental repair").
+#
+# Floors are in queries/sec (routing), events/sec (exp16), and repaired
+# epochs/sec (exp17). Update them (with a note in docs/PERFORMANCE.md)
+# only when a deliberate trade-off changes the hot-path cost model.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATH_QPS_FLOOR=440000000
 TRANSFER_QPS_FLOOR=90000000
 EXP16_EPS_FLOOR=7000
+EXP17_REPAIR_EPS_FLOOR=6000
 SLACK=5
 
 WORK="$(mktemp -d)"
@@ -67,5 +74,17 @@ if [[ -z "$e16_eps" ]]; then
   exit 1
 fi
 check exp16_events_per_sec "$e16_eps" "$EXP16_EPS_FLOOR"
+
+echo "exp17 fault-scale repair-throughput smoke (quick)"
+cargo run --release -q -p uap-bench --bin exp17_fault_scale -- \
+  --quick --seed 42 --out "$WORK/e17" | tee "$WORK/e17_stdout.txt"
+
+e17_line="$(grep '^PERF fault_scale size=medium ' "$WORK/e17_stdout.txt")"
+e17_repair_eps="$(sed -n 's/.* repair_eps=\([0-9]*\).*/\1/p' <<<"$e17_line")"
+if [[ -z "$e17_repair_eps" ]]; then
+  echo "FAIL: could not parse PERF line: $e17_line" >&2
+  exit 1
+fi
+check exp17_repair_epochs_per_sec "$e17_repair_eps" "$EXP17_REPAIR_EPS_FLOOR"
 
 echo "perf smoke passed."

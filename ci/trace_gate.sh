@@ -9,7 +9,10 @@
 # the overlay, the oracle and the underlay accounting in one run, and
 # exp16 (resilience) because its non-empty FaultPlan drives routing
 # rebuilds, route-cache invalidation and every overlay's recovery path —
-# the layers most likely to smuggle nondeterminism in.
+# the layers most likely to smuggle nondeterminism in. exp17 (fault-scale
+# repair) double-runs the incremental routing-repair path itself: its
+# routing.repair events and report must be byte-identical, which pins
+# dirty-source selection and the CSR splice to a deterministic order.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,6 +87,14 @@ EXPLAIN="$(cargo run --release -q -p xtask -- trace explain \
 echo "$EXPLAIN"
 if ! echo "$EXPLAIN" | grep -q 'fault.epoch'; then
   echo "download.retry seq $RETRY_SEQ does not trace back to a fault.epoch root" >&2
+  exit 1
+fi
+
+gate exp17_fault_scale exp17
+
+# The incremental-repair path must actually fire in the gated run.
+if ! grep -q '"k":"routing.repair"' "$WORK/exp17/a/exp17.trace.jsonl"; then
+  echo "exp17 trace contains no routing.repair events — repair path not exercised" >&2
   exit 1
 fi
 

@@ -1,0 +1,298 @@
+//! E17 — fault-scale routing repair: incremental-repair throughput at
+//! fault epochs across topology sizes.
+//!
+//! Sweeps AS-graph size × fault-epoch count, driving localized fault
+//! epochs (rotating peering-link failures composed with latency
+//! inflation windows) through [`uap_net::Underlay::apply_fault_state`]
+//! and timing each incremental repair against the from-scratch
+//! `Routing::compute_with_mask` rebuild the pre-repair code paid at
+//! every epoch.
+//!
+//! Deterministic outputs (same seed → byte-identical): the summary
+//! table, `exp17_fault_scale.report.json`, and the `routing.repair`
+//! trace events (`ci/trace_gate.sh` double-runs these). Wall-clock
+//! outputs (intentionally nondeterministic): `BENCH_fault_repair.json`
+//! with per-epoch repair/full-rebuild timings and the
+//! `PERF fault_scale size=…` lines `ci/perf_smoke.sh` parses.
+
+use uap_bench::{emit, Cli, Run};
+use uap_core::report::{artifact_line, Table};
+use uap_net::{
+    FaultState, LinkKind, PopulationSpec, Routing, Tier, TopologyKind, TopologySpec, Underlay,
+    UnderlayConfig,
+};
+use uap_sim::{SimRng, TraceLevel, WallTimer};
+
+/// One benchmark topology size.
+struct SizeSpec {
+    name: &'static str,
+    tier1: usize,
+    tier2_per_tier1: usize,
+    tier3_per_tier2: usize,
+    hosts: usize,
+}
+
+const SIZES: [SizeSpec; 3] = [
+    SizeSpec {
+        name: "small",
+        tier1: 2,
+        tier2_per_tier1: 2,
+        tier3_per_tier2: 3,
+        hosts: 200,
+    },
+    SizeSpec {
+        name: "medium",
+        tier1: 3,
+        tier2_per_tier1: 4,
+        tier3_per_tier2: 6,
+        hosts: 600,
+    },
+    SizeSpec {
+        name: "large",
+        tier1: 4,
+        tier2_per_tier1: 6,
+        tier3_per_tier2: 8,
+        hosts: 1_200,
+    },
+];
+
+/// Per-size measurement results.
+struct SizeResult {
+    name: &'static str,
+    ases: usize,
+    links: usize,
+    epochs: usize,
+    changed_links: u64,
+    sources_recomputed: u64,
+    sources_total: u64,
+    full_fallbacks: u64,
+    repair_secs: f64,
+    full_secs: f64,
+}
+
+/// Link indices suitable for localized fault epochs: peering links away
+/// from the Tier-1 core (their loss re-routes a subtree, not the
+/// backbone). Falls back to any peering, then any link, so every
+/// topology yields a non-empty rotation set.
+fn localized_links(u: &Underlay) -> Vec<usize> {
+    let peripheral: Vec<usize> = u
+        .graph
+        .links
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            l.kind == LinkKind::Peering
+                && u.graph.nodes[l.a.idx()].tier != Tier::Tier1
+                && u.graph.nodes[l.b.idx()].tier != Tier::Tier1
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if !peripheral.is_empty() {
+        return peripheral;
+    }
+    let any_peering: Vec<usize> = u
+        .graph
+        .links
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.kind == LinkKind::Peering)
+        .map(|(i, _)| i)
+        .collect();
+    if !any_peering.is_empty() {
+        return any_peering;
+    }
+    (0..u.graph.links.len()).collect()
+}
+
+fn measure(spec: &SizeSpec, seed: u64, epochs: usize, tel: &mut Run) -> SizeResult {
+    let mut rng = SimRng::new(seed);
+    let graph = TopologySpec::new(TopologyKind::Hierarchical {
+        tier1: spec.tier1,
+        tier2_per_tier1: spec.tier2_per_tier1,
+        tier3_per_tier2: spec.tier3_per_tier2,
+        tier2_peering_prob: 0.3,
+        tier3_peering_prob: 0.3,
+    })
+    .build(&mut rng);
+    let mut u = Underlay::build(
+        graph,
+        &PopulationSpec::leaf(spec.hosts),
+        UnderlayConfig::default(),
+        &mut rng,
+    );
+    let ases = u.n_ases();
+    let links = u.graph.links.len();
+    let rotation = localized_links(&u);
+
+    let mut changed_links = 0u64;
+    let mut repair_secs = 0.0f64;
+    let mut full_secs = 0.0f64;
+    for e in 0..epochs {
+        // Localized epochs alternating fault and heal boundaries: even
+        // epochs down one rotating peering link (two every fourth
+        // rotation step), odd epochs heal everything, and a
+        // latency-inflation window opens every eighth epoch — always
+        // far under 10% of links changing per boundary.
+        let mut state = FaultState::clear();
+        let mask = if e % 2 == 0 {
+            let step = e / 2;
+            let mut mask = vec![false; links];
+            mask[rotation[step % rotation.len()]] = true;
+            if step % 4 == 3 && rotation.len() > 1 {
+                mask[rotation[(step + 1) % rotation.len()]] = true;
+            }
+            Some(mask)
+        } else {
+            None
+        };
+        state.mask.clone_from(&mask);
+        if e % 8 >= 4 {
+            state.latency_factor = 1.5;
+        }
+        let w = WallTimer::start();
+        let stats = u.apply_fault_state(&state);
+        repair_secs += w.elapsed_secs();
+        changed_links += stats.changed_links as u64;
+        tel.tracer.emit(
+            uap_sim::SimTime::ZERO,
+            "net",
+            TraceLevel::Info,
+            "routing.repair",
+            |f| {
+                f.str("size", spec.name)
+                    .u64("boundary", e as u64)
+                    .u64("changed_links", stats.changed_links as u64)
+                    .u64("dirty_sources", stats.dirty_sources as u64)
+                    .u64("sources_total", stats.sources_total as u64)
+                    .bool("full_rebuild", stats.full_rebuild);
+            },
+        );
+        // The pre-repair cost of the same epoch: a from-scratch masked
+        // all-pairs rebuild.
+        let w = WallTimer::start();
+        std::hint::black_box(Routing::compute_with_mask(
+            &u.graph,
+            u.config.routing,
+            mask.as_deref(),
+        ));
+        full_secs += w.elapsed_secs();
+    }
+    let (sources_recomputed, sources_total, full_fallbacks) = u.repair_totals();
+    SizeResult {
+        name: spec.name,
+        ases,
+        links,
+        epochs,
+        changed_links,
+        sources_recomputed,
+        sources_total,
+        full_fallbacks,
+        repair_secs,
+        full_secs,
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let epochs: usize = if cli.quick { 16 } else { 48 };
+    let mut tel = Run::start(&cli, "exp17_fault_scale");
+    tel.report.config("epochs", epochs);
+
+    let mut results = Vec::new();
+    for spec in &SIZES {
+        let r = measure(spec, cli.seed, epochs, &mut tel);
+        let repair_eps = r.epochs as f64 / r.repair_secs.max(1e-9);
+        let full_eps = r.epochs as f64 / r.full_secs.max(1e-9);
+        println!(
+            "PERF fault_scale size={} ases={} links={} epochs={} repair_eps={:.0} \
+             full_eps={:.0} speedup={:.2} recomputed_frac={:.4}",
+            r.name,
+            r.ases,
+            r.links,
+            r.epochs,
+            repair_eps,
+            full_eps,
+            repair_eps / full_eps.max(1e-9),
+            r.sources_recomputed as f64 / r.sources_total.max(1) as f64,
+        );
+        results.push(r);
+        if cli.quick && results.len() == 2 {
+            break; // quick mode: skip the large topology
+        }
+    }
+
+    // Deterministic summary: repair work per size (no wall-clock cells,
+    // so the report stays byte-identical across same-seed runs).
+    let mut table = Table::new(
+        "E17 — incremental routing repair at fault epochs",
+        &[
+            "size",
+            "ases",
+            "links",
+            "epochs",
+            "changed links",
+            "sources recomputed",
+            "sources total",
+            "full fallbacks",
+        ],
+    );
+    for r in &results {
+        table.row(&[
+            r.name.to_string(),
+            r.ases.to_string(),
+            r.links.to_string(),
+            r.epochs.to_string(),
+            r.changed_links.to_string(),
+            r.sources_recomputed.to_string(),
+            r.sources_total.to_string(),
+            r.full_fallbacks.to_string(),
+        ]);
+    }
+    emit(&cli, "exp17_fault_scale", &table);
+    tel.table(&table);
+
+    // The wall-clock sample: per-size repair vs full-rebuild timings.
+    let mut sizes_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            sizes_json.push_str(",\n");
+        }
+        let per_epoch_repair = r.repair_secs / r.epochs as f64;
+        let per_epoch_full = r.full_secs / r.epochs as f64;
+        sizes_json.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"ases\": {},\n      \"links\": {},\n      \
+             \"epochs\": {},\n      \"repair_secs\": {:?},\n      \"full_secs\": {:?},\n      \
+             \"per_epoch_repair_secs\": {:?},\n      \"per_epoch_full_secs\": {:?},\n      \
+             \"speedup\": {:?},\n      \"sources_recomputed\": {},\n      \
+             \"sources_total\": {},\n      \"full_fallbacks\": {}\n    }}",
+            r.name,
+            r.ases,
+            r.links,
+            r.epochs,
+            r.repair_secs,
+            r.full_secs,
+            per_epoch_repair,
+            per_epoch_full,
+            per_epoch_full / per_epoch_repair.max(1e-12),
+            r.sources_recomputed,
+            r.sources_total,
+            r.full_fallbacks,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"exp17_fault_scale\",\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"epochs\": {},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        cli.seed, cli.quick, epochs, sizes_json
+    );
+    if let Err(e) = std::fs::create_dir_all(&cli.out) {
+        eprintln!("warning: could not create {}: {e}", cli.out.display());
+    }
+    let path = cli.out.join("BENCH_fault_repair.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("{}", artifact_line("bench", &path)),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    let total_epochs: u64 = results.iter().map(|r| r.epochs as u64).sum();
+    tel.finish(total_epochs);
+}

@@ -251,12 +251,19 @@ pub fn run_swarm_with(
                 .as_ref()
                 .expect("boundaries only exist for a compiled plan") // lint:allow(expect)
                 .state_at(t);
-            underlay.apply_fault_state(&state);
+            let repair = underlay.apply_fault_state(&state);
             let fault_seq = tracer.emit(now, "net", TraceLevel::Info, "fault.epoch", |f| {
                 f.u64("boundary_us", t.as_micros());
                 state.trace_fields(f);
             });
             last_fault_seq = fault_seq.or(last_fault_seq);
+            tracer.emit(now, "net", TraceLevel::Info, "routing.repair", |f| {
+                f.u64("boundary_us", t.as_micros())
+                    .u64("changed_links", repair.changed_links as u64)
+                    .u64("dirty_sources", repair.dirty_sources as u64)
+                    .u64("sources_total", repair.sources_total as u64)
+                    .bool("full_rebuild", repair.full_rebuild);
+            });
             // Diff the crash set; the tracker's live pool is the members
             // that still announce under the new state.
             was_down.copy_from_slice(&down);

@@ -240,7 +240,7 @@ impl GnutellaSim {
             }
         };
         debug_assert_eq!(t, ctx.now());
-        self.underlay.apply_fault_state(&state);
+        let repair = self.underlay.apply_fault_state(&state);
         ctx.metrics.incr("net.fault.epochs", 1);
         let fault_seq = ctx.trace("net", TraceLevel::Info, "fault.epoch", |f| {
             f.u64("boundary", idx as u64);
@@ -251,6 +251,13 @@ impl GnutellaSim {
         // schedule, and later download retries — points back at it.
         self.last_fault_seq = fault_seq.or(self.last_fault_seq);
         ctx.tracer.set_cause(fault_seq);
+        ctx.trace("net", TraceLevel::Info, "routing.repair", |f| {
+            f.u64("boundary", idx as u64)
+                .u64("changed_links", repair.changed_links as u64)
+                .u64("dirty_sources", repair.dirty_sources as u64)
+                .u64("sources_total", repair.sources_total as u64)
+                .bool("full_rebuild", repair.full_rebuild);
+        });
         let mut now_crashed = std::mem::take(&mut self.scratch_crash);
         now_crashed.clear();
         now_crashed.resize(self.crashed.len(), false);

@@ -15,9 +15,11 @@
 //! a pure function of `(graph, plan)` — independent of the simulation's
 //! RNG stream and of *when* the plan is compiled. Application is
 //! sim-time-driven: the overlay worlds schedule one event per epoch
-//! boundary and call [`crate::Underlay::apply_fault_state`], which rebuilds
-//! routing with the epoch's mask and invalidates the packed AS-pair route
-//! cache (see `docs/DETERMINISM.md`).
+//! boundary and call [`crate::Underlay::apply_fault_state`], which
+//! incrementally repairs routing under the epoch's mask (only sources
+//! whose shortest-path forests touch a changed link recompute) and
+//! invalidates the affected rows of the packed AS-pair route cache (see
+//! `docs/DETERMINISM.md` and `docs/PERFORMANCE.md`).
 
 use crate::asgraph::{AsGraph, LinkKind};
 use crate::ids::HostId;

@@ -49,6 +49,6 @@ pub use gen::{TopologyKind, TopologySpec};
 pub use geo::GeoPoint;
 pub use host::{AccessProfile, Host, HostPopulation, PopulationSpec};
 pub use ids::{AsId, HostId};
-pub use routing::{ReferenceRouting, RouteSummary, Routing, RoutingMode};
+pub use routing::{ReferenceRouting, RepairIndex, RepairStats, RouteSummary, Routing, RoutingMode};
 pub use traffic::{TrafficAccounting, TrafficCategory};
 pub use underlay::{Underlay, UnderlayConfig};

@@ -92,6 +92,193 @@ struct Chunk {
     arena: Vec<u32>,
 }
 
+/// A [`Chunk`] plus the per-source repair bookkeeping extracted from the
+/// same Dijkstra runs: final per-state costs and the deduplicated set of
+/// links each source's predecessor tree uses.
+struct IndexedChunk {
+    chunk: Chunk,
+    /// `(hi - lo) × 2n` per-state hop counts.
+    hops: Vec<u32>,
+    /// `(hi - lo) × 2n` per-state latencies.
+    latency: Vec<u64>,
+    /// Concatenated sorted/deduped tree-link lists, one segment per source.
+    tree_links: Vec<u32>,
+    /// Per-source offsets into `tree_links` (`hi - lo + 1` entries).
+    tree_off: Vec<usize>,
+}
+
+/// Telemetry from one [`Routing::repair_with_mask`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Links whose up/down status differs between the two masks.
+    pub changed_links: usize,
+    /// Sources whose rows had to be recomputed (0 when nothing changed).
+    pub dirty_sources: usize,
+    /// Total sources in the table.
+    pub sources_total: usize,
+    /// Whether the >50%-dirty heuristic fell back to a full rebuild.
+    pub full_rebuild: bool,
+}
+
+/// Per-source bookkeeping that makes fault-epoch routing repairs
+/// incremental: the final per-state Dijkstra costs of every source and a
+/// link → sources inverted index over predecessor trees.
+///
+/// Built by [`Routing::compute_indexed`] alongside the table and updated
+/// in place by [`Routing::repair_with_mask`] for the sources it
+/// recomputes. Dirty detection is asymmetric:
+///
+/// * **Link removed** (masked): a source's row can only change if its
+///   shortest-path tree uses the link — exact, via the inverted index.
+///   (Non-tree links never carry a final predecessor, and with
+///   strict-improvement relaxation the tree edge is always the
+///   earliest-popping final-cost candidate, so deleting a non-tree link
+///   leaves the row byte-identical.)
+/// * **Link restored** (unmasked): the tree rule cannot apply (a masked
+///   link is in no tree), so the per-state candidate test marks a source
+///   dirty when the link could offer a path at most as costly as the
+///   current per-state cost of either endpoint — `≤`, not `<`, because an
+///   equal-cost candidate can change the deterministic tie-break winner.
+///   Per-state (not best-phase) costs matter: in valley-free mode a
+///   restored link can improve the *worse* phase of an endpoint and
+///   propagate new descents downstream. If every restored link fails the
+///   test against the old costs strictly, induction over path prefixes
+///   shows no path through restored links reaches any state at ≤ its old
+///   cost, so unmarked rows stay byte-identical even when several links
+///   come back in the same epoch.
+///
+/// Scratch buffers (`dirty`, `dirty_list`, `arena_scratch`) are
+/// struct-owned and reused across repairs per the allocation discipline.
+pub struct RepairIndex {
+    n: usize,
+    n_links: usize,
+    /// Bitset words per link row (`ceil(n / 64)`).
+    words: usize,
+    /// `n × 2n` per-state hop counts, row-major by source.
+    hops: Vec<u32>,
+    /// `n × 2n` per-state latencies, row-major by source.
+    latency: Vec<u64>,
+    /// Link → sources whose predecessor tree uses it (`n_links` bitset
+    /// rows of `words` words each).
+    link_sources: Vec<u64>,
+    /// Scratch: dirty-source bitset for the repair in progress.
+    dirty: Vec<u64>,
+    /// Scratch: sorted dirty-source list of the most recent repair.
+    dirty_list: Vec<u32>,
+    /// Scratch: splice target for the rebuilt arena.
+    arena_scratch: Vec<u32>,
+}
+
+impl RepairIndex {
+    // lint:allow(alloc) — index construction; runs once per full routing (re)build
+    fn new(n: usize, n_links: usize) -> RepairIndex {
+        let words = n.div_ceil(64).max(1);
+        RepairIndex {
+            n,
+            n_links,
+            words,
+            hops: Vec::with_capacity(n * 2 * n),
+            latency: Vec::with_capacity(n * 2 * n),
+            link_sources: vec![0; n_links * words],
+            dirty: vec![0; words],
+            dirty_list: Vec::new(),
+            arena_scratch: Vec::new(),
+        }
+    }
+
+    /// The sources recomputed by the most recent
+    /// [`Routing::repair_with_mask`] call, ascending. Drives delta
+    /// route-cache invalidation (only these rows changed).
+    pub fn dirty_sources(&self) -> &[u32] {
+        &self.dirty_list
+    }
+
+    #[inline]
+    fn is_dirty(&self, s: usize) -> bool {
+        self.dirty[s / 64] & (1 << (s % 64)) != 0
+    }
+
+    #[inline]
+    fn set_dirty(&mut self, s: usize) {
+        self.dirty[s / 64] |= 1 << (s % 64);
+    }
+
+    /// Installs one source's fresh per-state costs and tree links.
+    fn apply_row(&mut self, s: usize, row: &RepairedRow) {
+        let ns = self.n * 2;
+        self.hops[s * ns..(s + 1) * ns].copy_from_slice(&row.hops);
+        self.latency[s * ns..(s + 1) * ns].copy_from_slice(&row.latency);
+        let w = s / 64;
+        let bit = 1u64 << (s % 64);
+        for li in 0..self.n_links {
+            self.link_sources[li * self.words + w] &= !bit;
+        }
+        for &li in &row.tree_links {
+            self.link_sources[li as usize * self.words + w] |= bit;
+        }
+    }
+
+    /// Marks sources for which restoring link `li` could offer a path at
+    /// most as costly as their current cost at either endpoint state (the
+    /// conservative candidate test documented on [`RepairIndex`]).
+    fn mark_link_up_candidates(&mut self, graph: &AsGraph, mode: RoutingMode, li: usize) {
+        let link = &graph.links[li];
+        let (a, b) = (link.a.idx() * 2, link.b.idx() * 2);
+        let w = link.latency_us;
+        // The state transitions this link enables (see `dijkstra`).
+        let mut trans = [(0usize, 0usize); 3];
+        let trans = match mode {
+            RoutingMode::ShortestPath => {
+                trans[0] = (a, b);
+                trans[1] = (b, a);
+                &trans[..2]
+            }
+            RoutingMode::ValleyFree => match link.kind {
+                LinkKind::Transit => {
+                    // Climb customer→provider, descend provider→customer.
+                    trans[0] = (b, a);
+                    trans[1] = (a, b + 1);
+                    trans[2] = (a + 1, b + 1);
+                    &trans[..3]
+                }
+                LinkKind::Peering => {
+                    trans[0] = (a, b + 1);
+                    trans[1] = (b, a + 1);
+                    &trans[..2]
+                }
+            },
+        };
+        let ns = self.n * 2;
+        for s in 0..self.n {
+            if self.is_dirty(s) {
+                continue;
+            }
+            let base = s * ns;
+            for &(u, v) in trans {
+                let hu = self.hops[base + u];
+                if hu == u32::MAX {
+                    continue;
+                }
+                let cand = (hu + 1, self.latency[base + u] + w);
+                if cand <= (self.hops[base + v], self.latency[base + v]) {
+                    self.set_dirty(s);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One recomputed source row: summaries with chunk-local offsets, its
+/// arena segment, and the repair-index payload.
+struct RepairedRow {
+    summaries: Vec<RouteSummary>,
+    arena: Vec<u32>,
+    hops: Vec<u32>,
+    latency: Vec<u64>,
+    tree_links: Vec<u32>,
+}
+
 /// All-pairs routing with precomputed per-pair summaries and CSR paths.
 #[derive(PartialEq, Eq)]
 pub struct Routing {
@@ -166,6 +353,7 @@ impl Routing {
     /// The serial reference build: same output as [`Routing::compute`],
     /// no threads. Retained so tests can assert the parallel build is
     /// byte-identical, and as the readable specification of the table.
+    // lint:allow(alloc) — reference build; tests and debug-only differential checks
     pub fn compute_serial(graph: &AsGraph, mode: RoutingMode, mask: Option<&[bool]>) -> Routing {
         let n = graph.len();
         Self::assemble(
@@ -173,6 +361,320 @@ impl Routing {
             mode,
             vec![Self::build_chunk(graph, mode, mask, 0, n)],
         )
+    }
+
+    /// Like [`Routing::compute_with_mask`], additionally returning the
+    /// [`RepairIndex`] that makes subsequent fault epochs repairable via
+    /// [`Routing::repair_with_mask`] instead of full rebuilds.
+    pub fn compute_indexed(
+        graph: &AsGraph,
+        mode: RoutingMode,
+        mask: Option<&[bool]>,
+    ) -> (Routing, RepairIndex) {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::compute_indexed_threads(graph, mode, mask, threads)
+    }
+
+    /// [`Routing::compute_indexed`] with an explicit worker count. Byte-
+    /// identical output for any thread count, same argument as
+    /// [`Routing::compute_with_mask_threads`].
+    // lint:allow(alloc) — table + index construction; runs once per routing (re)build
+    pub fn compute_indexed_threads(
+        graph: &AsGraph,
+        mode: RoutingMode,
+        mask: Option<&[bool]>,
+        threads: usize,
+    ) -> (Routing, RepairIndex) {
+        let n = graph.len();
+        let threads = threads.clamp(1, n.max(1));
+        let chunks: Vec<IndexedChunk> = if n == 0 || threads == 1 {
+            vec![Self::build_chunk_indexed(graph, mode, mask, 0, n)]
+        } else {
+            let per = n.div_ceil(threads);
+            let ranges: Vec<(usize, usize)> = (0..threads)
+                .map(|w| (w * per, ((w + 1) * per).min(n)))
+                .filter(|&(lo, hi)| lo < hi)
+                .collect();
+            // Same deterministic fork-join as the plain build: disjoint
+            // source ranges, joined in source order. lint:allow(threads)
+            std::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        s.spawn(move || Self::build_chunk_indexed(graph, mode, mask, lo, hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("routing worker panicked")) // lint:allow(expect)
+                    .collect()
+            })
+        };
+        let mut index = RepairIndex::new(n, graph.links.len());
+        let mut src = 0usize;
+        for c in &chunks {
+            let rows = c.tree_off.len() - 1;
+            index.hops.extend_from_slice(&c.hops);
+            index.latency.extend_from_slice(&c.latency);
+            for r in 0..rows {
+                let w = src / 64;
+                let bit = 1u64 << (src % 64);
+                for &li in &c.tree_links[c.tree_off[r]..c.tree_off[r + 1]] {
+                    index.link_sources[li as usize * index.words + w] |= bit;
+                }
+                src += 1;
+            }
+        }
+        debug_assert_eq!(src, n);
+        let routing = Self::assemble(graph, mode, chunks.into_iter().map(|c| c.chunk).collect());
+        (routing, index)
+    }
+
+    /// Incrementally repairs the table after a fault-mask transition from
+    /// `old_mask` to `new_mask`, recomputing only the sources the change
+    /// can affect (see [`RepairIndex`] for the dirty rules) and splicing
+    /// their rows back into the CSR arena in source order — byte-identical
+    /// to a full rebuild under `new_mask`, which a debug-build assertion
+    /// re-derives after every repair.
+    ///
+    /// Falls back to a full [`Routing::compute_indexed_threads`] rebuild
+    /// when more than half the sources are dirty (the incremental path's
+    /// bookkeeping would cost more than it saves).
+    // lint:allow(alloc) — fault-epoch repair; runs once per epoch, scratch reused via RepairIndex
+    pub fn repair_with_mask(
+        &mut self,
+        index: &mut RepairIndex,
+        graph: &AsGraph,
+        old_mask: Option<&[bool]>,
+        new_mask: Option<&[bool]>,
+        threads: usize,
+    ) -> RepairStats {
+        let n = self.n;
+        debug_assert_eq!(index.n, n);
+        debug_assert_eq!(index.n_links, graph.links.len());
+        index.dirty.fill(0);
+        index.dirty_list.clear();
+        let mut changed = 0usize;
+        for li in 0..index.n_links {
+            let was = old_mask.is_some_and(|m| m[li]);
+            let now = new_mask.is_some_and(|m| m[li]);
+            if was == now {
+                continue;
+            }
+            changed += 1;
+            if now {
+                // Link went down: exactly the sources whose tree uses it.
+                for w in 0..index.words {
+                    index.dirty[w] |= index.link_sources[li * index.words + w];
+                }
+            } else {
+                index.mark_link_up_candidates(graph, self.mode, li);
+            }
+        }
+        let mut stats = RepairStats {
+            changed_links: changed,
+            dirty_sources: 0,
+            sources_total: n,
+            full_rebuild: false,
+        };
+        if changed == 0 {
+            return stats;
+        }
+        for s in 0..n {
+            if index.is_dirty(s) {
+                index.dirty_list.push(s as u32);
+            }
+        }
+        stats.dirty_sources = index.dirty_list.len();
+        if stats.dirty_sources * 2 > n {
+            // Majority dirty: a full rebuild is cheaper than row splicing.
+            let (routing, fresh) =
+                Self::compute_indexed_threads(graph, self.mode, new_mask, threads);
+            *self = routing;
+            let dirty_list = std::mem::take(&mut index.dirty_list);
+            *index = fresh;
+            index.dirty_list = dirty_list;
+            stats.dirty_sources = n;
+            stats.full_rebuild = true;
+            return stats;
+        }
+
+        // Recompute dirty rows, fanned over contiguous ranges of the
+        // sorted dirty list and joined in spawn (= source) order, so the
+        // spliced table is independent of scheduling.
+        let dirty = &index.dirty_list;
+        let workers = threads.clamp(1, dirty.len().max(1));
+        let rows: Vec<RepairedRow> = if workers == 1 {
+            dirty
+                .iter()
+                .map(|&s| Self::repair_row(graph, self.mode, new_mask, s as usize))
+                .collect()
+        } else {
+            let per = dirty.len().div_ceil(workers);
+            let ranges: Vec<&[u32]> = dirty.chunks(per).collect();
+            let mode = self.mode;
+            // Deterministic fork-join over the dirty list. lint:allow(threads)
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&range| {
+                        sc.spawn(move || {
+                            range
+                                .iter()
+                                .map(|&s| Self::repair_row(graph, mode, new_mask, s as usize))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("repair worker panicked")) // lint:allow(expect)
+                    .collect()
+            })
+        };
+
+        // Splice: walk sources in order, copying clean rows' arena
+        // segments and substituting fresh segments for dirty rows, fixing
+        // `path_off` as the cumulative base shifts.
+        let scratch = &mut index.arena_scratch;
+        scratch.clear();
+        let mut old_base = 0usize;
+        let mut next_dirty = 0usize;
+        for s in 0..n {
+            let old_len: usize = self.summaries[s * n..(s + 1) * n]
+                .iter()
+                .filter(|e| e.hops != u32::MAX)
+                .map(|e| e.path_len as usize)
+                .sum();
+            let base = scratch.len();
+            if next_dirty < index.dirty_list.len() && index.dirty_list[next_dirty] as usize == s {
+                let fresh = &rows[next_dirty];
+                next_dirty += 1;
+                for (slot, &sum) in self.summaries[s * n..(s + 1) * n]
+                    .iter_mut()
+                    .zip(&fresh.summaries)
+                {
+                    let mut sum = sum;
+                    if sum.hops != u32::MAX {
+                        sum.path_off += base;
+                    }
+                    *slot = sum;
+                }
+                scratch.extend_from_slice(&fresh.arena);
+            } else {
+                if base != old_base {
+                    for e in self.summaries[s * n..(s + 1) * n].iter_mut() {
+                        if e.hops != u32::MAX {
+                            e.path_off = e.path_off - old_base + base;
+                        }
+                    }
+                }
+                scratch.extend_from_slice(&self.arena[old_base..old_base + old_len]);
+            }
+            old_base += old_len;
+        }
+        std::mem::swap(&mut self.arena, scratch);
+
+        for (i, row) in rows.iter().enumerate() {
+            let s = index.dirty_list[i] as usize;
+            index.apply_row(s, row);
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            let full = Self::compute_serial(graph, self.mode, new_mask);
+            debug_assert!(
+                *self == full,
+                "incremental repair diverged from full recompute \
+                 ({changed} changed links, {} dirty sources)",
+                stats.dirty_sources
+            );
+        }
+        stats
+    }
+
+    /// Recomputes one source's row: summaries with row-local arena
+    /// offsets plus the per-state costs and tree links for the index.
+    // lint:allow(alloc) — fault-epoch repair; one row per dirty source
+    fn repair_row(
+        graph: &AsGraph,
+        mode: RoutingMode,
+        mask: Option<&[bool]>,
+        src: usize,
+    ) -> RepairedRow {
+        let n = graph.len();
+        let t = Self::dijkstra(graph, mode, AsId(src as u16), mask);
+        let mut arena = Vec::new();
+        let mut summaries = Vec::with_capacity(n);
+        for dst in 0..n {
+            summaries.push(Self::summarize(graph, &t, dst, &mut arena));
+        }
+        let mut tree_links = Vec::new();
+        Self::collect_tree_links(&t, &mut tree_links);
+        RepairedRow {
+            summaries,
+            arena,
+            hops: t.hops,
+            latency: t.latency,
+            tree_links,
+        }
+    }
+
+    /// Appends the sorted, deduplicated set of predecessor-tree link
+    /// indices of `t` to `out` (segment-local dedup: earlier segments in
+    /// `out` are left untouched).
+    fn collect_tree_links(t: &SrcTable, out: &mut Vec<u32>) {
+        let start = out.len();
+        for (_, li) in t.pred.iter().flatten() {
+            out.push(*li);
+        }
+        out[start..].sort_unstable();
+        let mut w = start;
+        for r in start..out.len() {
+            if w == start || out[w - 1] != out[r] {
+                out[w] = out[r];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+    }
+
+    /// Builds rows and repair bookkeeping for sources `lo..hi`.
+    // lint:allow(alloc) — table + index construction; runs once per routing (re)build
+    fn build_chunk_indexed(
+        graph: &AsGraph,
+        mode: RoutingMode,
+        mask: Option<&[bool]>,
+        lo: usize,
+        hi: usize,
+    ) -> IndexedChunk {
+        let n = graph.len();
+        let mut summaries = Vec::with_capacity((hi - lo) * n);
+        let mut arena = Vec::new();
+        let mut hops = Vec::with_capacity((hi - lo) * 2 * n);
+        let mut latency = Vec::with_capacity((hi - lo) * 2 * n);
+        let mut tree_links = Vec::new();
+        let mut tree_off = Vec::with_capacity(hi - lo + 1);
+        tree_off.push(0);
+        for src in lo..hi {
+            let t = Self::dijkstra(graph, mode, AsId(src as u16), mask);
+            for dst in 0..n {
+                summaries.push(Self::summarize(graph, &t, dst, &mut arena));
+            }
+            hops.extend_from_slice(&t.hops);
+            latency.extend_from_slice(&t.latency);
+            Self::collect_tree_links(&t, &mut tree_links);
+            tree_off.push(tree_links.len());
+        }
+        IndexedChunk {
+            chunk: Chunk { summaries, arena },
+            hops,
+            latency,
+            tree_links,
+            tree_off,
+        }
     }
 
     /// Builds the rows for sources `lo..hi` with chunk-local arena offsets.
@@ -672,6 +1174,134 @@ mod tests {
             );
             assert!(serial == par, "masked parallel table diverged");
         }
+    }
+
+    #[test]
+    fn indexed_build_matches_plain_build() {
+        let g = figure1();
+        let mut mask = vec![false; g.links.len()];
+        mask[9] = true;
+        for mode in [RoutingMode::ShortestPath, RoutingMode::ValleyFree] {
+            for m in [None, Some(&mask[..])] {
+                let plain = Routing::compute_serial(&g, mode, m);
+                for threads in [1, 3] {
+                    let (indexed, _) = Routing::compute_indexed_threads(&g, mode, m, threads);
+                    assert!(plain == indexed, "{mode:?} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_matches_full_rebuild_across_mask_sequence() {
+        let g = figure1();
+        let nl = g.links.len();
+        // Down B~C, then also the core peering, then heal B~C while the
+        // core stays down, then full heal. Every step must agree with a
+        // from-scratch masked build (repair also self-checks in debug).
+        let mut steps: Vec<Vec<bool>> = vec![vec![false; nl]; 4];
+        steps[0][9] = true;
+        steps[1][9] = true;
+        steps[1][0] = true;
+        steps[2][0] = true;
+        for mode in [RoutingMode::ShortestPath, RoutingMode::ValleyFree] {
+            for threads in [1, 3] {
+                let (mut r, mut idx) = Routing::compute_indexed_threads(&g, mode, None, threads);
+                let mut prev: Option<Vec<bool>> = None;
+                for step in &steps {
+                    let stats =
+                        r.repair_with_mask(&mut idx, &g, prev.as_deref(), Some(step), threads);
+                    let full = Routing::compute_serial(&g, mode, Some(step));
+                    assert!(r == full, "{mode:?} threads={threads} mask={step:?}");
+                    assert_eq!(stats.sources_total, g.len());
+                    if stats.full_rebuild {
+                        assert_eq!(stats.dirty_sources, g.len());
+                    } else {
+                        assert_eq!(stats.dirty_sources, idx.dirty_sources().len());
+                    }
+                    prev = Some(step.clone());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_on_local_peering_fault_touches_subset_of_sources() {
+        let g = figure1();
+        let (mut r, mut idx) =
+            Routing::compute_indexed_threads(&g, RoutingMode::ValleyFree, None, 1);
+        // B~C (link 9) only appears in B's and C's shortest-path trees:
+        // any other source crossing it would form a valley.
+        let mut mask = vec![false; g.links.len()];
+        mask[9] = true;
+        let stats = r.repair_with_mask(&mut idx, &g, None, Some(&mask), 1);
+        assert_eq!(stats.changed_links, 1);
+        assert!(!stats.full_rebuild);
+        assert_eq!(idx.dirty_sources(), &[6, 7]);
+        assert_eq!(stats.dirty_sources, 2);
+        assert_eq!(r.as_hops(AsId(6), AsId(7)), Some(4));
+    }
+
+    #[test]
+    fn repair_after_heal_is_incremental_and_exact() {
+        let g = figure1();
+        let (mut r, mut idx) =
+            Routing::compute_indexed_threads(&g, RoutingMode::ValleyFree, None, 1);
+        let mut mask = vec![false; g.links.len()];
+        mask[9] = true;
+        r.repair_with_mask(&mut idx, &g, None, Some(&mask), 1);
+        // Heal: the candidate test must mark (at least) B and C dirty and
+        // restore the original table exactly.
+        let stats = r.repair_with_mask(&mut idx, &g, Some(&mask), None, 1);
+        assert_eq!(stats.changed_links, 1);
+        assert!(!stats.full_rebuild);
+        assert!(idx.dirty_sources().contains(&6));
+        assert!(idx.dirty_sources().contains(&7));
+        let pristine = Routing::compute_serial(&g, RoutingMode::ValleyFree, None);
+        assert!(r == pristine);
+        assert_eq!(r.as_hops(AsId(6), AsId(7)), Some(1));
+    }
+
+    #[test]
+    fn repair_with_unchanged_mask_is_a_noop() {
+        let g = figure1();
+        let (mut r, mut idx) =
+            Routing::compute_indexed_threads(&g, RoutingMode::ValleyFree, None, 1);
+        let mask = vec![false; g.links.len()];
+        // None vs all-false: no link changed status.
+        let stats = r.repair_with_mask(&mut idx, &g, None, Some(&mask), 1);
+        assert_eq!(
+            stats,
+            RepairStats {
+                changed_links: 0,
+                dirty_sources: 0,
+                sources_total: g.len(),
+                full_rebuild: false,
+            }
+        );
+        assert!(idx.dirty_sources().is_empty());
+    }
+
+    #[test]
+    fn repair_falls_back_to_full_rebuild_when_majority_dirty() {
+        let g = figure1();
+        let (mut r, mut idx) =
+            Routing::compute_indexed_threads(&g, RoutingMode::ValleyFree, None, 1);
+        // The T1a–T2a transit uplink (link 1) sits on most sources' trees;
+        // downing it alongside the core peering dirties well over half.
+        let mut mask = vec![false; g.links.len()];
+        mask[0] = true;
+        mask[1] = true;
+        let stats = r.repair_with_mask(&mut idx, &g, None, Some(&mask), 1);
+        assert!(stats.full_rebuild);
+        assert_eq!(stats.dirty_sources, g.len());
+        let full = Routing::compute_serial(&g, RoutingMode::ValleyFree, Some(&mask));
+        assert!(r == full);
+        // The rebuilt index keeps working for further epochs.
+        let stats = r.repair_with_mask(&mut idx, &g, Some(&mask), None, 1);
+        assert!(!stats.full_rebuild || stats.dirty_sources == g.len());
+        let pristine = Routing::compute_serial(&g, RoutingMode::ValleyFree, None);
+        assert!(r == pristine);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::asgraph::AsGraph;
 use crate::geo::propagation_delay_us;
 use crate::host::{Host, HostPopulation, PopulationSpec};
 use crate::ids::{AsId, HostId};
-use crate::routing::{Routing, RoutingMode};
+use crate::routing::{RepairIndex, RepairStats, Routing, RoutingMode};
 use crate::traffic::{TrafficAccounting, TrafficCategory};
 use std::cell::Cell;
 use uap_sim::{Metrics, SimRng, SimTime, TraceLevel, Tracer};
@@ -66,9 +66,18 @@ impl Default for UnderlayConfig {
 /// but **swapping the routing table can**: whoever rebuilds `routing`
 /// (fault epochs, manual masked rebuilds through the `pub` field) must go
 /// through [`Underlay::rebuild_routing_with_mask`] /
-/// [`Underlay::invalidate_route_cache`] so the cache is rebuilt in the
-/// same step. [`Underlay::assert_route_cache_coherent`] verifies the
+/// [`Underlay::invalidate_route_cache`] so the cache is invalidated in
+/// the same step. [`Underlay::assert_route_cache_coherent`] verifies the
 /// invariant in debug builds after every invalidation.
+///
+/// Invalidation is **generation-stamped and per source row**: every
+/// entry carries the generation of its `src` row at fill time and is
+/// valid only while the two match, so bumping a row's generation lazily
+/// invalidates its `n` entries in O(1). Incremental fault-epoch repairs
+/// ([`Underlay::apply_fault_state`]) bump only the rows of sources whose
+/// routing actually changed; untouched rows keep serving their filled
+/// entries with no refill cost. Stale entries refill from the routing
+/// table on next lookup (counted in `refills`).
 ///
 /// Hit/miss counters use `Cell` so read-only latency queries (`&self`)
 /// can record them; a "miss" is an intra-AS query answered by the
@@ -77,10 +86,17 @@ impl Default for UnderlayConfig {
 struct RouteCache {
     n: usize,
     /// `n × n` packed entries, row-major by source AS:
-    /// `transit_links << 48 | combined_us`.
-    entries: Vec<u64>,
+    /// `transit_links << 48 | combined_us`. `Cell` so stale entries can
+    /// refill during read-only lookups.
+    entries: Vec<Cell<u64>>,
+    /// Fill generation per entry; valid iff it matches `row_gen[src]`.
+    entry_gen: Vec<Cell<u32>>,
+    /// Current generation per source row; bumping it invalidates the row.
+    row_gen: Vec<u32>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    /// Stale entries refilled on lookup since construction.
+    refills: Cell<u64>,
 }
 
 /// Unreachable-pair sentinel (no real entry has all transit bits set).
@@ -90,26 +106,53 @@ const UNREACHABLE_ENTRY: u64 = u64::MAX;
 const COMBINED_MASK: u64 = (1 << 48) - 1;
 
 impl RouteCache {
-    // lint:allow(alloc) — cache construction; runs once per routing rebuild
+    /// Eagerly fills every entry (all generations valid at 0). The
+    /// initial build is eager so coherence checks and first lookups never
+    /// observe an unfilled cache; later invalidations are lazy.
+    // lint:allow(alloc) — cache construction; runs once per full routing rebuild
     fn build(routing: &Routing, n: usize, per_as_hop_us: u64, latency_factor: f64) -> RouteCache {
-        let mut entries = vec![UNREACHABLE_ENTRY; n * n];
-        for (s, row) in entries.chunks_mut(n.max(1)).enumerate() {
-            for (d, slot) in row.iter_mut().enumerate() {
-                *slot = Self::packed_entry(
+        let mut entries = Vec::with_capacity(n * n);
+        for s in 0..n {
+            for d in 0..n {
+                entries.push(Cell::new(Self::packed_entry(
                     routing,
                     AsId(s as u16),
                     AsId(d as u16),
                     per_as_hop_us,
                     latency_factor,
-                );
+                )));
             }
         }
         RouteCache {
             n,
             entries,
+            entry_gen: vec![Cell::new(0); n * n],
+            row_gen: vec![0; n],
             hits: Cell::new(0),
             misses: Cell::new(0),
+            refills: Cell::new(0),
         }
+    }
+
+    /// Carries the lookup counters over from the cache this one replaces,
+    /// so a rebuild never resets observability counters.
+    fn retain_stats_from(&self, prev: &RouteCache) {
+        self.hits.set(prev.hits.get());
+        self.misses.set(prev.misses.get());
+        self.refills.set(prev.refills.get());
+    }
+
+    /// Invalidates every source row (full routing swap or a change to the
+    /// latency factor folded into the entries).
+    fn invalidate_all_rows(&mut self) {
+        for g in &mut self.row_gen {
+            *g = g.wrapping_add(1);
+        }
+    }
+
+    /// Invalidates one source row: its entries refill lazily on lookup.
+    fn invalidate_row(&mut self, src: usize) {
+        self.row_gen[src] = self.row_gen[src].wrapping_add(1);
     }
 
     /// The packed entry for one ordered AS pair, straight from the routing
@@ -136,13 +179,27 @@ impl RouteCache {
     }
 
     /// Reads the packed entry for an ordered AS pair, counting a hit.
+    /// A generation-stale entry refills from the routing table first.
     #[inline]
-    fn lookup(&self, src: AsId, dst: AsId) -> u64 {
+    fn lookup(
+        &self,
+        src: AsId,
+        dst: AsId,
+        routing: &Routing,
+        per_as_hop_us: u64,
+        latency_factor: f64,
+    ) -> u64 {
         self.hits.set(self.hits.get() + 1);
-        *self
-            .entries
-            .get(src.idx() * self.n + dst.idx())
-            .expect("route cache covers every ordered AS pair of its graph") // lint:allow(expect)
+        let i = src.idx() * self.n + dst.idx();
+        let gen = self.row_gen[src.idx()];
+        if self.entry_gen[i].get() == gen {
+            return self.entries[i].get();
+        }
+        let entry = Self::packed_entry(routing, src, dst, per_as_hop_us, latency_factor);
+        self.entries[i].set(entry);
+        self.entry_gen[i].set(gen);
+        self.refills.set(self.refills.get() + 1);
+        entry
     }
 
     #[inline]
@@ -165,12 +222,29 @@ pub struct Underlay {
     pub traffic: TrafficAccounting,
     /// AS-pair route-metric cache (see [`RouteCache`]).
     route_cache: RouteCache,
+    /// Repair bookkeeping for incremental fault-epoch routing updates
+    /// (see [`RepairIndex`]). `None` after a direct `routing` write via
+    /// [`Underlay::invalidate_route_cache`] — the next fault epoch then
+    /// falls back to one full indexed rebuild and restores it.
+    repair_index: Option<RepairIndex>,
+    /// The link-failure mask the current routing table was built under
+    /// (all-false = no faults), diffed against the next fault state's
+    /// mask to find changed links.
+    active_mask: Vec<bool>,
     /// Latency-inflation factor from the active fault state (1.0 = none),
-    /// folded into the cache entries at (re)build time.
+    /// folded into the cache entries at (re)fill time.
     latency_factor: f64,
-    /// How many times the route cache has been rebuilt after a routing
-    /// swap (fault epochs, manual invalidation).
+    /// How many times the route cache has been invalidated after a
+    /// routing swap (fault epochs, manual invalidation).
     invalidations: u64,
+    /// Stats of the most recent fault-epoch repair.
+    last_repair: RepairStats,
+    /// Running totals across fault epochs: sources recomputed vs the
+    /// sources a full rebuild would have recomputed, and how often the
+    /// majority-dirty heuristic forced a full rebuild.
+    repair_sources_recomputed: u64,
+    repair_sources_total: u64,
+    repair_full_fallbacks: u64,
     /// Upper bound on any host pair's access bottleneck
     /// (`min(max uplink, max downlink)` over all hosts, in kbit/s).
     /// Host bandwidth is fixed at build time (migration moves a host
@@ -188,7 +262,7 @@ impl Underlay {
         config: UnderlayConfig,
         rng: &mut SimRng,
     ) -> Underlay {
-        let routing = Routing::compute(&graph, config.routing);
+        let (routing, repair_index) = Routing::compute_indexed(&graph, config.routing, None);
         let hosts = HostPopulation::build(&graph, pop, rng);
         let traffic = TrafficAccounting::new(&graph);
         let route_cache = RouteCache::build(&routing, graph.len(), config.per_as_hop_us, 1.0);
@@ -202,6 +276,7 @@ impl Underlay {
             .map(|h| hosts.host(h).down_kbps as u64)
             .max()
             .unwrap_or(0);
+        let n_links = graph.links.len();
         Underlay {
             graph,
             routing,
@@ -209,64 +284,150 @@ impl Underlay {
             config,
             traffic,
             route_cache,
+            repair_index: Some(repair_index),
+            active_mask: vec![false; n_links],
             latency_factor: 1.0,
             invalidations: 0,
+            last_repair: RepairStats::default(),
+            repair_sources_recomputed: 0,
+            repair_sources_total: 0,
+            repair_full_fallbacks: 0,
             bottleneck_bound_kbps: max_up.min(max_down).max(1),
         }
     }
 
-    /// Rebuilds routing with a link-failure `mask` (`None` = all links up)
-    /// and **invalidates the packed AS-pair route cache** in the same
-    /// step. This is the one sanctioned way to swap the routing table:
-    /// writing `self.routing` directly leaves stale cached
+    /// Rebuilds routing *from scratch* with a link-failure `mask`
+    /// (`None` = all links up) and **invalidates the packed AS-pair route
+    /// cache** in the same step, restoring the repair index so later
+    /// fault epochs are incremental again. This is the sanctioned way to
+    /// force a full table swap; fault epochs should go through
+    /// [`Underlay::apply_fault_state`], which repairs incrementally.
+    /// Writing `self.routing` directly leaves stale cached
     /// `latency_us`/`rtt_us`/`transfer_time` answers behind (see the
     /// `masked_rebuild_changes_cached_answers` golden test).
     pub fn rebuild_routing_with_mask(&mut self, mask: Option<&[bool]>) {
-        self.routing = Routing::compute_with_mask(&self.graph, self.config.routing, mask);
+        let (routing, index) = Routing::compute_indexed(&self.graph, self.config.routing, mask);
+        self.routing = routing;
+        match mask {
+            Some(m) => self.active_mask.copy_from_slice(m),
+            None => self.active_mask.fill(false),
+        }
         self.invalidate_route_cache();
+        // Set after invalidate_route_cache, which clears the index to
+        // protect against direct routing writes.
+        self.repair_index = Some(index);
     }
 
-    /// Applies one composed fault state: the link mask drives a routing
-    /// rebuild, the latency-inflation factor is folded into the rebuilt
-    /// cache entries. Host crashes are overlay-level (the worlds take
-    /// peers offline); the underlay only carries the path effects.
-    pub fn apply_fault_state(&mut self, state: &crate::fault::FaultState) {
+    /// Applies one composed fault state: the link mask drives an
+    /// **incremental routing repair** (only sources whose shortest-path
+    /// trees the changed links touch are recomputed — see
+    /// [`Routing::repair_with_mask`]), and only those sources' route-cache
+    /// rows are invalidated; a changed latency-inflation factor
+    /// invalidates every row since it is folded into each entry. Host
+    /// crashes are overlay-level (the worlds take peers offline); the
+    /// underlay only carries the path effects.
+    ///
+    /// Returns the repair stats for telemetry
+    /// (`net.routing.sources_recomputed` et al. via
+    /// [`Underlay::export_repair_metrics`], `routing.repair` trace
+    /// events at fault boundaries).
+    pub fn apply_fault_state(&mut self, state: &crate::fault::FaultState) -> RepairStats {
+        let factor_changed = (state.latency_factor - self.latency_factor).abs() > f64::EPSILON;
         self.latency_factor = state.latency_factor;
-        self.rebuild_routing_with_mask(state.mask.as_deref());
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let stats = match &mut self.repair_index {
+            Some(index) => self.routing.repair_with_mask(
+                index,
+                &self.graph,
+                Some(&self.active_mask),
+                state.mask.as_deref(),
+                threads,
+            ),
+            None => {
+                // The index was dropped by a direct-write invalidation;
+                // one full rebuild restores it.
+                let (routing, index) = Routing::compute_indexed(
+                    &self.graph,
+                    self.config.routing,
+                    state.mask.as_deref(),
+                );
+                self.routing = routing;
+                self.repair_index = Some(index);
+                RepairStats {
+                    changed_links: 0,
+                    dirty_sources: self.graph.len(),
+                    sources_total: self.graph.len(),
+                    full_rebuild: true,
+                }
+            }
+        };
+        match state.mask.as_deref() {
+            Some(m) => self.active_mask.copy_from_slice(m),
+            None => self.active_mask.fill(false),
+        }
+        if stats.full_rebuild || factor_changed {
+            self.route_cache.invalidate_all_rows();
+        } else if let Some(index) = &self.repair_index {
+            for &s in index.dirty_sources() {
+                self.route_cache.invalidate_row(s as usize);
+            }
+        }
+        self.invalidations += 1;
+        self.last_repair = stats;
+        self.repair_sources_recomputed += stats.dirty_sources as u64;
+        self.repair_sources_total += stats.sources_total as u64;
+        if stats.full_rebuild {
+            self.repair_full_fallbacks += 1;
+        }
+        #[cfg(debug_assertions)]
+        self.assert_route_cache_coherent();
+        stats
     }
 
-    /// Rebuilds the route cache from the *current* routing table,
-    /// preserving the hit/miss counters across the swap and bumping the
-    /// invalidation counter. Call after any direct `routing` write; in
+    /// Rebuilds the route cache eagerly from the *current* routing table,
+    /// preserving the lookup counters across the swap
+    /// ([`RouteCache::retain_stats_from`]) and bumping the invalidation
+    /// counter. Call after any direct `routing` write; since such a write
+    /// bypasses the repair bookkeeping, the repair index is dropped and
+    /// the next fault epoch performs one full rebuild to restore it. In
     /// debug builds the rebuilt cache is immediately checked for
     /// coherence.
     pub fn invalidate_route_cache(&mut self) {
-        let (hits, misses) = self.route_cache_stats();
-        self.route_cache = RouteCache::build(
+        self.repair_index = None;
+        let fresh = RouteCache::build(
             &self.routing,
             self.graph.len(),
             self.config.per_as_hop_us,
             self.latency_factor,
         );
-        self.route_cache.hits.set(hits);
-        self.route_cache.misses.set(misses);
+        fresh.retain_stats_from(&self.route_cache);
+        self.route_cache = fresh;
         self.invalidations += 1;
         #[cfg(debug_assertions)]
         self.assert_route_cache_coherent();
     }
 
-    /// Verifies every packed cache entry against a fresh routing-table
-    /// computation — the debug-mode coherence assertion guarding fault
-    /// epoch switches. O(n²) route loads; debug builds only (called from
-    /// [`Underlay::invalidate_route_cache`]) plus tests.
+    /// Verifies every *generation-valid* packed cache entry against a
+    /// fresh routing-table computation — the debug-mode coherence
+    /// assertion guarding fault epoch switches. Generation-stale entries
+    /// are skipped: they refill from the live table on next lookup, so
+    /// they cannot serve wrong answers. O(n²) route loads; debug builds
+    /// only (called after every invalidation/repair) plus tests.
     ///
     /// # Panics
     ///
-    /// Panics when any cached entry disagrees with the routing table.
+    /// Panics when any valid cached entry disagrees with the routing
+    /// table.
     pub fn assert_route_cache_coherent(&self) {
         let n = self.graph.len();
         for s in 0..n {
             for d in 0..n {
+                let i = s * self.route_cache.n + d;
+                if self.route_cache.entry_gen[i].get() != self.route_cache.row_gen[s] {
+                    continue; // lazily invalidated; refills on next lookup
+                }
                 let (src, dst) = (AsId(s as u16), AsId(d as u16));
                 let want = RouteCache::packed_entry(
                     &self.routing,
@@ -275,11 +436,7 @@ impl Underlay {
                     self.config.per_as_hop_us,
                     self.latency_factor,
                 );
-                let got = *self
-                    .route_cache
-                    .entries
-                    .get(s * self.route_cache.n + d)
-                    .expect("route cache covers every ordered AS pair of its graph"); // lint:allow(expect)
+                let got = self.route_cache.entries[i].get();
                 assert_eq!(
                     got, want,
                     "route cache stale for AS pair ({s}, {d}): \
@@ -342,7 +499,13 @@ impl Underlay {
             self.route_cache.note_miss();
             return Some(base + propagation_delay_us(ha.geo.distance_km(&hb.geo)));
         }
-        match self.route_cache.lookup(ha.asn, hb.asn) {
+        match self.route_cache.lookup(
+            ha.asn,
+            hb.asn,
+            &self.routing,
+            self.config.per_as_hop_us,
+            self.latency_factor,
+        ) {
             UNREACHABLE_ENTRY => None,
             entry => Some(base + (entry & COMBINED_MASK)),
         }
@@ -372,11 +535,23 @@ impl Underlay {
             let l = base + propagation_delay_us(ha.geo.distance_km(&hb.geo));
             (l, l, UNREACHABLE_ENTRY)
         } else {
-            let fwd = self.route_cache.lookup(ha.asn, hb.asn);
+            let fwd = self.route_cache.lookup(
+                ha.asn,
+                hb.asn,
+                &self.routing,
+                self.config.per_as_hop_us,
+                self.latency_factor,
+            );
             if fwd == UNREACHABLE_ENTRY {
                 return None;
             }
-            let rev = self.route_cache.lookup(hb.asn, ha.asn);
+            let rev = self.route_cache.lookup(
+                hb.asn,
+                ha.asn,
+                &self.routing,
+                self.config.per_as_hop_us,
+                self.latency_factor,
+            );
             if rev == UNREACHABLE_ENTRY {
                 return None;
             }
@@ -411,6 +586,27 @@ impl Underlay {
         (self.route_cache.hits.get(), self.route_cache.misses.get())
     }
 
+    /// Stale route-cache entries refilled on lookup so far (grows only
+    /// after lazy invalidations, i.e. incremental fault-epoch repairs).
+    pub fn route_cache_refills(&self) -> u64 {
+        self.route_cache.refills.get()
+    }
+
+    /// Stats of the most recent [`Underlay::apply_fault_state`] repair.
+    pub fn last_repair_stats(&self) -> RepairStats {
+        self.last_repair
+    }
+
+    /// Running `(sources_recomputed, sources_total, full_fallbacks)`
+    /// totals across all fault epochs applied so far.
+    pub fn repair_totals(&self) -> (u64, u64, u64) {
+        (
+            self.repair_sources_recomputed,
+            self.repair_sources_total,
+            self.repair_full_fallbacks,
+        )
+    }
+
     /// Exports the route-cache counters into `metrics` as
     /// `net.route_cache.hit` / `net.route_cache.miss` /
     /// `net.route_cache.invalidations` absolute values.
@@ -421,6 +617,24 @@ impl Underlay {
         metrics.set_counter("net.route_cache.hit", hits);
         metrics.set_counter("net.route_cache.miss", misses);
         metrics.set_counter("net.route_cache.invalidations", self.invalidations);
+    }
+
+    /// Exports the incremental-repair counters into `metrics` as
+    /// `net.routing.sources_recomputed` / `net.routing.sources_total` /
+    /// `net.routing.repair_full_fallbacks` absolute values. Opt-in, like
+    /// [`Underlay::export_route_cache_metrics`]; the recomputed/total
+    /// ratio is the fraction of per-source Dijkstra work fault epochs
+    /// actually paid versus full rebuilds.
+    pub fn export_repair_metrics(&self, metrics: &mut Metrics) {
+        metrics.set_counter(
+            "net.routing.sources_recomputed",
+            self.repair_sources_recomputed,
+        );
+        metrics.set_counter("net.routing.sources_total", self.repair_sources_total);
+        metrics.set_counter(
+            "net.routing.repair_full_fallbacks",
+            self.repair_full_fallbacks,
+        );
     }
 
     /// Emits one `net`/`route_cache` trace event (Debug level) with the
@@ -843,6 +1057,192 @@ mod tests {
         u.apply_fault_state(&crate::fault::FaultState::clear());
         assert_eq!(u.latency_us(a, b), Some(lat0));
         assert_eq!(u.route_cache_invalidations(), 2);
+    }
+
+    #[test]
+    fn invalidation_with_zero_prior_lookups_keeps_zero_stats() {
+        // Edge case for the retain_stats_from plumbing: invalidating a
+        // cache that was never queried must carry the (0, 0) counters
+        // over, not reset or corrupt them.
+        let mut u = underlay(1.0);
+        assert_eq!(u.route_cache_stats(), (0, 0));
+        u.invalidate_route_cache();
+        assert_eq!(u.route_cache_stats(), (0, 0));
+        assert_eq!(u.route_cache_refills(), 0);
+        assert_eq!(u.route_cache_invalidations(), 1);
+        // Counters accumulated later survive the next invalidation.
+        let (a, b) = inter_as_pair(&u);
+        u.latency_us(a, b);
+        let (hits, _) = u.route_cache_stats();
+        u.invalidate_route_cache();
+        assert_eq!(u.route_cache_stats().0, hits);
+    }
+
+    /// A deeper hierarchy than `underlay()` so localized faults dirty a
+    /// small fraction of sources, plus a tier3–tier3 peering link to down.
+    fn deep_underlay() -> (Underlay, usize) {
+        let mut rng = SimRng::new(7);
+        let spec = TopologySpec::new(TopologyKind::Hierarchical {
+            tier1: 3,
+            tier2_per_tier1: 4,
+            tier3_per_tier2: 4,
+            tier2_peering_prob: 0.4,
+            tier3_peering_prob: 0.4,
+        });
+        let graph = spec.build(&mut rng);
+        let li = graph
+            .links
+            .iter()
+            .position(|l| {
+                l.kind == crate::asgraph::LinkKind::Peering
+                    && graph.nodes[l.a.idx()].tier == crate::asgraph::Tier::Tier3
+                    && graph.nodes[l.b.idx()].tier == crate::asgraph::Tier::Tier3
+            })
+            .expect("fixture seed yields a tier3 peering link");
+        let u = Underlay::build(
+            graph,
+            &PopulationSpec::leaf(300),
+            UnderlayConfig::default(),
+            &mut rng,
+        );
+        (u, li)
+    }
+
+    #[test]
+    fn fault_epoch_on_leaf_peering_repairs_subset_of_sources() {
+        // A tier3–tier3 peering link can only sit on its two endpoints'
+        // shortest-path trees (any other source crossing it would form a
+        // valley), so downing it must dirty exactly those two sources —
+        // far under the 25% bound the incremental path is judged by.
+        let (mut u, li) = deep_underlay();
+        let n = u.n_ases();
+        let mut state = crate::fault::FaultState::clear();
+        let mut mask = vec![false; u.graph.links.len()];
+        mask[li] = true;
+        state.mask = Some(mask);
+        let stats = u.apply_fault_state(&state);
+        assert_eq!(stats.changed_links, 1);
+        assert!(!stats.full_rebuild);
+        assert_eq!(stats.sources_total, n);
+        assert_eq!(stats.dirty_sources, 2, "leaf peering trees span 2 sources");
+        assert!(stats.dirty_sources * 4 <= n);
+        assert_eq!(u.last_repair_stats(), stats);
+        assert_eq!(u.repair_totals(), (2, n as u64, 0));
+        // Healing is incremental too and restores the pristine table.
+        let heal = u.apply_fault_state(&crate::fault::FaultState::clear());
+        assert_eq!(heal.changed_links, 1);
+        assert!(!heal.full_rebuild);
+        assert!(heal.dirty_sources >= 2 && heal.dirty_sources * 2 <= n);
+        let pristine = Routing::compute_serial(&u.graph, u.config.routing, None);
+        assert!(u.routing == pristine);
+        assert_eq!(u.route_cache_invalidations(), 2);
+    }
+
+    #[test]
+    fn delta_invalidation_refills_only_dirty_rows() {
+        let (mut u, li) = deep_underlay();
+        let n = u.n_ases();
+        // Warm every entry via the eager initial build, then repair.
+        let mut state = crate::fault::FaultState::clear();
+        let mut mask = vec![false; u.graph.links.len()];
+        mask[li] = true;
+        state.mask = Some(mask);
+        let stats = u.apply_fault_state(&state);
+        assert!(!stats.full_rebuild);
+        let dirty: Vec<usize> = (0..n).filter(|&s| u.route_cache.row_gen[s] != 0).collect();
+        assert_eq!(dirty.len(), stats.dirty_sources);
+        // Scanning the whole AS-pair space refills exactly the dirty rows.
+        assert_eq!(u.route_cache_refills(), 0);
+        for s in 0..n {
+            for d in 0..n {
+                u.route_cache.lookup(
+                    AsId(s as u16),
+                    AsId(d as u16),
+                    &u.routing,
+                    u.config.per_as_hop_us,
+                    u.latency_factor,
+                );
+            }
+        }
+        assert_eq!(u.route_cache_refills(), (dirty.len() * n) as u64);
+        // A second scan is fully warm.
+        for s in 0..n {
+            for d in 0..n {
+                u.route_cache.lookup(
+                    AsId(s as u16),
+                    AsId(d as u16),
+                    &u.routing,
+                    u.config.per_as_hop_us,
+                    u.latency_factor,
+                );
+            }
+        }
+        assert_eq!(u.route_cache_refills(), (dirty.len() * n) as u64);
+    }
+
+    #[test]
+    fn latency_only_epoch_invalidates_all_rows_lazily() {
+        let (mut u, _) = deep_underlay();
+        let (a, b) = inter_as_pair(&u);
+        let lat0 = u.latency_us(a, b).unwrap();
+        let mut state = crate::fault::FaultState::clear();
+        state.latency_factor = 2.0;
+        let stats = u.apply_fault_state(&state);
+        // No link changed: zero sources recomputed, but the factor is
+        // folded into entries, so every row must be invalidated.
+        assert_eq!((stats.changed_links, stats.dirty_sources), (0, 0));
+        let refills0 = u.route_cache_refills();
+        let lat1 = u.latency_us(a, b).unwrap();
+        assert!(lat1 > lat0);
+        assert!(u.route_cache_refills() > refills0, "must refill lazily");
+    }
+
+    #[test]
+    fn export_repair_metrics_reports_running_totals() {
+        let (mut u, li) = deep_underlay();
+        let mut state = crate::fault::FaultState::clear();
+        let mut mask = vec![false; u.graph.links.len()];
+        mask[li] = true;
+        state.mask = Some(mask);
+        u.apply_fault_state(&state);
+        u.apply_fault_state(&crate::fault::FaultState::clear());
+        let mut metrics = Metrics::new();
+        u.export_repair_metrics(&mut metrics);
+        let (recomputed, total, fallbacks) = u.repair_totals();
+        assert_eq!(
+            metrics.counter("net.routing.sources_recomputed"),
+            recomputed
+        );
+        assert_eq!(metrics.counter("net.routing.sources_total"), total);
+        assert_eq!(
+            metrics.counter("net.routing.repair_full_fallbacks"),
+            fallbacks
+        );
+        assert!(
+            recomputed < total / 4,
+            "localized faults must stay incremental"
+        );
+    }
+
+    #[test]
+    fn direct_write_invalidation_drops_and_restores_repair_index() {
+        // invalidate_route_cache after a direct routing write cannot trust
+        // the repair bookkeeping; the next fault epoch takes one full
+        // rebuild and is incremental again afterwards.
+        let (mut u, li) = deep_underlay();
+        u.routing = Routing::compute_with_mask(&u.graph, u.config.routing, None);
+        u.invalidate_route_cache();
+        let mut state = crate::fault::FaultState::clear();
+        let mut mask = vec![false; u.graph.links.len()];
+        mask[li] = true;
+        state.mask = Some(mask.clone());
+        let stats = u.apply_fault_state(&state);
+        assert!(
+            stats.full_rebuild,
+            "first epoch after direct write rebuilds"
+        );
+        let heal = u.apply_fault_state(&crate::fault::FaultState::clear());
+        assert!(!heal.full_rebuild, "index restored: next epoch incremental");
     }
 
     #[test]

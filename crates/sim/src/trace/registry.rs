@@ -125,6 +125,12 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
         doc: "fault epoch boundary applied (links down, latency factor, crashed hosts)",
     },
     TraceKindSpec {
+        component: "net",
+        kind: "routing.repair",
+        level: "info",
+        doc: "incremental routing repair at a fault epoch (changed links, dirty sources, full-rebuild fallback)",
+    },
+    TraceKindSpec {
         component: "gnutella",
         kind: "roles",
         level: "info",
@@ -336,6 +342,21 @@ pub const METRICS: &[MetricSpec] = &[
         key: "net.fault.epochs",
         kind: MetricKind::Counter,
         doc: "fault epoch boundaries applied to the underlay",
+    },
+    MetricSpec {
+        key: "net.routing.sources_recomputed",
+        kind: MetricKind::Counter,
+        doc: "sources whose routing rows fault-epoch repairs recomputed (exported at end of run)",
+    },
+    MetricSpec {
+        key: "net.routing.sources_total",
+        kind: MetricKind::Counter,
+        doc: "sources a full rebuild would have recomputed per epoch, summed (exported at end of run)",
+    },
+    MetricSpec {
+        key: "net.routing.repair_full_fallbacks",
+        kind: MetricKind::Counter,
+        doc: "fault epochs where majority-dirty repair fell back to a full rebuild (exported at end of run)",
     },
     MetricSpec {
         key: "gnutella.joins",
