@@ -27,6 +27,14 @@
 #                                 ci/analyze_alloc_baseline.txt; its PERF
 #                                 line shares the analyzer's 120s wall
 #                                 budget (WallTimer-enforced in xtask)
+#   11. xtask analyze --pass=par  — parallel-region discipline: every
+#                                 thread-spawn site declared in
+#                                 xtask::boundaries::PARALLEL_REGIONS,
+#                                 workers free of undeclared determinism
+#                                 hazards (docs/STATIC_ANALYSIS.md)
+#   12. xtask analyze --pass=cast — truncating-cast ratchet against
+#                                 ci/analyze_cast_baseline.txt; new
+#                                 sim-reachable `as` narrowings fail
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,5 +78,11 @@ cargo run -q -p xtask -- analyze
 
 step "hot-path allocation pass (cargo run -p xtask -- analyze --pass=alloc)"
 cargo run -q -p xtask -- analyze --pass=alloc
+
+step "parallel-region discipline (cargo run -p xtask -- analyze --pass=par)"
+cargo run -q -p xtask -- analyze --pass=par
+
+step "truncating-cast ratchet (cargo run -p xtask -- analyze --pass=cast)"
+cargo run -q -p xtask -- analyze --pass=cast
 
 printf '\nAll checks passed.\n'

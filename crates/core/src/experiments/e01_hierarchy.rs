@@ -104,7 +104,9 @@ pub fn run(p: &Params) -> Outcome {
             if a == b {
                 continue;
             }
-            if let Some(h) = routing.as_hops(uap_net::AsId(a as u16), uap_net::AsId(b as u16)) {
+            if let Some(h) =
+                routing.as_hops(uap_net::AsId::from_index(a), uap_net::AsId::from_index(b))
+            {
                 hops_sum += h as u64;
                 pairs += 1;
             }

@@ -163,7 +163,7 @@ pub fn run_traced(p: &Params, tracer: &mut Tracer) -> Outcome {
         let mut exact = 0usize;
         for i in 0..p.lookups {
             let target = Key::random(&mut rng);
-            let from = HostId((i * 7 % n) as u32);
+            let from = HostId::from_index(i * 7 % n);
             let out = net.lookup(from, &target, &mut rng);
             inter += out.inter_as_rpcs;
             total += out.rpcs;

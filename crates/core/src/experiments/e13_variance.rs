@@ -98,7 +98,11 @@ fn kademlia_hops_reduction(p: &Params, seed: u64) -> f64 {
         let mut hops = 0u64;
         let mut rpcs = 0u64;
         for i in 0..60u32 {
-            let out = dht.lookup(HostId(i % n as u32), &Key::random(&mut rng), &mut rng);
+            let out = dht.lookup(
+                HostId(i % HostId::from_index(n).0),
+                &Key::random(&mut rng),
+                &mut rng,
+            );
             hops += out.as_hops_sum;
             rpcs += out.rpcs;
         }

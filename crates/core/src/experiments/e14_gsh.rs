@@ -91,14 +91,17 @@ fn run_plain(p: &Params) -> SystemResult {
     // Publish: each zone's items stored under plain (location-blind) keys
     // by a publisher from that zone.
     let zones: Vec<u8> = (0..n)
-        .map(|i| uap_kademlia::gsh::zone_of(&dht.underlay.host(HostId(i as u32)).geo, WORLD_KM))
+        .map(|i| {
+            uap_kademlia::gsh::zone_of(&dht.underlay.host(HostId::from_index(i)).geo, WORLD_KM)
+        })
         .collect();
     let mut seen_zones: Vec<u8> = zones.clone();
     seen_zones.sort_unstable();
     seen_zones.dedup();
     for &z in &seen_zones {
         // lint:allow(expect) — z was drawn from this very list two lines up
-        let publisher = HostId(zones.iter().position(|&x| x == z).expect("seen zone") as u32);
+        let pi = zones.iter().position(|&x| x == z).expect("seen zone");
+        let publisher = HostId::from_index(pi);
         for name in regional_names(z, p.items_per_zone) {
             let key = Key::hash_of(&name);
             dht.store(publisher, &key, 1, &mut rng);
@@ -111,7 +114,7 @@ fn run_plain(p: &Params) -> SystemResult {
     let mut lat = 0.0;
     let mut ok = 0usize;
     for i in 0..p.retrievals {
-        let h = HostId((i * 13 % n) as u32);
+        let h = HostId::from_index(i * 13 % n);
         let z = zones[h.idx()];
         let name = &regional_names(z, p.items_per_zone)[i % p.items_per_zone];
         let key = Key::hash_of(name);
@@ -144,13 +147,16 @@ fn run_scoped(p: &Params) -> SystemResult {
         &mut rng,
     );
     let n = dht.dht.len();
-    let zones: Vec<u8> = (0..n).map(|i| dht.zone_of_host(HostId(i as u32))).collect();
+    let zones: Vec<u8> = (0..n)
+        .map(|i| dht.zone_of_host(HostId::from_index(i)))
+        .collect();
     let mut seen_zones: Vec<u8> = zones.clone();
     seen_zones.sort_unstable();
     seen_zones.dedup();
     for &z in &seen_zones {
         // lint:allow(expect) — z was drawn from this very list two lines up
-        let publisher = HostId(zones.iter().position(|&x| x == z).expect("seen zone") as u32);
+        let pi = zones.iter().position(|&x| x == z).expect("seen zone");
+        let publisher = HostId::from_index(pi);
         for name in regional_names(z, p.items_per_zone) {
             dht.publish_regional(publisher, &name, 1, &mut rng);
         }
@@ -161,7 +167,7 @@ fn run_scoped(p: &Params) -> SystemResult {
     let mut lat = 0.0;
     let mut ok = 0usize;
     for i in 0..p.retrievals {
-        let h = HostId((i * 13 % n) as u32);
+        let h = HostId::from_index(i * 13 % n);
         let z = zones[h.idx()];
         let name = &regional_names(z, p.items_per_zone)[i % p.items_per_zone];
         let (out, got) = dht.retrieve_regional(h, name, &mut rng);

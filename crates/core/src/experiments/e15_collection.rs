@@ -82,11 +82,11 @@ fn make_tasks(u: &Underlay, p: &Params, rng: &mut SimRng) -> Vec<Task> {
     let n = u.n_hosts();
     (0..p.tasks)
         .map(|_| {
-            let who = HostId(rng.index(n) as u32);
+            let who = HostId::from_index(rng.index(n));
             let candidates: Vec<HostId> = rng
                 .sample_indices(n, p.candidates + 1)
                 .into_iter()
-                .map(|i| HostId(i as u32))
+                .map(HostId::from_index)
                 .filter(|&h| h != who)
                 .take(p.candidates)
                 .collect();

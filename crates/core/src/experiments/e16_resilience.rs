@@ -117,7 +117,9 @@ impl Params {
                 self.fault_start,
                 self.fault_end,
                 FaultKind::HostCrash {
-                    hosts: (0..self.crash_hosts as u32).map(HostId).collect(),
+                    hosts: (0..HostId::from_index(self.crash_hosts).0)
+                        .map(HostId)
+                        .collect(),
                 },
             )
     }
@@ -125,7 +127,7 @@ impl Params {
     fn swarm_plan(&self) -> FaultPlan {
         // Crash leechers only (seeds occupy the first host slots) and cut
         // the same transit fraction, over the round-aligned window.
-        let first = self.swarm_seeds as u32;
+        let first = HostId::from_index(self.swarm_seeds).0;
         FaultPlan::new()
             .epoch(
                 self.swarm_fault_start,
@@ -139,7 +141,7 @@ impl Params {
                 self.swarm_fault_start,
                 self.swarm_fault_end,
                 FaultKind::HostCrash {
-                    hosts: (first..first + self.crash_hosts as u32)
+                    hosts: (first..first + HostId::from_index(self.crash_hosts).0)
                         .map(HostId)
                         .collect(),
                 },
@@ -396,12 +398,12 @@ fn run_kademlia(p: &Params, tracer: &mut Tracer) -> (Table, Vec<KadPhase>) {
         .map(|i| Key::hash_of(format!("e16-key-{i}").as_bytes()))
         .collect();
     for (i, k) in keys.iter().enumerate() {
-        let from = HostId(((i * 11) % n) as u32);
+        let from = HostId::from_index((i * 11) % n);
         net.store(from, k, i as u64, &mut rng);
     }
     // Query hosts sit outside the crash set so every phase issues the
     // same retrieval workload.
-    let querier = |i: usize| HostId((p.crash_hosts + (i * 7) % (n - p.crash_hosts)) as u32);
+    let querier = |i: usize| HostId::from_index(p.crash_hosts + (i * 7) % (n - p.crash_hosts));
     let mut phases = Vec::new();
     let mut run_phase = |label: &str, net: &mut DhtNetwork, rng: &mut SimRng| {
         let mut ph = KadPhase {

@@ -275,7 +275,7 @@ impl AsGraph {
                         }
                     }
                     let y = self.links[li as usize]
-                        .other(AsId(x as u16))
+                        .other(AsId::from_index(x))
                         .expect("adjacency invariant") // lint:allow(expect)
                         .idx();
                     if !seen[y] {
@@ -304,7 +304,7 @@ impl AsGraph {
         }
         for x in 0..self.nodes.len() {
             for &li in &self.adj[x] {
-                if self.links[li as usize].other(AsId(x as u16)).is_none() {
+                if self.links[li as usize].other(AsId::from_index(x)).is_none() {
                     return Err(format!("adjacency of AS{x} references foreign link {li}"));
                 }
             }

@@ -103,7 +103,7 @@ pub fn bill_all(
 ) -> Vec<IspBill> {
     let bills: Vec<IspBill> = (0..graph.len())
         .map(|i| {
-            let asn = AsId(i as u16);
+            let asn = AsId::from_index(i);
             let p95 = traffic.transit_p95_mbps(asn, horizon);
             let peering_links = graph
                 .incident(asn)

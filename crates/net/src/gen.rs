@@ -160,8 +160,8 @@ impl TopologySpec {
         }
         let _ = rng;
         for i in 0..n {
-            let a = AsId(i as u16);
-            let b = AsId(((i + 1) % n) as u16);
+            let a = AsId::from_index(i);
+            let b = AsId::from_index((i + 1) % n);
             let lat = self.link_latency(&g, a, b);
             g.add_peering(a, b, lat, 1_000.0);
         }
@@ -178,7 +178,7 @@ impl TopologySpec {
             g.add_as(Tier::Tier3, p, self.world_km / 20.0);
         }
         for i in 1..n {
-            let spoke = AsId(i as u16);
+            let spoke = AsId::from_index(i);
             let lat = self.link_latency(&g, AsId(0), spoke);
             g.add_peering(AsId(0), spoke, lat, 1_000.0);
         }
@@ -194,7 +194,7 @@ impl TopologySpec {
             self.world_km / 10.0,
         );
         for i in 1..n {
-            let parent = AsId(((i - 1) / fanout) as u16);
+            let parent = AsId::from_index((i - 1) / fanout);
             // Children scatter near their parent.
             let pc = g.nodes[parent.idx()].geo_center;
             let p = GeoPoint::new(
@@ -223,14 +223,14 @@ impl TopologySpec {
         // Random spanning tree: connect each node to a random earlier one.
         for i in 1..n {
             let j = rng.index(i);
-            let (a, b) = (AsId(j as u16), AsId(i as u16));
+            let (a, b) = (AsId::from_index(j), AsId::from_index(i));
             let lat = self.link_latency(&g, a, b);
             g.add_peering(a, b, lat, 1_000.0);
         }
         // Extra edges.
         for i in 0..n {
             for j in (i + 1)..n {
-                let (a, b) = (AsId(i as u16), AsId(j as u16));
+                let (a, b) = (AsId::from_index(i), AsId::from_index(j));
                 if g.link_between(a, b).is_none() && rng.chance(extra_edge_prob) {
                     let lat = self.link_latency(&g, a, b);
                     g.add_peering(a, b, lat, 1_000.0);
@@ -346,7 +346,7 @@ impl TopologySpec {
         }
         for i in 0..seed.min(n) {
             for j in (i + 1)..seed.min(n) {
-                let (a, b) = (AsId(i as u16), AsId(j as u16));
+                let (a, b) = (AsId::from_index(i), AsId::from_index(j));
                 let lat = self.link_latency(&g, a, b);
                 g.add_peering(a, b, lat, 100_000.0);
             }

@@ -180,7 +180,7 @@ impl HostPopulation {
         for i in 0..spec.n {
             let u = rng.f64() * total;
             let as_idx = cdf.partition_point(|&c| c <= u).min(graph.len() - 1);
-            let asn = AsId(as_idx as u16);
+            let asn = AsId::from_index(as_idx);
             let node = &graph.nodes[as_idx];
             // Scatter inside the ISP's service disc.
             let theta = rng.f64_range(0.0, std::f64::consts::TAU);
@@ -195,16 +195,19 @@ impl HostPopulation {
             let jitter = rng.f64_range(0.8, 1.2);
             let seq = per_as_seq[as_idx];
             per_as_seq[as_idx] += 1;
-            let id = HostId(i as u32);
+            let id = HostId::from_index(i);
             hosts.push(Host {
                 id,
                 asn,
                 // Synthetic allocation: each AS owns the /16 `10.<as>.0.0`.
+                // lint:allow(cast) — as_idx < graph.len() <= u16::MAX (AsId width); fits the /16 octets
                 ip: (10u32 << 24) | ((as_idx as u32) << 16) | (seq & 0xFFFF),
                 geo,
                 access,
                 access_latency_us: (acc_lat as f64 * jitter) as u64,
+                // lint:allow(cast) — profile kbps <= ~1e6 and jitter <= 1.2, far under u32::MAX
                 down_kbps: (down as f64 * jitter) as u32,
+                // lint:allow(cast) — same bound as down_kbps
                 up_kbps: (up as f64 * jitter) as u32,
                 cpu: rng.f64_range(0.5, 4.0),
                 storage_gb: rng.f64_range(1.0, 500.0),
@@ -244,7 +247,8 @@ impl HostPopulation {
 
     /// Iterator over all host ids.
     pub fn ids(&self) -> impl Iterator<Item = HostId> {
-        (0..self.hosts.len() as u32).map(HostId)
+        let n = HostId::from_index(self.hosts.len()).0;
+        (0..n).map(HostId)
     }
 
     /// Moves a host to another AS (mobile peer support, §6): reassigns the
@@ -256,13 +260,14 @@ impl HostPopulation {
             return;
         }
         self.by_as[old_as.idx()].retain(|&x| x != h);
-        let seq = self.by_as[new_as.idx()].len() as u32;
+        let seq = HostId::from_index(self.by_as[new_as.idx()].len()).0;
         self.by_as[new_as.idx()].push(h);
         let node = &graph.nodes[new_as.idx()];
         let theta = rng.f64_range(0.0, std::f64::consts::TAU);
         let rad = node.service_radius_km * rng.f64().sqrt();
         let host = &mut self.hosts[h.idx()];
         host.asn = new_as;
+        // lint:allow(cast) — idx() comes from a u16 AsId; fits the /16 octets
         host.ip = (10u32 << 24) | ((new_as.idx() as u32) << 16) | (seq & 0xFFFF);
         host.geo = GeoPoint::new(
             node.geo_center.x_km + rad * theta.cos(),

@@ -75,7 +75,8 @@ pub fn check_traffic_conservation(
     let mut peering_sum = 0u64;
     let mut transit_sum = 0u64;
     for (li, link) in graph.links.iter().enumerate() {
-        let b = traffic.link_bytes(li as u32);
+        let li = u32::try_from(li).expect("link index exceeds u32::MAX"); // lint:allow(expect) — explicit bound check
+        let b = traffic.link_bytes(li);
         match link.kind {
             LinkKind::Peering => peering_sum += b,
             LinkKind::Transit => transit_sum += b,

@@ -484,6 +484,7 @@ impl Routing {
         }
         for s in 0..n {
             if index.is_dirty(s) {
+                // lint:allow(cast) — s < n and n is bounded by the u16 AsId width
                 index.dirty_list.push(s as u32);
             }
         }
@@ -605,7 +606,7 @@ impl Routing {
         src: usize,
     ) -> RepairedRow {
         let n = graph.len();
-        let t = Self::dijkstra(graph, mode, AsId(src as u16), mask);
+        let t = Self::dijkstra(graph, mode, AsId::from_index(src), mask);
         let mut arena = Vec::new();
         let mut summaries = Vec::with_capacity(n);
         for dst in 0..n {
@@ -659,7 +660,7 @@ impl Routing {
         let mut tree_off = Vec::with_capacity(hi - lo + 1);
         tree_off.push(0);
         for src in lo..hi {
-            let t = Self::dijkstra(graph, mode, AsId(src as u16), mask);
+            let t = Self::dijkstra(graph, mode, AsId::from_index(src), mask);
             for dst in 0..n {
                 summaries.push(Self::summarize(graph, &t, dst, &mut arena));
             }
@@ -690,7 +691,7 @@ impl Routing {
         let mut summaries = Vec::with_capacity((hi - lo) * n);
         let mut arena = Vec::new();
         for src in lo..hi {
-            let t = Self::dijkstra(graph, mode, AsId(src as u16), mask);
+            let t = Self::dijkstra(graph, mode, AsId::from_index(src), mask);
             for dst in 0..n {
                 summaries.push(Self::summarize(graph, &t, dst, &mut arena));
             }
@@ -719,12 +720,13 @@ impl Routing {
         let transit_links = arena[path_off..]
             .iter()
             .filter(|&&li| graph.links[li as usize].kind == LinkKind::Transit)
-            .count() as u32;
+            .count() as u32; // lint:allow(cast) — a path visits < 2n states, n bounded by u16 AsId width
         RouteSummary {
             hops,
             latency_us,
             transit_links,
             path_off,
+            // lint:allow(cast) — single-path segment length, < 2n (see transit_links bound)
             path_len: (arena.len() - path_off) as u32,
         }
     }
@@ -773,12 +775,14 @@ impl Routing {
         hops[start] = 0;
         latency[start] = 0;
         let mut heap: BinaryHeap<Reverse<(u32, u64, u32)>> = BinaryHeap::new();
+        // lint:allow(cast) — state index < 2n, n bounded by the u16 AsId width
         heap.push(Reverse((0, 0, start as u32)));
         while let Some(Reverse((h, lat, s))) = heap.pop() {
             let s = s as usize;
             if (h, lat) != (hops[s], latency[s]) {
                 continue; // stale entry
             }
+            // lint:allow(cast) — s < 2n so s/2 < n <= u16::MAX + 1; per-pop hot path
             let x = AsId((s / 2) as u16);
             let phase = s % 2;
             for &li in graph.incident(x) {
@@ -810,7 +814,9 @@ impl Routing {
                 if (nh, nlat) < (hops[t], latency[t]) {
                     hops[t] = nh;
                     latency[t] = nlat;
+                    // lint:allow(cast) — s and t are state indices < 2n (u16 AsId width bound)
                     pred[t] = Some((s as u32, li));
+                    // lint:allow(cast) — same state-index bound as above
                     heap.push(Reverse((nh, nlat, t as u32)));
                 }
             }
@@ -910,7 +916,7 @@ impl ReferenceRouting {
     pub fn compute(graph: &AsGraph, mode: RoutingMode, mask: Option<&[bool]>) -> ReferenceRouting {
         let n = graph.len();
         let tables = (0..n)
-            .map(|src| Routing::dijkstra(graph, mode, AsId(src as u16), mask))
+            .map(|src| Routing::dijkstra(graph, mode, AsId::from_index(src), mask))
             .collect();
         ReferenceRouting { n, tables }
     }

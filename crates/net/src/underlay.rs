@@ -116,8 +116,8 @@ impl RouteCache {
             for d in 0..n {
                 entries.push(Cell::new(Self::packed_entry(
                     routing,
-                    AsId(s as u16),
-                    AsId(d as u16),
+                    AsId::from_index(s),
+                    AsId::from_index(d),
                     per_as_hop_us,
                     latency_factor,
                 )));
@@ -428,7 +428,7 @@ impl Underlay {
                 if self.route_cache.entry_gen[i].get() != self.route_cache.row_gen[s] {
                     continue; // lazily invalidated; refills on next lookup
                 }
-                let (src, dst) = (AsId(s as u16), AsId(d as u16));
+                let (src, dst) = (AsId::from_index(s), AsId::from_index(d));
                 let want = RouteCache::packed_entry(
                     &self.routing,
                     src,

@@ -33,6 +33,12 @@ pub struct Graph {
     pub entries: Vec<usize>,
     /// Total resolved call edges (for the PERF line).
     pub edge_count: usize,
+    /// Resolved targets of each worker closure's calls, keyed
+    /// `(fn index, spawn index, worker index)`. Worker calls resolve
+    /// with the *enclosing function* as caller context (`Self::` maps to
+    /// its impl type, free calls prefer its file), so these are the BFS
+    /// roots for worker-side reachability in the parallel pass.
+    pub worker_edges: BTreeMap<(usize, usize, usize), Vec<(usize, usize)>>,
 }
 
 /// One hop of a witness chain: function index plus the line of the call
@@ -76,66 +82,79 @@ impl Graph {
                 .to_string()
         };
 
+        let resolve = |caller: &FnItem, callee: &Callee| -> Vec<usize> {
+            match callee {
+                Callee::Method(name) => by_method.get(name.as_str()).cloned().unwrap_or_default(),
+                Callee::Qualified(qual, name) => {
+                    let ty = if qual == "Self" {
+                        caller.impl_type.as_deref().unwrap_or("Self")
+                    } else {
+                        qual.as_str()
+                    };
+                    if let Some(v) = by_qual.get(&(ty, name.as_str())) {
+                        v.clone()
+                    } else if known_types.contains_key(ty) {
+                        // A known impl type without that method:
+                        // std-ish or derived — no workspace target.
+                        Vec::new()
+                    } else {
+                        // Module-style qualifier: prefer free fns in
+                        // the file named after the module.
+                        let all = by_free.get(name.as_str()).cloned().unwrap_or_default();
+                        let in_module: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&t| file_stem(&fns[t].file) == *qual)
+                            .collect();
+                        if in_module.is_empty() {
+                            all
+                        } else {
+                            in_module
+                        }
+                    }
+                }
+                Callee::Free(name) => {
+                    let all = by_free.get(name.as_str()).cloned().unwrap_or_default();
+                    let local: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&t| fns[t].file == caller.file)
+                        .collect();
+                    if local.is_empty() {
+                        all
+                    } else {
+                        local
+                    }
+                }
+                // Macros have no workspace `fn` body to resolve into;
+                // their argument tokens were scanned in place, so the
+                // call site exists purely for the sink passes.
+                Callee::Macro(_) => Vec::new(),
+            }
+        };
+
         let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); fns.len()];
         let mut edge_count = 0usize;
+        let mut worker_edges: BTreeMap<(usize, usize, usize), Vec<(usize, usize)>> =
+            BTreeMap::new();
         for (i, f) in fns.iter().enumerate() {
             if f.is_test {
                 continue;
             }
             for call in &f.calls {
-                let targets: Vec<usize> = match &call.callee {
-                    Callee::Method(name) => {
-                        by_method.get(name.as_str()).cloned().unwrap_or_default()
-                    }
-                    Callee::Qualified(qual, name) => {
-                        let ty = if qual == "Self" {
-                            f.impl_type.as_deref().unwrap_or("Self")
-                        } else {
-                            qual.as_str()
-                        };
-                        if let Some(v) = by_qual.get(&(ty, name.as_str())) {
-                            v.clone()
-                        } else if known_types.contains_key(ty) {
-                            // A known impl type without that method:
-                            // std-ish or derived — no workspace target.
-                            Vec::new()
-                        } else {
-                            // Module-style qualifier: prefer free fns in
-                            // the file named after the module.
-                            let all = by_free.get(name.as_str()).cloned().unwrap_or_default();
-                            let in_module: Vec<usize> = all
-                                .iter()
-                                .copied()
-                                .filter(|&t| file_stem(&fns[t].file) == *qual)
-                                .collect();
-                            if in_module.is_empty() {
-                                all
-                            } else {
-                                in_module
-                            }
-                        }
-                    }
-                    Callee::Free(name) => {
-                        let all = by_free.get(name.as_str()).cloned().unwrap_or_default();
-                        let local: Vec<usize> = all
-                            .iter()
-                            .copied()
-                            .filter(|&t| fns[t].file == f.file)
-                            .collect();
-                        if local.is_empty() {
-                            all
-                        } else {
-                            local
-                        }
-                    }
-                    // Macros have no workspace `fn` body to resolve into;
-                    // their argument tokens were scanned in place, so the
-                    // call site exists purely for the sink passes.
-                    Callee::Macro(_) => Vec::new(),
-                };
-                for t in targets {
+                for t in resolve(f, &call.callee) {
                     edges[i].push((t, call.line));
                     edge_count += 1;
+                }
+            }
+            for (si, sp) in f.spawns.iter().enumerate() {
+                for (wi, w) in sp.workers.iter().enumerate() {
+                    let e = worker_edges.entry((i, si, wi)).or_default();
+                    for call in &w.calls {
+                        for t in resolve(f, &call.callee) {
+                            e.push((t, call.line));
+                        }
+                    }
                 }
             }
         }
@@ -146,6 +165,7 @@ impl Graph {
             edges,
             entries,
             edge_count,
+            worker_edges,
         }
     }
 
@@ -358,6 +378,33 @@ pub fn panic_inventory(graph: &Graph, dist: &[usize]) -> PanicInventory {
     inv
 }
 
+/// Aggregated truncating-cast inventory over sim-reachable code:
+/// `(file, qualname, target type)` → count of *undocumented* sites.
+pub type CastInventory = BTreeMap<(String, String, String), usize>;
+
+/// Builds the truncating-cast inventory over non-test, non-bin functions
+/// reachable from the entry set. Returns the inventory plus the number
+/// of documented (`lint:allow(cast)`) sites, which the baseline header
+/// reports as the remaining allowed count.
+pub fn cast_inventory(graph: &Graph, dist: &[usize]) -> (CastInventory, usize) {
+    let mut inv = CastInventory::new();
+    let mut documented = 0usize;
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || f.is_bin || dist[i] == usize::MAX {
+            continue;
+        }
+        for c in &f.casts {
+            if c.documented {
+                documented += 1;
+                continue;
+            }
+            *inv.entry((f.file.clone(), f.qualname(), c.target.clone()))
+                .or_insert(0) += 1;
+        }
+    }
+    (inv, documented)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +613,76 @@ mod tests {
         // `setup` is reachable but exempt; `cold` allocates but is
         // unreachable from the hot entry set; only `hot_helper` counts.
         assert_eq!(keys, vec!["crates/sim/src/engine.rs::hot_helper vec"]);
+    }
+
+    #[test]
+    fn worker_calls_resolve_with_enclosing_fn_context() {
+        // `Self::chunk` inside a worker closure must pin to the
+        // enclosing impl type, and a free call must prefer the enclosing
+        // file — the same rules as ordinary call sites.
+        let g = graph_of(&[
+            (
+                "crates/net/src/routing.rs",
+                "impl Routing {\n    fn build(&self) {\n        std::thread::scope(|s| {\n            s.spawn(move || Self::chunk(0));\n            s.spawn(move || merge());\n        });\n    }\n    fn chunk(_lo: usize) {}\n}\nfn merge() {}\n",
+            ),
+            ("crates/net/src/other.rs", "fn merge() {}\n"),
+        ]);
+        let build = g
+            .fns
+            .iter()
+            .position(|f| f.name == "build")
+            .expect("parsed"); // lint:allow(expect)
+        let w0: Vec<String> = g.worker_edges[&(build, 0, 0)]
+            .iter()
+            .map(|&(t, _)| g.fns[t].qualname())
+            .collect();
+        assert_eq!(w0, vec!["Routing::chunk"]);
+        let w1: Vec<&str> = g.worker_edges[&(build, 0, 1)]
+            .iter()
+            .map(|&(t, _)| g.fns[t].file.as_str())
+            .collect();
+        assert_eq!(w1, vec!["crates/net/src/routing.rs"]);
+    }
+
+    #[test]
+    fn worker_method_chain_calls_pin_to_every_impl() {
+        // A hazard hidden behind a method-call chain on a capture:
+        // `state.cache().bump()` must resolve `bump` to the impl method
+        // so the parallel pass can see its interior-mutability marker.
+        let g = graph_of(&[(
+            "crates/net/src/underlay.rs",
+            "impl U {\n    fn go(&self, state: &S) {\n        std::thread::scope(|s| {\n            s.spawn(move || { state.cache().bump(); });\n        });\n    }\n}\nimpl RouteCache { fn bump(&self) { self.hits.set(self.hits.get() + 1); } }\n",
+        )]);
+        let go = g.fns.iter().position(|f| f.name == "go").expect("parsed"); // lint:allow(expect)
+        let targets: Vec<String> = g.worker_edges[&(go, 0, 0)]
+            .iter()
+            .map(|&(t, _)| g.fns[t].qualname())
+            .collect();
+        assert!(
+            targets.contains(&"RouteCache::bump".to_string()),
+            "{targets:?}"
+        );
+        let bump = g.fns.iter().position(|f| f.name == "bump").expect("parsed"); // lint:allow(expect)
+        assert!(!g.fns[bump].hazards.is_empty());
+    }
+
+    #[test]
+    fn cast_inventory_counts_reachable_undocumented_sites() {
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { fn run(&mut self, n: usize) {\n    let a = n as u32;\n    let b = n as u16; // lint:allow(cast) — bound: n < 65536 structurally\n    drop((a, b));\n} }\nfn unreachable_helper(n: usize) -> u32 { n as u32 }\n",
+        )]);
+        let (dist, _) = g.reach();
+        let (inv, documented) = cast_inventory(&g, &dist);
+        let keys: Vec<String> = inv
+            .iter()
+            .map(|((f, q, t), n)| format!("{f}::{q} {t} x{n}"))
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["crates/sim/src/engine.rs::Simulator::run u32 x1"]
+        );
+        assert_eq!(documented, 1);
     }
 
     #[test]

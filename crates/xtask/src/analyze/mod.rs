@@ -16,12 +16,22 @@
 //! - **Registry drift**: emitted trace kinds and metrics keys must agree
 //!   with `uap_sim::trace::registry` and with the tables in
 //!   `docs/OBSERVABILITY.md` (see [`registry_check`]).
+//! - **Parallel-region discipline** (`--pass=par`): every thread-spawn
+//!   site must carry a [`crate::boundaries::PARALLEL_REGIONS`] manifest
+//!   entry (drift in either direction fails), and worker closures must
+//!   be free of determinism hazards not audited by the entry (see
+//!   [`par`]).
+//! - **Truncating-cast ratchet** (`--pass=cast`): sim-reachable
+//!   truncating `as` casts are inventoried against
+//!   `ci/analyze_cast_baseline.txt`; new sites fail, `lint:allow(cast)`
+//!   documents a structural bound.
 //!
 //! Everything is hand-rolled on the workspace's own lexer — no `syn`,
 //! no network, deterministic output. See `docs/STATIC_ANALYSIS.md`.
 
 pub mod graph;
 pub mod lexer;
+pub mod par;
 pub mod parser;
 pub mod registry_check;
 
@@ -35,25 +45,34 @@ pub const BASELINE_PATH: &str = "ci/analyze_panic_baseline.txt";
 /// Relative path of the allocation-site baseline file.
 pub const ALLOC_BASELINE_PATH: &str = "ci/analyze_alloc_baseline.txt";
 
+/// Relative path of the truncating-cast baseline file.
+pub const CAST_BASELINE_PATH: &str = "ci/analyze_cast_baseline.txt";
+
 /// Which ratcheted baseline(s) an `--update-baseline` run regenerates.
 /// Pass-scoped so refreshing one baseline can never silently rewrite
-/// the other.
+/// the others.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UpdateScope {
     /// Only `ci/analyze_panic_baseline.txt`.
     Panic,
     /// Only `ci/analyze_alloc_baseline.txt`.
     Alloc,
-    /// Both files (the explicit `--update-baseline` with no scope).
-    Both,
+    /// Only `ci/analyze_cast_baseline.txt`.
+    Cast,
+    /// Every baseline file (the explicit `--update-baseline` with no
+    /// scope).
+    All,
 }
 
 impl UpdateScope {
     fn updates_panic(self) -> bool {
-        matches!(self, UpdateScope::Panic | UpdateScope::Both)
+        matches!(self, UpdateScope::Panic | UpdateScope::All)
     }
     fn updates_alloc(self) -> bool {
-        matches!(self, UpdateScope::Alloc | UpdateScope::Both)
+        matches!(self, UpdateScope::Alloc | UpdateScope::All)
+    }
+    fn updates_cast(self) -> bool {
+        matches!(self, UpdateScope::Cast | UpdateScope::All)
     }
 }
 
@@ -66,14 +85,19 @@ pub enum BaselineMode {
     Update(UpdateScope),
 }
 
-/// Which passes to run. `Alloc` scopes a run to the allocation pass so
-/// CI can surface it as its own named step.
+/// Which passes to run. The scoped variants run exactly one pass so CI
+/// can surface each as its own named step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PassFilter {
-    /// Purity + panic + allocation + registry (the default).
+    /// Purity + panic + allocation + parallel + cast + registry (the
+    /// default).
     All,
     /// Only the allocation-discipline pass.
     Alloc,
+    /// Only the parallel-region discipline pass.
+    Par,
+    /// Only the truncating-cast ratchet pass.
+    Cast,
 }
 
 /// Corpus and graph sizes, for the PERF line.
@@ -87,6 +111,11 @@ pub struct Stats {
     pub hot_entries: usize,
     /// Allocation sites in the current hot-path inventory.
     pub alloc_sites: usize,
+    /// Thread-spawn sites seen by the parallel pass.
+    pub spawn_sites: usize,
+    /// Undocumented truncating casts in the current sim-reachable
+    /// inventory.
+    pub cast_sites: usize,
 }
 
 /// The result of one analyzer run.
@@ -128,24 +157,35 @@ pub fn run_passes(root: &Path, mode: BaselineMode, passes: PassFilter) -> Report
         return report;
     }
 
-    let hot = graph::find_hot_entries(&g.fns);
-    report.stats.hot_entries = hot.len();
-    if hot.is_empty() {
-        report.violations.push(
-            "analyze: found no hot-path entry points — the parser or the hot-entry heuristics \
-             regressed; refusing to vacuously pass the allocation pass"
-                .to_string(),
-        );
-        return report;
-    }
-    let (hot_dist, hot_parent) = g.reach_from(&hot);
-    alloc_pass(root, &g, &hot_dist, &hot_parent, mode, &mut report);
+    let run_all = passes == PassFilter::All;
 
-    if passes == PassFilter::All {
+    if run_all || passes == PassFilter::Alloc {
+        let hot = graph::find_hot_entries(&g.fns);
+        report.stats.hot_entries = hot.len();
+        if hot.is_empty() {
+            report.violations.push(
+                "analyze: found no hot-path entry points — the parser or the hot-entry \
+                 heuristics regressed; refusing to vacuously pass the allocation pass"
+                    .to_string(),
+            );
+            return report;
+        }
+        let (hot_dist, hot_parent) = g.reach_from(&hot);
+        alloc_pass(root, &g, &hot_dist, &hot_parent, mode, &mut report);
+    }
+
+    if run_all || passes == PassFilter::Par {
+        par::par_pass(&g, &crate::boundaries::PARALLEL_REGIONS, &mut report);
+    }
+
+    if run_all || passes == PassFilter::Cast {
         let (dist, parent) = g.reach();
-        report.violations.extend(purity_pass(&g, &dist, &parent));
-        panic_pass(root, &g, &dist, mode, &mut report);
-        report.violations.extend(registry_check::run(root, &g.fns));
+        cast_pass(root, &g, &dist, mode, &mut report);
+        if run_all {
+            report.violations.extend(purity_pass(&g, &dist, &parent));
+            panic_pass(root, &g, &dist, mode, &mut report);
+            report.violations.extend(registry_check::run(root, &g.fns));
+        }
     }
     report
 }
@@ -331,6 +371,142 @@ fn parse_alloc_baseline(body: &str) -> graph::AllocInventory {
                 file.to_string(),
                 qual.trim_start_matches("::").to_string(),
                 kind.to_string(),
+            ),
+            count,
+        );
+    }
+    inv
+}
+
+/// Truncating-cast pass: sim-reachable cast inventory vs the ratcheted
+/// `ci/analyze_cast_baseline.txt` (or its regeneration). New / grown
+/// keys fail with the offending source lines; shrunk keys are reported
+/// as burn-down progress. Sites documented with `lint:allow(cast)` are
+/// excluded from the inventory but counted in the baseline header.
+fn cast_pass(root: &Path, g: &Graph, dist: &[usize], mode: BaselineMode, report: &mut Report) {
+    let (inv, documented) = graph::cast_inventory(g, dist);
+    report.stats.cast_sites = inv.values().sum();
+    let path = root.join(CAST_BASELINE_PATH);
+    if let BaselineMode::Update(scope) = mode {
+        if scope.updates_cast() {
+            let body = render_cast_baseline(&inv, documented);
+            match std::fs::write(&path, body) {
+                Ok(()) => report.notes.push(format!(
+                    "analyze: wrote {} entries ({} sites, {documented} documented via \
+                     lint:allow(cast)) to {CAST_BASELINE_PATH}",
+                    inv.len(),
+                    report.stats.cast_sites
+                )),
+                Err(e) => report
+                    .violations
+                    .push(format!("analyze: cannot write {CAST_BASELINE_PATH}: {e}")),
+            }
+            return;
+        }
+    }
+    let Ok(body) = std::fs::read_to_string(&path) else {
+        report.violations.push(format!(
+            "analyze: missing {CAST_BASELINE_PATH} — run `cargo run -p xtask -- analyze \
+             --update-baseline=cast` and commit the result"
+        ));
+        return;
+    };
+    let baseline = parse_cast_baseline(&body);
+    for (key, &count) in &inv {
+        let (file, qual, target) = key;
+        match baseline.get(key) {
+            None => {
+                let lines = cast_site_lines(g, file, qual, target);
+                report.violations.push(format!(
+                    "cast: {file}:{lines}: new truncating `as {target}` site(s) in `{qual}` \
+                     reachable from the sim entry points; widen the type, use a checked \
+                     conversion (`try_into` with the bound handled), or document a structural \
+                     bound with `lint:allow(cast)` (baseline: {CAST_BASELINE_PATH})"
+                ));
+            }
+            Some(&b) if count > b => report.violations.push(format!(
+                "cast: {file}: `{qual}` grew from {b} to {count} truncating `as {target}` \
+                 site(s) reachable from the sim entry points (baseline: {CAST_BASELINE_PATH})"
+            )),
+            Some(_) => {}
+        }
+    }
+    let mut gone = 0usize;
+    for (key, &b) in &baseline {
+        let now = inv.get(key).copied().unwrap_or(0);
+        if now < b {
+            gone += b - now;
+        }
+    }
+    if gone > 0 {
+        report.notes.push(format!(
+            "analyze: {gone} baselined truncating cast(s) no longer present — run \
+             `--update-baseline=cast` to ratchet {CAST_BASELINE_PATH} down"
+        ));
+    }
+}
+
+/// Comma-joined source lines of the undocumented casts behind one
+/// inventory key.
+fn cast_site_lines(g: &Graph, file: &str, qual: &str, target: &str) -> String {
+    let mut lines: Vec<usize> = g
+        .fns
+        .iter()
+        .filter(|f| f.file == file && f.qualname() == qual)
+        .flat_map(|f| &f.casts)
+        .filter(|c| c.target == target && !c.documented)
+        .map(|c| c.line)
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders the cast inventory as the checked-in baseline text. The
+/// header records how many sites are documented via `lint:allow(cast)`
+/// (and therefore *not* listed), so reviewers see the full count.
+fn render_cast_baseline(inv: &graph::CastInventory, documented: usize) -> String {
+    let mut out = format!(
+        "# Truncating-cast baseline — generated by `cargo run -p xtask -- analyze \
+         --update-baseline=cast`.\n\
+         # Each line: <count>\\t<file>::<fn>\\t<target type>, sorted.\n\
+         # Sites documented via `lint:allow(cast)` (excluded below): {documented}\n\
+         # New sim-reachable truncating casts fail CI; burn this list down, never up.\n"
+    );
+    for ((file, qual, target), count) in inv {
+        out.push_str(&format!("{count}\t{file}::{qual}\t{target}\n"));
+    }
+    out
+}
+
+/// Parses the cast baseline text back into an inventory.
+fn parse_cast_baseline(body: &str) -> graph::CastInventory {
+    let mut inv = graph::CastInventory::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('\t').collect();
+        let [count, site, target] = parts.as_slice() else {
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            continue;
+        };
+        let Some(split) = site.find(".rs::") else {
+            continue;
+        };
+        let (file, qual) = site.split_at(split + 3);
+        inv.insert(
+            (
+                file.to_string(),
+                qual.trim_start_matches("::").to_string(),
+                target.to_string(),
             ),
             count,
         );
@@ -709,20 +885,23 @@ mod tests {
     }
 
     #[test]
-    fn update_scope_panic_does_not_touch_the_alloc_baseline() {
+    fn update_scope_panic_does_not_touch_the_other_baselines() {
         let root = synthetic_root("scope-panic");
         let report = run_passes(
             &root,
             BaselineMode::Update(UpdateScope::Panic),
             PassFilter::All,
         );
-        // The alloc pass ran in Check mode against a missing baseline —
-        // that is its only violation; the panic baseline was written.
+        // The alloc and cast passes ran in Check mode against missing
+        // baselines — those are the only violations; the panic baseline
+        // was written.
         assert!(root.join(BASELINE_PATH).exists());
         assert!(!root.join(ALLOC_BASELINE_PATH).exists());
+        assert!(!root.join(CAST_BASELINE_PATH).exists());
         let v = non_registry(&report);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains(ALLOC_BASELINE_PATH));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.contains(ALLOC_BASELINE_PATH)), "{v:?}");
+        assert!(v.iter().any(|v| v.contains(CAST_BASELINE_PATH)), "{v:?}");
     }
 
     #[test]
@@ -736,15 +915,24 @@ mod tests {
         assert!(root.join(ALLOC_BASELINE_PATH).exists());
         assert!(!root.join(BASELINE_PATH).exists());
         let v = non_registry(&report);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].contains(BASELINE_PATH));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.contains(BASELINE_PATH)), "{v:?}");
 
-        // After scoping the panic update too, Check mode is clean and the
-        // alloc baseline carries the vec site (in-loop class not armed
-        // here: the vec! sits at fn top, so kind is plain `vec`).
+        // After scoping the panic and cast updates too, Check mode is
+        // clean and the alloc baseline carries the vec site (in-loop
+        // class not armed here: the vec! sits at fn top, so kind is
+        // plain `vec`).
         let report = run_passes(
             &root,
             BaselineMode::Update(UpdateScope::Panic),
+            PassFilter::All,
+        );
+        let v = non_registry(&report);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains(CAST_BASELINE_PATH), "{v:?}");
+        let report = run_passes(
+            &root,
+            BaselineMode::Update(UpdateScope::Cast),
             PassFilter::All,
         );
         assert!(non_registry(&report).is_empty(), "{:?}", report.violations);
@@ -753,6 +941,20 @@ mod tests {
         let body =
             std::fs::read_to_string(root.join(ALLOC_BASELINE_PATH)).expect("baseline readable"); // lint:allow(expect)
         assert!(body.contains("crates/sim/src/engine.rs::Simulator::run\tvec"));
+    }
+
+    #[test]
+    fn update_scope_all_writes_every_baseline() {
+        let root = synthetic_root("scope-all");
+        let report = run_passes(
+            &root,
+            BaselineMode::Update(UpdateScope::All),
+            PassFilter::All,
+        );
+        assert!(non_registry(&report).is_empty(), "{:?}", report.violations);
+        for p in [BASELINE_PATH, ALLOC_BASELINE_PATH, CAST_BASELINE_PATH] {
+            assert!(root.join(p).exists(), "{p} must be written");
+        }
     }
 
     #[test]
@@ -787,9 +989,237 @@ mod tests {
         assert!(v.contains("vec! @ crates/sim/src/engine.rs:2"), "{v}");
     }
 
+    /// Synthetic root with a truncating and a documented cast in the
+    /// sim entry point.
+    fn cast_root(name: &str) -> PathBuf {
+        let root = workspace_root()
+            .join("target")
+            .join("analyze-test")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        let src_dir = root.join("crates/sim/src");
+        std::fs::create_dir_all(&src_dir).expect("create synthetic src"); // lint:allow(expect)
+        std::fs::create_dir_all(root.join("ci")).expect("create synthetic ci"); // lint:allow(expect)
+        std::fs::write(
+            src_dir.join("engine.rs"),
+            "impl Simulator { pub fn run(&mut self, x: u64) {\n    let a = x as u32;\n    let b = x as u16; // lint:allow(cast) — bound: x < 65536 structurally\n    drop((a, b));\n} }\n",
+        )
+        .expect("write synthetic engine"); // lint:allow(expect)
+        root
+    }
+
+    #[test]
+    fn cast_pass_ratchets_and_flags_new_sites() {
+        let root = cast_root("cast-ratchet");
+        // Missing baseline: `--pass=cast` complains about the cast
+        // baseline only — the panic and alloc passes never ran.
+        let report = run_passes(&root, BaselineMode::Check, PassFilter::Cast);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains(CAST_BASELINE_PATH));
+        assert!(!report.violations[0].contains(ALLOC_BASELINE_PATH));
+        // Regenerate: the documented u16 site is excluded but counted in
+        // the header's allowed count.
+        let report = run_passes(
+            &root,
+            BaselineMode::Update(UpdateScope::Cast),
+            PassFilter::Cast,
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let body = std::fs::read_to_string(root.join(CAST_BASELINE_PATH)).expect("baseline"); // lint:allow(expect)
+        assert!(
+            body.contains("1\tcrates/sim/src/engine.rs::Simulator::run\tu32"),
+            "{body}"
+        );
+        assert!(body.contains("(excluded below): 1"), "{body}");
+        assert!(!body.contains("\tu16\n"), "{body}");
+        // Clean against the committed baseline.
+        let report = run_passes(&root, BaselineMode::Check, PassFilter::Cast);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // A new u64→u16 truncation fails with its source line.
+        std::fs::write(
+            root.join("crates/sim/src/engine.rs"),
+            "impl Simulator { pub fn run(&mut self, x: u64) {\n    let a = x as u32;\n    let c = x as u16;\n    drop((a, c));\n} }\n",
+        )
+        .expect("rewrite synthetic engine"); // lint:allow(expect)
+        let report = run_passes(&root, BaselineMode::Check, PassFilter::Cast);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        let v = &report.violations[0];
+        assert!(
+            v.contains("new truncating `as u16` site(s) in `Simulator::run`"),
+            "{v}"
+        );
+        assert!(v.contains("crates/sim/src/engine.rs:3"), "{v}");
+    }
+
+    /// Synthetic root seeding the three canonical worker hazards: a
+    /// captured-`Cell` write, a `Mutex<Vec<_>>` push, and a `ctx.rng`
+    /// call that resolves into `SimRng`.
+    fn par_root(name: &str) -> PathBuf {
+        let root = workspace_root()
+            .join("target")
+            .join("analyze-test")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        let src_dir = root.join("crates/sim/src");
+        std::fs::create_dir_all(&src_dir).expect("create synthetic src"); // lint:allow(expect)
+        std::fs::write(
+            src_dir.join("engine.rs"),
+            "impl Simulator {\n    pub fn run(&mut self, ctx: &mut Ctx) {\n        let hits = Cell::new(0u64);\n        let out = Mutex::new(Vec::new());\n        std::thread::scope(|s| {\n            s.spawn(|| hits.set(hits.get() + 1));\n            s.spawn(|| out.lock().unwrap().push(1));\n            s.spawn(move || ctx.rng.below(4));\n        });\n    }\n}\n",
+        )
+        .expect("write synthetic engine"); // lint:allow(expect)
+        std::fs::write(
+            src_dir.join("rng.rs"),
+            "impl SimRng {\n    pub fn below(&mut self, n: u64) -> u64 { n / 2 }\n}\n",
+        )
+        .expect("write synthetic rng"); // lint:allow(expect)
+        root
+    }
+
+    #[test]
+    fn par_fixture_hazards_fail_with_witness_chains() {
+        let root = par_root("par-fixture");
+        let report = run_passes(&root, BaselineMode::Check, PassFilter::Par);
+        let v = &report.violations;
+        assert_eq!(v.len(), 4, "{v:#?}");
+        assert!(
+            v[0].contains("`thread::scope` in `Simulator::run` is not declared"),
+            "{}",
+            v[0]
+        );
+        assert!(v[0].contains("crates/sim/src/engine.rs:5"), "{}", v[0]);
+        // Worker 1: captured Cell write, direct witness.
+        assert!(
+            v[1].contains("hits `.set(` (cell-write hazard)"),
+            "{}",
+            v[1]
+        );
+        assert!(
+            v[1].contains("witness: Simulator::run (crates/sim/src/engine.rs:2)"),
+            "{}",
+            v[1]
+        );
+        assert!(
+            v[1].contains("worker closure [spawned at crates/sim/src/engine.rs:6]"),
+            "{}",
+            v[1]
+        );
+        assert!(
+            v[1].contains(".set( @ crates/sim/src/engine.rs:6"),
+            "{}",
+            v[1]
+        );
+        // Worker 2: Mutex<Vec<_>> push under the lock.
+        assert!(v[2].contains("hits `.lock(` (lock hazard)"), "{}", v[2]);
+        assert!(
+            v[2].contains("worker closure [spawned at crates/sim/src/engine.rs:7]"),
+            "{}",
+            v[2]
+        );
+        // Worker 3: ctx.rng reached transitively through SimRng::below.
+        assert!(v[3].contains("`SimRng::below` (rng hazard)"), "{}", v[3]);
+        assert!(
+            v[3].contains("reachable from a worker closure of `Simulator::run`"),
+            "{}",
+            v[3]
+        );
+        assert!(
+            v[3].contains("-> SimRng::below (crates/sim/src/rng.rs:2)"),
+            "{}",
+            v[3]
+        );
+        assert_eq!(report.stats.spawn_sites, 1);
+    }
+
+    #[test]
+    fn par_manifest_covers_sites_and_detects_drift_both_ways() {
+        use crate::boundaries::ParallelRegion;
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { pub fn run(&mut self) { std::thread::scope(|s| { s.spawn(|| work()); }); } }\nfn work() {}\n",
+        )]);
+        // Covered: a matching manifest entry, hazard-free worker → clean.
+        let covered = [ParallelRegion {
+            file: "crates/sim/src/engine.rs",
+            function: "Simulator::run",
+            discipline: "test",
+            audited_hazards: &[],
+        }];
+        let mut report = Report::default();
+        par::par_pass(&g, &covered, &mut report);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Undeclared drift: a spawn site without a manifest entry.
+        let mut report = Report::default();
+        par::par_pass(&g, &[], &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("not declared in"));
+        // Stale drift: the manifest names a function that no longer
+        // spawns, in a file that *is* in the corpus.
+        let stale = [
+            covered[0],
+            ParallelRegion {
+                file: "crates/sim/src/engine.rs",
+                function: "work",
+                discipline: "test",
+                audited_hazards: &[],
+            },
+        ];
+        let mut report = Report::default();
+        par::par_pass(&g, &stale, &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(
+            report.violations[0].contains("stale PARALLEL_REGIONS entry `work`"),
+            "{}",
+            report.violations[0]
+        );
+        // A manifest file absent from the corpus is not stale — fixture
+        // roots must not report the real manifest.
+        let absent = [ParallelRegion {
+            file: "crates/net/src/routing.rs",
+            function: "Routing::repair_with_mask",
+            discipline: "test",
+            audited_hazards: &[],
+        }];
+        let mut report = Report::default();
+        par::par_pass(&g, &absent, &mut report);
+        assert!(
+            !report.violations.iter().any(|v| v.contains("stale")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn audited_hazard_classes_pass_and_unaudited_fail() {
+        use crate::boundaries::ParallelRegion;
+        // The sweep-runner shape: workers claim via an atomic counter and
+        // write through per-slot locks.
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Simulator { pub fn run(&mut self, n: &AtomicUsize, out: &Mutex<Vec<u8>>) { std::thread::scope(|s| { s.spawn(|| { n.fetch_add(1, Ordering::Relaxed); out.lock().unwrap().push(1); }); }); } }\n",
+        )]);
+        let region = |audited: &'static [&'static str]| ParallelRegion {
+            file: "crates/sim/src/engine.rs",
+            function: "Simulator::run",
+            discipline: "index-slotted merge",
+            audited_hazards: audited,
+        };
+        let mut report = Report::default();
+        par::par_pass(&g, &[region(&["atomic", "lock"])], &mut report);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Dropping `lock` from the audit list exposes the lock hazard.
+        let mut report = Report::default();
+        par::par_pass(&g, &[region(&["atomic"])], &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(
+            report.violations[0].contains("`.lock(` (lock hazard)"),
+            "{}",
+            report.violations[0]
+        );
+    }
+
     #[test]
     fn workspace_analyze_is_clean() {
-        // The real workspace must pass all four passes against the
+        // The real workspace must pass every pass against the
         // checked-in baselines and the committed OBSERVABILITY.md tables.
         let report = run_passes(&workspace_root(), BaselineMode::Check, PassFilter::All);
         assert!(

@@ -14,7 +14,7 @@
 //! Every approximation widens (never narrows) what the passes see.
 
 use crate::analyze::lexer::{Lexed, Tok, TokKind};
-use crate::boundaries::{in_threads_boundary, in_wallclock_boundary, ALLOC_RULE};
+use crate::boundaries::{in_threads_boundary, in_wallclock_boundary, ALLOC_RULE, CAST_RULE};
 
 /// How a call site names its callee.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -172,6 +172,126 @@ pub struct AllocSite {
     pub line: usize,
 }
 
+/// Integer target types an `as` cast can silently truncate into. 64-bit
+/// targets (`u64`, `i64`, `usize`, `isize`) are excluded: they are
+/// widening from every narrower source, and source types are invisible
+/// to a token-level scan. Casting *to* one of these — `u64→u32` packing,
+/// `usize→u32` indices, `f64→u32` rate math — is exactly the class that
+/// turns into silent corruption at 1M-host scale.
+pub const NARROW_INT_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// One potentially-truncating `as` cast inside a function body.
+#[derive(Clone, Debug)]
+pub struct CastSite {
+    /// The narrow target type (`"u32"`, `"u16"`, …).
+    pub target: String,
+    /// 1-based line of the `as` keyword.
+    pub line: usize,
+    /// True when a `lint:allow(cast)` comment documents the bound on the
+    /// site's line or the line directly above (see
+    /// [`crate::boundaries::CAST_RULE`]).
+    pub documented: bool,
+}
+
+/// Classes of worker-side determinism hazard the parallel-region pass
+/// inventories (see `docs/STATIC_ANALYSIS.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HazardKind {
+    /// Interior-mutability writes: `.set(` / `.borrow_mut(` /
+    /// `static mut` — a worker mutating captured shared state races or
+    /// depends on worker interleaving.
+    CellWrite,
+    /// Atomic read-modify-write: `.fetch_add(` and friends — the
+    /// observed sequence depends on scheduling.
+    Atomic,
+    /// Lock acquisition: `.lock(` / `.try_lock(` — lock grant order is
+    /// scheduler-dependent (shared `Vec` pushes under a lock merge in
+    /// nondeterministic order).
+    Lock,
+    /// Channel receives: `.recv(` family — arrival order across workers
+    /// is scheduler-dependent.
+    Channel,
+    /// RNG use: ambient entropy or a reachable `SimRng` method — worker
+    /// interleaving would perturb the deterministic stream.
+    Rng,
+    /// Unordered float accumulation (`.sum::<f64>()` across
+    /// worker-merged data) — float addition is not associative.
+    FloatAccum,
+}
+
+impl HazardKind {
+    /// Stable name, matched against
+    /// [`crate::boundaries::ParallelRegion::audited_hazards`].
+    pub fn name(self) -> &'static str {
+        match self {
+            HazardKind::CellWrite => "cell-write",
+            HazardKind::Atomic => "atomic",
+            HazardKind::Lock => "lock",
+            HazardKind::Channel => "channel",
+            HazardKind::Rng => "rng",
+            HazardKind::FloatAccum => "float-accum",
+        }
+    }
+}
+
+/// One determinism-hazard site (inside a worker closure, or anywhere in
+/// a function body for the reachability side of the parallel pass).
+#[derive(Clone, Debug)]
+pub struct HazardSite {
+    /// Which hazard class the site belongs to.
+    pub kind: HazardKind,
+    /// The matched construct (`".set("`, `"static mut"`, …).
+    pub what: String,
+    /// 1-based line of the site.
+    pub line: usize,
+}
+
+/// Recognizes a method name as an interior-mutability / merge-order
+/// hazard. Deliberately conservative: names that collide with common
+/// pure APIs in this workspace (`store` = the DHT store RPC, `replace` /
+/// `swap` / `take` = std value shuffling) are left to the closure-level
+/// heuristics rather than poisoning whole-function scans.
+pub fn hazard_of_method(name: &str) -> Option<HazardKind> {
+    match name {
+        "set" | "borrow_mut" => Some(HazardKind::CellWrite),
+        "fetch_add"
+        | "fetch_sub"
+        | "fetch_or"
+        | "fetch_and"
+        | "fetch_xor"
+        | "compare_exchange"
+        | "compare_exchange_weak" => Some(HazardKind::Atomic),
+        "lock" | "try_lock" => Some(HazardKind::Lock),
+        "recv" | "try_recv" | "recv_timeout" => Some(HazardKind::Channel),
+        _ => None,
+    }
+}
+
+/// One worker closure spawned inside a parallel region: the closure
+/// argument of `s.spawn(...)` (or of a bare `thread::spawn(...)`).
+#[derive(Clone, Debug)]
+pub struct WorkerClosure {
+    /// 1-based line of the `spawn` call.
+    pub line: usize,
+    /// Calls made lexically inside the closure (nested closures
+    /// included) — the roots of the worker-reachability BFS.
+    pub calls: Vec<Call>,
+    /// Direct hazard sites inside the closure.
+    pub hazards: Vec<HazardSite>,
+}
+
+/// One thread-spawn region inside a function body.
+#[derive(Clone, Debug)]
+pub struct SpawnSite {
+    /// The spawner (`"thread::scope"`, `"crossbeam::thread::scope"`,
+    /// `"thread::spawn"`).
+    pub what: String,
+    /// 1-based line of the spawn construct.
+    pub line: usize,
+    /// The worker closures spawned within the region.
+    pub workers: Vec<WorkerClosure>,
+}
+
 /// One trace event emission site (`Tracer::emit` / `Ctx::trace` shapes).
 #[derive(Clone, Debug)]
 pub struct TraceEmit {
@@ -253,6 +373,13 @@ pub struct FnItem {
     pub trace_emits: Vec<TraceEmit>,
     /// Metrics key emissions in the body.
     pub metric_emits: Vec<MetricEmit>,
+    /// Potentially-truncating `as` casts in the body.
+    pub casts: Vec<CastSite>,
+    /// Determinism-hazard markers anywhere in the body (used by the
+    /// parallel pass for functions *reachable from* worker closures).
+    pub hazards: Vec<HazardSite>,
+    /// Thread-spawn regions in the body.
+    pub spawns: Vec<SpawnSite>,
 }
 
 impl FnItem {
@@ -414,8 +541,12 @@ pub fn parse_file(file: &str, lexed: &Lexed, file_is_test: bool, file_is_bin: bo
                     panics: Vec::new(),
                     trace_emits: Vec::new(),
                     metric_emits: Vec::new(),
+                    casts: Vec::new(),
+                    hazards: Vec::new(),
+                    spawns: Vec::new(),
                 };
                 scan_body(file, lexed, open + 1, body_end, &mut item);
+                scan_spawns(file, lexed, open + 1, body_end, &mut item);
                 out.push(item);
                 i = body_end + 1;
                 // The body braces were consumed without going through the
@@ -557,6 +688,32 @@ fn scan_body(file: &str, lexed: &Lexed, start: usize, end: usize, item: &mut FnI
             continue;
         }
 
+        // Truncating casts: `as` followed by a narrow integer type.
+        if t.text == "as" {
+            if let Some(n) = toks.get(j + 1) {
+                if n.kind == TokKind::Ident && NARROW_INT_TARGETS.contains(&n.text.as_str()) {
+                    item.casts.push(CastSite {
+                        target: n.text.clone(),
+                        line: t.line,
+                        documented: lexed.allowed(t.line, CAST_RULE),
+                    });
+                }
+            }
+            j += 1;
+            continue;
+        }
+
+        // `static mut` — interior mutability by definition.
+        if t.text == "static" && toks.get(j + 1).is_some_and(|n| n.is_ident("mut")) {
+            item.hazards.push(HazardSite {
+                kind: HazardKind::CellWrite,
+                what: "static mut".into(),
+                line: t.line,
+            });
+            j += 2;
+            continue;
+        }
+
         // Determinism sinks.
         if let Some(sink) = sink_at(toks, j) {
             let audited = lexed.allowed(t.line, sink.0.rule())
@@ -643,6 +800,13 @@ fn scan_body(file: &str, lexed: &Lexed, start: usize, end: usize, item: &mut FnI
                         documented: lexed.allowed(t.line, pk.allow_name()),
                     });
                 }
+                if let Some(kind) = hazard_of_method(&t.text) {
+                    item.hazards.push(HazardSite {
+                        kind,
+                        what: format!(".{}(", t.text),
+                        line: t.line,
+                    });
+                }
             }
 
             if let Some((kind, what)) = alloc_of(&callee, in_loop) {
@@ -665,6 +829,165 @@ fn scan_body(file: &str, lexed: &Lexed, start: usize, end: usize, item: &mut FnI
         }
         j += 1;
     }
+}
+
+/// Scans a function body (token range `[start, end)`) for thread-spawn
+/// regions and their worker closures.
+///
+/// A region is `thread::scope(...)` / `crossbeam::thread::scope(...)`
+/// (workers = the closure arguments of `.spawn(` calls inside the
+/// region) or a bare `thread::spawn(...)` (worker = the whole argument
+/// list). Each worker range is re-scanned with [`scan_body`], so workers
+/// get exactly the same call / hazard / sink extraction as whole
+/// functions — including calls made from closures nested inside the
+/// worker and captures dereferenced through method-call chains.
+fn scan_spawns(file: &str, lexed: &Lexed, start: usize, end: usize, item: &mut FnItem) {
+    let toks = &lexed.toks;
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        if !(t.kind == TokKind::Ident && t.text == "thread") {
+            j += 1;
+            continue;
+        }
+        let path_next = |k: usize, name: &str| {
+            toks.get(k).is_some_and(|a| a.is_punct(':'))
+                && toks.get(k + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|a| a.is_ident(name))
+        };
+        let Some(target) = ["scope", "spawn"].into_iter().find(|n| path_next(j + 1, n)) else {
+            j += 1;
+            continue;
+        };
+        let crossbeam = j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].is_ident("crossbeam");
+        let what = if crossbeam {
+            format!("crossbeam::thread::{target}")
+        } else {
+            format!("thread::{target}")
+        };
+        let open = j + 4; // after `thread : : <target>`
+        if !toks.get(open).is_some_and(|t| t.is_punct('(')) {
+            j += 4;
+            continue;
+        }
+        let close = match_paren(toks, open, end);
+        let mut workers = Vec::new();
+        if target == "spawn" {
+            workers.push(scan_worker(file, lexed, open + 1, close, t.line));
+        } else {
+            // Every `.spawn(` method call inside the scope region.
+            let mut k = open + 1;
+            while k < close {
+                if toks[k].is_ident("spawn")
+                    && toks[k - 1].is_punct('.')
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    let wclose = match_paren(toks, k + 1, close);
+                    workers.push(scan_worker(file, lexed, k + 2, wclose, toks[k].line));
+                    k = wclose;
+                    continue;
+                }
+                k += 1;
+            }
+        }
+        item.spawns.push(SpawnSite {
+            what,
+            line: t.line,
+            workers,
+        });
+        // Keep scanning inside the region so nested spawn regions are
+        // recorded as their own sites.
+        j = open + 1;
+    }
+}
+
+/// Extracts one worker closure from the spawn call's argument range:
+/// runs [`scan_body`] on the range for calls and method-marker hazards,
+/// then folds in the hazard classes only visible at closure level —
+/// ambient entropy sinks (→ `rng`) and unordered float accumulation
+/// (`.sum::<f64>()` → `float-accum`).
+fn scan_worker(file: &str, lexed: &Lexed, start: usize, end: usize, line: usize) -> WorkerClosure {
+    let mut scratch = FnItem {
+        name: String::new(),
+        impl_type: None,
+        trait_name: None,
+        file: file.to_string(),
+        line,
+        is_test: false,
+        is_bin: false,
+        alloc_exempt: false,
+        calls: Vec::new(),
+        sinks: Vec::new(),
+        allocs: Vec::new(),
+        panics: Vec::new(),
+        trace_emits: Vec::new(),
+        metric_emits: Vec::new(),
+        casts: Vec::new(),
+        hazards: Vec::new(),
+        spawns: Vec::new(),
+    };
+    scan_body(file, lexed, start, end, &mut scratch);
+    let mut hazards = scratch.hazards;
+    for s in &scratch.sinks {
+        if s.kind == SinkKind::Entropy {
+            hazards.push(HazardSite {
+                kind: HazardKind::Rng,
+                what: s.what.clone(),
+                line: s.line,
+            });
+        }
+    }
+    let toks = &lexed.toks;
+    let mut k = start;
+    while k < end {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "sum" | "product")
+            && toks[k - 1].is_punct('.')
+        {
+            if let Some(after) = after_turbofish(toks, k) {
+                if toks[k..after.min(end)]
+                    .iter()
+                    .any(|g| g.is_ident("f64") || g.is_ident("f32"))
+                {
+                    hazards.push(HazardSite {
+                        kind: HazardKind::FloatAccum,
+                        what: format!(".{}::<float>()", t.text),
+                        line: t.line,
+                    });
+                }
+            }
+        }
+        k += 1;
+    }
+    hazards.sort_by_key(|h| (h.line, h.kind));
+    WorkerClosure {
+        line,
+        calls: scratch.calls,
+        hazards,
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, bounded by `end` (which
+/// is returned when the range ends unbalanced).
+fn match_paren(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    while k < end {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    end
 }
 
 /// Recognizes an allocation sink in a (non-macro) call site.
@@ -1219,6 +1542,141 @@ mod tests {
         let items = parse(src);
         let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, vec!["with_default", "helper"]);
+    }
+
+    #[test]
+    fn truncating_casts_are_recorded_with_documentation_flags() {
+        let src = "fn f(x: u64, n: usize) -> u32 {\n    let a = x as u32;\n    let b = n as u16; // lint:allow(cast) — bound: n < 100 by construction\n    let c = x as usize;\n    let d = x as u64;\n    a + b as u32 + c as u32 + d as u32\n}\n";
+        let items = parse(src);
+        let sites: Vec<(&str, usize, bool)> = items[0]
+            .casts
+            .iter()
+            .map(|c| (c.target.as_str(), c.line, c.documented))
+            .collect();
+        // `as usize` / `as u64` are widening-or-equal on this codebase's
+        // index types and are not inventoried.
+        assert_eq!(
+            sites,
+            vec![
+                ("u32", 2, false),
+                ("u16", 3, true),
+                ("u32", 6, false),
+                ("u32", 6, false),
+                ("u32", 6, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn hazard_markers_are_recorded_per_function() {
+        let src = "fn f(c: &Cell<u64>, m: &Mutex<Vec<u8>>) {\n    static mut SCRATCH: u64 = 0;\n    c.set(c.get() + 1);\n    m.lock().unwrap().push(1);\n    n.fetch_add(1, Ordering::Relaxed);\n}\nfn pure(s: &str) -> String { s.replace('x', \"y\") }\n";
+        let items = parse(src);
+        let sites: Vec<(HazardKind, &str)> = items[0]
+            .hazards
+            .iter()
+            .map(|h| (h.kind, h.what.as_str()))
+            .collect();
+        assert_eq!(
+            sites,
+            vec![
+                (HazardKind::CellWrite, "static mut"),
+                (HazardKind::CellWrite, ".set("),
+                (HazardKind::Lock, ".lock("),
+                (HazardKind::Atomic, ".fetch_add("),
+            ]
+        );
+        // `replace` collides with `str::replace` and is deliberately not
+        // a whole-function marker.
+        assert!(items[1].hazards.is_empty(), "{:?}", items[1].hazards);
+    }
+
+    #[test]
+    fn scope_spawn_workers_are_extracted_with_calls_and_hazards() {
+        // A scope region with two workers: a move closure calling
+        // through `Self::`, and a closure writing a captured Cell.
+        let src = "impl R {\n    fn build(&self, c: &Cell<u64>) {\n        std::thread::scope(|s| {\n            s.spawn(move || Self::chunk(1, 2));\n            s.spawn(|| c.set(c.get() + 1));\n        });\n    }\n}\n";
+        let items = parse(src);
+        assert_eq!(items[0].spawns.len(), 1);
+        let sp = &items[0].spawns[0];
+        assert_eq!(sp.what, "thread::scope");
+        assert_eq!(sp.line, 3);
+        assert_eq!(sp.workers.len(), 2);
+        assert_eq!(sp.workers[0].line, 4);
+        assert!(sp.workers[0]
+            .calls
+            .iter()
+            .any(|c| c.callee == Callee::Qualified("Self".into(), "chunk".into())));
+        assert!(sp.workers[0].hazards.is_empty());
+        let hz: Vec<(HazardKind, usize)> = sp.workers[1]
+            .hazards
+            .iter()
+            .map(|h| (h.kind, h.line))
+            .collect();
+        assert_eq!(hz, vec![(HazardKind::CellWrite, 5)]);
+    }
+
+    #[test]
+    fn crossbeam_scope_and_bare_spawn_are_named_distinctly() {
+        let src = "fn a() { crossbeam::thread::scope(|s| { s.spawn(|_| work()); }).unwrap(); }\nfn b() { std::thread::spawn(move || work()); }\nfn work() {}\n";
+        let items = parse(src);
+        assert_eq!(items[0].spawns[0].what, "crossbeam::thread::scope");
+        assert_eq!(items[0].spawns[0].workers.len(), 1);
+        assert_eq!(items[1].spawns[0].what, "thread::spawn");
+        assert_eq!(items[1].spawns[0].workers.len(), 1);
+        for f in &items[..2] {
+            assert!(f.spawns[0].workers[0]
+                .calls
+                .iter()
+                .any(|c| c.callee == Callee::Free("work".into())));
+        }
+    }
+
+    #[test]
+    fn nested_closures_and_method_chains_inside_workers_are_scanned() {
+        // Calls made from a closure nested inside the worker, and a
+        // hazard reached through a method-call chain on a capture, must
+        // both be attributed to the worker.
+        let src = "fn f(state: &S, xs: &[u8]) {\n    std::thread::scope(|s| {\n        s.spawn(move || {\n            let n = xs.iter().map(|x| helper(*x)).count();\n            state.cache().counters().set(n as u64);\n        });\n    });\n}\nfn helper(_x: u8) -> u8 { 0 }\n";
+        let items = parse(src);
+        let w = &items[0].spawns[0].workers[0];
+        assert!(w
+            .calls
+            .iter()
+            .any(|c| c.callee == Callee::Free("helper".into())));
+        for m in ["cache", "counters", "set"] {
+            assert!(
+                w.calls.iter().any(|c| c.callee == Callee::Method(m.into())),
+                "missing method call {m}"
+            );
+        }
+        let hz: Vec<(HazardKind, &str)> = w
+            .hazards
+            .iter()
+            .map(|h| (h.kind, h.what.as_str()))
+            .collect();
+        assert_eq!(hz, vec![(HazardKind::CellWrite, ".set(")]);
+        // `as u64` widens; nothing lands in the cast inventory.
+        assert!(items[0].casts.is_empty());
+    }
+
+    #[test]
+    fn worker_rng_and_float_accum_hazards_are_flagged() {
+        let src = "fn f(xs: &[f64], out: &Mutex<Vec<f64>>) {\n    std::thread::scope(|s| {\n        s.spawn(move || {\n            let r = thread_rng();\n            let t = xs.iter().copied().sum::<f64>();\n            out.lock().unwrap().push(t);\n        });\n    });\n}\n";
+        let items = parse(src);
+        let w = &items[0].spawns[0].workers[0];
+        let hz: Vec<(HazardKind, &str)> = w
+            .hazards
+            .iter()
+            .map(|h| (h.kind, h.what.as_str()))
+            .collect();
+        assert_eq!(
+            hz,
+            vec![
+                (HazardKind::Rng, "thread_rng"),
+                (HazardKind::FloatAccum, ".sum::<float>()"),
+                (HazardKind::Lock, ".lock("),
+            ]
+        );
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! ([`crate::lint`]) and the call-graph analyzer ([`crate::analyze`]).
 //! Both enforce the same contract — a `wallclock` allow escape comment
 //! is honored only inside [`WALLCLOCK_BOUNDARY`] and a `threads` one
-//! only inside [`THREADS_BOUNDARY`] — so extending an audited
-//! boundary is a single edit here, reviewed once, and picked up by every
-//! static-analysis pass at the same time.
+//! only inside a file carrying a [`PARALLEL_REGIONS`] entry — so
+//! extending an audited boundary is a single edit here, reviewed once,
+//! and picked up by every static-analysis pass at the same time.
 
 /// The only files where a `wallclock` allow comment is honored: the
 /// trace sink's `WallTimer` boundary (see `docs/OBSERVABILITY.md`).
@@ -14,16 +14,72 @@
 /// readings must stay out of simulation state and traced output.
 pub const WALLCLOCK_BOUNDARY: [&str; 1] = ["crates/sim/src/trace.rs"];
 
-/// The only files where a `threads` allow comment is honored: the
-/// parallel routing-table build (joins per-source chunks in source
-/// order, byte-identical to the serial build) and the parameter-sweep
-/// runner (order-preserving parallel map over independent runs). See
-/// `docs/PERFORMANCE.md` for the determinism argument. Anywhere else
-/// the allow comment is itself a violation — each simulation run stays
-/// single-threaded.
-pub const THREADS_BOUNDARY: [&str; 2] = [
-    "crates/net/src/routing.rs",
-    "crates/core/src/experiments/sweep.rs",
+/// One audited fork-join parallel region: a function that is allowed to
+/// spawn worker threads, together with the *declared merge discipline*
+/// that makes its output independent of thread scheduling.
+///
+/// This manifest is the single source of truth for workspace
+/// parallelism. The line lint derives the `threads` allow boundary from
+/// the `file` column; the analyzer's `--pass=par` checks the manifest
+/// against the actual thread-spawn sites in both directions (an
+/// undeclared spawn site fails, and a manifest entry whose function no
+/// longer spawns fails as stale) and audits each region's worker
+/// closures for determinism hazards not covered by `audited_hazards`.
+/// See `docs/STATIC_ANALYSIS.md` ("Parallel-region discipline").
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelRegion {
+    /// Workspace-relative file the region lives in (suffix-matched,
+    /// separator-agnostic, like the other boundary lists).
+    pub file: &'static str,
+    /// Qualified name (`Type::method` or free-function name) of the
+    /// function containing the thread-spawn site(s).
+    pub function: &'static str,
+    /// Human-auditable statement of why the merge is deterministic.
+    pub discipline: &'static str,
+    /// Worker-side hazard classes (see the analyzer's `HazardKind`
+    /// names: `"cell-write"`, `"atomic"`, `"lock"`, `"channel"`,
+    /// `"rng"`, `"float-accum"`) that the discipline explicitly audits.
+    /// Any worker hazard *not* listed here is a violation.
+    pub audited_hazards: &'static [&'static str],
+}
+
+/// Every audited parallel region in the workspace. Keep sorted by file
+/// then function; `docs/PERFORMANCE.md` carries the determinism
+/// argument for the routing regions and `crates/core/src/experiments/
+/// sweep.rs` documents the sweep runner's.
+pub const PARALLEL_REGIONS: [ParallelRegion; 4] = [
+    ParallelRegion {
+        file: "crates/core/src/experiments/sweep.rs",
+        function: "parallel_map",
+        discipline: "index-slotted merge: workers claim items via an atomic counter and \
+                     write results into per-index slots, so output order equals input order \
+                     regardless of scheduling",
+        audited_hazards: &["atomic", "lock"],
+    },
+    ParallelRegion {
+        file: "crates/net/src/routing.rs",
+        function: "Routing::compute_indexed_threads",
+        discipline: "source-ordered join: workers build disjoint contiguous source-range \
+                     chunks, joined in spawn (= source) order; byte-identical to the serial \
+                     build for any thread count",
+        audited_hazards: &[],
+    },
+    ParallelRegion {
+        file: "crates/net/src/routing.rs",
+        function: "Routing::compute_with_mask_threads",
+        discipline: "source-ordered join: workers build disjoint contiguous source-range \
+                     chunks, joined in spawn (= source) order; byte-identical to the serial \
+                     build for any thread count",
+        audited_hazards: &[],
+    },
+    ParallelRegion {
+        file: "crates/net/src/routing.rs",
+        function: "Routing::repair_with_mask",
+        discipline: "source-ordered join over the sorted dirty list: workers recompute \
+                     disjoint dirty-row ranges, joined in spawn order and spliced back in \
+                     source order; byte-identical to a full rebuild",
+        audited_hazards: &[],
+    },
 ];
 
 /// Rule name of the allocation-discipline escape, consumed by the
@@ -38,16 +94,36 @@ pub const THREADS_BOUNDARY: [&str; 2] = [
 /// is not a per-event cost.
 pub const ALLOC_RULE: &str = "alloc";
 
+/// Rule name of the truncating-cast escape, consumed by the analyzer's
+/// cast pass (`docs/STATIC_ANALYSIS.md`). Per line, like the panic
+/// escapes: a `// lint:allow(cast) — bound: <why the value fits>`
+/// comment on (or directly above) a truncating `as` cast documents the
+/// bound and removes the site from the ratcheted inventory. Reserved
+/// for cases where the bound is structural (CSR link indices bounded by
+/// the arena length, AS indices bounded by the u16 `AsId` domain) —
+/// anything host-count-proportional must widen or use a checked
+/// conversion instead, because it silently corrupts at 1M+ hosts.
+pub const CAST_RULE: &str = "cast";
+
 /// True when `label` is one of the [`WALLCLOCK_BOUNDARY`] files.
 pub fn in_wallclock_boundary(label: &str) -> bool {
     let norm = label.replace('\\', "/");
     WALLCLOCK_BOUNDARY.iter().any(|b| norm.ends_with(b))
 }
 
-/// True when `label` is one of the [`THREADS_BOUNDARY`] files.
+/// True when `label` is a file carrying at least one audited
+/// [`PARALLEL_REGIONS`] entry — the only files where a `threads` allow
+/// comment is honored.
 pub fn in_threads_boundary(label: &str) -> bool {
     let norm = label.replace('\\', "/");
-    THREADS_BOUNDARY.iter().any(|b| norm.ends_with(b))
+    PARALLEL_REGIONS.iter().any(|r| norm.ends_with(r.file))
+}
+
+/// The distinct files of [`PARALLEL_REGIONS`], for diagnostics.
+pub fn threads_boundary_files() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = PARALLEL_REGIONS.iter().map(|r| r.file).collect();
+    v.dedup();
+    v
 }
 
 #[cfg(test)]
@@ -71,8 +147,44 @@ mod tests {
         for w in WALLCLOCK_BOUNDARY {
             assert!(!in_threads_boundary(w));
         }
-        for t in THREADS_BOUNDARY {
-            assert!(!in_wallclock_boundary(t));
+        for r in PARALLEL_REGIONS {
+            assert!(!in_wallclock_boundary(r.file));
+        }
+    }
+
+    #[test]
+    fn manifest_is_sorted_and_files_dedupe() {
+        // threads_boundary_files relies on sorted order for dedup, and a
+        // sorted manifest keeps drift diffs reviewable.
+        for pair in PARALLEL_REGIONS.windows(2) {
+            assert!(
+                (pair[0].file, pair[0].function) < (pair[1].file, pair[1].function),
+                "PARALLEL_REGIONS must stay sorted by (file, function)"
+            );
+        }
+        assert_eq!(
+            threads_boundary_files(),
+            vec![
+                "crates/core/src/experiments/sweep.rs",
+                "crates/net/src/routing.rs"
+            ]
+        );
+    }
+
+    #[test]
+    fn audited_hazards_use_known_names() {
+        const KNOWN: [&str; 6] = [
+            "cell-write",
+            "atomic",
+            "lock",
+            "channel",
+            "rng",
+            "float-accum",
+        ];
+        for r in PARALLEL_REGIONS {
+            for h in r.audited_hazards {
+                assert!(KNOWN.contains(h), "unknown hazard class `{h}` in manifest");
+            }
         }
     }
 }

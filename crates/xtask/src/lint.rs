@@ -31,9 +31,10 @@
 //! to the site it blesses. Exception: a `wallclock` allow is honored
 //! only inside the documented trace-sink boundary
 //! ([`WALLCLOCK_BOUNDARY`], the `uap_sim::WallTimer` home), and a
-//! `threads` allow only inside [`THREADS_BOUNDARY`] (the parallel
-//! routing-table build and the experiment sweep runner — the two audited
-//! deterministic fork-join sites); both lists live in
+//! `threads` allow only inside files carrying a
+//! [`crate::boundaries::PARALLEL_REGIONS`] manifest entry (the parallel
+//! routing-table build/repair and the experiment sweep runner — the
+//! audited deterministic fork-join sites); both lists live in
 //! [`crate::boundaries`], shared with the call-graph analyzer
 //! ([`crate::analyze`]) so each audited boundary is declared exactly
 //! once. Anywhere else the allow comment is
@@ -45,7 +46,7 @@
 //! by brace matching.
 
 use crate::boundaries::{
-    in_threads_boundary, in_wallclock_boundary, THREADS_BOUNDARY, WALLCLOCK_BOUNDARY,
+    in_threads_boundary, in_wallclock_boundary, threads_boundary_files, WALLCLOCK_BOUNDARY,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -246,7 +247,7 @@ pub fn scan_source(label: &str, source: &str, kind: FileKind) -> Vec<Violation> 
                 msg: format!(
                     "`lint:allow(threads)` is only valid inside the audited fork-join \
                      boundaries ({}); keep simulation runs single-threaded",
-                    THREADS_BOUNDARY.join(", ")
+                    threads_boundary_files().join(", ")
                 ),
             });
         }
@@ -261,8 +262,8 @@ pub fn scan_source(label: &str, source: &str, kind: FileKind) -> Vec<Violation> 
                         msg: format!(
                             "`{pat}` outside the audited fork-join boundaries; thread \
                              scheduling is nondeterministic — keep simulation runs \
-                             single-threaded, or extend THREADS_BOUNDARY with an \
-                             order-preserving join argument"
+                             single-threaded, or declare a PARALLEL_REGIONS manifest \
+                             entry with an order-preserving join argument"
                         ),
                     });
                 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint
-//! cargo run -p xtask -- analyze [--update-baseline[=panic|alloc]] [--pass=alloc|all]
+//! cargo run -p xtask -- analyze [--update-baseline[=panic|alloc|cast]] [--pass=alloc|par|cast|all]
 //! cargo run -p xtask -- trace summary <trace.jsonl>
 //! cargo run -p xtask -- trace diff <a> <b>
 //! cargo run -p xtask -- trace spans <trace.jsonl>
@@ -65,14 +65,19 @@ fn analyze_main(args: &[String]) -> ! {
     let mut passes = analyze::PassFilter::All;
     for arg in args {
         match arg.as_str() {
-            "--update-baseline" => mode = analyze::BaselineMode::Update(analyze::UpdateScope::Both),
+            "--update-baseline" => mode = analyze::BaselineMode::Update(analyze::UpdateScope::All),
             "--update-baseline=panic" => {
                 mode = analyze::BaselineMode::Update(analyze::UpdateScope::Panic)
             }
             "--update-baseline=alloc" => {
                 mode = analyze::BaselineMode::Update(analyze::UpdateScope::Alloc)
             }
+            "--update-baseline=cast" => {
+                mode = analyze::BaselineMode::Update(analyze::UpdateScope::Cast)
+            }
             "--pass=alloc" => passes = analyze::PassFilter::Alloc,
+            "--pass=par" => passes = analyze::PassFilter::Par,
+            "--pass=cast" => passes = analyze::PassFilter::Cast,
             "--pass=all" => passes = analyze::PassFilter::All,
             other => {
                 eprintln!("xtask analyze: unknown flag `{other}`");
@@ -87,16 +92,20 @@ fn analyze_main(args: &[String]) -> ! {
     let label = match passes {
         analyze::PassFilter::All => "analyze",
         analyze::PassFilter::Alloc => "analyze_alloc",
+        analyze::PassFilter::Par => "analyze_par",
+        analyze::PassFilter::Cast => "analyze_cast",
     };
     println!(
         "PERF {label} files={} fns={} entries={} hot_entries={} edges={} alloc_sites={} \
-         wall_secs={wall:.3} (budget {ANALYZE_WALL_BUDGET_SECS:.0}s)",
+         spawn_sites={} cast_sites={} wall_secs={wall:.3} (budget {ANALYZE_WALL_BUDGET_SECS:.0}s)",
         report.stats.files,
         report.stats.fns,
         report.stats.entries,
         report.stats.hot_entries,
         report.stats.edges,
-        report.stats.alloc_sites
+        report.stats.alloc_sites,
+        report.stats.spawn_sites,
+        report.stats.cast_sites
     );
     if wall > ANALYZE_WALL_BUDGET_SECS {
         eprintln!(
@@ -194,7 +203,7 @@ fn read_or_die(path: &str) -> String {
 fn usage() -> ! {
     eprintln!(
         "usage: cargo run -p xtask -- lint\n       \
-         cargo run -p xtask -- analyze [--update-baseline[=panic|alloc]] [--pass=alloc|all]\n       \
+         cargo run -p xtask -- analyze [--update-baseline[=panic|alloc|cast]] [--pass=alloc|par|cast|all]\n       \
          cargo run -p xtask -- trace summary <trace.jsonl>\n       \
          cargo run -p xtask -- trace diff <a> <b>\n       \
          cargo run -p xtask -- trace spans <trace.jsonl>\n       \
