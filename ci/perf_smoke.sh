@@ -23,9 +23,16 @@
 # here means fault epochs silently went back to paying full all-pairs
 # rebuild cost (see docs/PERFORMANCE.md "Incremental repair").
 #
-# Floors are in queries/sec (routing), events/sec (exp16), and repaired
-# epochs/sec (exp17). Update them (with a note in docs/PERFORMANCE.md)
-# only when a deliberate trade-off changes the hot-path cost model.
+# Also runs exp18_congestion in quick mode and gates the max-min flow
+# allocator's cycle rate (full begin/add-256-flows/allocate cycles per
+# second): ~3.7k cycles/sec measured on the reference dev box, floor
+# 3000. A regression here means the per-round allocation recompute grew
+# a hidden quadratic or started allocating (see docs/BANDWIDTH.md).
+#
+# Floors are in queries/sec (routing), events/sec (exp16), repaired
+# epochs/sec (exp17), and allocate cycles/sec (exp18). Update them
+# (with a note in docs/PERFORMANCE.md) only when a deliberate trade-off
+# changes the hot-path cost model.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +40,7 @@ PATH_QPS_FLOOR=440000000
 TRANSFER_QPS_FLOOR=90000000
 EXP16_EPS_FLOOR=7000
 EXP17_REPAIR_EPS_FLOOR=6000
+FLOW_ALLOC_CPS_FLOOR=3000
 SLACK=5
 
 WORK="$(mktemp -d)"
@@ -86,5 +94,17 @@ if [[ -z "$e17_repair_eps" ]]; then
   exit 1
 fi
 check exp17_repair_epochs_per_sec "$e17_repair_eps" "$EXP17_REPAIR_EPS_FLOOR"
+
+echo "exp18 flow-allocator throughput smoke (quick)"
+cargo run --release -q -p uap-bench --bin exp18_congestion -- \
+  --quick --seed 42 --out "$WORK/e18" | tee "$WORK/e18_stdout.txt"
+
+e18_line="$(grep '^PERF flow_alloc ' "$WORK/e18_stdout.txt")"
+e18_cps="$(sed -n 's/.* allocs_per_sec=\([0-9]*\).*/\1/p' <<<"$e18_line")"
+if [[ -z "$e18_cps" ]]; then
+  echo "FAIL: could not parse PERF line: $e18_line" >&2
+  exit 1
+fi
+check flow_alloc_cycles_per_sec "$e18_cps" "$FLOW_ALLOC_CPS_FLOOR"
 
 echo "perf smoke passed."

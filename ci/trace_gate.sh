@@ -98,4 +98,13 @@ if ! grep -q '"k":"routing.repair"' "$WORK/exp17/a/exp17.trace.jsonl"; then
   exit 1
 fi
 
+gate exp18_congestion exp18
+
+# The flow allocator must actually back the swarm transfers in the gated
+# run: per-round flow-set deltas appear as flow.open/flow.close events.
+if ! grep -q '"k":"flow.open"' "$WORK/exp18/a/exp18.trace.jsonl"; then
+  echo "exp18 trace contains no flow.open events — flow model not exercised" >&2
+  exit 1
+fi
+
 echo "trace gate passed."

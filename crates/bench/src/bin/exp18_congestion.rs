@@ -1,0 +1,213 @@
+//! E18 — flow-level congestion: swarm behavior under max-min fair
+//! bandwidth sharing.
+//!
+//! Sweeps seed/leecher ratio × access-link heterogeneity × tracker
+//! policy, running the flow-backed BitTorrent swarm on each combination.
+//! With the [`uap_net::FlowAllocator`] model every transfer competes for
+//! the sender's uplink, the receiver's downlink and the AS links on its
+//! path, so seed-starved swarms and uniform (cable-only) populations
+//! show their real completion-time cost instead of the old per-flow
+//! `downlink/2` approximation.
+//!
+//! Deterministic outputs (same seed → byte-identical): the two summary
+//! tables and their CSVs (`exp18_completion.csv`, `exp18_locality.csv`),
+//! `exp18_congestion.report.json`, and the trace (`flow.open` /
+//! `flow.close` deltas per round; `ci/trace_gate.sh` double-runs these).
+//! Wall-clock outputs (intentionally nondeterministic):
+//! `BENCH_flow.json` and the `PERF flow_alloc …` line
+//! `ci/perf_smoke.sh` parses, plus the standard
+//! `PERF exp18_congestion …` throughput sample.
+
+use uap_bench::{emit, Cli, Run};
+use uap_bittorrent::{run_swarm_with, SwarmConfig, SwarmReport, TrackerPolicy};
+use uap_core::report::{artifact_line, f, pct, Table};
+use uap_net::{
+    FlowAllocator, HostId, PopulationSpec, TopologyKind, TopologySpec, Underlay, UnderlayConfig,
+};
+use uap_sim::{SimRng, WallTimer};
+
+/// Hosts in every swarm underlay.
+const HOSTS: usize = 120;
+/// Leechers in every swarm (seeds vary per spec).
+const LEECHERS: usize = 56;
+/// Seed counts swept: starved, balanced, seed-rich.
+const SEED_COUNTS: [usize; 3] = [2, 8, 24];
+
+/// One sweep row's outcome.
+struct Outcome {
+    access: &'static str,
+    seeds: usize,
+    tracker: &'static str,
+    report: SwarmReport,
+}
+
+fn build_underlay(seed: u64, uniform: bool) -> Underlay {
+    let mut rng = SimRng::new(seed);
+    let g = TopologySpec::new(TopologyKind::Hierarchical {
+        tier1: 2,
+        tier2_per_tier1: 3,
+        tier3_per_tier2: 3,
+        tier2_peering_prob: 0.3,
+        tier3_peering_prob: 0.4,
+    })
+    .build(&mut rng);
+    let mut u = Underlay::build(
+        g,
+        &PopulationSpec::leaf(HOSTS),
+        UnderlayConfig::default(),
+        &mut rng,
+    );
+    if uniform {
+        // Heterogeneity off: every host becomes the same mid-tier cable
+        // line, so the sweep isolates what access diversity contributes.
+        for h in &mut u.hosts.hosts {
+            h.down_kbps = 16_000;
+            h.up_kbps = 1_500;
+        }
+    }
+    u
+}
+
+fn swarm_cfg(seeds: usize, tracker: TrackerPolicy) -> SwarmConfig {
+    SwarmConfig {
+        n_leechers: LEECHERS,
+        n_seeds: seeds,
+        n_pieces: 48,
+        piece_bytes: 256 * 1024,
+        tracker,
+        ..Default::default()
+    }
+}
+
+/// Allocator microbench: one full begin/add/allocate cycle per
+/// iteration over a fixed 256-flow set, reporting cycles per second.
+/// This is the per-round cost the swarm pays at every flow-set change.
+fn flow_alloc_bench(seed: u64, iters: usize) -> (usize, f64) {
+    let u = build_underlay(seed, false);
+    let n = u.n_hosts() as u32;
+    let mut a = FlowAllocator::new(&u);
+    let w = WallTimer::start();
+    for _ in 0..iters {
+        a.begin();
+        for k in 0..256u32 {
+            let src = HostId(k % n);
+            let dst = HostId((k * 7 + 13) % n);
+            if src != dst {
+                a.add_flow(k as u64, src, dst, &u);
+            }
+        }
+        a.allocate();
+        std::hint::black_box(a.n_flows());
+    }
+    (iters, w.elapsed_secs())
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let mut tel = Run::start(&cli, "exp18_congestion");
+    tel.report.config("hosts", HOSTS);
+    tel.report.config("leechers", LEECHERS);
+
+    let trackers: [(&str, TrackerPolicy); 2] = [
+        ("random", TrackerPolicy::Random),
+        (
+            "bns",
+            TrackerPolicy::Bns {
+                internal: 16,
+                external: 4,
+            },
+        ),
+    ];
+    let seed_counts: &[usize] = if cli.quick {
+        &SEED_COUNTS[..2] // quick mode: skip the seed-rich sweep point
+    } else {
+        &SEED_COUNTS
+    };
+
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    let mut total_rounds = 0u64;
+    for &(access, uniform) in &[("mixed", false), ("uniform", true)] {
+        for &seeds in seed_counts {
+            for &(tname, tracker) in &trackers {
+                let u = build_underlay(cli.seed, uniform);
+                let (report, _) =
+                    run_swarm_with(u, swarm_cfg(seeds, tracker), cli.seed, &mut tel.tracer);
+                total_rounds += report.rounds as u64;
+                outcomes.push(Outcome {
+                    access,
+                    seeds,
+                    tracker: tname,
+                    report,
+                });
+            }
+        }
+    }
+
+    let mut completion = Table::new(
+        "E18 — swarm completion under max-min fair bandwidth sharing",
+        &[
+            "config",
+            "access",
+            "seeds",
+            "tracker",
+            "completed",
+            "rounds",
+            "mean completion s",
+            "payload MB",
+        ],
+    );
+    let mut locality = Table::new(
+        "E18 — traffic locality under max-min fair bandwidth sharing",
+        &["config", "access", "seeds", "tracker", "intra-AS traffic"],
+    );
+    for o in &outcomes {
+        let name = format!("{}/s{}/{}", o.access, o.seeds, o.tracker);
+        completion.row(&[
+            name.clone(),
+            o.access.to_string(),
+            o.seeds.to_string(),
+            o.tracker.to_string(),
+            format!("{}/{}", o.report.completed, o.report.leechers),
+            o.report.rounds.to_string(),
+            f(o.report.mean_completion_secs()),
+            f(o.report.payload_bytes as f64 / 1e6),
+        ]);
+        locality.row(&[
+            name,
+            o.access.to_string(),
+            o.seeds.to_string(),
+            o.tracker.to_string(),
+            pct(o.report.intra_as_fraction),
+        ]);
+    }
+    emit(&cli, "exp18_completion", &completion);
+    emit(&cli, "exp18_locality", &locality);
+    tel.table(&completion);
+    tel.table(&locality);
+
+    // Allocator throughput sample for the perf-smoke gate: wall-clock
+    // only, never folded into the deterministic report.
+    let iters = if cli.quick { 400 } else { 2_000 };
+    let (cycles, secs) = flow_alloc_bench(cli.seed, iters);
+    let alloc_cps = cycles as f64 / secs.max(1e-9);
+    println!(
+        "PERF flow_alloc flows=256 cycles={} allocs_per_sec={:.0}",
+        cycles, alloc_cps
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"exp18_congestion\",\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"flow_alloc\": {{\n    \"flows\": 256,\n    \"cycles\": {},\n    \
+         \"wall_secs\": {:?},\n    \"allocs_per_sec\": {:?}\n  }}\n}}\n",
+        cli.seed, cli.quick, cycles, secs, alloc_cps
+    );
+    if let Err(e) = std::fs::create_dir_all(&cli.out) {
+        eprintln!("warning: could not create {}: {e}", cli.out.display());
+    }
+    let path = cli.out.join("BENCH_flow.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("{}", artifact_line("bench", &path)),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    tel.finish(total_rounds);
+}

@@ -76,6 +76,16 @@ impl PieceSet {
         }
     }
 
+    /// Removes every piece, keeping the allocation — the per-receiver
+    /// claimed-piece scratch in the swarm round loop resets with this
+    /// instead of rebuilding the bitfield.
+    pub fn clear(&mut self) {
+        for w in &mut self.bits {
+            *w = 0;
+        }
+        self.count = 0;
+    }
+
     /// Iterates over pieces in `other` that this set lacks.
     pub fn missing_from<'a>(&'a self, other: &'a PieceSet) -> impl Iterator<Item = usize> + 'a {
         debug_assert_eq!(self.n, other.n);
@@ -130,6 +140,17 @@ mod tests {
         a.insert(5);
         assert!(!a.is_interested_in(&b));
         assert!(!b.is_interested_in(&a));
+    }
+
+    #[test]
+    fn clear_resets_without_shrinking_capacity() {
+        let mut s = PieceSet::full(70);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 70);
+        assert!(!s.contains(0) && !s.contains(69));
+        assert!(s.insert(69));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! The round-based swarm simulation.
 //!
-//! Fluid model: in every round of `round_secs`, each peer unchokes its
-//! best reciprocators (tit-for-tat) plus one optimistic slot, splits its
-//! uplink evenly across them, and the receivers turn accumulated bytes
-//! into rarest-first piece completions. Flows are charged to the underlay
-//! ledger, so experiment E10 can bill each tracker policy.
+//! Flow-backed fluid model: in every round of `round_secs`, each peer
+//! unchokes its best reciprocators (tit-for-tat) plus one optimistic
+//! slot; the unchoke pairs form the round's **flow set**, a max-min fair
+//! allocation over sender uplinks, receiver downlinks and the shared
+//! inter-AS links ([`uap_net::flow::FlowAllocator`]) prices each flow,
+//! and the receivers turn the accumulated bytes into rarest-first piece
+//! completions with per-chunk hash verification. Flows are charged to
+//! the underlay ledger, so experiment E10 can bill each tracker policy.
 
 use crate::pieces::PieceSet;
 use crate::tracker::{Tracker, TrackerPolicy};
 use std::collections::BTreeMap;
-use uap_net::{HostId, Underlay};
+use uap_net::{FlowAllocator, HostId, Underlay};
 use uap_sim::{SimRng, SimTime, TraceLevel, Tracer};
 
 /// Swarm parameters.
@@ -43,6 +46,11 @@ pub struct SwarmConfig {
     /// Crashed swarm members pause (no flows, no announces, pieces kept);
     /// partitioned pairs stall their flows until routing recovers.
     pub faults: Option<uap_net::FaultPlan>,
+    /// Hosts whose chunks always fail hash verification. A receiver that
+    /// detects a poisoned chunk discards the credited bytes, bans the
+    /// sender, and deterministically re-requests the pieces from its
+    /// remaining senders (empty = every sender honest).
+    pub poisoners: Vec<HostId>,
 }
 
 impl Default for SwarmConfig {
@@ -60,6 +68,7 @@ impl Default for SwarmConfig {
             tracker: TrackerPolicy::Random,
             cost_aware_choking: false,
             faults: None,
+            poisoners: Vec::new(),
         }
     }
 }
@@ -116,10 +125,50 @@ struct Peer {
     neighbors: Vec<HostId>,
     /// Bytes received from each neighbor last round (tit-for-tat input).
     received_last: BTreeMap<HostId, u64>,
-    /// Byte credit toward the next piece, per sender.
+    /// Byte credit toward the next piece, per sender. Partial-piece
+    /// credit is retained across rounds (capped at one piece) and pruned
+    /// when the sender crashes.
     credit: BTreeMap<HostId, u64>,
+    /// Senders this peer caught poisoning chunks (sorted; flows from
+    /// banned senders are refused).
+    banned: Vec<HostId>,
     done_at: Option<u32>,
     is_seed: bool,
+}
+
+/// Converts a receiver's byte `credit` toward one sender into claimed
+/// pieces: rarest first among what the sender offers, skipping pieces
+/// already claimed from a faster sender this round (`claimed`). Claimed
+/// piece indices are appended to `out`. When the sender has nothing new,
+/// the remaining credit is **retained** for later rounds, capped at one
+/// piece's worth — partial-piece progress survives, but credit cannot
+/// pile up unboundedly against a stalled sender.
+fn claim_pieces(
+    receiver: &PieceSet,
+    sender: &PieceSet,
+    credit: &mut u64,
+    piece_bytes: u64,
+    availability: &[u32],
+    claimed: &mut PieceSet,
+    out: &mut Vec<usize>,
+) {
+    while *credit >= piece_bytes {
+        let wanted = receiver
+            .missing_from(sender)
+            .filter(|&p| !claimed.contains(p))
+            .min_by_key(|&p| (availability[p], p));
+        match wanted {
+            Some(p) => {
+                *credit -= piece_bytes;
+                claimed.insert(p);
+                out.push(p);
+            }
+            None => {
+                *credit = (*credit).min(piece_bytes);
+                break;
+            }
+        }
+    }
 }
 
 /// Runs one swarm to completion (or `max_rounds`). Returns the report and
@@ -164,6 +213,7 @@ pub fn run_swarm_with(
             neighbors: Vec::new(),
             received_last: BTreeMap::new(),
             credit: BTreeMap::new(),
+            banned: Vec::new(),
             done_at: None,
             is_seed: i < cfg.n_seeds,
         })
@@ -239,6 +289,20 @@ pub fn run_swarm_with(
     let mut received_this: Vec<BTreeMap<HostId, u64>> = vec![BTreeMap::new(); peers.len()];
     let mut completions: Vec<(usize, usize)> = Vec::new(); // (peer, piece)
 
+    // Flow machinery: the allocator snapshots the capacity graph once;
+    // the open-flow table persists across rounds so flow arrivals and
+    // departures are traced as deltas. Keys are member-index pairs
+    // `(sender, receiver)`, values `(flow id, cumulative bytes)`.
+    let mut flow_alloc = FlowAllocator::new(&underlay);
+    let mut open_flows: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+    let mut next_flow_id = 0u64;
+    let mut desired: Vec<(u32, u32)> = Vec::new();
+    let mut senders: Vec<(u64, HostId)> = Vec::new();
+    let mut claimed = PieceSet::empty(cfg.n_pieces);
+    let mut new_claims: Vec<usize> = Vec::new();
+    let mut poisoners = cfg.poisoners.clone();
+    poisoners.sort_unstable();
+
     let mut rounds = 0u32;
     let mut payload_bytes = 0u64;
     while rounds < cfg.max_rounds {
@@ -306,6 +370,36 @@ pub fn run_swarm_with(
                     });
                 }
             }
+            // Partial-chunk credit toward a crashed sender times out: the
+            // entry is pruned (the map must not leak across campaigns)
+            // and the receiver re-requests those chunks from live
+            // senders in the following rounds.
+            for i in 0..peers.len() {
+                if peers[i].credit.is_empty() {
+                    continue;
+                }
+                let who = peers[i].host;
+                tracer.set_span(peer_spans[i]);
+                tracer.set_cause(last_fault_seq);
+                let (d, idx) = (&down, &index);
+                peers[i].credit.retain(|&src, c| {
+                    let dead = idx.get(&src).map(|&k| d[k]).unwrap_or(false);
+                    if dead && *c > 0 {
+                        tracer.emit(
+                            now,
+                            "bittorrent",
+                            TraceLevel::Debug,
+                            "chunk.reassign",
+                            |f| {
+                                f.u64("peer", who.0 as u64)
+                                    .u64("sender", src.0 as u64)
+                                    .u64("lost_bytes", *c);
+                            },
+                        );
+                    }
+                    !dead
+                });
+            }
             tracer.clear_provenance();
         }
         let all_done = peers.iter().all(|p| p.is_seed || p.done_at.is_some());
@@ -334,6 +428,7 @@ pub fn run_swarm_with(
                     .filter_map(|h| index.get(h).copied())
                     .filter(|&j| !down[j])
                     .filter(|&j| peers[j].done_at.is_none() && !peers[j].is_seed)
+                    .filter(|&j| peers[j].banned.binary_search(&me.host).is_err())
                     .filter(|&j| peers[j].pieces.is_interested_in(&me.pieces)),
             );
             if interested.is_empty() {
@@ -376,64 +471,138 @@ pub fn run_swarm_with(
             });
         }
         tracer.clear_provenance();
-        // Phase 2: move bytes along each unchoked flow.
+        // Phase 2a: the round's unchoke pairs are its flow set. Diff it
+        // against the persistent open-flow table (arrivals open, exits
+        // close), then recompute the max-min fair allocation: every flow
+        // competes for its sender's uplink, its receiver's downlink and
+        // the shared AS links on its path — both capacity bugs of the old
+        // per-flow `downlink/2` heuristic are impossible by construction.
         let round_secs = cfg.round.as_secs_f64();
         let mut round_bytes = 0u64;
         completions.clear();
+        desired.clear();
         for i in 0..peers.len() {
-            if unchokes[i].is_empty() {
+            for &j in &unchokes[i] {
+                // lint:allow(cast) — member indices, bounded by the u32 HostId width
+                desired.push((i as u32, j as u32));
+            }
+        }
+        desired.sort_unstable();
+        for &(i, j) in &desired {
+            if let std::collections::btree_map::Entry::Vacant(slot) = open_flows.entry((i, j)) {
+                let id = next_flow_id;
+                next_flow_id += 1;
+                slot.insert((id, 0));
+                let (src, dst) = (peers[i as usize].host, peers[j as usize].host);
+                tracer.emit(now, "net", TraceLevel::Debug, "flow.open", |f| {
+                    f.u64("flow", id)
+                        .u64("src", src.0 as u64)
+                        .u64("dst", dst.0 as u64);
+                });
+            }
+        }
+        open_flows.retain(|&pair, &mut (id, bytes)| {
+            if desired.binary_search(&pair).is_ok() {
+                true
+            } else {
+                tracer.emit(now, "net", TraceLevel::Debug, "flow.close", |f| {
+                    f.u64("flow", id).u64("bytes", bytes);
+                });
+                false
+            }
+        });
+        flow_alloc.begin();
+        for &(i, j) in &desired {
+            let (id, _) = open_flows[&(i, j)];
+            let (src, dst) = (peers[i as usize].host, peers[j as usize].host);
+            // A fault partition can leave a cross-AS pair unroutable; the
+            // rejected flow stays open but stalls (zero bytes) until
+            // routing recovers.
+            flow_alloc.add_flow(id, src, dst, &underlay);
+        }
+        flow_alloc.allocate();
+        // Move bytes at the allocated rates. Zero-byte flows (stalled
+        // routes, zero-capacity endpoints) are skipped outright: no
+        // ledger entry, no credit.
+        for &(i, j) in &desired {
+            let (i, j) = (i as usize, j as usize);
+            // lint:allow(cast) — member indices, bounded by the u32 HostId width
+            let entry = open_flows
+                .get_mut(&(i as u32, j as u32))
+                .expect("desired flows are open"); // lint:allow(expect)
+            let bytes = flow_alloc.bytes_of(entry.0, round_secs);
+            if bytes == 0 {
                 continue;
             }
-            let up_kbps = underlay.host(peers[i].host).up_kbps as f64;
-            let share_bytes =
-                (up_kbps * 1_000.0 / 8.0 * round_secs / unchokes[i].len() as f64) as u64;
-            for &j in &unchokes[i] {
-                // Receiver-side cap: downlink split across its own inflows
-                // is approximated by capping at downlink/2.
-                let down_cap = (underlay.host(peers[j].host).down_kbps as f64 * 1_000.0 / 8.0
-                    * round_secs
-                    / 2.0) as u64;
-                let flow = share_bytes.min(down_cap).max(1);
-                let (src, dst) = (peers[i].host, peers[j].host);
-                // A fault partition can leave a cross-AS pair unroutable;
-                // the flow stalls until routing recovers.
-                if !underlay.same_as(src, dst) && underlay.as_hops(src, dst).is_none() {
+            entry.1 += bytes;
+            let (src, dst) = (peers[i].host, peers[j].host);
+            underlay.account_transfer(now, src, dst, bytes);
+            payload_bytes += bytes;
+            round_bytes += bytes;
+            *received_this[j].entry(src).or_insert(0) += bytes;
+            *peers[j].credit.entry(src).or_insert(0) += bytes;
+        }
+        // Phase 2b: receivers verify and assemble chunks — fastest
+        // senders convert credit first (slow senders only claim pieces
+        // nobody faster offered, deprioritizing them), rarest pieces
+        // first, each chunk hash-checked before it counts.
+        for j in 0..peers.len() {
+            if received_this[j].is_empty() {
+                continue;
+            }
+            claimed.clear();
+            senders.clear();
+            senders.extend(received_this[j].iter().map(|(&h, &b)| (b, h)));
+            senders.sort_unstable_by_key(|&(b, h)| (std::cmp::Reverse(b), h));
+            for k in 0..senders.len() {
+                let src = senders[k].1;
+                let i = index[&src];
+                if poisoners.binary_search(&src).is_ok() {
+                    // Hash verification fails on every chunk from a
+                    // poisoner: the credited bytes are discarded, the
+                    // sender is banned, and the pieces re-request from
+                    // the remaining senders in later rounds.
+                    let credit = peers[j].credit.get(&src).copied().unwrap_or(0);
+                    let bad = credit / cfg.piece_bytes;
+                    if bad > 0 {
+                        let who = peers[j].host;
+                        tracer.set_span(peer_spans[j]);
+                        tracer.emit(
+                            now,
+                            "bittorrent",
+                            TraceLevel::Debug,
+                            "chunk.poisoned",
+                            |f| {
+                                f.u64("peer", who.0 as u64)
+                                    .u64("sender", src.0 as u64)
+                                    .u64("chunks", bad);
+                            },
+                        );
+                        peers[j].credit.insert(src, 0);
+                        if let Err(pos) = peers[j].banned.binary_search(&src) {
+                            peers[j].banned.insert(pos, src);
+                        }
+                    }
                     continue;
                 }
-                underlay.account_transfer(now, src, dst, flow);
-                payload_bytes += flow;
-                round_bytes += flow;
-                *received_this[j].entry(src).or_insert(0) += flow;
-                *peers[j].credit.entry(src).or_insert(0) += flow;
-                // Convert credit into pieces (rarest-first among what the
-                // sender offers).
-                loop {
-                    if peers[j].credit.get(&src).copied().unwrap_or(0) < cfg.piece_bytes {
-                        break;
-                    }
-                    let wanted: Option<usize> = {
-                        let sender_pieces = &peers[i].pieces;
-                        peers[j]
-                            .pieces
-                            .missing_from(sender_pieces)
-                            .filter(|&p| !completions.iter().any(|&(pj, pp)| pj == j && pp == p))
-                            .min_by_key(|&p| (availability[p], p))
-                    };
-                    match wanted {
-                        Some(p) => {
-                            *peers[j].credit.get_mut(&src).expect("credit entry") -= // lint:allow(expect)
-                                cfg.piece_bytes;
-                            completions.push((j, p));
-                        }
-                        None => {
-                            // Sender has nothing new; credit is wasted.
-                            peers[j].credit.insert(src, 0);
-                            break;
-                        }
-                    }
+                let mut credit = peers[j].credit.get(&src).copied().unwrap_or(0);
+                new_claims.clear();
+                claim_pieces(
+                    &peers[j].pieces,
+                    &peers[i].pieces,
+                    &mut credit,
+                    cfg.piece_bytes,
+                    &availability,
+                    &mut claimed,
+                    &mut new_claims,
+                );
+                peers[j].credit.insert(src, credit);
+                for &p in &new_claims {
+                    completions.push((j, p));
                 }
             }
         }
+        tracer.clear_provenance();
         // Phase 3: commit completions, completion times, re-announces.
         let n_completions = completions.len();
         for &(j, p) in &completions {
@@ -495,6 +664,13 @@ pub fn run_swarm_with(
     }
 
     let end = cfg.round.mul(rounds as u64);
+    // Flows still open when the run stops are closed here so every
+    // flow.open has a matching flow.close in the trace.
+    for (&_pair, &(id, bytes)) in open_flows.iter() {
+        tracer.emit(end, "net", TraceLevel::Debug, "flow.close", |f| {
+            f.u64("flow", id).u64("bytes", bytes);
+        });
+    }
     // Leechers still incomplete when the run stops close their spans
     // unfinished, so span open/close stays balanced even in truncated runs.
     for i in 0..peers.len() {
@@ -647,6 +823,8 @@ mod tests {
         let a = trace();
         assert!(a.contains("\"k\":\"round\""));
         assert!(a.contains("\"k\":\"swarm.done\""));
+        assert!(a.contains("\"k\":\"flow.open\""));
+        assert!(a.contains("\"k\":\"flow.close\""));
         assert_eq!(a, trace());
     }
 
@@ -798,5 +976,164 @@ mod tests {
         let (cat, _) = run_swarm(underlay(80, 7), base, 31);
         assert!(cat.intra_as_fraction >= plain.intra_as_fraction);
         assert_eq!(cat.completed, cat.leechers);
+    }
+
+    #[test]
+    fn receiver_downlink_is_never_exceeded() {
+        // Eight fat seeds all unchoke the lone leecher; its 6 Mbit/s
+        // downlink must bound what it receives per round. The old model
+        // capped each flow at downlink/2, so eight senders could deliver
+        // 4x the link's capacity.
+        let mut u = underlay(20, 1);
+        for i in 0..8 {
+            u.hosts.hosts[i].up_kbps = 100_000;
+        }
+        u.hosts.hosts[8].down_kbps = 6_000;
+        let cfg = SwarmConfig {
+            n_leechers: 1,
+            n_seeds: 8,
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let (report, _) = run_swarm(u, cfg, 11);
+        // Only the leecher receives payload, so payload_bytes is exactly
+        // its per-round inflow: <= down_kbps * round_secs (+1% fp slack).
+        let cap = (6_000u64 * 1_000 / 8) * 10;
+        assert!(
+            report.payload_bytes <= cap + cap / 100,
+            "leecher received {} bytes against a {}-byte downlink budget",
+            report.payload_bytes,
+            cap
+        );
+        assert!(report.payload_bytes > 0, "flows should still move bytes");
+    }
+
+    #[test]
+    fn zero_uplink_seed_transfers_nothing() {
+        // A seed whose uplink is 0 kbps gets a max-min rate of exactly
+        // zero; the old `.max(1)` floor let it trickle the whole torrent
+        // out one byte per round.
+        let mut u = underlay(20, 1);
+        u.hosts.hosts[0].up_kbps = 0;
+        let cfg = SwarmConfig {
+            n_leechers: 6,
+            n_seeds: 1,
+            max_rounds: 10,
+            ..Default::default()
+        };
+        let (report, _) = run_swarm(u, cfg, 11);
+        assert_eq!(report.payload_bytes, 0, "a dead uplink must move nothing");
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn claim_pieces_retains_partial_credit_capped_at_one_piece() {
+        let sender = PieceSet::full(4);
+        let mut receiver = PieceSet::empty(4);
+        let availability = vec![1u32; 4];
+        let mut claimed = PieceSet::empty(4);
+        let mut out = Vec::new();
+        // 2.5 pieces of credit: two claims, half a piece retained.
+        let mut credit = 2_560;
+        claim_pieces(
+            &receiver,
+            &sender,
+            &mut credit,
+            1_024,
+            &availability,
+            &mut claimed,
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(credit, 512, "partial credit must survive the round");
+        // Receiver now holds everything; surplus credit is capped at one
+        // piece instead of zeroed, so the next unchoke resumes instantly.
+        for p in 0..4 {
+            receiver.insert(p);
+        }
+        let mut credit = 10_000;
+        out.clear();
+        claim_pieces(
+            &receiver,
+            &sender,
+            &mut credit,
+            1_024,
+            &availability,
+            &mut claimed,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(credit, 1_024, "wasted credit caps at one piece, not zero");
+    }
+
+    #[test]
+    fn claim_pieces_prefers_rare_pieces_and_never_double_claims() {
+        let sender = PieceSet::full(3);
+        let receiver = PieceSet::empty(3);
+        let availability = vec![5u32, 1, 3];
+        let mut claimed = PieceSet::empty(3);
+        let mut out = Vec::new();
+        let mut credit = 1_024;
+        claim_pieces(
+            &receiver,
+            &sender,
+            &mut credit,
+            1_024,
+            &availability,
+            &mut claimed,
+            &mut out,
+        );
+        assert_eq!(out, vec![1], "rarest piece claims first");
+        // A second (slower) sender offering the same pieces can only claim
+        // what the faster one left behind.
+        let mut out2 = Vec::new();
+        let mut credit2 = 4_096;
+        claim_pieces(
+            &receiver,
+            &sender,
+            &mut credit2,
+            1_024,
+            &availability,
+            &mut claimed,
+            &mut out2,
+        );
+        assert_eq!(out2, vec![2, 0], "claimed pieces are not re-claimed");
+    }
+
+    #[test]
+    fn poisoned_chunks_are_discarded_and_rerequested_elsewhere() {
+        let mut cfg = small_cfg(TrackerPolicy::Random);
+        // Seed 0 poisons every chunk it serves; three honest seeds remain.
+        cfg.poisoners = vec![HostId(0)];
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        let (report, _) = run_swarm_with(underlay(80, 9), cfg, 37, &mut t);
+        let trace = t.to_jsonl();
+        assert!(
+            trace.contains("\"k\":\"chunk.poisoned\""),
+            "leechers must detect failed hash checks"
+        );
+        // Banned-sender re-requests route around the poisoner: everyone
+        // still finishes from the honest seeds.
+        assert_eq!(report.completed, report.leechers, "swarm must complete");
+    }
+
+    #[test]
+    fn crash_epochs_prune_credit_and_trace_reassignments() {
+        let mut cfg = small_cfg(TrackerPolicy::Random);
+        cfg.max_rounds = 60;
+        cfg.faults = Some(uap_net::FaultPlan::new().epoch(
+            SimTime::from_secs(40),
+            SimTime::from_secs(200),
+            uap_net::FaultKind::HostCrash {
+                hosts: (4..24).map(HostId).collect(),
+            },
+        ));
+        let mut t = Tracer::buffered(TraceLevel::Debug);
+        run_swarm_with(underlay(80, 9), cfg, 37, &mut t);
+        let trace = t.to_jsonl();
+        assert!(
+            trace.contains("\"k\":\"chunk.reassign\""),
+            "partial chunks held against crashed senders must be reassigned"
+        );
     }
 }

@@ -13,7 +13,7 @@ use crate::overlay::{Overlay, Role};
 use crate::report::GnutellaReport;
 use crate::selection::Selector;
 use uap_info::Oracle;
-use uap_net::{CompiledFaultPlan, HostId, TrafficCategory, Underlay};
+use uap_net::{CompiledFaultPlan, FlowAllocator, HostId, TrafficCategory, Underlay};
 use uap_sim::{ChurnModel, Ctx, SimTime, Simulator, TraceLevel, Tracer, World};
 
 /// Simulation events.
@@ -67,6 +67,11 @@ pub struct GnutellaSim {
     /// anchor for recovery events (download retries point at the epoch
     /// that made their source unreachable).
     last_fault_seq: Option<u64>,
+    /// Max-min bandwidth allocator: each download is modeled as a single
+    /// flow so its rate respects both access links and the AS links on
+    /// its path (see docs/BANDWIDTH.md).
+    flows: FlowAllocator,
+    next_flow_id: u64,
     /// Hot-path scratch buffers, reused across events (taken with
     /// `std::mem::take` around calls that need `&mut self`) so the
     /// per-event bodies stay allocation-free — the alloc pass in
@@ -167,6 +172,7 @@ impl GnutellaSim {
             });
 
         let faults = cfg.faults.as_ref().map(|p| p.compile(&underlay.graph));
+        let flows = FlowAllocator::new(&underlay);
         let mut world = GnutellaSim {
             underlay,
             overlay,
@@ -187,6 +193,8 @@ impl GnutellaSim {
             query_log: Vec::new(),
             download_log: Vec::new(),
             last_fault_seq: None,
+            flows,
+            next_flow_id: 0,
             scratch_flood: crate::overlay::FloodResult::default(),
             scratch_hits: Vec::new(),
             scratch_providers: Vec::new(),
@@ -533,10 +541,7 @@ impl GnutellaSim {
         tried.push(provider);
         let mut current = provider;
         loop {
-            let secs = self
-                .underlay
-                .transfer_time(current, downloader, bytes)
-                .map(|t| t.as_secs_f64());
+            let secs = self.flow_secs(current, downloader, bytes, ctx);
             if let Some(s) = secs {
                 let cat = self.underlay.account_transfer_traced(
                     ctx.now(),
@@ -604,6 +609,48 @@ impl GnutellaSim {
             }
         }
         self.scratch_tried = tried;
+        self.flows.export_metrics(ctx.metrics);
+    }
+
+    /// Models one download as a single flow through the max-min
+    /// allocator: one RTT of handshake, then the file at the flow's
+    /// allocated rate, further capped by the TCP window/RTT throughput
+    /// limit — the cap is what keeps nearby (low-RTT) sources genuinely
+    /// faster, not just cheaper for the ISP. Returns `None` when the
+    /// pair is unroutable under the active fault mask or the allocated
+    /// rate rounds to zero (dead uplink), which sends the caller down
+    /// the re-sourcing path.
+    fn flow_secs(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        bytes: u64,
+        ctx: &mut Ctx<'_, Ev>,
+    ) -> Option<f64> {
+        let rtt_secs = self.underlay.rtt_us(src, dst)? as f64 / 1e6;
+        let id = self.next_flow_id;
+        self.flows.begin();
+        if !self.flows.add_flow(id, src, dst, &self.underlay) {
+            return None;
+        }
+        self.flows.allocate();
+        self.next_flow_id += 1;
+        let mut rate = self.flows.rate_of(id)?;
+        if rtt_secs > 0.0 {
+            rate = rate.min(self.underlay.config.tcp_window_bytes as f64 / rtt_secs);
+        }
+        if rate < 1.0 {
+            return None;
+        }
+        ctx.trace("net", TraceLevel::Debug, "flow.open", |f| {
+            f.u64("flow", id)
+                .u64("src", src.0 as u64)
+                .u64("dst", dst.0 as u64);
+        });
+        ctx.trace("net", TraceLevel::Debug, "flow.close", |f| {
+            f.u64("flow", id).u64("bytes", bytes);
+        });
+        Some(rtt_secs + bytes as f64 / rate)
     }
 
     /// The raw per-query outcome series `(time, found a provider)`.

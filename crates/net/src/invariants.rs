@@ -19,6 +19,12 @@
 //!   totals: bytes are neither created nor destroyed by classification.
 //! * [`check_cost_non_negative`] — no bill contains a negative or
 //!   non-finite charge (the cost model is a sum of non-negative tariffs).
+//! * [`check_flow_capacity`] / [`check_flow_conservation`] /
+//!   [`check_flow_max_min`] — the max-min fair allocation produced by
+//!   [`crate::flow::FlowAllocator`] never overloads a resource, its
+//!   per-resource loads equal the sum of the crossing flows' rates, and
+//!   every flow is bottlenecked at some saturated resource (the defining
+//!   property of max-min fairness).
 
 use crate::asgraph::{AsGraph, LinkKind, Relationship};
 use crate::cost::IspBill;
@@ -107,6 +113,88 @@ pub fn check_cost_non_negative(bills: &[IspBill]) -> Result<(), String> {
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("{}: {what} = {v} (negative or non-finite)", b.asn));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Tolerance for float comparisons on flow rates/loads (bytes/second):
+/// proportional slack plus one byte/second of absolute slack, matching
+/// the saturation test inside the progressive-filling loop.
+fn flow_eps(scale: f64) -> f64 {
+    scale.abs() * 1e-9 + 1.0
+}
+
+/// Validates that no resource the current flow set touches is loaded
+/// beyond its capacity. `cap` and `load` are the allocator's per-resource
+/// arrays; `used` lists the resource indices the flow set crosses.
+// lint:allow(alloc) — invariant checker; debug-only, allocates only error messages
+pub fn check_flow_capacity(cap: &[f64], load: &[f64], used: &[u32]) -> Result<(), String> {
+    for &r in used {
+        let r = r as usize;
+        if !load[r].is_finite() || load[r] < 0.0 {
+            return Err(format!("resource {r}: load {} is invalid", load[r]));
+        }
+        if load[r] > cap[r] + flow_eps(cap[r]) {
+            return Err(format!(
+                "resource {r}: load {} exceeds capacity {}",
+                load[r], cap[r]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates rate conservation: each resource's load equals the sum of
+/// the rates of the flows crossing it (bytes/second are neither created
+/// nor destroyed between the per-flow and per-resource views). `flows`
+/// is the allocator's `(id, arena start, resource count)` table and
+/// `arena` the concatenated resource spans; `rates` is parallel to
+/// `flows`.
+// lint:allow(alloc) — invariant checker; debug-only, allocates one scratch sum table
+pub fn check_flow_conservation(
+    load: &[f64],
+    rates: &[f64],
+    flows: &[(u64, u32, u32)],
+    arena: &[u32],
+) -> Result<(), String> {
+    let mut sums = vec![0.0f64; load.len()];
+    for (fi, &(_, start, len)) in flows.iter().enumerate() {
+        for &r in &arena[start as usize..(start + len) as usize] {
+            sums[r as usize] += rates[fi];
+        }
+    }
+    for (r, (&s, &l)) in sums.iter().zip(load).enumerate() {
+        if (s - l).abs() > flow_eps(l.max(s)) {
+            return Err(format!(
+                "resource {r}: flow-rate sum {s} != recorded load {l}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates the max-min property: every flow crosses at least one
+/// saturated resource (its bottleneck). A flow with headroom on every
+/// resource it touches could be raised without hurting anyone, so the
+/// allocation would not be max-min fair.
+// lint:allow(alloc) — invariant checker; debug-only, allocates only error messages
+pub fn check_flow_max_min(
+    cap: &[f64],
+    load: &[f64],
+    flows: &[(u64, u32, u32)],
+    arena: &[u32],
+) -> Result<(), String> {
+    for &(id, start, len) in flows {
+        let span = &arena[start as usize..(start + len) as usize];
+        let bottlenecked = span.iter().any(|&r| {
+            let r = r as usize;
+            load[r] + flow_eps(cap[r]) >= cap[r]
+        });
+        if !bottlenecked {
+            return Err(format!(
+                "flow {id}: no saturated resource on its path — not max-min"
+            ));
         }
     }
     Ok(())
@@ -208,6 +296,39 @@ mod tests {
         t.record(&g, SimTime::from_secs(30), AsId(3), path, 1 << 20);
         let bills = bill_all(&g, &t, &CostParams::default(), SimTime::from_hours(1));
         check_cost_non_negative(&bills).unwrap();
+    }
+
+    #[test]
+    fn flow_checkers_accept_a_consistent_allocation() {
+        // Two flows over three resources; flow 0 uses {0, 2}, flow 1 uses
+        // {1, 2}. Resource 2 is the shared bottleneck.
+        let cap = [10.0, 10.0, 8.0];
+        let load = [4.0, 4.0, 8.0];
+        let flows = [(0u64, 0u32, 2u32), (1, 2, 2)];
+        let arena = [0u32, 2, 1, 2];
+        let rates = [4.0, 4.0];
+        check_flow_capacity(&cap, &load, &[0, 1, 2]).unwrap();
+        check_flow_conservation(&load, &rates, &flows, &arena).unwrap();
+        check_flow_max_min(&cap, &load, &flows, &arena).unwrap();
+    }
+
+    #[test]
+    fn flow_checkers_catch_violations() {
+        let cap = [10.0, 10.0, 8.0];
+        let flows = [(0u64, 0u32, 2u32), (1, 2, 2)];
+        let arena = [0u32, 2, 1, 2];
+        // Overload.
+        let err = check_flow_capacity(&cap, &[4.0, 4.0, 12.0], &[0, 1, 2]).unwrap_err();
+        assert!(err.contains("exceeds capacity"), "{err}");
+        // Non-finite load.
+        assert!(check_flow_capacity(&cap, &[f64::NAN, 0.0, 0.0], &[0]).is_err());
+        // Rates that do not sum to the recorded loads.
+        let err =
+            check_flow_conservation(&[4.0, 4.0, 8.0], &[4.0, 1.0], &flows, &arena).unwrap_err();
+        assert!(err.contains("!= recorded load"), "{err}");
+        // A flow with headroom everywhere it goes is not max-min.
+        let err = check_flow_max_min(&cap, &[1.0, 1.0, 2.0], &flows, &arena).unwrap_err();
+        assert!(err.contains("not max-min"), "{err}");
     }
 
     #[test]

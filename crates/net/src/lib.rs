@@ -24,6 +24,10 @@
 //! * [`fault`] — time-scheduled fault campaigns ([`FaultPlan`]): epoch-based
 //!   link-down windows, latency inflation and host crash/restart, applied
 //!   through the event engine with route-cache invalidation;
+//! * [`flow`] — deterministic max-min fair bandwidth allocation
+//!   (progressive filling) over per-host access links and shared inter-AS
+//!   link capacities — the flow-level model behind BitTorrent rounds and
+//!   Gnutella downloads;
 //! * [`invariants`] — runtime checkers (valley-free routes, traffic
 //!   conservation, cost non-negativity) wired in under `debug_assertions`.
 
@@ -33,6 +37,7 @@ pub mod asgraph;
 pub mod cost;
 pub mod failure;
 pub mod fault;
+pub mod flow;
 pub mod gen;
 pub mod geo;
 pub mod host;
@@ -45,6 +50,7 @@ pub mod underlay;
 pub use asgraph::{AsGraph, AsLink, AsNode, LinkKind, Relationship, Tier};
 pub use cost::{CostParams, IspBill};
 pub use fault::{CompiledFaultPlan, FaultEpoch, FaultKind, FaultPlan, FaultState};
+pub use flow::FlowAllocator;
 pub use gen::{TopologyKind, TopologySpec};
 pub use geo::GeoPoint;
 pub use host::{AccessProfile, Host, HostPopulation, PopulationSpec};

@@ -66,9 +66,9 @@ pub struct RouteSummary {
     pub hops: u32,
     /// Accumulated inter-AS link latency along the path, in microseconds.
     pub latency_us: u64,
-    /// Number of transit (customer–provider) links on the path — what
-    /// [`crate::underlay::Underlay::transfer_time`] discounts bandwidth by,
-    /// precomputed so no per-transfer path scan is needed.
+    /// Number of transit (customer–provider) links on the path,
+    /// precomputed so no per-transfer path scan is needed (traced by
+    /// `account_transfer_traced` and reported in trace analyses).
     pub transit_links: u32,
     /// Offset of this pair's path in the shared link-index arena.
     path_off: usize,

@@ -29,12 +29,11 @@ pub struct UnderlayConfig {
     /// TCP window for throughput estimation: achievable rate is capped at
     /// `window / RTT`, which is what makes low-latency (local) sources
     /// download faster in practice.
+    ///
+    /// Inter-domain congestion is no longer a per-path discount here: it
+    /// emerges from real capacity sharing on the AS links in
+    /// [`crate::flow::FlowAllocator`].
     pub tcp_window_bytes: u64,
-    /// Per-transit-link throughput discount modelling inter-domain
-    /// congestion (§2.1: inter-AS traffic suffers "congestion and
-    /// jitter"): effective bandwidth is divided by
-    /// `1 + transit_congestion × (transit links on the path)`.
-    pub transit_congestion: f64,
 }
 
 impl Default for UnderlayConfig {
@@ -45,7 +44,6 @@ impl Default for UnderlayConfig {
             asymmetry: 1.0,
             jitter: 0.0,
             tcp_window_bytes: 256 * 1024,
-            transit_congestion: 0.5,
         }
     }
 }
@@ -56,9 +54,9 @@ impl Default for UnderlayConfig {
 /// [`Underlay::latency_us`] (and therefore `rtt_us`) does one indexed
 /// read instead of probing the routing table twice per direction.
 /// Each entry also carries the path's transit-link count in its upper
-/// bits, so [`Underlay::transfer_time`]'s congestion discount reuses the
-/// word the RTT computation already loaded instead of touching the
-/// routing table a second time. `u64::MAX` marks unreachable pairs.
+/// bits, so post-run analyses can read a path's transit crossing count
+/// from the word the RTT computation already loaded instead of touching
+/// the routing table a second time. `u64::MAX` marks unreachable pairs.
 ///
 /// The cache is derived from the routing table, `per_as_hop_us` and the
 /// active latency-inflation factor. Host migration cannot stale it
@@ -694,7 +692,7 @@ impl Underlay {
     pub fn transfer_time(&self, a: HostId, b: HostId, bytes: u64) -> Option<SimTime> {
         let ha = self.hosts.host(a);
         let hb = self.hosts.host(b);
-        let (rtt, fwd_entry) = self.rtt_fused(a, b, ha, hb)?;
+        let (rtt, _) = self.rtt_fused(a, b, ha, hb)?;
         let mut bottleneck_kbps = ha.up_kbps.min(hb.down_kbps).max(1) as u64;
         // window bytes per RTT → kbit/s. When the RTT is small enough that
         // `window / RTT` provably exceeds every host's line rate
@@ -709,14 +707,6 @@ impl Underlay {
             if let Some(tcp_cap_kbps) = window_kbits.checked_div(rtt) {
                 bottleneck_kbps = bottleneck_kbps.min(tcp_cap_kbps.max(1));
             }
-        }
-        // Inter-domain congestion discount per transit link crossed. The
-        // transit count rides in the upper bits of the cache entry the RTT
-        // computation already loaded, so no second table access happens.
-        if self.config.transit_congestion > 0.0 && fwd_entry != UNREACHABLE_ENTRY {
-            let transit_links = (fwd_entry >> 48) as f64;
-            let factor = 1.0 + self.config.transit_congestion * transit_links;
-            bottleneck_kbps = ((bottleneck_kbps as f64 / factor) as u64).max(1);
         }
         let ser_us = bytes.saturating_mul(8).saturating_mul(1_000) / bottleneck_kbps;
         Some(SimTime::from_micros(rtt + ser_us))

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use uap_net::{
-    AsId, LinkKind, ReferenceRouting, Relationship, Routing, RoutingMode, TopologyKind,
-    TopologySpec,
+    AsId, FlowAllocator, HostId, LinkKind, PopulationSpec, ReferenceRouting, Relationship, Routing,
+    RoutingMode, TopologyKind, TopologySpec, Underlay, UnderlayConfig,
 };
 use uap_sim::SimRng;
 
@@ -16,6 +16,73 @@ fn random_hierarchy(seed: u64, t1: usize, t2: usize, t3: usize) -> uap_net::AsGr
         tier3_peering_prob: 0.4,
     })
     .build(&mut SimRng::new(seed))
+}
+
+/// A populated underlay plus a random flow set registered with the
+/// allocator; returns the accepted flows as `(id, src, dst)`.
+fn random_flow_set(
+    seed: u64,
+    n_hosts: usize,
+    n_flows: usize,
+) -> (Underlay, FlowAllocator, Vec<(u64, HostId, HostId)>) {
+    let g = random_hierarchy(seed, 2, 2, 2);
+    let mut rng = SimRng::new(seed ^ 0x5bd1_e995);
+    let u = Underlay::build(
+        g,
+        &PopulationSpec::leaf(n_hosts),
+        UnderlayConfig::default(),
+        &mut rng,
+    );
+    let mut a = FlowAllocator::new(&u);
+    a.begin();
+    let mut flows = Vec::new();
+    for id in 0..n_flows as u64 {
+        let s = rng.below(n_hosts as u64) as u32;
+        let mut d = rng.below(n_hosts as u64) as u32;
+        if d == s {
+            d = (d + 1) % n_hosts as u32;
+        }
+        let (s, d) = (HostId(s), HostId(d));
+        if a.add_flow(id, s, d, &u) {
+            flows.push((id, s, d));
+        }
+    }
+    a.allocate();
+    (u, a, flows)
+}
+
+/// Externally recomputed per-resource loads `(uplink, downlink, AS link)`
+/// — deliberately independent of the allocator's own bookkeeping.
+fn recompute_loads(
+    u: &Underlay,
+    a: &FlowAllocator,
+    flows: &[(u64, HostId, HostId)],
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = u.n_hosts();
+    let mut up = vec![0.0; n];
+    let mut down = vec![0.0; n];
+    let mut link = vec![0.0; u.graph.links.len()];
+    for &(id, s, d) in flows {
+        let r = a.rate_of(id).expect("every registered flow has a rate");
+        up[s.0 as usize] += r;
+        down[d.0 as usize] += r;
+        let (sa, da) = (u.hosts.as_of(s), u.hosts.as_of(d));
+        if sa != da {
+            for &li in u
+                .routing
+                .path_links(sa, da)
+                .expect("fault-free graph is connected")
+            {
+                link[li as usize] += r;
+            }
+        }
+    }
+    (up, down, link)
+}
+
+/// Saturation slack mirroring the allocator's internal tolerance.
+fn flow_slack(cap: f64) -> f64 {
+    cap * 1e-9 + 1.0
 }
 
 proptest! {
@@ -300,5 +367,84 @@ proptest! {
         // The last boundary is past every epoch end: fully healed.
         let end_state = compiled.state_at(*compiled.boundaries().last().unwrap());
         prop_assert_eq!(end_state.links_down(), 0);
+    }
+
+    /// Max-min allocations never overfill any resource: per-host uplink
+    /// and downlink sums and per-AS-link sums (all recomputed externally
+    /// from `rate_of` + the routing tables) stay within capacity.
+    #[test]
+    fn flow_allocation_respects_every_capacity(seed in any::<u64>(), n_flows in 1usize..24) {
+        let (u, a, flows) = random_flow_set(seed, 30, n_flows);
+        let (up, down, link) = recompute_loads(&u, &a, &flows);
+        for &(id, _, _) in &flows {
+            let r = a.rate_of(id).unwrap();
+            prop_assert!(r.is_finite() && r >= 0.0, "flow {id} rate {r}");
+        }
+        for (i, &l) in up.iter().enumerate() {
+            let cap = u.host(HostId(i as u32)).up_kbps as f64 * 125.0;
+            prop_assert!(l <= cap + flow_slack(cap), "uplink {i}: {l} > {cap}");
+        }
+        for (i, &l) in down.iter().enumerate() {
+            let cap = u.host(HostId(i as u32)).down_kbps as f64 * 125.0;
+            prop_assert!(l <= cap + flow_slack(cap), "downlink {i}: {l} > {cap}");
+        }
+        for (li, &l) in link.iter().enumerate() {
+            let cap = u.graph.links[li].capacity_mbps * 125_000.0;
+            prop_assert!(l <= cap + flow_slack(cap), "AS link {li}: {l} > {cap}");
+        }
+    }
+
+    /// The max-min property proper: every accepted flow crosses at least
+    /// one saturated resource, so no flow's rate can be raised without
+    /// lowering another's.
+    #[test]
+    fn every_flow_is_bottlenecked_somewhere(seed in any::<u64>(), n_flows in 1usize..24) {
+        let (u, a, flows) = random_flow_set(seed, 30, n_flows);
+        let (up, down, link) = recompute_loads(&u, &a, &flows);
+        for &(id, s, d) in &flows {
+            let mut sat = false;
+            let ucap = u.host(s).up_kbps as f64 * 125.0;
+            sat |= up[s.0 as usize] + flow_slack(ucap) >= ucap;
+            let dcap = u.host(d).down_kbps as f64 * 125.0;
+            sat |= down[d.0 as usize] + flow_slack(dcap) >= dcap;
+            let (sa, da) = (u.hosts.as_of(s), u.hosts.as_of(d));
+            if sa != da {
+                for &li in u.routing.path_links(sa, da).unwrap() {
+                    let lcap = u.graph.links[li as usize].capacity_mbps * 125_000.0;
+                    sat |= link[li as usize] + flow_slack(lcap) >= lcap;
+                }
+            }
+            prop_assert!(sat, "flow {} ({:?}->{:?}) crosses no saturated resource", id, s, d);
+        }
+    }
+
+    /// Same seed ⇒ bit-identical rates, and so does registering the same
+    /// flow set in reverse order — the allocation is a pure function of
+    /// the flow *set*.
+    #[test]
+    fn flow_allocation_is_deterministic_and_order_free(seed in any::<u64>(), n_flows in 1usize..24) {
+        let (_, a1, flows) = random_flow_set(seed, 30, n_flows);
+        let (u2, a2, flows2) = random_flow_set(seed, 30, n_flows);
+        prop_assert_eq!(&flows, &flows2);
+        for &(id, _, _) in &flows {
+            prop_assert_eq!(
+                a1.rate_of(id).unwrap().to_bits(),
+                a2.rate_of(id).unwrap().to_bits(),
+                "same-seed rates diverged for flow {}", id
+            );
+        }
+        let mut rev = FlowAllocator::new(&u2);
+        rev.begin();
+        for &(id, s, d) in flows.iter().rev() {
+            prop_assert!(rev.add_flow(id, s, d, &u2));
+        }
+        rev.allocate();
+        for &(id, _, _) in &flows {
+            prop_assert_eq!(
+                a1.rate_of(id).unwrap().to_bits(),
+                rev.rate_of(id).unwrap().to_bits(),
+                "insertion order changed the rate of flow {}", id
+            );
+        }
     }
 }

@@ -120,6 +120,18 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
     },
     TraceKindSpec {
         component: "net",
+        kind: "flow.open",
+        level: "debug",
+        doc: "flow joined the max-min allocation set (flow id, src, dst)",
+    },
+    TraceKindSpec {
+        component: "net",
+        kind: "flow.close",
+        level: "debug",
+        doc: "flow left the max-min allocation set (flow id, bytes moved)",
+    },
+    TraceKindSpec {
+        component: "net",
         kind: "fault.epoch",
         level: "info",
         doc: "fault epoch boundary applied (links down, latency factor, crashed hosts)",
@@ -270,6 +282,18 @@ pub const TRACE_KINDS: &[TraceKindSpec] = &[
     },
     TraceKindSpec {
         component: "bittorrent",
+        kind: "chunk.poisoned",
+        level: "debug",
+        doc: "received chunks failed hash verification; sender banned, pieces re-requested (peer, sender, chunks)",
+    },
+    TraceKindSpec {
+        component: "bittorrent",
+        kind: "chunk.reassign",
+        level: "debug",
+        doc: "partial-chunk credit from a crashed sender timed out at a fault epoch (peer, sender, lost bytes)",
+    },
+    TraceKindSpec {
+        component: "bittorrent",
         kind: "span.open",
         level: "debug",
         doc: "causal span opened: a per-leecher span covering announce, piece exchange and completion",
@@ -337,6 +361,16 @@ pub const METRICS: &[MetricSpec] = &[
         key: "net.route_cache.invalidations",
         kind: MetricKind::Counter,
         doc: "route-cache rebuilds after routing swaps (exported at end of run)",
+    },
+    MetricSpec {
+        key: "net.flow.opened",
+        kind: MetricKind::Counter,
+        doc: "flows accepted by the max-min allocator (exported at end of run)",
+    },
+    MetricSpec {
+        key: "net.flow.rejected",
+        kind: MetricKind::Counter,
+        doc: "flows rejected as unroutable under the active fault state (exported at end of run)",
     },
     MetricSpec {
         key: "net.fault.epochs",
